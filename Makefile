@@ -1,0 +1,27 @@
+# Convenience targets for the PAE reproduction.
+
+.PHONY: install test bench bench-fast examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Quick shape check at reduced scale (~3-4 min).
+bench-fast:
+	REPRO_BENCH_PRODUCTS=120 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/multilingual_catalog.py
+	python examples/specialized_models.py
+	python examples/ablation_study.py
+	python examples/error_analysis.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""§VIII-B — the impact of cleaning.
+
+Paper shapes: the veto rules discard on the order of 10% of first-
+iteration candidates; leaving the semantic core size unrestricted
+costs at most ~1% precision in the worst categories (Garden, Shoes).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments import cleaning_impact
+
+
+def bench_cleaning_impact(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: cleaning_impact.run(settings), rounds=1, iterations=1
+    )
+    report("cleaning", result.format())
+
+    rates = [row.discard_rate for row in result.veto_rows]
+    # Discard rate is in the right ballpark: neither negligible nor
+    # wholesale (paper: ~10%).
+    assert 0.005 < statistics.mean(rates) < 0.4
+    # Every category produced candidates to judge.
+    assert all(row.candidates > 0 for row in result.veto_rows)
+
+    # Core-size sweep: unrestricted n is within a few points of the
+    # default (paper: ≤1% worse in Garden/Shoes).
+    for category in cleaning_impact.SWEEP_CATEGORIES:
+        default = result.core_sweep[(category, 10)]
+        unrestricted = result.core_sweep[(category, 0)]
+        assert abs(default - unrestricted) < 0.08, category

@@ -1,0 +1,130 @@
+"""Component micro-benchmarks: the substrates' raw throughput.
+
+Unlike the table/figure benches (one-shot experiment regenerations),
+these measure steady-state component performance over multiple rounds —
+useful for catching performance regressions in the from-scratch
+substrates (HTML parsing, tokenization, CRF training/decoding, LSTM
+epochs, word2vec).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import CrfConfig, LstmConfig
+from repro.core.text import tokenize_page
+from repro.corpus import Marketplace
+from repro.embeddings import Word2Vec
+from repro.html import extract_dictionary_tables, parse_html
+from repro.ml import CrfTagger, LstmTagger
+from repro.nlp import get_locale
+from repro.types import Sentence, TaggedSentence
+
+
+@pytest.fixture(scope="module")
+def pages():
+    dataset = Marketplace(seed=5).generate("vacuum_cleaner", 60)
+    return [generated.page for generated in dataset.pages]
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    ja = get_locale("ja")
+    rng = random.Random(0)
+    colors = ["aka", "ao", "shiro", "kuro", "midori"]
+    weights = ["2 kg", "3 kg", "5 kg", "1 . 5 kg"]
+    data = []
+    for index in range(250):
+        color = rng.choice(colors)
+        weight = rng.choice(weights)
+        tokens = ja.tokens(
+            f"iro wa {color} desu soshite juryo wa {weight} desu"
+        )
+        texts = [token.text for token in tokens]
+        labels = ["O"] * len(tokens)
+        labels[texts.index(color)] = "B-iro"
+        weight_tokens = weight.split()
+        for start in range(len(texts)):
+            if texts[start:start + len(weight_tokens)] == weight_tokens:
+                labels[start] = "B-juryo"
+                for offset in range(1, len(weight_tokens)):
+                    labels[start + offset] = "I-juryo"
+                break
+        data.append(
+            TaggedSentence(Sentence(f"p{index}", 0, tokens), tuple(labels))
+        )
+    return data
+
+
+def bench_html_parse(benchmark, pages):
+    html = pages[0].html
+
+    def parse():
+        return parse_html(html)
+
+    root = benchmark(parse)
+    assert root.find("title") is not None
+
+
+def bench_table_extraction(benchmark, pages):
+    documents = [page.html for page in pages]
+
+    def extract():
+        return sum(
+            len(extract_dictionary_tables(document))
+            for document in documents
+        )
+
+    benchmark(extract)
+
+
+def bench_page_tokenization(benchmark, pages):
+    page = pages[0]
+
+    def tokenize():
+        return tokenize_page(page)
+
+    text = benchmark(tokenize)
+    assert text.token_count() > 0
+
+
+def bench_crf_training(benchmark, training_data):
+    def train():
+        return CrfTagger(CrfConfig(max_iterations=30)).train(
+            training_data
+        )
+
+    tagger = benchmark.pedantic(train, rounds=2, iterations=1)
+    assert tagger.feature_count > 0
+
+
+def bench_crf_decoding(benchmark, training_data):
+    tagger = CrfTagger(CrfConfig(max_iterations=30)).train(training_data)
+    sentences = [tagged.sentence for tagged in training_data]
+
+    def decode():
+        return tagger.tag(sentences)
+
+    results = benchmark(decode)
+    assert len(results) == len(sentences)
+
+
+def bench_lstm_epoch(benchmark, training_data):
+    def train():
+        return LstmTagger(LstmConfig(epochs=1)).train(training_data)
+
+    benchmark.pedantic(train, rounds=2, iterations=1)
+
+
+def bench_word2vec_training(benchmark, pages):
+    from repro.core.text import corpus_token_sentences, tokenize_pages
+
+    corpus = corpus_token_sentences(tokenize_pages(pages))
+
+    def train():
+        return Word2Vec(dim=16, epochs=3, seed=0).train(corpus)
+
+    model = benchmark.pedantic(train, rounds=2, iterations=1)
+    assert model.fitted

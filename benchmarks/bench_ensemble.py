@@ -1,0 +1,76 @@
+"""§IX future work — the CRF+LSTM ensemble, measured.
+
+The paper predicts the two models "can complement each other". The
+agreement ensemble should be at least as precise as either member;
+the union ensemble should cover at least as much as either member.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import coverage, precision
+from repro.evaluation.report import format_table
+from repro.experiments.common import (
+    cached_run,
+    cached_truth,
+    crf_config,
+    lstm_config,
+)
+from repro.config import PipelineConfig
+
+CATEGORY = "ladies_bags"
+
+
+def bench_ensemble_policies(benchmark, settings, report):
+    def run():
+        rows = {}
+        truth = cached_truth(
+            CATEGORY, settings.products, settings.data_seed
+        )
+        configurations = {
+            "CRF": crf_config(1, cleaning=True),
+            "RNN 2 epochs": lstm_config(1, epochs=2, cleaning=True),
+            "ensemble (agreement)": PipelineConfig(
+                iterations=1, tagger="ensemble",
+                ensemble_policy="agreement",
+            ),
+            "ensemble (union)": PipelineConfig(
+                iterations=1, tagger="ensemble", ensemble_policy="union"
+            ),
+        }
+        for name, config in configurations.items():
+            result = cached_run(
+                CATEGORY, settings.products, settings.data_seed, config
+            )
+            triples = result.triples_after(1)
+            rows[name] = (
+                precision(triples, truth).precision,
+                coverage(triples, settings.products),
+                len(triples),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ensemble",
+        format_table(
+            ["configuration", "precision%", "coverage%", "#triples"],
+            [
+                [name, 100 * p, 100 * c, n]
+                for name, (p, c, n) in rows.items()
+            ],
+            title="§IX — ensemble tagger vs its members "
+            f"(1st iteration, {CATEGORY})",
+        ),
+    )
+
+    # Agreement is at least as precise as the weaker member.
+    weakest_member = min(rows["CRF"][0], rows["RNN 2 epochs"][0])
+    assert rows["ensemble (agreement)"][0] >= weakest_member - 0.02
+    # Union covers at least as much as either member.
+    best_member_coverage = max(rows["CRF"][1], rows["RNN 2 epochs"][1])
+    assert rows["ensemble (union)"][1] >= best_member_coverage - 0.02
+    # Agreement trades coverage for that precision.
+    assert (
+        rows["ensemble (agreement)"][1]
+        <= rows["ensemble (union)"][1] + 0.01
+    )

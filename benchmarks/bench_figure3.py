@@ -1,0 +1,42 @@
+"""Figure 3 — precision/coverage across bootstrap iterations, CRF with
+and without cleaning.
+
+Paper shapes: coverage rises strongly across iterations (and a little
+less with cleaning); precision decays from the seed's level but
+cleaning keeps the average loss small; high-precision categories stay
+high throughout.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments import figure3
+
+
+def bench_figure3_curves(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure3.run(settings), rounds=1, iterations=1
+    )
+    report("figure3", result.format())
+
+    for (category, cleaned), points in result.curves.items():
+        # Coverage is (weakly) monotone: triples only accumulate.
+        coverages = [point.coverage for point in points]
+        assert coverages == sorted(coverages), (category, cleaned)
+        # Bootstrap multiplies the seed's coverage.
+        assert coverages[-1] > 1.5 * max(coverages[0], 0.02), category
+
+    # Cleaning trades coverage for precision, on average.
+    def avg(metric: str, cleaned: bool, iteration: int) -> float:
+        return statistics.mean(
+            getattr(points[iteration], metric)
+            for (_, flag), points in result.curves.items()
+            if flag is cleaned
+        )
+
+    final = settings.iterations
+    assert avg("precision", True, final) >= avg("precision", False, final)
+    assert avg("coverage", True, final) <= avg("coverage", False, final) + 0.02
+    # With cleaning, final precision stays high (paper: above ~85%).
+    assert avg("precision", True, final) > 0.8

@@ -1,0 +1,38 @@
+"""Figure 4 — average triples per product, CRF vs RNN (1st iteration,
+with cleaning).
+
+Paper shapes: CRF consistently associates more triples per product
+than the RNN, and both stay below three properties per product on
+average (the §VIII-D motivation for specialized models).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments import figure4_6
+from repro.experiments.common import CORE_CATEGORIES
+
+
+def bench_figure4_triples_per_product(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure4_6.run_figure4(settings), rounds=1, iterations=1
+    )
+    report("figure4", result.format())
+
+    crf_wins = sum(
+        result.per_product[("CRF", category)]
+        >= result.per_product[("RNN", category)]
+        for category in CORE_CATEGORIES
+    )
+    # CRF associates more triples in (at least) most categories.
+    assert crf_wins >= len(CORE_CATEGORIES) - 2
+    # Both approaches find fewer than three properties per product.
+    assert statistics.mean(
+        result.per_product[("CRF", category)]
+        for category in CORE_CATEGORIES
+    ) < 3.0
+    assert statistics.mean(
+        result.per_product[("RNN", category)]
+        for category in CORE_CATEGORIES
+    ) < 3.0

@@ -1,0 +1,31 @@
+"""Figure 6 — increase in #triples after the first bootstrap cycle for
+the RNN configurations.
+
+Paper shapes: RNN@10 epochs adds far more triples than RNN@2; adding
+cleaning to RNN@2 systematically shrinks the increase.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure4_6
+from repro.experiments.common import CORE_CATEGORIES
+
+
+def bench_figure6_rnn_increase(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure4_6.run_figure6(settings), rounds=1, iterations=1
+    )
+    report("figure6", result.format())
+
+    ten_wins = sum(
+        result.increases[("RNN 10 epochs", category)]
+        >= result.increases[("RNN 2 epochs", category)]
+        for category in CORE_CATEGORIES
+    )
+    clean_shrinks = sum(
+        result.increases[("RNN 2 epochs + cleaning", category)]
+        <= result.increases[("RNN 2 epochs", category)]
+        for category in CORE_CATEGORIES
+    )
+    assert ten_wins >= len(CORE_CATEGORIES) - 2
+    assert clean_shrinks >= len(CORE_CATEGORIES) - 1

@@ -1,0 +1,24 @@
+"""§VIII-E — heterogeneous categories.
+
+Paper values: Baby Carriers 85.15% precision; the heterogeneous Baby
+Goods parent 63.16%. Shape asserted: going one taxonomy level up (the
+clothes + toys + carriers mixture) costs precision.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import heterogeneous
+
+
+def bench_heterogeneous_categories(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: heterogeneous.run(settings), rounds=1, iterations=1
+    )
+    report("heterogeneous", result.format())
+
+    # The homogeneous subcategory beats its heterogeneous parent.
+    assert (
+        result.homogeneous_precision > result.heterogeneous_precision
+    )
+    # Both still extract something useful.
+    assert result.heterogeneous_coverage > 0.1

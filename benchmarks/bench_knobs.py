@@ -1,0 +1,101 @@
+"""Design-choice ablations (DESIGN.md §4) beyond the paper's tables.
+
+Two sweeps on Vacuum Cleaner:
+
+* the veto unpopularity cut (keep-top share 0.6 / 0.8 / 1.0) — the
+  paper fixes 80%; the sweep shows the precision/coverage trade the
+  choice makes;
+* the attribute-aggregation threshold — too low merges sibling
+  attributes, too high leaves aliases split; cluster counts expose it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import PipelineConfig, SeedConfig, VetoConfig
+from repro.core.preprocess import aggregate_attributes, discover_candidates
+from repro.evaluation import coverage, precision
+from repro.evaluation.report import format_table
+from repro.experiments.common import (
+    cached_dataset,
+    cached_run,
+    cached_truth,
+)
+
+CATEGORY = "vacuum_cleaner"
+
+
+def bench_veto_share_sweep(benchmark, settings, report):
+    def run():
+        truth = cached_truth(
+            CATEGORY, settings.products, settings.data_seed
+        )
+        rows = []
+        for share in (0.6, 0.8, 1.0):
+            config = replace(
+                PipelineConfig(iterations=1),
+                veto=VetoConfig(keep_top_share=share),
+            )
+            result = cached_run(
+                CATEGORY, settings.products, settings.data_seed, config
+            )
+            triples = result.triples_after(1)
+            rows.append(
+                (
+                    share,
+                    precision(triples, truth).precision,
+                    coverage(triples, settings.products),
+                    len(triples),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "knobs_veto",
+        format_table(
+            ["keep-top share", "precision%", "coverage%", "#triples"],
+            [[s, 100 * p, 100 * c, n] for s, p, c, n in rows],
+            title="Ablation — veto unpopularity cut (Vacuum Cleaner, "
+            "1st iteration)",
+        ),
+    )
+    by_share = {share: (p, c, n) for share, p, c, n in rows}
+    # Disabling the cut (share=1.0) never yields more precision than
+    # the strictest setting, and keeps at least as many triples.
+    assert by_share[1.0][2] >= by_share[0.6][2]
+    assert by_share[0.6][0] >= by_share[1.0][0] - 0.02
+
+
+def bench_aggregation_threshold_sweep(benchmark, settings, report):
+    def run():
+        dataset = cached_dataset(
+            CATEGORY, settings.products, settings.data_seed
+        )
+        candidates = discover_candidates(list(dataset.product_pages))
+        rows = []
+        for threshold in (0.15, 0.35, 0.7):
+            clusters = aggregate_attributes(
+                candidates,
+                SeedConfig(aggregation_threshold=threshold),
+            )
+            surfaces = len(clusters.canonical)
+            names = len(clusters.cluster_names())
+            rows.append((threshold, surfaces, names))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "knobs_aggregation",
+        format_table(
+            ["threshold", "#surface names", "#clusters"],
+            list(rows),
+            title="Ablation — attribute-aggregation threshold "
+            "(Vacuum Cleaner)",
+        ),
+    )
+    by_threshold = {t: clusters for t, _, clusters in rows}
+    # Cluster count is monotone in the threshold: lower thresholds
+    # merge at least as aggressively.
+    assert by_threshold[0.15] <= by_threshold[0.35] <= by_threshold[0.7]

@@ -1,0 +1,38 @@
+"""Table I — seed precision and coverage across the 8 core categories.
+
+Paper values (precision of triples / coverage of truth triples):
+Tennis 98.8/25.5, Kitchen 93.0/19.5, Cosmetics 93.1/36.6, Garden
+88.5/8.3, Shoes 92.1/6.5, Ladies Bags 98.1/39.2, Digital Cameras
+99.7/12.1, Vacuum Cleaner 96.5/27.3. Expected shapes: seed precision
+is high everywhere (≈90%+ on average), Garden is the weakest seed, and
+coverage stays far below half of the truth.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments import table1
+
+
+def bench_table1_seed(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: table1.run(settings), rounds=1, iterations=1
+    )
+    report("table1", result.format())
+
+    by_name = {row.category: row for row in result.rows}
+    precisions = [row.precision_triples for row in result.rows]
+    # Seed precision is high on average (paper: ~95% pairs, 88-99 triples).
+    assert statistics.mean(precisions) > 0.85
+    # Garden has the weakest seed of the eight categories.
+    assert by_name["garden"].precision_triples == min(precisions)
+    # The seed never covers even half of the truth sample; bootstrap
+    # exists because of this gap.
+    assert all(row.coverage_triples < 0.55 for row in result.rows)
+    # Pair precision is at least as good as triple precision on average
+    # (a wrong product association can still be a valid pair).
+    pair_mean = statistics.mean(
+        row.precision_pairs for row in result.rows
+    )
+    assert pair_mean >= statistics.mean(precisions) - 0.02

@@ -1,0 +1,34 @@
+"""Table IV — module-ablation precision (Vacuum Cleaner, Garden).
+
+Paper shapes: knocking out modules costs precision; Garden (noisy,
+small seed) leans hardest on semantic cleaning; removing both cleaning
+stages is at least as bad as removing semantic cleaning alone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def bench_table4_ablation(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: table4.run(settings), rounds=1, iterations=1
+    )
+    report("table4", result.format())
+
+    final = settings.iterations
+    p = result.precisions
+    for category in table4.CATEGORIES:
+        full = p[("CRF full", category, final)]
+        no_sem = p[("CRF -sem", category, final)]
+        no_both = p[("CRF -sem -synt", category, final)]
+        # Stripping the veto rules on top of semantic cleaning never
+        # helps (paper: an additional 10% drop in Garden).
+        assert no_both <= no_sem + 0.03
+        # The full system is competitive with every knockout.
+        assert full >= no_both - 0.03
+    # Garden depends on semantic cleaning (paper: -10% when removed).
+    assert (
+        p[("CRF full", "garden", final)]
+        >= p[("CRF -sem -synt", "garden", final)] - 0.01
+    )

@@ -1,0 +1,64 @@
+"""Ablation study: what each module buys (the Table IV experiment).
+
+Runs the Garden category — the noisiest of the paper's eight — with
+modules knocked out one at a time: semantic cleaning, both cleaning
+stages, and value diversification. Garden is where cleaning matters
+most (small, noisy seed).
+
+Run:  python examples/ablation_study.py
+"""
+
+from dataclasses import replace
+
+from repro import PAEPipeline, PipelineConfig
+from repro.corpus import Marketplace
+from repro.evaluation import build_truth_sample, precision
+from repro.evaluation.report import format_table
+
+
+def main() -> None:
+    dataset = Marketplace(seed=7).generate("garden", 300)
+    truth = build_truth_sample(dataset)
+    pages = list(dataset.product_pages)
+
+    base = PipelineConfig(iterations=3)
+    configurations = {
+        "full system": base,
+        "- semantic cleaning": replace(
+            base, enable_semantic_cleaning=False
+        ),
+        "- semantic - syntactic": base.without_cleaning(),
+        "- diversification": replace(
+            base, enable_diversification=False
+        ),
+    }
+
+    rows = []
+    for label, config in configurations.items():
+        result = PAEPipeline(config).run(pages, dataset.query_log)
+        breakdown = precision(result.triples, truth)
+        rows.append(
+            [
+                label,
+                100 * breakdown.precision,
+                100 * result.coverage(),
+                len(result.triples),
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "precision%", "coverage%", "#triples"],
+            rows,
+            title="Table IV style — module ablations on Garden "
+            "(3 iterations)",
+        )
+    )
+    print(
+        "\nExpected shapes (paper §VII-D): every knockout costs "
+        "precision;\nremoving cleaning buys coverage the business "
+        "cannot afford."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Language independence: the same pipeline on Japanese and German.
+
+The paper's architecture is language-independent except for the
+tokenizer and PoS tagger (Section V); this example runs identical
+configurations over a Japanese and a German category and compares the
+outcomes — reproducing the §VII-B observation that "the results
+obtained for the two languages are comparable".
+
+Run:  python examples/multilingual_catalog.py
+"""
+
+from repro import PAEPipeline, PipelineConfig
+from repro.corpus import Marketplace
+from repro.evaluation import build_truth_sample, precision
+from repro.evaluation.report import format_table
+
+
+def run_category(name: str, products: int):
+    dataset = Marketplace(seed=7).generate(name, products)
+    pipeline = PAEPipeline(PipelineConfig(iterations=3))
+    result = pipeline.run(dataset.product_pages, dataset.query_log)
+    truth = build_truth_sample(dataset)
+    breakdown = precision(result.triples, truth)
+    return [
+        name,
+        dataset.locale,
+        len(result.triples),
+        100 * breakdown.precision,
+        100 * result.coverage(),
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_category("vacuum_cleaner", 220),   # Japanese
+        run_category("ladies_bags", 220),      # Japanese
+        run_category("mailbox", 120),          # German
+        run_category("coffee_machines", 120),  # German
+    ]
+    print(
+        format_table(
+            ["category", "locale", "#triples", "precision%", "coverage%"],
+            rows,
+            title="Same pipeline, two languages (CRF + cleaning, "
+            "3 iterations)",
+        )
+    )
+    ja = [row for row in rows if row[1] == "ja"]
+    de = [row for row in rows if row[1] == "de"]
+    ja_precision = sum(row[3] for row in ja) / len(ja)
+    de_precision = sum(row[3] for row in de) / len(de)
+    print(
+        f"\nMean precision — ja: {ja_precision:.1f}%, "
+        f"de: {de_precision:.1f}% (comparable, as in §VII-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Specialized models: trading precision for attribute coverage.
+
+Section VIII-D: a single global model under-covers hard attributes; a
+model trained on a *subset* of attributes multiplies their coverage,
+while fully per-attribute models can lose precision (the paper's power
+supply type drops from >90% to <70%). This example reruns that study
+on the Vacuum Cleaner category.
+
+Run:  python examples/specialized_models.py
+"""
+
+from repro import PAEPipeline, PipelineConfig
+from repro.corpus import Marketplace
+from repro.evaluation import (
+    attribute_coverage,
+    build_truth_sample,
+    precision,
+)
+from repro.evaluation.report import format_table
+
+STUDIED = ("taipu", "shujin hoshiki", "dengen hoshiki")
+
+
+def main() -> None:
+    dataset = Marketplace(seed=7).generate("vacuum_cleaner", 220)
+    truth = build_truth_sample(dataset)
+    pages = list(dataset.product_pages)
+    config = PipelineConfig(iterations=3)
+
+    global_run = PAEPipeline(config).run(pages, dataset.query_log)
+    global_coverage = attribute_coverage(
+        global_run.triples, len(dataset), dataset.alias_map
+    )
+
+    specialized_run = PAEPipeline(
+        config, attribute_subset=STUDIED
+    ).run(pages, dataset.query_log)
+    specialized_coverage = attribute_coverage(
+        specialized_run.triples, len(dataset), dataset.alias_map
+    )
+
+    rows = []
+    for attribute in STUDIED:
+        rows.append(
+            [
+                attribute,
+                100 * global_coverage.get(attribute, 0.0),
+                100 * specialized_coverage.get(attribute, 0.0),
+            ]
+        )
+    print(
+        format_table(
+            ["attribute", "global cov.%", "specialized cov.%"],
+            rows,
+            title="Figure 8 style — specialization multiplies coverage",
+        )
+    )
+
+    specialized_precision = precision(specialized_run.triples, truth)
+    global_precision = precision(global_run.triples, truth)
+    print(
+        f"\nGlobal-model precision:      "
+        f"{100 * global_precision.precision:.1f}%"
+    )
+    print(
+        f"Specialized-model precision: "
+        f"{100 * specialized_precision.precision:.1f}%"
+    )
+    print(
+        "\nThe paper leaves *optimal* attribute partitioning as future "
+        "work; try other subsets via PAEPipeline(attribute_subset=...)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs cannot build; this shim keeps
+``pip install -e . --no-use-pep517 --no-build-isolation`` working.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Accurate Product Attribute Extraction on the
+Field" (Alonso Alemany, Nio, Rezk, Zhang; IEEE ICDE 2019).
+
+A bootstrapped, domain/language-independent product attribute-value
+extraction system: seeds mined from dictionary-form HTML tables, CRF or
+BiLSTM taggers, four syntactic veto rules, a word2vec semantic-drift
+filter and value diversification — plus every substrate (HTML parsing,
+tokenization, the ML models, embeddings, a synthetic marketplace) built
+from scratch. See DESIGN.md for the full inventory and EXPERIMENTS.md
+for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import PAEPipeline, PipelineConfig
+    from repro.corpus import Marketplace
+
+    dataset = Marketplace(seed=1).generate("digital_cameras", 300)
+    pipeline = PAEPipeline(PipelineConfig(iterations=5, tagger="crf"))
+    result = pipeline.run(dataset.product_pages, dataset.query_log)
+    print(len(result.triples), result.coverage())
+"""
+
+from .config import (
+    CrfConfig,
+    LstmConfig,
+    PipelineConfig,
+    SeedConfig,
+    SemanticConfig,
+    VetoConfig,
+)
+from .core import (
+    BootstrapResult,
+    Bootstrapper,
+    IterationResult,
+    PAEPipeline,
+    PipelineResult,
+)
+from .errors import ReproError
+from .types import AttributeValuePair, Extraction, ProductPage, Triple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeValuePair",
+    "BootstrapResult",
+    "Bootstrapper",
+    "CrfConfig",
+    "Extraction",
+    "IterationResult",
+    "LstmConfig",
+    "PAEPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "ProductPage",
+    "ReproError",
+    "SeedConfig",
+    "SemanticConfig",
+    "Triple",
+    "VetoConfig",
+    "__version__",
+]

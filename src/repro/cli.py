@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-pae categories
+        List the shipped category schemas.
+
+    repro-pae run --category vacuum_cleaner --products 220
+        Generate a synthetic catalog, run the full pipeline and print
+        the per-iteration precision/coverage report.
+
+    repro-pae experiment --name table1
+        Regenerate one of the paper's tables/figures (same runners the
+        benchmarks use).
+
+Installed as ``repro-pae`` via the package's console-script entry, or
+runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import PAEPipeline, PipelineConfig
+from .corpus import Marketplace, category_names
+from .corpus.categories import HETEROGENEOUS_UNIONS
+from .evaluation import build_truth_sample, precision
+from .evaluation.report import iteration_report
+
+_EXPERIMENTS = {
+    "table1": ("table1", "run"),
+    "table2": ("table2_3", "run"),
+    "table3": ("table2_3", "run"),
+    "table4": ("table4", "run"),
+    "figure3": ("figure3", "run"),
+    "figure4": ("figure4_6", "run_figure4"),
+    "figure5": ("figure5", "run"),
+    "figure6": ("figure4_6", "run_figure6"),
+    "figure7": ("figure7_8", "run_figure7"),
+    "figure8": ("figure7_8", "run_figure8"),
+    "german": ("german", "run"),
+    "diversification": ("diversification", "run"),
+    "cleaning": ("cleaning_impact", "run"),
+    "per_attribute": ("per_attribute", "run"),
+    "heterogeneous": ("heterogeneous", "run"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pae",
+        description=(
+            "Bootstrapped product attribute extraction "
+            "(ICDE 2019 reproduction)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "categories", help="list the shipped category schemas"
+    )
+
+    run = commands.add_parser(
+        "run", help="run the pipeline on one synthetic category"
+    )
+    run.add_argument(
+        "--category", required=True,
+        help="a category name (see `categories`)",
+    )
+    run.add_argument("--products", type=int, default=220)
+    run.add_argument("--iterations", type=int, default=5)
+    run.add_argument(
+        "--tagger", choices=("crf", "lstm", "ensemble"), default="crf"
+    )
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--no-cleaning", action="store_true",
+        help="disable veto rules and the semantic filter",
+    )
+    run.add_argument(
+        "--no-diversification", action="store_true",
+        help="disable seed value diversification",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "--name", required=True, choices=sorted(_EXPERIMENTS),
+    )
+    experiment.add_argument("--products", type=int, default=None)
+    experiment.add_argument("--iterations", type=int, default=5)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a page collection (synthetic category or a "
+        "pages.jsonl of real data) for seed viability",
+    )
+    source = profile.add_mutually_exclusive_group(required=True)
+    source.add_argument("--category", help="a shipped category name")
+    source.add_argument(
+        "--pages", help="path to pages.jsonl (or its directory)"
+    )
+    profile.add_argument("--products", type=int, default=220)
+    profile.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _command_categories() -> int:
+    for name in category_names():
+        print(name)
+    for union in sorted(HETEROGENEOUS_UNIONS):
+        members = ", ".join(HETEROGENEOUS_UNIONS[union])
+        print(f"{union} (heterogeneous union of: {members})")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset = Marketplace(seed=args.seed).generate(
+        args.category, args.products
+    )
+    config = PipelineConfig(
+        iterations=args.iterations,
+        tagger=args.tagger,
+        enable_syntactic_cleaning=not args.no_cleaning,
+        enable_semantic_cleaning=not args.no_cleaning,
+        enable_diversification=not args.no_diversification,
+    )
+    result = PAEPipeline(config).run(
+        dataset.product_pages, dataset.query_log
+    )
+    truth = build_truth_sample(dataset)
+    breakdown = precision(result.triples, truth)
+    print(f"category:   {args.category} ({dataset.locale})")
+    print(f"attributes: {', '.join(result.attributes)}")
+    print(f"triples:    {len(result.triples)}")
+    print(f"precision:  {100 * breakdown.precision:.2f}%")
+    print(f"coverage:   {100 * result.coverage():.2f}%")
+    print()
+    print(iteration_report(result.bootstrap, truth, len(dataset)))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from .experiments import ExperimentSettings
+
+    module_name, function_name = _EXPERIMENTS[args.name]
+    module = importlib.import_module(
+        f"repro.experiments.{module_name}"
+    )
+    settings_kwargs = {"iterations": args.iterations}
+    if args.products is not None:
+        settings_kwargs["products"] = args.products
+    settings = ExperimentSettings(**settings_kwargs)
+    result = getattr(module, function_name)(settings)
+    if args.name == "table2":
+        print(result.format_precision())
+    elif args.name == "table3":
+        print(result.format_coverage())
+    elif args.name in ("figure7", "figure8"):
+        print(result.format(args.name.capitalize()))
+    else:
+        print(result.format())
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from .corpus.statistics import profile_pages
+
+    if args.category:
+        dataset = Marketplace(seed=args.seed).generate(
+            args.category, args.products
+        )
+        pages = list(dataset.product_pages)
+    else:
+        from .corpus.io import load_pages
+
+        pages, _ = load_pages(args.pages)
+    profile = profile_pages(pages)
+    print(profile.format())
+    warnings = profile.seed_viability_warnings()
+    if warnings:
+        print("\nWARNINGS:")
+        for warning in warnings:
+            print(f"  ! {warning}")
+    else:
+        print("\nseed viability: OK")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "categories":
+        return _command_categories()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "profile":
+        return _command_profile(args)
+    return _command_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Configuration dataclasses for the PAE pipeline.
+
+Defaults follow the paper's experimental setting (Section VI): five
+bootstrap iterations, CRF window features, four veto rules with a top-80%
+unpopularity cut and a 30-character length cap, and per-iteration word2vec
+retraining for semantic cleaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class SeedConfig:
+    """Pre-processor settings (Section V-A).
+
+    Attributes:
+        aggregation_threshold: minimum Charron-style similarity score for
+            two attribute names to be merged as redundant aliases.
+        aggregation_damping: weight of the comparable-range-size penalty
+            in the aggregation score (see ``aggregation.py``).
+        min_attribute_pages: attribute names seen in fewer dictionary
+            tables than this are discarded as noise before aggregation.
+        min_value_page_frequency: a seed value not found in the query log
+            is kept only if it occurs in at least this many pages.
+        diversification_k: number of most-frequent PoS-tag sequences kept
+            per attribute by the value-diversification module.
+        diversification_n: number of most-frequent values adopted per kept
+            PoS-tag sequence.
+    """
+
+    aggregation_threshold: float = 0.35
+    aggregation_damping: float = 0.6
+    min_attribute_pages: int = 3
+    min_value_page_frequency: int = 3
+    diversification_k: int = 4
+    diversification_n: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.aggregation_threshold <= 1.0:
+            raise ConfigError("aggregation_threshold must be in [0, 1]")
+        if not 0.0 <= self.aggregation_damping <= 1.0:
+            raise ConfigError("aggregation_damping must be in [0, 1]")
+        if self.min_attribute_pages < 1:
+            raise ConfigError("min_attribute_pages must be >= 1")
+        if self.min_value_page_frequency < 1:
+            raise ConfigError("min_value_page_frequency must be >= 1")
+        if self.diversification_k < 0 or self.diversification_n < 0:
+            raise ConfigError("diversification parameters must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class VetoConfig:
+    """Non-semantic (syntactic) cleaning settings (Section V-C).
+
+    The four veto rules of the paper: single-token symbols, markup tags,
+    unpopular entities (keep the top share of entities per attribute,
+    ranked by tagged-item count) and overlong values.
+    """
+
+    keep_top_share: float = 0.8
+    max_value_chars: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep_top_share <= 1.0:
+            raise ConfigError("keep_top_share must be in (0, 1]")
+        if self.max_value_chars < 1:
+            raise ConfigError("max_value_chars must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticConfig:
+    """Semantic-drift cleaning settings (Section V-C).
+
+    Attributes:
+        core_size: ``n`` — values kept when iteratively pruning the least
+            similar value to form an attribute's semantic core. ``0``
+            disables pruning (paper §VIII-B explores unrestricted ``n``).
+        accept_threshold: relative acceptance cut-off — a value is
+            removed when its multiplicative similarity against the
+            core falls below ``accept_threshold`` times the *median*
+            core-member score (scale-robust; see semantic.py).
+        embedding_dim: word2vec vector dimensionality.
+        embedding_epochs: skip-gram training epochs per iteration.
+        embedding_window: skip-gram context window.
+        embedding_negatives: negative samples per positive pair.
+        min_core_attribute_values: attributes with fewer distinct values
+            than this skip semantic cleaning (too little geometry).
+    """
+
+    core_size: int = 10
+    accept_threshold: float = 0.62
+    embedding_dim: int = 16
+    embedding_epochs: int = 12
+    embedding_window: int = 3
+    embedding_negatives: int = 4
+    min_core_attribute_values: int = 3
+
+    def __post_init__(self) -> None:
+        if self.core_size < 0:
+            raise ConfigError("core_size must be >= 0 (0 disables pruning)")
+        if not 0.0 <= self.accept_threshold <= 1.0:
+            raise ConfigError("accept_threshold must be in [0, 1]")
+        if self.embedding_dim < 2:
+            raise ConfigError("embedding_dim must be >= 2")
+        if self.embedding_epochs < 1:
+            raise ConfigError("embedding_epochs must be >= 1")
+        if self.embedding_window < 1:
+            raise ConfigError("embedding_window must be >= 1")
+        if self.embedding_negatives < 1:
+            raise ConfigError("embedding_negatives must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class CrfConfig:
+    """CRF tagger settings (Section VI-D).
+
+    The paper uses crfsuite defaults: L-BFGS with L1+L2 regularisation,
+    and window features around each token.
+    """
+
+    window: int = 2
+    l1: float = 0.05
+    l2: float = 0.05
+    max_iterations: int = 60
+    min_feature_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ConfigError("window must be >= 0")
+        if self.l1 < 0 or self.l2 < 0:
+            raise ConfigError("regularisation strengths must be >= 0")
+        if self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class LstmConfig:
+    """BiLSTM tagger settings (NeuroNER-style, Section VI-D)."""
+
+    epochs: int = 2
+    char_dim: int = 12
+    char_hidden: int = 12
+    word_dim: int = 24
+    word_hidden: int = 24
+    # Tuned for corpora two orders of magnitude smaller than the
+    # paper's: the same 2-vs-10-epoch contrast needs a larger step.
+    dropout: float = 0.2
+    learning_rate: float = 0.45
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigError("dropout must be in [0, 1)")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be > 0")
+        for name in ("char_dim", "char_hidden", "word_dim", "word_hidden"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Top-level pipeline configuration (Figure 1 parameters).
+
+    Attributes:
+        iterations: ``N`` — bootstrap cycles (paper: 5).
+        tagger: ``"crf"``, ``"lstm"``, or ``"ensemble"`` (the §IX
+            future-work CRF+LSTM combination from
+            :mod:`repro.extensions.ensemble`).
+        ensemble_policy: span-combination policy for the ensemble
+            backend — ``"agreement"`` (precision-first) or ``"union"``
+            (coverage-first).
+        enable_syntactic_cleaning: apply the four veto rules.
+        enable_semantic_cleaning: apply the word2vec drift filter.
+        enable_diversification: apply seed value diversification.
+        min_confidence: extension knob — drop extractions whose CRF
+            posterior span confidence falls below this (0 disables; only
+            meaningful with ``tagger="crf"``). A principled version of
+            the candidate-scoring idea the paper cites against drift.
+        seed: RNG seed for every stochastic component.
+    """
+
+    iterations: int = 5
+    tagger: str = "crf"
+    ensemble_policy: str = "agreement"
+    enable_syntactic_cleaning: bool = True
+    enable_semantic_cleaning: bool = True
+    enable_diversification: bool = True
+    min_confidence: float = 0.0
+    seed: int = 7
+    seed_config: SeedConfig = field(default_factory=SeedConfig)
+    veto: VetoConfig = field(default_factory=VetoConfig)
+    semantic: SemanticConfig = field(default_factory=SemanticConfig)
+    crf: CrfConfig = field(default_factory=CrfConfig)
+    lstm: LstmConfig = field(default_factory=LstmConfig)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        if self.tagger not in ("crf", "lstm", "ensemble"):
+            raise ConfigError(
+                "tagger must be 'crf', 'lstm' or 'ensemble'"
+            )
+        if self.ensemble_policy not in ("agreement", "union"):
+            raise ConfigError(
+                "ensemble_policy must be 'agreement' or 'union'"
+            )
+        if not 0.0 <= self.min_confidence < 1.0:
+            raise ConfigError("min_confidence must be in [0, 1)")
+
+    def without_cleaning(self) -> "PipelineConfig":
+        """A copy with both cleaning stages disabled."""
+        return replace(
+            self,
+            enable_syntactic_cleaning=False,
+            enable_semantic_cleaning=False,
+        )
+
+    def with_tagger(self, tagger: str) -> "PipelineConfig":
+        """A copy using a different tagger backend."""
+        return replace(self, tagger=tagger)

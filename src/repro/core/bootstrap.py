@@ -1,0 +1,328 @@
+"""The bootstrap loop — Figure 1 of the paper.
+
+Per iteration: train the tagger on the current labelled dataset, tag
+the unlabeled pool, veto syntactically malformed extractions, filter
+semantic drift, fold the surviving evidence back into the dataset, and
+accumulate the surviving triples. The stopping criterion is a fixed
+iteration count (the paper uses 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import PipelineConfig
+from ..errors import TrainingError
+from ..types import (
+    Extraction,
+    ProductPage,
+    Sentence,
+    TaggedSentence,
+    Triple,
+)
+from .cleaning import (
+    SemanticCleaner,
+    SemanticStats,
+    VetoStats,
+    apply_veto,
+    extractions_from_tagged,
+    rebuild_tagged,
+)
+from .preprocess import (
+    Seed,
+    build_seed,
+    build_training_material,
+    discover_candidates,
+)
+from .preprocess.training_set import TrainingMaterial
+from .preprocess.value_cleaning import QueryLogLike
+from .tagger import make_tagger
+from .text import PageText, corpus_token_sentences, tokenize_pages
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Observables of one Tagger–Cleaner cycle.
+
+    Attributes:
+        iteration: 1-based cycle number.
+        triples: cumulative system output after this cycle (seed triples
+            plus every surviving bootstrap extraction so far).
+        new_triples: triples first contributed by this cycle.
+        candidate_extractions: raw span count the tagger produced.
+        veto_stats: per-rule discard counts (None with syntactic
+            cleaning disabled).
+        semantic_stats: drift-filter counts (None with semantic
+            cleaning disabled).
+        dataset_sentences: labelled sentences feeding the next cycle.
+    """
+
+    iteration: int
+    triples: frozenset[Triple]
+    new_triples: frozenset[Triple]
+    candidate_extractions: int
+    veto_stats: VetoStats | None
+    semantic_stats: SemanticStats | None
+    dataset_sentences: int
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Everything a bootstrap run produced.
+
+    Attributes:
+        seed: the assembled seed (pre-iteration state).
+        material: initial training material.
+        seed_triples: triples known before any bootstrap cycle (table
+            statements plus seed-tagged text), i.e. "iteration 0".
+        iterations: one record per cycle, in order.
+        attributes: canonical attribute names the run tagged.
+    """
+
+    seed: Seed
+    material: TrainingMaterial
+    seed_triples: frozenset[Triple]
+    iterations: tuple[IterationResult, ...]
+    attributes: tuple[str, ...]
+
+    @property
+    def final_triples(self) -> frozenset[Triple]:
+        """System output after the last cycle."""
+        if not self.iterations:
+            return self.seed_triples
+        return self.iterations[-1].triples
+
+    def triples_after(self, iteration: int) -> frozenset[Triple]:
+        """Cumulative triples after ``iteration`` cycles (0 = seed)."""
+        if iteration <= 0:
+            return self.seed_triples
+        if iteration > len(self.iterations):
+            raise IndexError(
+                f"run has {len(self.iterations)} iterations, "
+                f"asked for {iteration}"
+            )
+        return self.iterations[iteration - 1].triples
+
+    def covered_products(self, iteration: int | None = None) -> set[str]:
+        """Products with at least one triple at the given point."""
+        triples = (
+            self.final_triples
+            if iteration is None
+            else self.triples_after(iteration)
+        )
+        return {triple.product_id for triple in triples}
+
+
+def restrict_to_attributes(
+    tagged: Sequence[TaggedSentence], allowed: frozenset[str]
+) -> list[TaggedSentence]:
+    """Blank labels of attributes outside ``allowed`` (specialized models)."""
+    restricted: list[TaggedSentence] = []
+    for sentence in tagged:
+        labels = tuple(
+            label
+            if label == "O" or label.partition("-")[2] in allowed
+            else "O"
+            for label in sentence.labels
+        )
+        restricted.append(sentence.with_labels(labels))
+    return restricted
+
+
+class Bootstrapper:
+    """Runs the full algorithm of Figure 1 over one category.
+
+    Args:
+        config: pipeline configuration (tagger backend, cleaning
+            switches, iteration count).
+        attribute_subset: restrict the run to these canonical attribute
+            names — the "specialized models" of Section VIII-D. None
+            trains the single global model.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        attribute_subset: Sequence[str] | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.attribute_subset = (
+            frozenset(attribute_subset)
+            if attribute_subset is not None
+            else None
+        )
+
+    def run(
+        self,
+        pages: Sequence[ProductPage],
+        query_log: QueryLogLike,
+    ) -> BootstrapResult:
+        """Execute seed construction plus N bootstrap cycles."""
+        page_texts = tokenize_pages(pages)
+        candidates = discover_candidates(pages)
+        seed = build_seed(
+            pages,
+            query_log,
+            self.config.seed_config,
+            enable_diversification=self.config.enable_diversification,
+            candidates=candidates,
+        )
+        seed = self._restrict_seed(seed)
+        material = build_training_material(page_texts, seed, candidates)
+
+        attributes = seed.attributes
+        seed_triples = frozenset(seed.table_triples | material.text_triples)
+        corpus = corpus_token_sentences(page_texts)
+        unlabeled_sentences = [
+            sentence
+            for page_text in material.unlabeled_pages
+            for sentence in page_text.sentences
+        ]
+
+        dataset: list[TaggedSentence] = list(material.labeled)
+        cumulative: set[Triple] = set(seed_triples)
+        iterations: list[IterationResult] = []
+        for iteration in range(1, self.config.iterations + 1):
+            result = self._iterate(
+                iteration,
+                dataset,
+                unlabeled_sentences,
+                corpus,
+                material,
+                cumulative,
+            )
+            iterations.append(result)
+            dataset = self._next_dataset(material, result)
+        return BootstrapResult(
+            seed=seed,
+            material=material,
+            seed_triples=seed_triples,
+            iterations=tuple(iterations),
+            attributes=attributes,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _restrict_seed(self, seed: Seed) -> Seed:
+        if self.attribute_subset is None:
+            return seed
+        values = {
+            attribute: counter
+            for attribute, counter in seed.values.items()
+            if attribute in self.attribute_subset
+        }
+        table_triples = frozenset(
+            triple
+            for triple in seed.table_triples
+            if triple.attribute in self.attribute_subset
+        )
+        return Seed(
+            values=values,
+            clusters=seed.clusters,
+            table_triples=table_triples,
+            raw_candidate_count=seed.raw_candidate_count,
+            cleaned_value_count=seed.cleaned_value_count,
+        )
+
+    def _iterate(
+        self,
+        iteration: int,
+        dataset: list[TaggedSentence],
+        unlabeled_sentences: list[Sentence],
+        corpus: list[list[str]],
+        material: TrainingMaterial,
+        cumulative: set[Triple],
+    ) -> IterationResult:
+        if not dataset:
+            raise TrainingError(
+                "seed produced no labelled sentences; the category has "
+                "no usable dictionary tables"
+            )
+        model = make_tagger(self.config, iteration)
+        model.train(dataset)
+        if (
+            self.config.min_confidence > 0.0
+            and hasattr(model, "tag_with_confidence")
+        ):
+            tagged, extractions = self._tag_with_confidence_filter(
+                model, unlabeled_sentences
+            )
+        else:
+            tagged = model.tag(unlabeled_sentences)
+            extractions = extractions_from_tagged(tagged)
+        candidate_count = len(extractions)
+
+        veto_stats: VetoStats | None = None
+        if self.config.enable_syntactic_cleaning:
+            extractions, veto_stats = apply_veto(
+                extractions, self.config.veto
+            )
+
+        semantic_stats: SemanticStats | None = None
+        if self.config.enable_semantic_cleaning and extractions:
+            cleaner = SemanticCleaner(
+                self.config.semantic,
+                seed=self.config.seed + iteration,
+            )
+            extractions, semantic_stats = cleaner.clean(extractions, corpus)
+
+        self._kept_extractions = extractions  # exposed for _next_dataset
+        self._last_tagged = tagged
+        new_triples = frozenset(
+            extraction.triple for extraction in extractions
+        ) - frozenset(cumulative)
+        cumulative.update(extraction.triple for extraction in extractions)
+        return IterationResult(
+            iteration=iteration,
+            triples=frozenset(cumulative),
+            new_triples=new_triples,
+            candidate_extractions=candidate_count,
+            veto_stats=veto_stats,
+            semantic_stats=semantic_stats,
+            dataset_sentences=len(dataset),
+        )
+
+    def _tag_with_confidence_filter(
+        self,
+        model,
+        unlabeled_sentences: list[Sentence],
+    ) -> tuple[list[TaggedSentence], list[Extraction]]:
+        """Tag with posterior confidences, dropping low-scoring spans.
+
+        The confidence-filter extension: spans whose posterior span
+        confidence is below ``config.min_confidence`` never become
+        candidates (so they also never reach the training set).
+        """
+        threshold = self.config.min_confidence
+        tagged_out: list[TaggedSentence] = []
+        extractions: list[Extraction] = []
+        for tagged, confidences in model.tag_with_confidence(
+            unlabeled_sentences
+        ):
+            sentence_extractions = extractions_from_tagged([tagged])
+            kept = [
+                extraction
+                for extraction, confidence in zip(
+                    sentence_extractions, confidences
+                )
+                if confidence >= threshold
+            ]
+            if len(kept) != len(sentence_extractions):
+                (tagged,) = rebuild_tagged(
+                    [tagged], kept, drop_unlabelled=False
+                )
+            tagged_out.append(tagged)
+            extractions.extend(kept)
+        return tagged_out, extractions
+
+    def _next_dataset(
+        self,
+        material: TrainingMaterial,
+        result: IterationResult,
+    ) -> list[TaggedSentence]:
+        """Seed-labelled sentences plus this cycle's cleaned evidence."""
+        cleaned = rebuild_tagged(
+            self._last_tagged, self._kept_extractions
+        )
+        return list(material.labeled) + cleaned

@@ -1,0 +1,154 @@
+"""Catalog assembly: from extracted triples to an enriched catalog.
+
+The business purpose of the paper's system (Section II) is "to extend
+taxonomy classes and items with new semantic information" that powers
+faceted search. This module performs that last mile: collapsing the
+pipeline's raw triples into one catalog record per product, resolving
+multi-valued conflicts, and computing the facet index (attribute →
+value → product ids) a search frontend consumes.
+
+Conflict policy: some attributes are genuinely multi-valued (a bag can
+list two materials); others are functional (one weight). Rather than a
+domain ontology — which the paper deliberately avoids — the catalog
+applies a frequency heuristic per attribute: if most products carry one
+value, the attribute is treated as functional and conflicting values
+are reduced to the best-supported one (count, then lexicographic for
+determinism).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..types import Triple
+
+
+@dataclass(frozen=True)
+class CatalogRecord:
+    """One product's enriched attribute map."""
+
+    product_id: str
+    attributes: dict[str, tuple[str, ...]]
+
+    def value_of(self, attribute: str) -> str | None:
+        """The attribute's single (first) value, or None."""
+        values = self.attributes.get(attribute)
+        return values[0] if values else None
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """An enriched catalog with a facet index.
+
+    Attributes:
+        records: product id → record.
+        facets: attribute → value → sorted product ids.
+        functional_attributes: attributes the conflict policy reduced
+            to a single value per product.
+    """
+
+    records: dict[str, CatalogRecord]
+    facets: dict[str, dict[str, tuple[str, ...]]]
+    functional_attributes: frozenset[str]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def find(self, attribute: str, value: str) -> tuple[str, ...]:
+        """Faceted search: product ids carrying ``attribute=value``."""
+        return self.facets.get(attribute, {}).get(value, ())
+
+    def attribute_fill_rate(self, product_count: int | None = None) -> dict[str, float]:
+        """Per-attribute share of products carrying a value.
+
+        Args:
+            product_count: denominator; defaults to the catalog size
+                (use the input-corpus size for the paper's coverage
+                semantics).
+        """
+        denominator = product_count or max(len(self.records), 1)
+        counts: Counter = Counter()
+        for record in self.records.values():
+            for attribute in record.attributes:
+                counts[attribute] += 1
+        return {
+            attribute: count / denominator
+            for attribute, count in counts.items()
+        }
+
+
+def build_catalog(
+    triples: Iterable[Triple],
+    *,
+    alias_map: Mapping[str, str] | None = None,
+    functional_threshold: float = 0.8,
+) -> Catalog:
+    """Collapse triples into an enriched catalog.
+
+    Args:
+        triples: pipeline output.
+        alias_map: optional surface → canonical attribute map applied
+            before assembly.
+        functional_threshold: an attribute is treated as functional
+            (single-valued per product) when at least this share of its
+            products carry exactly one distinct value.
+
+    Returns:
+        A :class:`Catalog`.
+    """
+    alias_map = alias_map or {}
+    by_product: dict[str, dict[str, Counter]] = defaultdict(
+        lambda: defaultdict(Counter)
+    )
+    for triple in triples:
+        attribute = alias_map.get(triple.attribute, triple.attribute)
+        by_product[triple.product_id][attribute][triple.value] += 1
+
+    # Decide functionality per attribute.
+    single_valued: Counter = Counter()
+    totals: Counter = Counter()
+    for product_values in by_product.values():
+        for attribute, values in product_values.items():
+            totals[attribute] += 1
+            if len(values) == 1:
+                single_valued[attribute] += 1
+    functional = frozenset(
+        attribute
+        for attribute in totals
+        if single_valued[attribute] / totals[attribute]
+        >= functional_threshold
+    )
+
+    records: dict[str, CatalogRecord] = {}
+    facets: dict[str, dict[str, list[str]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for product_id in sorted(by_product):
+        attributes: dict[str, tuple[str, ...]] = {}
+        for attribute, values in sorted(
+            by_product[product_id].items()
+        ):
+            if attribute in functional and len(values) > 1:
+                best = min(
+                    values, key=lambda value: (-values[value], value)
+                )
+                chosen = (best,)
+            else:
+                chosen = tuple(sorted(values))
+            attributes[attribute] = chosen
+            for value in chosen:
+                facets[attribute][value].append(product_id)
+        records[product_id] = CatalogRecord(product_id, attributes)
+
+    return Catalog(
+        records=records,
+        facets={
+            attribute: {
+                value: tuple(ids) for value, ids in values.items()
+            }
+            for attribute, values in facets.items()
+        },
+        functional_attributes=functional,
+    )

@@ -1,0 +1,19 @@
+"""Cleaning module (Section V-C): veto rules + semantic-drift filter.
+
+Runs inside every bootstrap iteration on the freshly model-tagged data.
+"The early removal of probable errors prevents a snowball effect that
+leads wrongly tagged items to proliferate in future iterations."
+"""
+
+from .extract import extractions_from_tagged, rebuild_tagged
+from .semantic import SemanticCleaner, SemanticStats
+from .veto import VetoStats, apply_veto
+
+__all__ = [
+    "SemanticCleaner",
+    "SemanticStats",
+    "VetoStats",
+    "apply_veto",
+    "extractions_from_tagged",
+    "rebuild_tagged",
+]

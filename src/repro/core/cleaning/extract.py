@@ -1,0 +1,71 @@
+"""Converting between BIO-tagged sentences and span extractions.
+
+The cleaning modules reason about :class:`~repro.types.Extraction`
+objects (value spans with provenance); after filtering, the surviving
+spans are written back into label sequences for the next training round.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ...nlp.bio import decode_bio, encode_bio
+from ...types import Extraction, TaggedSentence
+
+
+def extractions_from_tagged(
+    tagged_sentences: Iterable[TaggedSentence],
+) -> list[Extraction]:
+    """Decode every labelled span into an :class:`Extraction`."""
+    extractions: list[Extraction] = []
+    for tagged in tagged_sentences:
+        texts = tagged.sentence.texts()
+        for start, end, attribute in decode_bio(tagged.labels):
+            extractions.append(
+                Extraction(
+                    product_id=tagged.product_id,
+                    attribute=attribute,
+                    value=" ".join(texts[start:end]),
+                    sentence_index=tagged.sentence.index,
+                    start=start,
+                    end=end,
+                )
+            )
+    return extractions
+
+
+def rebuild_tagged(
+    tagged_sentences: Sequence[TaggedSentence],
+    kept: Iterable[Extraction],
+    *,
+    drop_unlabelled: bool = True,
+) -> list[TaggedSentence]:
+    """Write surviving extractions back into label sequences.
+
+    Args:
+        tagged_sentences: the sentences the extractions came from.
+        kept: extractions that survived cleaning.
+        drop_unlabelled: when True, sentences ending up all-O are
+            omitted (the bootstrap adds only sentences carrying new
+            evidence to the training set).
+
+    Returns:
+        Fresh :class:`TaggedSentence` objects with cleaned labels.
+    """
+    spans_by_sentence: dict[tuple[str, int], list[tuple[int, int, str]]]
+    spans_by_sentence = defaultdict(list)
+    for extraction in kept:
+        spans_by_sentence[
+            (extraction.product_id, extraction.sentence_index)
+        ].append((extraction.start, extraction.end, extraction.attribute))
+
+    rebuilt: list[TaggedSentence] = []
+    for tagged in tagged_sentences:
+        key = (tagged.product_id, tagged.sentence.index)
+        spans = spans_by_sentence.get(key, [])
+        if not spans and drop_unlabelled:
+            continue
+        labels = encode_bio(len(tagged), spans)
+        rebuilt.append(TaggedSentence(tagged.sentence, tuple(labels)))
+    return rebuilt

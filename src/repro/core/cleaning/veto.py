@@ -1,0 +1,131 @@
+"""The four veto rules — the paper's *only* human-supplied knowledge.
+
+Section V-C, non-semantic cleaning: "(i) symbols: 1-gram entities that
+are symbols such as ';' or '*'. (ii) mark-up tags. (iii) unpopular
+entities: per each attribute, we order the entities by the number of
+items that have been tagged with that entity, and keep only the top
+80%. (iv) long values: values that exceed 30 characters."
+
+Crucially, the rules state what a value should **not** be, never what
+it should be — that is what keeps them domain-independent (the contrast
+the paper draws with Carlson et al.'s domain constraints).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...config import VetoConfig
+from ...types import Extraction
+
+_MARKUP_RE = re.compile(r"<[^<>]*>|</|&[a-zA-Z]+;|&#")
+
+
+def is_symbol_value(extraction: Extraction) -> bool:
+    """Veto rule (i): a single token with no letter or digit."""
+    if extraction.token_count != 1:
+        return False
+    return not any(char.isalnum() for char in extraction.value)
+
+
+def is_markup_value(value: str) -> bool:
+    """Veto rule (ii): the value contains mark-up fragments."""
+    compact = value.replace(" ", "")
+    return bool(_MARKUP_RE.search(compact))
+
+
+def is_long_value(value: str, max_chars: int) -> bool:
+    """Veto rule (iv): the value exceeds the character budget."""
+    return len(value) > max_chars
+
+
+@dataclass(frozen=True, slots=True)
+class VetoStats:
+    """Per-rule discard counts from one veto pass."""
+
+    total: int
+    symbol: int
+    markup: int
+    long: int
+    unpopular: int
+
+    @property
+    def kept(self) -> int:
+        return self.total - self.discarded
+
+    @property
+    def discarded(self) -> int:
+        return self.symbol + self.markup + self.long + self.unpopular
+
+    @property
+    def discard_rate(self) -> float:
+        """Fraction of extractions vetoed (paper reports ~10%)."""
+        if self.total == 0:
+            return 0.0
+        return self.discarded / self.total
+
+
+def apply_veto(
+    extractions: Sequence[Extraction],
+    config: VetoConfig | None = None,
+) -> tuple[list[Extraction], VetoStats]:
+    """Filter extractions through the four rules.
+
+    Rules (i), (ii) and (iv) judge each extraction alone; rule (iii)
+    ranks each attribute's distinct values by the number of distinct
+    products tagged with them and keeps the top
+    ``config.keep_top_share`` of the ranked list.
+
+    Returns:
+        ``(kept_extractions, stats)``.
+    """
+    config = config or VetoConfig()
+    symbol = markup = long_count = unpopular = 0
+
+    survivors: list[Extraction] = []
+    for extraction in extractions:
+        if is_symbol_value(extraction):
+            symbol += 1
+        elif is_markup_value(extraction.value):
+            markup += 1
+        elif is_long_value(extraction.value, config.max_value_chars):
+            long_count += 1
+        else:
+            survivors.append(extraction)
+
+    # Rule (iii): unpopular entities, per attribute.
+    products_by_value: dict[str, dict[str, set[str]]] = defaultdict(
+        lambda: defaultdict(set)
+    )
+    for extraction in survivors:
+        products_by_value[extraction.attribute][extraction.value].add(
+            extraction.product_id
+        )
+    allowed: dict[str, frozenset[str]] = {}
+    for attribute, value_products in products_by_value.items():
+        ranked = sorted(
+            value_products,
+            key=lambda value: (-len(value_products[value]), value),
+        )
+        keep = max(1, math.ceil(config.keep_top_share * len(ranked)))
+        allowed[attribute] = frozenset(ranked[:keep])
+
+    kept: list[Extraction] = []
+    for extraction in survivors:
+        if extraction.value in allowed.get(extraction.attribute, ()):
+            kept.append(extraction)
+        else:
+            unpopular += 1
+
+    stats = VetoStats(
+        total=len(extractions),
+        symbol=symbol,
+        markup=markup,
+        long=long_count,
+        unpopular=unpopular,
+    )
+    return kept, stats

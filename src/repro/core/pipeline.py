@@ -1,0 +1,105 @@
+"""The public facade: :class:`PAEPipeline`.
+
+One call runs the whole paper system over a page collection:
+
+>>> from repro import PAEPipeline, PipelineConfig
+>>> from repro.corpus import Marketplace
+>>> dataset = Marketplace(seed=1).generate("vacuum_cleaner", 200)
+>>> result = PAEPipeline(PipelineConfig(iterations=2)).run(
+...     dataset.product_pages, dataset.query_log
+... )
+>>> len(result.triples) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import PipelineConfig
+from ..types import ProductPage, Triple
+from .bootstrap import BootstrapResult, Bootstrapper
+from .preprocess.value_cleaning import QueryLogLike
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """User-facing view of one pipeline run.
+
+    Attributes:
+        bootstrap: the full per-iteration record.
+        product_count: pages the run consumed (coverage denominator).
+    """
+
+    bootstrap: BootstrapResult
+    product_count: int
+
+    @property
+    def triples(self) -> frozenset[Triple]:
+        """Final extracted ``<product, attribute, value>`` triples."""
+        return self.bootstrap.final_triples
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Canonical attribute names the run discovered and tagged."""
+        return self.bootstrap.attributes
+
+    @property
+    def seed_triples(self) -> frozenset[Triple]:
+        """Triples known before any bootstrap cycle."""
+        return self.bootstrap.seed_triples
+
+    def coverage(self, iteration: int | None = None) -> float:
+        """Fraction of products with at least one triple (Section VI-C)."""
+        if self.product_count == 0:
+            return 0.0
+        covered = self.bootstrap.covered_products(iteration)
+        return len(covered) / self.product_count
+
+    def triples_per_product(self) -> float:
+        """Average number of distinct triples per covered product."""
+        covered = self.bootstrap.covered_products()
+        if not covered:
+            return 0.0
+        return len(self.triples) / len(covered)
+
+
+class PAEPipeline:
+    """End-to-end Product Attribute Extraction, as published.
+
+    Args:
+        config: pipeline configuration; the default reproduces the
+            paper's reference setup (CRF, both cleaning stages,
+            diversification, 5 iterations).
+        attribute_subset: optional canonical-attribute restriction for
+            specialized models (Section VIII-D).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        attribute_subset: Sequence[str] | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self._bootstrapper = Bootstrapper(self.config, attribute_subset)
+
+    def run(
+        self,
+        pages: Sequence[ProductPage],
+        query_log: QueryLogLike,
+    ) -> PipelineResult:
+        """Extract attribute-value triples from product pages.
+
+        Args:
+            pages: the category's product pages (HTML).
+            query_log: search-log membership filter used during seed
+                value cleaning.
+
+        Returns:
+            A :class:`PipelineResult`.
+        """
+        bootstrap = self._bootstrapper.run(pages, query_log)
+        return PipelineResult(
+            bootstrap=bootstrap, product_count=len(pages)
+        )

@@ -1,0 +1,37 @@
+"""Pre-processor (Section V-A, lines 1-5 of Figure 1).
+
+Stages, in order:
+
+1. :mod:`candidate_discovery` — mine raw ``<attribute, value>``
+   candidates from dictionary-form HTML tables;
+2. :mod:`aggregation` — merge redundant attribute names (merchant
+   aliases) with the Charron-style scoring function;
+3. :mod:`value_cleaning` — keep values found in the query log or
+   frequent across pages;
+4. :mod:`diversification` — re-inject rare value *shapes* (PoS-tag
+   sequences) the frequency filter lost;
+5. :mod:`training_set` — tag the pages that have dictionary tables with
+   the seed, yielding the first labelled dataset.
+
+:func:`build_seed` chains 1-4; :mod:`training_set` consumes its output.
+"""
+
+from .aggregation import AttributeClusters, aggregate_attributes
+from .candidate_discovery import RawCandidate, discover_candidates
+from .diversification import diversify_values
+from .seed import Seed, build_seed
+from .training_set import TrainingMaterial, build_training_material
+from .value_cleaning import clean_values
+
+__all__ = [
+    "AttributeClusters",
+    "RawCandidate",
+    "Seed",
+    "TrainingMaterial",
+    "aggregate_attributes",
+    "build_seed",
+    "build_training_material",
+    "clean_values",
+    "discover_candidates",
+    "diversify_values",
+]

@@ -1,0 +1,131 @@
+"""Attribute aggregation: merging redundant attribute names.
+
+Different merchants name the same attribute differently (製造元
+"manufacturer" vs メーカー "maker"); Section V-A aggregates them with
+the scoring function of Charron et al. [4]: a naive confidence that two
+attributes are the same "if they share many values respective to their
+maximum number of values, adjusted by a decreasing function which
+reduces that confidence if the attributes have comparable range sizes".
+
+Reconstruction used here (the cited paper gives no closed formula):
+
+    overlap(a, b) = |V(a) ∩ V(b)| / min(|V(a)|, |V(b)|)
+    ratio(a, b)   = min(|V(a)|, |V(b)|) / max(|V(a)|, |V(b)|)
+    score(a, b)   = overlap · (1 − damping · ratio)
+
+``overlap`` is containment — an alias's (smaller) value set should sit
+inside the canonical attribute's; the ``(1 − damping · ratio)`` factor
+is the comparable-range-size penalty: two fully-fledged attributes with
+similar range sizes sharing values (length vs width) are likely distinct
+attributes, while a rare alias (tiny range vs large) keeps its
+confidence. Names scoring at or above the threshold merge transitively
+(union-find); a cluster's canonical name is its best-supported member.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ...config import SeedConfig
+from .candidate_discovery import RawCandidate
+
+
+@dataclass(frozen=True)
+class AttributeClusters:
+    """Result of aggregation: surface name → canonical cluster name."""
+
+    canonical: dict[str, str]
+    page_support: dict[str, int]
+
+    def resolve(self, surface: str) -> str | None:
+        """Canonical name for a surface name; None for dropped names."""
+        return self.canonical.get(surface)
+
+    def cluster_names(self) -> tuple[str, ...]:
+        """Distinct canonical names, sorted."""
+        return tuple(sorted(set(self.canonical.values())))
+
+    def members(self, canonical_name: str) -> tuple[str, ...]:
+        """All surface names mapping to ``canonical_name``."""
+        return tuple(
+            sorted(
+                surface
+                for surface, name in self.canonical.items()
+                if name == canonical_name
+            )
+        )
+
+
+class _UnionFind:
+    def __init__(self, items: Sequence[str]):
+        self._parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: str, second: str) -> None:
+        self._parent[self.find(first)] = self.find(second)
+
+
+def charron_score(
+    values_a: frozenset[str] | set[str],
+    values_b: frozenset[str] | set[str],
+    damping: float,
+) -> float:
+    """The reconstructed Charron et al. similarity score (module doc)."""
+    if not values_a or not values_b:
+        return 0.0
+    smaller, larger = sorted((len(values_a), len(values_b)))
+    overlap = len(values_a & values_b) / smaller
+    ratio = smaller / larger
+    return overlap * (1.0 - damping * ratio)
+
+
+def aggregate_attributes(
+    candidates: Sequence[RawCandidate],
+    config: SeedConfig | None = None,
+) -> AttributeClusters:
+    """Cluster redundant attribute names.
+
+    Names supported by fewer than ``config.min_attribute_pages`` pages
+    are dropped entirely (boilerplate junk rows rarely recur).
+    """
+    config = config or SeedConfig()
+    values: dict[str, set[str]] = defaultdict(set)
+    support: Counter[str] = Counter()
+    for candidate in candidates:
+        values[candidate.attribute].add(candidate.value_key)
+        support[candidate.attribute] += 1
+    names = [
+        name
+        for name in sorted(values)
+        if support[name] >= config.min_attribute_pages
+    ]
+    union_find = _UnionFind(names)
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            score = charron_score(
+                values[first], values[second], config.aggregation_damping
+            )
+            if score >= config.aggregation_threshold:
+                union_find.union(first, second)
+
+    clusters: dict[str, list[str]] = defaultdict(list)
+    for name in names:
+        clusters[union_find.find(name)].append(name)
+
+    canonical: dict[str, str] = {}
+    for members in clusters.values():
+        representative = max(members, key=lambda name: (support[name], name))
+        for member in members:
+            canonical[member] = representative
+    return AttributeClusters(
+        canonical=canonical, page_support=dict(support)
+    )

@@ -1,0 +1,87 @@
+"""Value diversification — one of the paper's named contributions.
+
+Frequency/query filters keep popular values, which are biased toward
+popular *shapes*: if integer weights dominate, no decimal weight
+survives, the tagger never sees the decimal pattern, and it later
+mangles ``2.5kg`` into ``5kg`` (Section VIII-A).
+
+The fix (Section V-A): for each attribute take the k most frequent
+PoS-tag *sequences* over the raw candidate values, and for each such
+sequence adopt its n most frequent values back into the seed — thereby
+"generalizing via diversification": every common shape is represented
+even when its individual values are rare.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from ...config import SeedConfig
+from ...nlp import get_locale
+from .aggregation import AttributeClusters
+from .candidate_discovery import RawCandidate
+
+
+def pos_sequence(value_key: str, locale: str) -> tuple[str, ...]:
+    """The PoS-tag sequence of a canonical value key."""
+    tagger = get_locale(locale).pos_tagger
+    return tuple(tagger.tag(value_key.split(" ")))
+
+
+def diversify_values(
+    cleaned: dict[str, Counter],
+    candidates: Sequence[RawCandidate],
+    clusters: AttributeClusters,
+    locale: str,
+    config: SeedConfig | None = None,
+) -> dict[str, Counter]:
+    """Augment the cleaned seed with shape-diverse values.
+
+    Args:
+        cleaned: output of :func:`~.value_cleaning.clean_values`.
+        candidates: the *raw* candidates (pre-cleaning) — rare shapes
+            only exist there.
+        clusters: attribute aggregation result.
+        locale: category locale (for PoS-tagging value tokens).
+        config: ``diversification_k`` sequences × ``diversification_n``
+            values each.
+
+    Returns:
+        A new mapping; the input is not mutated.
+    """
+    config = config or SeedConfig()
+    if config.diversification_k == 0 or config.diversification_n == 0:
+        return {name: Counter(counter) for name, counter in cleaned.items()}
+
+    support: dict[str, Counter] = defaultdict(Counter)
+    for candidate in candidates:
+        canonical = clusters.resolve(candidate.attribute)
+        if canonical is not None:
+            support[canonical][candidate.value_key] += 1
+
+    diversified = {
+        name: Counter(counter) for name, counter in cleaned.items()
+    }
+    for canonical, value_support in support.items():
+        if canonical not in diversified:
+            continue
+        by_shape: dict[tuple[str, ...], Counter] = defaultdict(Counter)
+        shape_mass: Counter = Counter()
+        for value_key, count in value_support.items():
+            shape = pos_sequence(value_key, locale)
+            by_shape[shape][value_key] += count
+            shape_mass[shape] += count
+        top_shapes = [
+            shape for shape, _ in shape_mass.most_common(
+                config.diversification_k
+            )
+        ]
+        target = diversified[canonical]
+        for shape in top_shapes:
+            for value_key, count in by_shape[shape].most_common(
+                config.diversification_n
+            ):
+                if value_key not in target:
+                    target[value_key] = count
+    return diversified

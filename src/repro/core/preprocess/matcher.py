@@ -1,0 +1,94 @@
+"""Token-level value matching for distant-supervision tagging.
+
+Training-set generation "labels product web pages by ... tagging all
+occurrences of *value* with *attribute*, where value may be a
+multiword". The matcher scans a token sequence greedily left-to-right,
+longest value first, and resolves each hit to an attribute:
+
+1. if the page's own table stated the value for some attribute, that
+   attribute wins (page-local evidence);
+2. otherwise, a value belonging to exactly one seed attribute resolves
+   to it;
+3. ambiguous values (shared by several attributes, no local evidence)
+   are skipped — wrong labels are costlier than missing ones.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+
+class ValueMatcher:
+    """Greedy longest-match scanner over token sequences.
+
+    Args:
+        attribute_values: canonical attribute → iterable of value keys
+            (space-joined token strings).
+    """
+
+    def __init__(self, attribute_values: Mapping[str, Sequence[str]]):
+        self._by_tokens: dict[tuple[str, ...], set[str]] = defaultdict(set)
+        for attribute, value_keys in attribute_values.items():
+            for value_key in value_keys:
+                tokens = tuple(value_key.split(" "))
+                if tokens:
+                    self._by_tokens[tokens].add(attribute)
+        self._max_len = max(
+            (len(tokens) for tokens in self._by_tokens), default=0
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_tokens)
+
+    def find_spans(
+        self,
+        tokens: Sequence[str],
+        prefer: Mapping[str, str] | None = None,
+    ) -> list[tuple[int, int, str]]:
+        """Locate value occurrences and resolve their attributes.
+
+        Args:
+            tokens: sentence token texts.
+            prefer: value_key → attribute mapping from page-local
+                evidence (the page's own table rows).
+
+        Returns:
+            Non-overlapping ``(start, end, attribute)`` spans in
+            left-to-right order.
+        """
+        prefer = prefer or {}
+        spans: list[tuple[int, int, str]] = []
+        position = 0
+        length = len(tokens)
+        while position < length:
+            matched = False
+            longest = min(self._max_len, length - position)
+            for width in range(longest, 0, -1):
+                window = tuple(tokens[position:position + width])
+                attributes = self._by_tokens.get(window)
+                if not attributes:
+                    continue
+                value_key = " ".join(window)
+                attribute = self._resolve(value_key, attributes, prefer)
+                if attribute is not None:
+                    spans.append((position, position + width, attribute))
+                    position += width
+                    matched = True
+                break  # only the longest hit at this position is tried
+            if not matched:
+                position += 1
+        return spans
+
+    @staticmethod
+    def _resolve(
+        value_key: str,
+        attributes: set[str],
+        prefer: Mapping[str, str],
+    ) -> str | None:
+        preferred = prefer.get(value_key)
+        if preferred is not None and preferred in attributes:
+            return preferred
+        if len(attributes) == 1:
+            return next(iter(attributes))
+        return None

@@ -1,0 +1,123 @@
+"""Seed assembly: lines 1-4 of Figure 1 chained into one call.
+
+The :class:`Seed` is the pipeline's "concise and clean set of tuples
+that provides an initial abstract representation of the category":
+canonical attribute names, surviving values with their support, and the
+per-page table statements used both for initial tagging and as output
+triples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ...config import SeedConfig
+from ...types import AttributeValuePair, ProductPage, Triple
+from .aggregation import AttributeClusters, aggregate_attributes
+from .candidate_discovery import RawCandidate, discover_candidates
+from .diversification import diversify_values
+from .value_cleaning import QueryLogLike, clean_values
+
+
+@dataclass(frozen=True)
+class Seed:
+    """The cleaned, diversified initial seed.
+
+    Attributes:
+        values: canonical attribute → value_key → page support.
+        clusters: attribute-name aggregation result.
+        table_triples: per-page table statements restricted to seed
+            attributes and values (the pipeline's iteration-0 output).
+        raw_candidate_count: size of the raw candidate pool (stats).
+        cleaned_value_count: distinct values surviving cleaning, before
+            diversification (stats for the ablation benches).
+    """
+
+    values: dict[str, Counter]
+    clusters: AttributeClusters
+    table_triples: frozenset[Triple]
+    raw_candidate_count: int = 0
+    cleaned_value_count: int = 0
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Canonical attribute names, sorted."""
+        return tuple(sorted(self.values))
+
+    def pairs(self) -> frozenset[AttributeValuePair]:
+        """All distinct ``<attribute, value>`` pairs in the seed."""
+        return frozenset(
+            AttributeValuePair(attribute, value_key)
+            for attribute, counter in self.values.items()
+            for value_key in counter
+        )
+
+    def value_keys(self, attribute: str) -> frozenset[str]:
+        """Distinct value keys of one attribute (empty if unknown)."""
+        return frozenset(self.values.get(attribute, ()))
+
+    def __contains__(self, pair: AttributeValuePair) -> bool:
+        return pair.value in self.values.get(pair.attribute, ())
+
+
+def build_seed(
+    pages: Sequence[ProductPage],
+    query_log: QueryLogLike,
+    config: SeedConfig | None = None,
+    *,
+    enable_diversification: bool = True,
+    candidates: Sequence[RawCandidate] | None = None,
+) -> Seed:
+    """Run candidate discovery → aggregation → cleaning → diversification.
+
+    Args:
+        pages: the category's product pages.
+        query_log: search-log membership filter.
+        config: seed-stage thresholds.
+        enable_diversification: the ``-div`` ablation knob (Table IV).
+        candidates: pre-discovered raw candidates, to avoid re-parsing
+            pages when the caller already ran discovery.
+
+    Returns:
+        The assembled :class:`Seed`.
+    """
+    config = config or SeedConfig()
+    if candidates is None:
+        candidates = discover_candidates(pages)
+    clusters = aggregate_attributes(candidates, config)
+    cleaned = clean_values(candidates, clusters, query_log, config)
+    cleaned_value_count = sum(len(counter) for counter in cleaned.values())
+    if enable_diversification and pages:
+        complete = diversify_values(
+            cleaned, candidates, clusters, pages[0].locale, config
+        )
+    else:
+        complete = cleaned
+    table_triples = _table_triples(candidates, clusters, complete)
+    return Seed(
+        values=complete,
+        clusters=clusters,
+        table_triples=table_triples,
+        raw_candidate_count=len(candidates),
+        cleaned_value_count=cleaned_value_count,
+    )
+
+
+def _table_triples(
+    candidates: Sequence[RawCandidate],
+    clusters: AttributeClusters,
+    seed_values: dict[str, Counter],
+) -> frozenset[Triple]:
+    """Project the raw table rows through the cleaned seed."""
+    triples: set[Triple] = set()
+    for candidate in candidates:
+        canonical = clusters.resolve(candidate.attribute)
+        if canonical is None:
+            continue
+        if candidate.value_key in seed_values.get(canonical, ()):
+            triples.add(
+                Triple(candidate.product_id, canonical, candidate.value_key)
+            )
+    return frozenset(triples)

@@ -1,0 +1,67 @@
+"""Seed value cleaning (Section V-A).
+
+"Incorrect attribute values are removed by keeping only those values
+that are found in search queries (from the search log input) or occur
+very often in its web page." A value therefore survives when the query
+log contains it, or when enough distinct pages state it in a table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Protocol, Sequence
+
+from ...config import SeedConfig
+from .aggregation import AttributeClusters
+from .candidate_discovery import RawCandidate
+
+
+class QueryLogLike(Protocol):
+    """The only query-log capability the pipeline needs: membership."""
+
+    def contains(self, key: str) -> bool: ...
+
+
+def clean_values(
+    candidates: Sequence[RawCandidate],
+    clusters: AttributeClusters,
+    query_log: QueryLogLike,
+    config: SeedConfig | None = None,
+) -> dict[str, Counter]:
+    """Filter candidate values into the cleaned seed.
+
+    Args:
+        candidates: raw table rows.
+        clusters: aggregation result; rows whose attribute name was
+            dropped are ignored.
+        query_log: membership filter over canonical value keys.
+        config: thresholds.
+
+    Returns:
+        canonical attribute name → Counter of value_key → page support,
+        containing only surviving values.
+    """
+    config = config or SeedConfig()
+    page_support: dict[str, Counter] = defaultdict(Counter)
+    pages_seen: dict[tuple[str, str], set[str]] = defaultdict(set)
+    for candidate in candidates:
+        canonical = clusters.resolve(candidate.attribute)
+        if canonical is None:
+            continue
+        pages_seen[(canonical, candidate.value_key)].add(
+            candidate.product_id
+        )
+    for (canonical, value_key), pages in pages_seen.items():
+        page_support[canonical][value_key] = len(pages)
+
+    cleaned: dict[str, Counter] = {}
+    for canonical, counter in page_support.items():
+        kept = Counter()
+        for value_key, support in counter.items():
+            frequent = support >= config.min_value_page_frequency
+            searched = query_log.contains(value_key)
+            if frequent or searched:
+                kept[value_key] = support
+        if kept:
+            cleaned[canonical] = kept
+    return cleaned

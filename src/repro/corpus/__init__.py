@@ -1,0 +1,45 @@
+"""Synthetic e-commerce marketplace — the data substrate.
+
+The paper evaluates on proprietary Rakuten product pages. This package
+is the documented substitute (see DESIGN.md §1): a deterministic
+generator of product pages that reproduces every corpus property the
+pipeline's behaviour depends on — dictionary-table seed coverage,
+merchant attribute-name aliases, value-format skew (integer vs decimal
+weights, thousands separators), confusable attribute pairs, negations,
+secondary-product mentions, markup noise and noisy table rows.
+
+Entry points:
+
+* :func:`category_names` / :func:`get_schema` — the 21 paper categories
+  (18 ``ja``, 3 ``de``) plus the heterogeneous Baby Goods study.
+* :class:`Marketplace` — generate a :class:`CategoryDataset` (pages with
+  exact ground truth, plus a query log) for a category.
+"""
+
+from .categories import category_names, get_schema, schemas_for_locale
+from .marketplace import CategoryDataset, GeneratedPage, Marketplace
+from .querylog import QueryLog
+from .schema import (
+    AttributeSpec,
+    CategoricalValues,
+    CategorySchema,
+    CompositeValues,
+    NumericValues,
+    ValueInstance,
+)
+
+__all__ = [
+    "AttributeSpec",
+    "CategoricalValues",
+    "CategoryDataset",
+    "CategorySchema",
+    "CompositeValues",
+    "GeneratedPage",
+    "Marketplace",
+    "NumericValues",
+    "QueryLog",
+    "ValueInstance",
+    "category_names",
+    "get_schema",
+    "schemas_for_locale",
+]

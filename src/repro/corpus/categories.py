@@ -1,0 +1,1182 @@
+"""The shipped category schemas.
+
+Mirrors the paper's evaluation inventory: the 8 Japanese categories of
+Tables I–IV (tennis, kitchen, cosmetics, garden, shoes, ladies bags,
+digital cameras, vacuum cleaner), ten further Japanese categories to
+reach the paper's 18, the 3 German categories (§VII-B: mailbox, coffee
+machines, garden), and the heterogeneity study's baby subcategories
+(§VIII-E).
+
+Per-category knobs are calibrated to the paper's reported corpus
+properties: Table I seed coverage spans ~6% (Shoes) to ~39% (Ladies
+Bags); Garden has the noisiest tables and thinnest descriptions; Vacuum
+Cleaner's ``juryo`` (weight) mixes integer and decimal magnitudes (the
+§VIII-A diversification case); Digital Cameras hosts the confusable
+``yukogaso``/``sogaso`` (effective/total pixels) pair and composite
+shutter-speed values.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .schema import (
+    AttributeSpec,
+    CategoricalValues,
+    CategorySchema,
+    CompositeValues,
+    NumericValues,
+)
+
+# --- shared value pools (ja) -------------------------------------------
+
+JA_BRANDS = (
+    "Nikkon", "Sorex", "Hikari", "Yamado", "Kazeno", "Sakura",
+    "Mitsuba", "Aoyama", "Fujita", "Kawado", "Tsubame", "Hoshino",
+    "Kitamura", "Enishi", "Takumi", "Wakaba", "Kogane", "Shiranami",
+    "Minamoto", "Harukaze", "Momiji", "Yukishiro", "Asahi", "Kurogane",
+    "Tanpopo", "Hibari", "Suzuran", "Akatsuki",
+)
+JA_COLORS = (
+    "kuro", "shiro", "aka", "ao", "gin", "pinku", "midori", "kiiro",
+    "kon", "cha", "murasaki", "orenji", "beju", "guree",
+    # Rarer compound shades — tail variants the seed usually misses,
+    # learned only through bootstrap context (Figure 3's growth).
+    "matto kuro", "tsuya kuro", "paaru shiro", "ofu howaito",
+    "wain reddo", "sumoku guree", "raito guree", "daku buraun",
+    "nebi", "mizuiro", "rozu pinku", "karashi iro",
+)
+JA_COUNTRIES = (
+    "nihon", "chugoku", "doitsu", "amerika", "kankoku", "betonamu",
+    "itaria", "furansu", "taiwan", "tai",
+    "indo", "indoneshia", "porutogaru", "supein",
+)
+JA_MATERIALS = (
+    "men", "kawa", "nairon", "porisuteru", "uru", "asa",
+    "gosei kawa", "100 % men", "suteinresu", "arumi", "puraschikku",
+    "garasu", "take", "hinoki",
+    "hon kawa", "gosei hikaku", "kyanbasu", "suedo", "denimu",
+    "rinen", "men kon", "uru kon",
+)
+JA_SHAPES = (
+    "maru gata", "kaku gata", "hana gata", "hoshi gata", "daen gata",
+    "haato gata",
+    # Tail shapes rarely reach the seed; mis-tagging them from context
+    # is the drift the semantic filter must catch (§VIII-B).
+    "sakura gata", "yuki gata", "kumo gata", "ha gata",
+    "tsubasa gata", "ichou gata",
+)
+
+# --- shared value pools (de) -------------------------------------------
+
+DE_BRANDS = (
+    "Hausmann", "Bergfeld", "Steinbach", "Waldner", "Krause",
+    "Lindemann", "Falke", "Brandt", "Vogel", "Richter",
+    "Moewe", "Tannberg", "Eichhorn", "Silberbach", "Nordwind",
+    "Grünfeld", "Adlerhof", "Wetterstein", "Blumenthal", "Kranich",
+)
+DE_COLORS = (
+    "schwarz", "weiß", "rot", "blau", "silber", "grün", "gelb",
+    "braun", "grau", "beige", "anthrazit",
+)
+DE_MATERIALS = (
+    "Edelstahl", "Kunststoff", "Aluminium", "Holz", "Glas", "Keramik",
+    "verzinkter Stahl", "Bambus",
+)
+
+
+def _brand(aliases: tuple[str, ...] = ("meka", "seizomoto")) -> AttributeSpec:
+    """The canonical ja brand attribute with its alias pair.
+
+    The paper's motivating redundancy example is 製造元 (manufacturer)
+    vs メーカー (maker); the alias pair reproduces it.
+    """
+    return AttributeSpec(
+        name="burando",
+        values=CategoricalValues(JA_BRANDS, zipf=1.0),
+        aliases=aliases,
+        presence_rate=0.95,
+        table_rate=0.85,
+        text_rate=0.45,
+    )
+
+
+def _color(
+    text_rate: float = 0.6, aliases: tuple[str, ...] = ("karaa",)
+) -> AttributeSpec:
+    return AttributeSpec(
+        name="iro",
+        values=CategoricalValues(JA_COLORS),
+        aliases=aliases,
+        presence_rate=0.9,
+        table_rate=0.8,
+        text_rate=text_rate,
+    )
+
+
+def _origin() -> AttributeSpec:
+    return AttributeSpec(
+        name="gensanchi",
+        values=CategoricalValues(JA_COUNTRIES),
+        aliases=("seizankoku",),
+        presence_rate=0.7,
+        table_rate=0.75,
+        text_rate=0.35,
+    )
+
+
+def _material(text_rate: float = 0.5) -> AttributeSpec:
+    return AttributeSpec(
+        name="sozai",
+        values=CategoricalValues(JA_MATERIALS),
+        aliases=("zaishitsu",),
+        presence_rate=0.85,
+        table_rate=0.8,
+        text_rate=text_rate,
+    )
+
+
+_SCHEMAS: dict[str, CategorySchema] = {}
+
+
+def _register(schema: CategorySchema) -> CategorySchema:
+    if schema.name in _SCHEMAS:
+        raise SchemaError(f"duplicate category name {schema.name!r}")
+    _SCHEMAS[schema.name] = schema
+    return schema
+
+
+# --- the 8 core Japanese categories (Tables I-IV) ----------------------
+
+_register(
+    CategorySchema(
+        name="tennis",
+        locale="ja",
+        title_nouns=("raketto", "tenisu shuzu", "gatto"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(250, 340, "g", decimal_rate=0.1, step=5),
+                aliases=("omosa",),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="gurippu saizu",
+                values=CategoricalValues(("G1", "G2", "G3", "G4", "G5")),
+                presence_rate=0.8,
+                table_rate=0.85,
+                text_rate=0.4,
+            ),
+            _material(),
+        ),
+        table_coverage=0.28,
+        bare_page_rate=0.3,
+        table_noise_rate=0.02,
+        table_variant_rate=0.01,
+        filler_sentences=(2, 5),
+    )
+)
+
+_register(
+    CategorySchema(
+        name="kitchen",
+        locale="ja",
+        title_nouns=("nabe", "furai pan", "hocho", "botoru"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="yoryo",
+                values=NumericValues(1, 30, "l", decimal_rate=0.35),
+                aliases=("naiyoryo",),
+                presence_rate=0.75,
+                table_rate=0.75,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="saizu",
+                values=NumericValues(10, 45, "cm", decimal_rate=0.2),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            _material(),
+        ),
+        table_coverage=0.22,
+        bare_page_rate=0.35,
+        compact_spec_rate=0.25,
+        table_noise_rate=0.1,
+        table_variant_rate=0.05,
+        filler_sentences=(2, 5),
+    )
+)
+
+_register(
+    CategorySchema(
+        name="cosmetics",
+        locale="ja",
+        title_nouns=("kosume", "sukin kea yohin", "biyo seihin"),
+        attributes=(
+            _brand(),
+            AttributeSpec(
+                name="naiyoryo",
+                values=NumericValues(10, 500, "ml", decimal_rate=0.15, step=5),
+                aliases=("yoryo",),
+                presence_rate=0.9,
+                table_rate=0.85,
+                text_rate=0.6,
+            ),
+            AttributeSpec(
+                name="shurui",
+                values=CategoricalValues(
+                    (
+                        "kurimu", "roshon", "serami", "jeru", "oiru",
+                        "fomu", "masuku", "baamu", "essensu", "miruku",
+                        "kurenjingu", "kesho sui", "biyoeki",
+                    ),
+                    zipf=0.9,
+                ),
+                aliases=("taipu",),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="seibun",
+                values=CategoricalValues(
+                    (
+                        "hiaruron san", "korajen", "bitamin C", "seramaido",
+                        "shia bataa", "yuzu ekisu", "retinooru",
+                        "purasenta", "aloe ekisu", "hachimitsu",
+                        "tsubaki oiru", "kome nuka ekisu",
+                    ),
+                    zipf=0.9,
+                ),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.6,
+            ),
+            _origin(),
+        ),
+        table_coverage=0.38,
+        bare_page_rate=0.12,
+        table_noise_rate=0.02,
+        table_variant_rate=0.06,
+        filler_sentences=(2, 6),
+        title_noun_attribute="shurui",
+    )
+)
+
+_register(
+    CategorySchema(
+        name="garden",
+        locale="ja",
+        title_nouns=("puranta", "gaaden raito", "jyoro", "uekibachi"),
+        attributes=(
+            _color(text_rate=0.45),
+            AttributeSpec(
+                name="katachi",
+                values=CategoricalValues(JA_SHAPES, zipf=1.0),
+                presence_rate=0.7,
+                table_rate=0.6,
+                text_rate=0.45,
+                confusable_with="iro",
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(1, 25, "kg", decimal_rate=0.3),
+                aliases=("omosa",),
+                presence_rate=0.8,
+                table_rate=0.7,
+                text_rate=0.45,
+                confusable_with="taika juryo",
+            ),
+            AttributeSpec(
+                name="taika juryo",
+                values=NumericValues(5, 120, "kg", decimal_rate=0.1, step=5),
+                presence_rate=0.5,
+                table_rate=0.6,
+                text_rate=0.35,
+                confusable_with="juryo",
+            ),
+            _material(text_rate=0.4),
+        ),
+        table_coverage=0.1,
+        bare_page_rate=0.4,
+        compact_spec_rate=0.5,
+        table_noise_rate=0.5,
+        table_variant_rate=0.06,
+        secondary_product_rate=0.08,
+        negation_rate=0.05,
+        markup_noise_rate=0.1,
+        filler_sentences=(4, 8),
+    )
+)
+
+_register(
+    CategorySchema(
+        name="shoes",
+        locale="ja",
+        title_nouns=("suniikaa", "buutsu", "pampusu", "sandaru"),
+        attributes=(
+            _brand(),
+            _color(text_rate=0.65),
+            AttributeSpec(
+                name="saizu",
+                values=NumericValues(22, 29, "cm", decimal_rate=0.5),
+                presence_rate=0.95,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            _material(),
+            AttributeSpec(
+                name="haba",
+                values=CategoricalValues(("2E", "3E", "4E", "D", "EE")),
+                presence_rate=0.5,
+                table_rate=0.6,
+                text_rate=0.3,
+            ),
+        ),
+        table_coverage=0.08,
+        bare_page_rate=0.5,
+        compact_spec_rate=0.3,
+        table_noise_rate=0.1,
+        table_variant_rate=0.06,
+        secondary_product_rate=0.1,
+        filler_sentences=(3, 6),
+    )
+)
+
+_register(
+    CategorySchema(
+        name="ladies_bags",
+        locale="ja",
+        title_nouns=("redisu baggu", "kaban", "baggu"),
+        attributes=(
+            _brand(),
+            _color(text_rate=0.7),
+            _material(text_rate=0.6),
+            AttributeSpec(
+                name="saizu",
+                values=NumericValues(18, 50, "cm", decimal_rate=0.15),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.45,
+            ),
+            _origin(),
+            AttributeSpec(
+                name="shurui",
+                values=CategoricalValues(
+                    (
+                        "tooto", "shorudaa", "kurachi", "bosuton",
+                        "ryukku", "hando", "poshetto", "kurosubodi",
+                        "uesuto poochi", "semi shorudaa",
+                    ),
+                    zipf=0.9,
+                ),
+                presence_rate=0.85,
+                table_rate=0.75,
+                text_rate=0.5,
+            ),
+        ),
+        table_coverage=0.42,
+        bare_page_rate=0.12,
+        table_noise_rate=0.015,
+        table_variant_rate=0.015,
+        filler_sentences=(2, 5),
+        title_noun_attribute="shurui",
+        title_noun_suffix=" baggu",
+    )
+)
+
+_register(
+    CategorySchema(
+        name="digital_cameras",
+        locale="ja",
+        title_nouns=("dejitaru kamera", "mirareresu kamera", "konpakuto kamera"),
+        attributes=(
+            _brand(aliases=("meka",)),
+            AttributeSpec(
+                name="yukogaso",
+                values=NumericValues(
+                    1000, 6100, "gaso", thousands_rate=0.5, step=10
+                ),
+                presence_rate=0.9,
+                table_rate=0.85,
+                text_rate=0.55,
+                confusable_with="sogaso",
+            ),
+            AttributeSpec(
+                name="sogaso",
+                values=NumericValues(
+                    1100, 6500, "gaso", thousands_rate=0.5, step=10
+                ),
+                presence_rate=0.6,
+                table_rate=0.7,
+                text_rate=0.35,
+                confusable_with="yukogaso",
+            ),
+            AttributeSpec(
+                name="shatta supido",
+                values=CompositeValues(
+                    (
+                        "1/{n} byo",
+                        "1/{n} byo ~ 30 byo",
+                        "1/{n} byo ~ {m} byo",
+                        "{m} byo",
+                    ),
+                    low=1,
+                    high=8000,
+                ),
+                presence_rate=0.55,
+                table_rate=0.7,
+                text_rate=0.3,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(90, 900, "g", decimal_rate=0.1, step=5),
+                aliases=("omosa",),
+                presence_rate=0.8,
+                table_rate=0.8,
+                text_rate=0.4,
+            ),
+            AttributeSpec(
+                name="kogaku zumu",
+                values=CompositeValues(("{n} bai",), low=2, high=60),
+                presence_rate=0.6,
+                table_rate=0.7,
+                text_rate=0.35,
+                confusable_with="dejitaru zumu",
+            ),
+            AttributeSpec(
+                name="dejitaru zumu",
+                values=CompositeValues(("{n} bai",), low=2, high=16),
+                presence_rate=0.45,
+                table_rate=0.6,
+                text_rate=0.25,
+                confusable_with="kogaku zumu",
+            ),
+        ),
+        table_coverage=0.15,
+        bare_page_rate=0.12,
+        table_noise_rate=0.01,
+        table_variant_rate=0.005,
+        filler_sentences=(2, 5),
+    )
+)
+
+_register(
+    CategorySchema(
+        name="vacuum_cleaner",
+        locale="ja",
+        title_nouns=("sojiki", "kurinaa"),
+        attributes=(
+            _brand(),
+            AttributeSpec(
+                name="taipu",
+                values=CategoricalValues(
+                    (
+                        "kyanisuta", "suthikku", "robotto", "handi",
+                        "futon kurinaa", "kyanisuta gata", "suthikku gata",
+                        "robotto gata", "kodoresu suthikku",
+                        "saikuron suthikku", "2way suthikku", "handi gata",
+                    ),
+                    zipf=0.9,
+                ),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.5,
+                confusable_with="dengen hoshiki",
+            ),
+            AttributeSpec(
+                name="shujin hoshiki",
+                values=CategoricalValues(
+                    (
+                        "saikuron shiki", "kami pakku shiki",
+                        "kapuseru shiki", "saikuron", "kami pakku",
+                        "dasuto kappu shiki", "hybrid shiki",
+                    ),
+                    zipf=0.9,
+                ),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.4,
+            ),
+            AttributeSpec(
+                name="dengen hoshiki",
+                values=CategoricalValues(
+                    (
+                        "koodo shiki", "koodoresu", "juden shiki",
+                        "dengen 2way", "koodoresu shiki", "juden gata",
+                        "batteri shiki",
+                    ),
+                    zipf=0.9,
+                ),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.4,
+                confusable_with="taipu",
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(1, 8, "kg", decimal_rate=0.35),
+                aliases=("omosa", "honntai juryo"),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="kyuin shigoto ritsu",
+                values=NumericValues(50, 620, "w", step=10),
+                presence_rate=0.65,
+                table_rate=0.7,
+                text_rate=0.35,
+            ),
+        ),
+        table_coverage=0.3,
+        bare_page_rate=0.18,
+        table_noise_rate=0.06,
+        table_variant_rate=0.03,
+        filler_sentences=(2, 5),
+        title_noun_attribute="taipu",
+        title_noun_suffix=" sojiki",
+    )
+)
+
+# --- ten further Japanese categories (to the paper's 18) ---------------
+
+_register(
+    CategorySchema(
+        name="rings",
+        locale="ja",
+        title_nouns=("yubiwa", "ringu"),
+        attributes=(
+            _brand(aliases=("meka",)),
+            AttributeSpec(
+                name="nagasa",
+                values=NumericValues(2, 30, "mm", decimal_rate=0.3),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+                confusable_with="haba",
+            ),
+            AttributeSpec(
+                name="haba",
+                values=NumericValues(1, 15, "mm", decimal_rate=0.3),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+                confusable_with="nagasa",
+            ),
+            AttributeSpec(
+                name="sozai",
+                values=CategoricalValues(
+                    ("gin 925", "puracchina", "18 kin", "10 kin", "chitan")
+                ),
+                presence_rate=0.9,
+                table_rate=0.85,
+                text_rate=0.55,
+            ),
+            _color(),
+        ),
+        table_coverage=0.25,
+        table_noise_rate=0.04,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="watches",
+        locale="ja",
+        title_nouns=("udedokei", "sumato wocchi"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="bando sozai",
+                values=CategoricalValues(
+                    ("kawa", "suteinresu", "nairon", "rabaa", "chitan")
+                ),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="keesu kei",
+                values=NumericValues(28, 48, "mm", decimal_rate=0.4),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.4,
+            ),
+            AttributeSpec(
+                name="boisui",
+                values=CompositeValues(("{n} kiatsu", "{n} m boisui"), low=3, high=200),
+                presence_rate=0.6,
+                table_rate=0.65,
+                text_rate=0.35,
+            ),
+        ),
+        table_coverage=0.3,
+        table_noise_rate=0.03,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="golf",
+        locale="ja",
+        title_nouns=("doraibaa", "aian setto", "patta"),
+        attributes=(
+            _brand(),
+            AttributeSpec(
+                name="rofuto kaku",
+                values=NumericValues(8, 60, "do", decimal_rate=0.4),
+                presence_rate=0.8,
+                table_rate=0.8,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="shafuto",
+                values=CategoricalValues(("R", "S", "SR", "X", "L")),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.4,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(270, 330, "g", decimal_rate=0.2),
+                aliases=("omosa",),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+        ),
+        table_coverage=0.24,
+        table_noise_rate=0.05,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="futon",
+        locale="ja",
+        title_nouns=("futon setto", "kakebuton", "makura"),
+        attributes=(
+            _color(),
+            _material(),
+            AttributeSpec(
+                name="saizu",
+                values=CategoricalValues(
+                    ("shinguru", "semi daburu", "daburu", "kuin", "kingu")
+                ),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.6,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(1, 9, "kg", decimal_rate=0.4),
+                aliases=("omosa",),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+            _origin(),
+        ),
+        table_coverage=0.2,
+        table_noise_rate=0.08,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="headphones",
+        locale="ja",
+        title_nouns=("hedohon", "iyahon"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="setsuzoku",
+                values=CategoricalValues(
+                    ("waiyaresu", "yusen", "Bluetooth 5", "USB C")
+                ),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="saisei jikan",
+                values=NumericValues(4, 60, "jikan", decimal_rate=0.2),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(4, 350, "g", decimal_rate=0.3),
+                aliases=("omosa",),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+        ),
+        table_coverage=0.27,
+        table_noise_rate=0.04,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="bicycles",
+        locale="ja",
+        title_nouns=("jitensha", "kurosubaiku", "mamachari"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="taiya kei",
+                values=NumericValues(12, 29, "inchi"),
+                presence_rate=0.9,
+                table_rate=0.85,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="hensoku",
+                values=CompositeValues(("{n} dan hensoku",), low=3, high=27),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(7, 25, "kg", decimal_rate=0.4),
+                aliases=("omosa",),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+        ),
+        table_coverage=0.22,
+        table_noise_rate=0.06,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="rice",
+        locale="ja",
+        title_nouns=("kome", "genmai", "burendo mai"),
+        attributes=(
+            AttributeSpec(
+                name="meigara",
+                values=CategoricalValues(
+                    (
+                        "koshihikari", "akitakomachi", "hitomebore",
+                        "sasanishiki", "yumepirika", "tsuyahime",
+                    )
+                ),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.6,
+            ),
+            AttributeSpec(
+                name="naiyoryo",
+                values=NumericValues(1, 30, "kg", decimal_rate=0.2),
+                aliases=("yoryo",),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.6,
+            ),
+            _origin(),
+            AttributeSpec(
+                name="nendo",
+                values=CompositeValues(("reiwa {n} nen san",), low=1, high=7),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+        ),
+        table_coverage=0.3,
+        table_noise_rate=0.05,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="wine",
+        locale="ja",
+        title_nouns=("akawain", "shirowain", "supakuringu wain"),
+        attributes=(
+            AttributeSpec(
+                name="budoshu",
+                values=CategoricalValues(
+                    (
+                        "kaberune", "meruro", "pino nowaru", "shadone",
+                        "sovinyon buran", "shira",
+                    )
+                ),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.5,
+            ),
+            _origin(),
+            AttributeSpec(
+                name="naiyoryo",
+                values=NumericValues(187, 1500, "ml", step=125),
+                aliases=("yoryo",),
+                presence_rate=0.9,
+                table_rate=0.85,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="vinteji",
+                values=NumericValues(1990, 2024, "nen"),
+                presence_rate=0.6,
+                table_rate=0.7,
+                text_rate=0.35,
+            ),
+        ),
+        table_coverage=0.26,
+        table_noise_rate=0.04,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="pet_supplies",
+        locale="ja",
+        title_nouns=("petto fudo", "kyatto tawa", "inu yo beddo"),
+        attributes=(
+            _brand(aliases=("meka",)),
+            AttributeSpec(
+                name="taisho",
+                values=CategoricalValues(
+                    ("inu", "neko", "kotori", "usagi", "hamusuta")
+                ),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="naiyoryo",
+                values=NumericValues(1, 15, "kg", decimal_rate=0.4),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+            _color(),
+        ),
+        table_coverage=0.2,
+        table_noise_rate=0.07,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="baby_carriers",
+        locale="ja",
+        title_nouns=("dakkohimo", "bebii kyaria"),
+        attributes=(
+            _brand(),
+            _color(),
+            AttributeSpec(
+                name="taiju seigen",
+                values=NumericValues(9, 25, "kg", decimal_rate=0.2),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="taisho nenrei",
+                values=CompositeValues(
+                    ("shinseiji ~ {n} sai", "{n} kagetsu ~ {m} sai"),
+                    low=1,
+                    high=4,
+                ),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            _material(),
+        ),
+        table_coverage=0.24,
+        table_noise_rate=0.05,
+    )
+)
+
+# --- heterogeneity-study subcategories (§VIII-E) ------------------------
+
+_register(
+    CategorySchema(
+        name="baby_clothes",
+        locale="ja",
+        title_nouns=("bebii fuku", "roonpasu"),
+        attributes=(
+            AttributeSpec(
+                name="fuku saizu",
+                values=NumericValues(50, 95, "cm", step=5),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.55,
+            ),
+            _color(aliases=()),
+            _material(),
+            AttributeSpec(
+                name="taisho tsuki",
+                values=CompositeValues(("{n} kagetsu ~ {m} kagetsu",), low=0, high=36),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.4,
+            ),
+        ),
+        table_coverage=0.2,
+        table_noise_rate=0.08,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="baby_toys",
+        locale="ja",
+        title_nouns=("gara gara", "tsumiki", "nuigurumi"),
+        attributes=(
+            AttributeSpec(
+                name="omocha sozai",
+                values=CategoricalValues(("ki", "nuno", "puraschikku", "gomu")),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="iro",
+                values=CategoricalValues(JA_COLORS),
+                presence_rate=0.85,
+                table_rate=0.75,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="taisho nenrei",
+                values=CompositeValues(
+                    ("{n} sai ijo", "{n} kagetsu kara"), low=0, high=6
+                ),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="juryo",
+                values=NumericValues(50, 900, "g", decimal_rate=0.1, step=10),
+                presence_rate=0.6,
+                table_rate=0.6,
+                text_rate=0.35,
+            ),
+            AttributeSpec(
+                name="takasa",
+                values=NumericValues(5, 60, "cm", decimal_rate=0.1),
+                presence_rate=0.6,
+                table_rate=0.6,
+                text_rate=0.35,
+            ),
+        ),
+        table_coverage=0.18,
+        table_noise_rate=0.1,
+    )
+)
+
+# --- the 3 German categories (§VII-B) -----------------------------------
+
+_register(
+    CategorySchema(
+        name="mailbox",
+        locale="de",
+        title_nouns=("Briefkasten", "Paketbox", "Zeitungsrolle"),
+        attributes=(
+            AttributeSpec(
+                name="Marke",
+                values=CategoricalValues(DE_BRANDS, zipf=1.0),
+                aliases=("Hersteller",),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="Farbe",
+                values=CategoricalValues(DE_COLORS),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.6,
+            ),
+            AttributeSpec(
+                name="Material",
+                values=CategoricalValues(DE_MATERIALS),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="Gewicht",
+                values=NumericValues(1, 15, "kg", decimal_rate=0.35),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="Breite",
+                values=NumericValues(20, 60, "cm", decimal_rate=0.2),
+                presence_rate=0.7,
+                table_rate=0.7,
+                text_rate=0.35,
+            ),
+        ),
+        table_coverage=0.3,
+        bare_page_rate=0.2,
+        table_noise_rate=0.04,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="coffee_machines",
+        locale="de",
+        title_nouns=("Kaffeemaschine", "Espressomaschine", "Kaffeevollautomat"),
+        attributes=(
+            AttributeSpec(
+                name="Marke",
+                values=CategoricalValues(DE_BRANDS, zipf=1.0),
+                aliases=("Hersteller",),
+                presence_rate=0.95,
+                table_rate=0.85,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="Farbe",
+                values=CategoricalValues(DE_COLORS),
+                presence_rate=0.85,
+                table_rate=0.8,
+                text_rate=0.55,
+            ),
+            AttributeSpec(
+                name="Fassungsvermögen",
+                values=NumericValues(1, 3, "l", decimal_rate=0.6),
+                aliases=("Volumen",),
+                presence_rate=0.8,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="Leistung",
+                values=NumericValues(600, 2200, "w", step=50),
+                presence_rate=0.8,
+                table_rate=0.8,
+                text_rate=0.4,
+            ),
+            AttributeSpec(
+                name="Typ",
+                values=CategoricalValues(
+                    (
+                        "Filtermaschine", "Padmaschine", "Kapselmaschine",
+                        "Vollautomat", "Siebträger",
+                    )
+                ),
+                presence_rate=0.9,
+                table_rate=0.8,
+                text_rate=0.5,
+            ),
+        ),
+        table_coverage=0.26,
+        bare_page_rate=0.3,
+        table_noise_rate=0.05,
+    )
+)
+
+_register(
+    CategorySchema(
+        name="garden_de",
+        locale="de",
+        title_nouns=("Pflanzkübel", "Gartenleuchte", "Gießkanne"),
+        attributes=(
+            AttributeSpec(
+                name="Farbe",
+                values=CategoricalValues(DE_COLORS),
+                presence_rate=0.9,
+                table_rate=0.75,
+                text_rate=0.5,
+            ),
+            AttributeSpec(
+                name="Material",
+                values=CategoricalValues(DE_MATERIALS),
+                presence_rate=0.85,
+                table_rate=0.75,
+                text_rate=0.45,
+            ),
+            AttributeSpec(
+                name="Gewicht",
+                values=NumericValues(1, 25, "kg", decimal_rate=0.3),
+                presence_rate=0.75,
+                table_rate=0.7,
+                text_rate=0.4,
+                confusable_with="Tragkraft",
+            ),
+            AttributeSpec(
+                name="Tragkraft",
+                values=NumericValues(5, 120, "kg", step=5),
+                presence_rate=0.5,
+                table_rate=0.6,
+                text_rate=0.3,
+                confusable_with="Gewicht",
+            ),
+        ),
+        table_coverage=0.12,
+        bare_page_rate=0.35,
+        compact_spec_rate=0.4,
+        table_noise_rate=0.45,
+        table_variant_rate=0.06,
+        secondary_product_rate=0.1,
+        markup_noise_rate=0.08,
+        filler_sentences=(3, 7),
+    )
+)
+
+
+#: The paper's heterogeneous parent category: Baby Goods = carriers +
+#: clothes + toys (generated as a page mixture; see Marketplace).
+HETEROGENEOUS_UNIONS: dict[str, tuple[str, ...]] = {
+    "baby_goods": ("baby_carriers", "baby_clothes", "baby_toys"),
+}
+
+#: The eight categories reported in Tables I-IV.
+CORE_JA_CATEGORIES = (
+    "tennis", "kitchen", "cosmetics", "garden", "shoes",
+    "ladies_bags", "digital_cameras", "vacuum_cleaner",
+)
+
+#: The three German categories of §VII-B.
+GERMAN_CATEGORIES = ("mailbox", "coffee_machines", "garden_de")
+
+
+def category_names() -> tuple[str, ...]:
+    """All registered category names, sorted."""
+    return tuple(sorted(_SCHEMAS))
+
+
+def get_schema(name: str) -> CategorySchema:
+    """Look up a registered category schema.
+
+    Raises:
+        KeyError: for unknown names (union categories are handled by
+            :class:`~repro.corpus.marketplace.Marketplace`, not here).
+    """
+    return _SCHEMAS[name]
+
+
+def schemas_for_locale(locale: str) -> tuple[CategorySchema, ...]:
+    """All schemas of one locale, name-sorted."""
+    return tuple(
+        _SCHEMAS[name]
+        for name in sorted(_SCHEMAS)
+        if _SCHEMAS[name].locale == locale
+    )

@@ -1,0 +1,176 @@
+"""Dataset serialization: JSONL on disk, real-data entry point.
+
+A :class:`~repro.corpus.marketplace.CategoryDataset` round-trips through
+a directory of JSON files:
+
+* ``pages.jsonl`` — one page per line: product_id, category, locale,
+  html, and (when known) the annotated correct/incorrect triples;
+* ``querylog.json`` — query → count;
+* ``meta.json`` — dataset name, locale, schema names.
+
+This is also the adoption path for *real* data: write your product
+pages into ``pages.jsonl`` (ground-truth fields optional), and
+:func:`load_pages` returns what :class:`~repro.PAEPipeline.run` needs.
+Schemas are resolved by name from the registry, so loaded synthetic
+datasets keep their validators; real-data directories simply omit them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Iterable
+
+from ..errors import ReproError
+from ..types import ProductPage, Triple
+from .categories import get_schema
+from .marketplace import CategoryDataset, GeneratedPage
+from .querylog import QueryLog
+
+_FORMAT_VERSION = 1
+
+
+def _triples_to_json(triples: Iterable[Triple]) -> list[list[str]]:
+    return sorted(
+        [t.product_id, t.attribute, t.value] for t in triples
+    )
+
+
+def _triples_from_json(rows: list[list[str]]) -> frozenset[Triple]:
+    return frozenset(Triple(*row) for row in rows)
+
+
+def save_dataset(
+    dataset: CategoryDataset, directory: str | pathlib.Path
+) -> None:
+    """Write a dataset to ``directory`` (created if needed)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "pages.jsonl", "w", encoding="utf-8") as out:
+        for generated in dataset.pages:
+            record = {
+                "product_id": generated.page.product_id,
+                "category": generated.page.category,
+                "locale": generated.page.locale,
+                "html": generated.page.html,
+                "correct_triples": _triples_to_json(
+                    generated.correct_triples
+                ),
+                "incorrect_triples": _triples_to_json(
+                    generated.incorrect_triples
+                ),
+                "assignment": dict(sorted(generated.assignment.items())),
+            }
+            out.write(json.dumps(record, ensure_ascii=False) + "\n")
+    (directory / "querylog.json").write_text(
+        json.dumps(dict(dataset.query_log.counts), ensure_ascii=False)
+    )
+    (directory / "meta.json").write_text(
+        json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "name": dataset.name,
+                "locale": dataset.locale,
+                "schemas": [schema.name for schema in dataset.schemas],
+            }
+        )
+    )
+
+
+def load_dataset(directory: str | pathlib.Path) -> CategoryDataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Raises:
+        ReproError: when the directory is missing files or carries an
+            unsupported format version.
+    """
+    directory = pathlib.Path(directory)
+    meta_path = directory / "meta.json"
+    pages_path = directory / "pages.jsonl"
+    if not meta_path.exists() or not pages_path.exists():
+        raise ReproError(f"no saved dataset at {directory}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported dataset format {meta.get('format_version')!r}"
+        )
+    pages = []
+    with open(pages_path, encoding="utf-8") as lines:
+        for line in lines:
+            record = json.loads(line)
+            page = ProductPage(
+                record["product_id"],
+                record["category"],
+                record["html"],
+                record["locale"],
+            )
+            pages.append(
+                GeneratedPage(
+                    page=page,
+                    correct_triples=_triples_from_json(
+                        record.get("correct_triples", [])
+                    ),
+                    incorrect_triples=_triples_from_json(
+                        record.get("incorrect_triples", [])
+                    ),
+                    assignment=dict(record.get("assignment", {})),
+                )
+            )
+    query_path = directory / "querylog.json"
+    counts = Counter(
+        json.loads(query_path.read_text()) if query_path.exists() else {}
+    )
+    schemas = tuple(
+        get_schema(name) for name in meta.get("schemas", ())
+    )
+    if not schemas:
+        raise ReproError(
+            "dataset meta lists no schemas; use load_pages() for "
+            "schema-free (real) page collections"
+        )
+    return CategoryDataset(
+        name=meta["name"],
+        locale=meta["locale"],
+        pages=tuple(pages),
+        query_log=QueryLog(counts),
+        schemas=schemas,
+    )
+
+
+def load_pages(
+    path: str | pathlib.Path,
+) -> tuple[list[ProductPage], QueryLog]:
+    """Schema-free loader for real page collections.
+
+    Args:
+        path: a ``pages.jsonl`` file, or a directory containing one
+            (plus an optional ``querylog.json``).
+
+    Returns:
+        ``(pages, query_log)`` ready for
+        :meth:`~repro.PAEPipeline.run`. Ground-truth fields in the
+        records, if any, are ignored.
+    """
+    path = pathlib.Path(path)
+    directory = path if path.is_dir() else path.parent
+    pages_path = path / "pages.jsonl" if path.is_dir() else path
+    if not pages_path.exists():
+        raise ReproError(f"no pages.jsonl at {path}")
+    pages: list[ProductPage] = []
+    with open(pages_path, encoding="utf-8") as lines:
+        for line in lines:
+            record = json.loads(line)
+            pages.append(
+                ProductPage(
+                    record["product_id"],
+                    record.get("category", "unknown"),
+                    record["html"],
+                    record.get("locale", "ja"),
+                )
+            )
+    query_path = directory / "querylog.json"
+    counts = Counter(
+        json.loads(query_path.read_text()) if query_path.exists() else {}
+    )
+    return pages, QueryLog(counts)

@@ -1,0 +1,6 @@
+"""Locale styles: how merchants of each language write product pages."""
+
+from .base import LocaleStyle, get_style
+from . import german, japanese  # noqa: F401  (register styles)
+
+__all__ = ["LocaleStyle", "get_style"]

@@ -1,0 +1,128 @@
+"""Locale style: sentence templates and page phrasing per language.
+
+A :class:`LocaleStyle` holds everything language-specific about *page
+generation* (the NLP side lives in :mod:`repro.nlp`): statement /
+negation / secondary-product sentence templates, filler sentences, brand
+pools and title phrasing.
+
+Templates are plain format strings over ``{attr}`` and ``{value}``;
+secondary templates additionally take ``{other}``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...errors import UnknownLocaleError
+
+
+@dataclass(frozen=True)
+class LocaleStyle:
+    """Language-specific page phrasing.
+
+    Attributes:
+        locale: locale code, matching a registered NLP bundle.
+        statement_dialects: groups of statement templates; each page is
+            written by a merchant using one dialect. Dialects matter for
+            bootstrap dynamics: table-heavy merchants share a dialect,
+            so the seed-trained tagger knows their phrasing but must
+            *learn* the others across iterations — the coverage growth
+            of the paper's Figure 3.
+        negation_templates: ways to deny an attribute value.
+        compact_templates: spec-line sentences listing bare values with
+            no attribute names ("aka hana gata uekibachi") — the main
+            source of the cross-attribute drift that semantic cleaning
+            exists to fight.
+        secondary_templates: ways to mention another product's value.
+        filler_sentences: attribute-free boilerplate pool.
+        brands: merchant/brand name pool for titles.
+        title_template: format string over ``{brand}`` / ``{noun}`` /
+            ``{model}``.
+        markup_noise: literal markup fragments that occasionally leak
+            into visible text (drives the markup veto rule).
+        junk_table_rows: ``(name, value)`` junk rows injected into noisy
+            dictionary tables (drives seed precision differences).
+    """
+
+    locale: str
+    statement_dialects: tuple[tuple[str, ...], ...]
+    negation_templates: tuple[str, ...]
+    compact_templates: tuple[str, ...]
+    secondary_templates: tuple[str, ...]
+    filler_sentences: tuple[str, ...]
+    brands: tuple[str, ...]
+    title_template: str
+    markup_noise: tuple[str, ...]
+    junk_table_rows: tuple[tuple[str, str], ...]
+
+    @property
+    def dialect_count(self) -> int:
+        return len(self.statement_dialects)
+
+    def statement(
+        self, rng: random.Random, attr: str, value: str, dialect: int = 0
+    ) -> str:
+        """One sentence asserting ``attr`` = ``value`` in a dialect."""
+        templates = self.statement_dialects[dialect % self.dialect_count]
+        return rng.choice(templates).format(attr=attr, value=value)
+
+    def negation(self, rng: random.Random, attr: str, value: str) -> str:
+        """One sentence denying ``attr`` = ``value``."""
+        return rng.choice(self.negation_templates).format(
+            attr=attr, value=value
+        )
+
+    def compact(
+        self, rng: random.Random, values: list[str], noun: str
+    ) -> str:
+        """A spec line listing bare values (no attribute names)."""
+        return rng.choice(self.compact_templates).format(
+            values=" ".join(values), noun=noun
+        )
+
+    def secondary(
+        self, rng: random.Random, attr: str, value: str, other: str
+    ) -> str:
+        """One sentence about a *different* product's value."""
+        return rng.choice(self.secondary_templates).format(
+            attr=attr, value=value, other=other
+        )
+
+    def filler(self, rng: random.Random) -> str:
+        """One attribute-free boilerplate sentence."""
+        return rng.choice(self.filler_sentences)
+
+    def title(
+        self,
+        rng: random.Random,
+        noun: str,
+        model: str,
+        brand: str | None = None,
+    ) -> str:
+        """A product title; uses the product's real brand when known."""
+        if brand is None:
+            brand = rng.choice(self.brands)
+        return self.title_template.format(
+            brand=brand, noun=noun, model=model
+        )
+
+
+_STYLES: dict[str, LocaleStyle] = {}
+
+
+def register_style(style: LocaleStyle) -> None:
+    """Register a locale style (called by the locale modules)."""
+    _STYLES[style.locale] = style
+
+
+def get_style(locale: str) -> LocaleStyle:
+    """Return the page style for ``locale``.
+
+    Raises:
+        UnknownLocaleError: if the locale has no registered style.
+    """
+    try:
+        return _STYLES[locale]
+    except KeyError:
+        raise UnknownLocaleError(locale, tuple(sorted(_STYLES))) from None

@@ -1,0 +1,73 @@
+"""The ``de`` locale style — Rakuten.de-like German product copy."""
+
+from __future__ import annotations
+
+from .base import LocaleStyle, register_style
+
+_STATEMENT_DIALECTS = (
+    (
+        "{attr} : {value} .",
+        "{attr} ist {value} .",
+        "Das Produkt hat ein {attr} von {value} .",
+    ),
+    (
+        "Dieses Modell bietet {attr} {value} .",
+        "Mit {attr} {value} geliefert .",
+        "Ausstattung {attr} {value} .",
+    ),
+)
+
+_COMPACT = (
+    "{values} {noun} .",
+    "Ausführung : {values} .",
+)
+
+_NEGATIONS = (
+    "{attr} ist nicht {value} .",
+    "Dieses Produkt hat kein {attr} von {value} .",
+)
+
+_SECONDARY = (
+    "Empfehlung : {other} mit {attr} {value} .",
+    "Auch beliebt : {other} , {attr} {value} .",
+)
+
+_FILLERS = (
+    "Vielen Dank für Ihren Einkauf .",
+    "Versand erfolgt noch am selben Tag .",
+    "Geschenkverpackung ist möglich .",
+    "Nur solange der Vorrat reicht .",
+    "Ein beliebtes Produkt bei unseren Kunden .",
+    "Rückgabe innerhalb von vierzehn Tagen .",
+    "Weitere Details finden Sie unten .",
+    "Neu im Sortiment eingetroffen .",
+)
+
+_BRANDS = (
+    "Hausmann", "Bergfeld", "Steinbach", "Waldner", "Krause",
+    "Lindemann", "Falke", "Brandt",
+)
+
+_MARKUP_NOISE = ("<br>", "&nbsp;", "</div>", "<i>", "***")
+
+_JUNK_TABLE_ROWS = (
+    ("Hinweis", "Abbildung ähnlich"),
+    ("Sonstiges", "―"),
+    ("Sonstiges", "Abbildung ähnlich"),
+    ("Hinweis", "Versand erfolgt innerhalb von zwei bis vier Werktagen nach Bestellung"),
+)
+
+register_style(
+    LocaleStyle(
+        locale="de",
+        statement_dialects=_STATEMENT_DIALECTS,
+        negation_templates=_NEGATIONS,
+        compact_templates=_COMPACT,
+        secondary_templates=_SECONDARY,
+        filler_sentences=_FILLERS,
+        brands=_BRANDS,
+        title_template="{brand} {noun} {model}",
+        markup_noise=_MARKUP_NOISE,
+        junk_table_rows=_JUNK_TABLE_ROWS,
+    )
+)

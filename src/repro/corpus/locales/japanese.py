@@ -1,0 +1,93 @@
+"""The ``ja`` locale style.
+
+Stands in for MeCab-segmented Japanese product copy. Text is romanized
+and pre-segmented (spaces where MeCab would cut), which keeps every
+behaviour the pipeline depends on — particle function words, the ``。``
+sentence terminator, numbers splitting at ``.`` and ``,`` — while staying
+ASCII-debuggable. See DESIGN.md §1 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from .base import LocaleStyle, register_style
+
+# Three merchant dialects; table-heavy shops write like dialect 0.
+_STATEMENT_DIALECTS = (
+    (
+        "{attr} wa {value} desu。",
+        "kono shohin no {attr} wa {value} desu。",
+        "{attr} wa {value} to natte imasu。",
+    ),
+    (
+        "{attr} : {value}。",
+        "shiyo {attr} {value}。",
+        "{attr} {value}。",
+    ),
+    (
+        "{value} no {attr} de anshin shite tsukaemasu。",
+        "{attr} ga {value} dakara benri desu。",
+        "{attr} {value} ni narimasu。",
+    ),
+)
+
+_COMPACT = (
+    "{values} no {noun} desu。",
+    "{values} {noun}。",
+    "shiyo : {values}。",
+)
+
+_NEGATIONS = (
+    "{attr} wa {value} dewa arimasen。",
+    "kono shohin ni {value} no {attr} wa fukumarete imasen。",
+)
+
+_SECONDARY = (
+    "osusume shohin {other} no {attr} wa {value} desu。",
+    "betsu shohin {other} mo ninki desu 、 {attr} wa {value} desu。",
+)
+
+_FILLERS = (
+    "goriyo arigato gozaimasu。",
+    "sokujitsu hasso dekimasu。",
+    "rappingu taio mo shimasu。",
+    "zaiko kagiri no tokubetsu kakaku desu。",
+    "okyakusama ni ninki no shohin desu。",
+    "henpin wa uketsukete orimasen。",
+    "kuwashiku wa shosai o goran kudasai。",
+    "shin shohin ga nyuka shimashita。",
+    "poinito juu bai kyanpen chuu desu。",
+    "go chuumon wa osame ni onegai shimasu。",
+)
+
+_BRANDS = (
+    "Nikkon", "Sorex", "Hikari", "Yamado", "Kazeno",
+    "Sakura", "Mitsuba", "Aoyama", "Fujita", "Kawado",
+)
+
+_MARKUP_NOISE = ("<br>", "&nbsp;", "</span>", "<b>", "★★★")
+
+# Few distinct names/values on purpose: junk rows repeat across pages
+# (the same boilerplate disclaimer everywhere), which is what lets them
+# survive the seed's frequency filter and dent seed precision.
+_JUNK_TABLE_ROWS = (
+    ("chuui jiko", "※ gazo wa imeji desu"),
+    ("sonota", "―"),
+    ("sonota", "※ gazo wa imeji desu"),
+    ("bikou", "rappingu taio shimasu node otoiawase kudasai masen ka"),
+    ("bikou", "―"),
+)
+
+register_style(
+    LocaleStyle(
+        locale="ja",
+        statement_dialects=_STATEMENT_DIALECTS,
+        negation_templates=_NEGATIONS,
+        compact_templates=_COMPACT,
+        secondary_templates=_SECONDARY,
+        filler_sentences=_FILLERS,
+        brands=_BRANDS,
+        title_template="{brand} {noun} {model}",
+        markup_noise=_MARKUP_NOISE,
+        junk_table_rows=_JUNK_TABLE_ROWS,
+    )
+)

@@ -1,0 +1,168 @@
+"""The marketplace facade: generate complete category datasets.
+
+A :class:`CategoryDataset` bundles everything one evaluation run needs:
+the pages (with ground truth), the query log, the contributing schemas,
+an alias→canonical attribute-name map and a structural pair validator.
+
+Union categories (the §VIII-E heterogeneity study) mix pages from
+several homogeneous subcategories under one name — exactly the paper's
+"go a category up in the taxonomy" experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..errors import SchemaError
+from ..types import ProductPage, Triple
+from .categories import HETEROGENEOUS_UNIONS, get_schema
+from .pages import GeneratedPage, PageGenerator
+from .querylog import QueryLog, build_query_log
+from .schema import CategorySchema
+from .validity import PairValidator
+
+
+@dataclass(frozen=True)
+class CategoryDataset:
+    """One category's generated corpus plus its ground truth."""
+
+    name: str
+    locale: str
+    pages: tuple[GeneratedPage, ...]
+    query_log: QueryLog
+    schemas: tuple[CategorySchema, ...]
+
+    @cached_property
+    def product_pages(self) -> tuple[ProductPage, ...]:
+        """The raw pages as the pipeline sees them."""
+        return tuple(generated.page for generated in self.pages)
+
+    @cached_property
+    def correct_triples(self) -> frozenset[Triple]:
+        """All triples stated truthfully somewhere in the corpus."""
+        return frozenset(
+            triple
+            for generated in self.pages
+            for triple in generated.correct_triples
+        )
+
+    @cached_property
+    def incorrect_triples(self) -> frozenset[Triple]:
+        """All stated-but-wrong triples (negations, secondaries, junk)."""
+        return frozenset(
+            triple
+            for generated in self.pages
+            for triple in generated.incorrect_triples
+        )
+
+    @cached_property
+    def alias_map(self) -> dict[str, str]:
+        """Any attribute surface name -> canonical name."""
+        mapping: dict[str, str] = {}
+        for schema in self.schemas:
+            for attribute in schema.attributes:
+                for name in attribute.all_names():
+                    mapping[name] = attribute.name
+        return mapping
+
+    @cached_property
+    def pair_validator(self) -> PairValidator:
+        """Structural validity judge for ``<attribute, value>`` pairs."""
+        return PairValidator(self.schemas)
+
+    @cached_property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Canonical attribute names across all contributing schemas."""
+        names: list[str] = []
+        for schema in self.schemas:
+            for attribute in schema.attributes:
+                if attribute.name not in names:
+                    names.append(attribute.name)
+        return tuple(names)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+class Marketplace:
+    """Deterministic generator of category datasets.
+
+    Args:
+        seed: master RNG seed; the same (seed, category, size) triple
+            always yields byte-identical pages.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def generate(self, category: str, n_products: int) -> CategoryDataset:
+        """Generate a dataset for a registered or union category.
+
+        Args:
+            category: a schema name from :mod:`repro.corpus.categories`
+                or a union name (``"baby_goods"``).
+            n_products: number of product pages.
+
+        Returns:
+            A fully materialized :class:`CategoryDataset`.
+        """
+        if n_products < 1:
+            raise SchemaError("n_products must be >= 1")
+        if category in HETEROGENEOUS_UNIONS:
+            return self._generate_union(
+                category, HETEROGENEOUS_UNIONS[category], n_products
+            )
+        schema = get_schema(category)
+        rng = random.Random((self._seed, category, n_products).__repr__())
+        generator = PageGenerator(schema, rng)
+        pages = tuple(
+            generator.generate(f"{category}_{index:05d}")
+            for index in range(n_products)
+        )
+        return self._finalize(category, schema.locale, (schema,), pages, rng)
+
+    def _generate_union(
+        self,
+        name: str,
+        member_names: tuple[str, ...],
+        n_products: int,
+    ) -> CategoryDataset:
+        """Mix pages from several subcategories under one category name."""
+        schemas = tuple(get_schema(member) for member in member_names)
+        locales = {schema.locale for schema in schemas}
+        if len(locales) != 1:
+            raise SchemaError(f"union {name!r} mixes locales {locales}")
+        rng = random.Random((self._seed, name, n_products).__repr__())
+        generators = [PageGenerator(schema, rng) for schema in schemas]
+        pages: list[GeneratedPage] = []
+        for index in range(n_products):
+            generator = generators[index % len(generators)]
+            pages.append(generator.generate(f"{name}_{index:05d}"))
+        rng.shuffle(pages)
+        return self._finalize(
+            name, schemas[0].locale, schemas, tuple(pages), rng
+        )
+
+    def _finalize(
+        self,
+        name: str,
+        locale: str,
+        schemas: tuple[CategorySchema, ...],
+        pages: tuple[GeneratedPage, ...],
+        rng: random.Random,
+    ) -> CategoryDataset:
+        stated_keys = [
+            triple.value
+            for generated in pages
+            for triple in generated.correct_triples
+        ]
+        query_log = build_query_log(rng, stated_keys, locale)
+        return CategoryDataset(
+            name=name,
+            locale=locale,
+            pages=pages,
+            query_log=query_log,
+            schemas=schemas,
+        )

@@ -1,0 +1,353 @@
+"""Product-page generation with exact ground truth.
+
+For every generated page we know precisely which ``<product, attribute,
+value>`` triples the page *states truthfully* (table rows and statement
+sentences about the product itself) and which stated triples are *wrong*
+(negations, secondary-product mentions, junk table rows). That split is
+what the evaluation's truth sample is built from.
+
+Triple values are canonicalized through :func:`repro.corpus.values.value_key`
+so the generator, the pipeline and the evaluator agree on identity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..html.entities import encode_entities
+from ..types import ProductPage, Triple
+from .locales import get_style
+from .schema import (
+    AttributeSpec,
+    CategoricalValues,
+    CategorySchema,
+    ValueInstance,
+)
+from .values import sample_value, value_key
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedPage:
+    """A product page plus its generator-known ground truth.
+
+    Attributes:
+        page: the HTML page the pipeline sees.
+        correct_triples: stated and true for this product.
+        incorrect_triples: stated on the page but wrong for this product
+            (negation, secondary product, junk table rows).
+        assignment: the product's full attribute assignment (canonical
+            attribute name -> value key), including attributes the page
+            never states; useful for recall-style diagnostics the paper
+            could not perform.
+    """
+
+    page: ProductPage
+    correct_triples: frozenset[Triple]
+    incorrect_triples: frozenset[Triple]
+    assignment: dict[str, str]
+
+
+class PageGenerator:
+    """Renders pages for one category schema.
+
+    Args:
+        schema: the category description.
+        rng: dedicated random generator (the caller owns seeding).
+    """
+
+    def __init__(self, schema: CategorySchema, rng: random.Random):
+        self._schema = schema
+        self._rng = rng
+        self._style = get_style(schema.locale)
+        self._brand_attribute = self._detect_brand_attribute()
+
+    def _detect_brand_attribute(self) -> str | None:
+        """Find the attribute whose values are the locale's brand pool.
+
+        Titles must show the product's *real* brand — a title brand
+        contradicting the description would poison the ground truth.
+        """
+        style_brands = set(self._style.brands)
+        for attribute in self._schema.attributes:
+            values = attribute.values
+            if not isinstance(values, CategoricalValues):
+                continue
+            overlap = len(style_brands & set(values.values))
+            if overlap >= len(style_brands) // 2:
+                return attribute.name
+        return None
+
+    def generate(self, product_id: str) -> GeneratedPage:
+        """Generate one product page."""
+        rng = self._rng
+        schema = self._schema
+        locale = schema.locale
+
+        assignment: dict[str, ValueInstance] = {}
+        for attribute in schema.attributes:
+            if rng.random() < attribute.presence_rate:
+                assignment[attribute.name] = sample_value(
+                    rng, attribute.values, locale
+                )
+
+        correct: set[Triple] = set()
+        incorrect: set[Triple] = set()
+
+        # The merchant's writing dialect. Table-heavy merchants cluster
+        # in dialect 0, so the seed-trained tagger initially knows only
+        # that phrasing and must bootstrap into the others (Figure 3's
+        # coverage growth across iterations).
+        dialect_count = self._style.dialect_count
+        dialect = rng.randrange(dialect_count)
+        # Boost chosen so the *average* over dialects stays equal to the
+        # schema's table_coverage: boost = 0.6 k + 0.4 with 0.4 for the
+        # other dialects.
+        if dialect == 0:
+            boost = 0.6 * dialect_count + 0.4
+            table_probability = min(1.0, boost * schema.table_coverage)
+        else:
+            table_probability = 0.4 * schema.table_coverage
+
+        table_rows: list[tuple[str, str]] = []
+        has_table = rng.random() < table_probability
+        if has_table:
+            for attribute in schema.attributes:
+                value = assignment.get(attribute.name)
+                if value is None or rng.random() >= attribute.table_rate:
+                    continue
+                name = self._surface_name(attribute)
+                if rng.random() < schema.table_variant_rate:
+                    # A valid value belonging to another variant of the
+                    # product (wrong triple, valid pair).
+                    variant = self._different_value(attribute, value.key)
+                    if variant is not None:
+                        table_rows.append((name, variant.display))
+                        incorrect.add(
+                            Triple(product_id, attribute.name, variant.key)
+                        )
+                        continue
+                table_rows.append((name, value.display))
+                correct.add(Triple(product_id, attribute.name, value.key))
+            while rng.random() < schema.table_noise_rate:
+                junk_name, junk_value = rng.choice(
+                    self._style.junk_table_rows
+                )
+                table_rows.append((junk_name, junk_value))
+                incorrect.add(
+                    Triple(
+                        product_id,
+                        junk_name,
+                        value_key(junk_value, locale),
+                    )
+                )
+
+        # Bare pages: the merchant wrote only boilerplate. No attribute
+        # statements, no negation/secondary chatter — they bound the
+        # reachable coverage like real image-only product pages do.
+        bare_page = rng.random() < schema.bare_page_rate
+
+        sentences: list[str] = []
+        for attribute in schema.attributes:
+            if bare_page:
+                break
+            value = assignment.get(attribute.name)
+            if value is None or rng.random() >= attribute.text_rate:
+                continue
+            name = self._surface_name(attribute)
+            sentences.append(
+                self._style.statement(rng, name, value.display, dialect)
+            )
+            correct.add(Triple(product_id, attribute.name, value.key))
+
+        if (
+            not bare_page
+            and assignment
+            and rng.random() < schema.compact_spec_rate
+        ):
+            # A spec line of bare values: truthful, but offering the
+            # tagger no attribute-name context.
+            listed = sorted(assignment)
+            rng.shuffle(listed)
+            upper = min(3, len(listed))
+            chosen = listed[: rng.randint(min(2, upper), upper)]
+            chosen_values = [assignment[name] for name in chosen]
+            sentences.append(
+                self._style.compact(
+                    rng,
+                    [value.display for value in chosen_values],
+                    self._noun(),
+                )
+            )
+            for name, value in zip(chosen, chosen_values):
+                correct.add(Triple(product_id, name, value.key))
+
+        if not bare_page and rng.random() < schema.negation_rate and assignment:
+            attribute_name = rng.choice(sorted(assignment))
+            attribute = schema.attribute(attribute_name)
+            other_value = self._different_value(
+                attribute, assignment[attribute_name].key
+            )
+            if other_value is not None:
+                sentences.append(
+                    self._style.negation(
+                        rng, self._surface_name(attribute), other_value.display
+                    )
+                )
+                incorrect.add(
+                    Triple(product_id, attribute.name, other_value.key)
+                )
+
+        if (
+            not bare_page
+            and rng.random() < schema.secondary_product_rate
+            and assignment
+        ):
+            attribute_name = rng.choice(sorted(assignment))
+            attribute = schema.attribute(attribute_name)
+            other_value = self._different_value(
+                attribute, assignment[attribute_name].key
+            )
+            if other_value is not None:
+                other_title = self._style.title(
+                    rng, self._noun(), self._model_code()
+                )
+                sentences.append(
+                    self._style.secondary(
+                        rng,
+                        self._surface_name(attribute),
+                        other_value.display,
+                        other_title,
+                    )
+                )
+                incorrect.add(
+                    Triple(product_id, attribute.name, other_value.key)
+                )
+
+        low, high = schema.filler_sentences
+        for _ in range(rng.randint(low, high)):
+            sentences.append(self._style.filler(rng))
+
+        if sentences and rng.random() < schema.markup_noise_rate:
+            index = rng.randrange(len(sentences))
+            fragment = rng.choice(self._style.markup_noise)
+            sentences[index] = f"{sentences[index]} {fragment}"
+
+        rng.shuffle(sentences)
+        brand_value = (
+            assignment.get(self._brand_attribute)
+            if self._brand_attribute is not None
+            else None
+        )
+        # Only some merchants write type-bearing titles ("robotto
+        # sojiki"); bare-page merchants rarely do. The rest use generic
+        # nouns, which keeps title-only coverage below 100%.
+        typed_title_rate = 0.2 if bare_page else 0.5
+        use_typed_noun = rng.random() < typed_title_rate
+        noun = self._noun(assignment if use_typed_noun else None)
+        noun_attribute = self._schema.title_noun_attribute
+        if (
+            use_typed_noun
+            and noun_attribute is not None
+            and noun_attribute in assignment
+        ):
+            # The noun embeds the type attribute's value — a true,
+            # extractable statement.
+            correct.add(
+                Triple(
+                    product_id,
+                    noun_attribute,
+                    assignment[noun_attribute].key,
+                )
+            )
+        # A third of merchants write brandless titles (most bare-page
+        # merchants do); the rest show the product's real brand (a
+        # true, extractable statement).
+        brandless_rate = 0.8 if bare_page else 0.35
+        if brand_value is not None and rng.random() >= brandless_rate:
+            title = self._style.title(
+                rng, noun, self._model_code(), brand=brand_value.display
+            )
+            correct.add(
+                Triple(product_id, self._brand_attribute, brand_value.key)
+            )
+        else:
+            title = f"{noun} {self._model_code()}"
+        html = self._render_html(title, sentences, table_rows)
+        page = ProductPage(product_id, schema.name, html, locale)
+        return GeneratedPage(
+            page=page,
+            correct_triples=frozenset(correct),
+            incorrect_triples=frozenset(incorrect),
+            assignment={
+                name: value.key for name, value in assignment.items()
+            },
+        )
+
+    def _surface_name(self, attribute: AttributeSpec) -> str:
+        """Pick the attribute name a merchant writes (canonical-heavy)."""
+        names = attribute.all_names()
+        weights = [3.0] + [1.0] * (len(names) - 1)
+        return self._rng.choices(names, weights=weights, k=1)[0]
+
+    def _different_value(
+        self, attribute: AttributeSpec, current_key: str
+    ) -> ValueInstance | None:
+        """Sample a value of the attribute differing from ``current_key``."""
+        for _ in range(8):
+            candidate = sample_value(
+                self._rng, attribute.values, self._schema.locale
+            )
+            if candidate.key != current_key:
+                return candidate
+        return None
+
+    def _noun(
+        self, assignment: dict[str, ValueInstance] | None = None
+    ) -> str:
+        """Title noun; reflects the type attribute's value when aligned."""
+        noun_attribute = self._schema.title_noun_attribute
+        if (
+            assignment is not None
+            and noun_attribute is not None
+            and noun_attribute in assignment
+        ):
+            value = assignment[noun_attribute].display
+            suffix = self._schema.title_noun_suffix
+            return f"{value}{suffix}" if suffix else value
+        nouns = self._schema.title_nouns or (self._schema.name,)
+        return self._rng.choice(nouns)
+
+    def _model_code(self) -> str:
+        letters = "".join(
+            self._rng.choice("ABCDEFGHKLMNPRSTVX") for _ in range(2)
+        )
+        return f"{letters}-{self._rng.randint(100, 999)}"
+
+    def _render_html(
+        self,
+        title: str,
+        sentences: list[str],
+        table_rows: list[tuple[str, str]],
+    ) -> str:
+        """Assemble the page HTML (title, paragraphs, optional table)."""
+        parts = [
+            "<html><head><title>",
+            encode_entities(title),
+            "</title></head><body>",
+        ]
+        for sentence in sentences:
+            parts.append(f"<p>{encode_entities(sentence)}</p>")
+        if table_rows:
+            parts.append("<table>")
+            for name, value in table_rows:
+                parts.append(
+                    "<tr><td>"
+                    + encode_entities(name)
+                    + "</td><td>"
+                    + encode_entities(value)
+                    + "</td></tr>"
+                )
+            parts.append("</table>")
+        parts.append("</body></html>")
+        return "".join(parts)

@@ -1,0 +1,299 @@
+"""Category schemas: the generator's declarative description of a domain.
+
+A :class:`CategorySchema` lists the attributes of a (homogeneous, per
+Definition 3.1 of the paper) category, how merchants surface them, and
+the category-level noise knobs that drive the paper's per-category
+differences (e.g. Garden's noisy tables and thin descriptions vs Ladies
+Bags' rich, well-tabled pages).
+
+Value generators produce :class:`ValueInstance` objects carrying both a
+display string (what the merchant writes) and the canonical token tuple
+(what the tokenizer sees); the token form is the value identity used
+throughout the pipeline and the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class ValueInstance:
+    """One concrete attribute value.
+
+    Attributes:
+        display: merchant-facing rendering (``"2.5kg"``).
+        tokens: canonical token tuple under the category locale's
+            tokenizer (``("2", ".", "5", "kg")`` for ja).
+    """
+
+    display: str
+    tokens: tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        """Canonical value identity: space-joined tokens."""
+        return " ".join(self.tokens)
+
+
+@dataclass(frozen=True, slots=True)
+class CategoricalValues:
+    """A closed vocabulary of (possibly multiword) values.
+
+    Attributes:
+        values: candidate value strings; multiword values use spaces.
+        zipf: skew of the sampling distribution. ``0`` is uniform; the
+            default mimics the head-heavy value popularity of real
+            catalogs (which the unpopularity veto rule relies on).
+    """
+
+    values: tuple[str, ...]
+    zipf: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SchemaError("CategoricalValues needs at least one value")
+        if self.zipf < 0:
+            raise SchemaError("zipf skew must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class NumericValues:
+    """Numeric values with a unit, e.g. weights or capacities.
+
+    The integer/decimal mix is the lever behind the paper's
+    diversification case study (§VIII-A): when ``decimal_rate`` is
+    moderate, decimals are real but rarer than integers, so a
+    frequency-ranked seed contains none of them.
+
+    Attributes:
+        low, high: inclusive integer range of the magnitude.
+        unit: unit token appended after the number (``"kg"``).
+        decimal_rate: probability a value carries one decimal place.
+        thousands_rate: probability a large value is written with a
+            thousands separator (``2,430``); only applied when the
+            magnitude is >= 1000.
+        step: granularity of integer magnitudes.
+    """
+
+    low: int
+    high: int
+    unit: str
+    decimal_rate: float = 0.0
+    thousands_rate: float = 0.0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise SchemaError("NumericValues requires low <= high")
+        if not self.unit:
+            raise SchemaError("NumericValues requires a unit")
+        for name in ("decimal_rate", "thousands_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SchemaError(f"{name} must be in [0, 1]")
+        if self.step < 1:
+            raise SchemaError("step must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeValues:
+    """Pattern-based complex values, e.g. shutter-speed ranges.
+
+    Patterns are strings over literal tokens plus the placeholders
+    ``{n}`` and ``{m}``, each replaced by an integer drawn from ``low`` /
+    ``high``. Example pattern: ``"1/{n} byo ~ {m} byo"``.
+
+    Attributes:
+        patterns: candidate patterns, sampled with head-skew like
+            categorical values.
+        low, high: inclusive range for placeholder integers.
+    """
+
+    patterns: tuple[str, ...]
+    low: int = 1
+    high: int = 4000
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise SchemaError("CompositeValues needs at least one pattern")
+        if self.low > self.high:
+            raise SchemaError("CompositeValues requires low <= high")
+
+
+ValueSpec = Union[CategoricalValues, NumericValues, CompositeValues]
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """One attribute of a category, with merchant-behaviour knobs.
+
+    Attributes:
+        name: canonical attribute name (locale-flavored, e.g. ``juryo``).
+        values: value generator specification.
+        aliases: alternative names used by some merchants; drives the
+            attribute-aggregation module (redundant names, §V-A).
+        presence_rate: probability a product has this attribute at all.
+        table_rate: probability a *present* attribute appears in the
+            page's dictionary table (when the page has one).
+        text_rate: probability a *present* attribute is stated in the
+            free-text description.
+        confusable_with: name of a sibling attribute with near-identical
+            value range (``yukogaso`` vs ``sogaso``); used only by
+            analysis tooling, the generator itself just hosts both.
+    """
+
+    name: str
+    values: ValueSpec
+    aliases: tuple[str, ...] = ()
+    presence_rate: float = 0.9
+    table_rate: float = 0.75
+    text_rate: float = 0.6
+    confusable_with: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        for rate_name in ("presence_rate", "table_rate", "text_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise SchemaError(
+                    f"{self.name}: {rate_name} must be in [0, 1]"
+                )
+        if self.name in self.aliases:
+            raise SchemaError(
+                f"{self.name}: aliases must not repeat the canonical name"
+            )
+
+    def all_names(self) -> tuple[str, ...]:
+        """Canonical name followed by all aliases."""
+        return (self.name, *self.aliases)
+
+
+@dataclass(frozen=True, slots=True)
+class CategorySchema:
+    """Full generator description of one category.
+
+    The noise knobs map one-to-one onto the paper's qualitative error
+    sources (Section VIII):
+
+    * ``table_coverage`` — fraction of pages with a dictionary table;
+      spans 1% (Garden) to ~40% (Ladies Bags) in the paper.
+    * ``table_noise_rate`` — probability of a junk row in a table
+      (symbol runs, disclaimers); lowers seed *pair* precision.
+    * ``table_variant_rate`` — probability that a table row states a
+      *valid* value that belongs to a colour/size variant rather than
+      the product sold; lowers seed *triple* precision while leaving
+      pair precision intact (the Table I gap).
+    * ``secondary_product_rate`` — description mentions another product
+      with its own attribute values (error source 1, §VIII).
+    * ``negation_rate`` — "this product does not include ..." sentences
+      (Definition 3.1's negation example).
+    * ``markup_noise_rate`` — literal markup fragments leaking into the
+      visible text; the markup veto rule exists for these.
+    * ``filler_sentences`` — (min, max) count of attribute-free filler
+      sentences, i.e. description richness.
+    * ``bare_page_rate`` — fraction of merchants whose description is
+      pure boilerplate (no attribute statement in text, usually no
+      brand in the title). Real catalogs are full of image-only pages;
+      these bound the reachable product coverage below 100%.
+    * ``compact_spec_rate`` — probability of a spec line listing bare
+      values with no attribute names ("aka hana gata uekibachi"). The
+      tagger must label these from value identity alone, which is the
+      entry point for cross-attribute semantic drift (§VIII-B's
+      color/flower-shape confusion).
+    """
+
+    name: str
+    locale: str
+    attributes: tuple[AttributeSpec, ...]
+    table_coverage: float = 0.25
+    table_noise_rate: float = 0.04
+    table_variant_rate: float = 0.03
+    secondary_product_rate: float = 0.06
+    negation_rate: float = 0.04
+    markup_noise_rate: float = 0.05
+    bare_page_rate: float = 0.12
+    compact_spec_rate: float = 0.15
+    filler_sentences: tuple[int, int] = (2, 5)
+    title_nouns: tuple[str, ...] = ()
+    # When set, the title noun reflects this attribute's true value
+    # ("robotto sojiki" for a robot vacuum) instead of a random noun —
+    # real titles describe the product they sell.
+    title_noun_attribute: str | None = None
+    title_noun_suffix: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError(f"{self.name}: needs at least one attribute")
+        names = [attribute.name for attribute in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"{self.name}: duplicate attribute names")
+        all_names: set[str] = set()
+        for attribute in self.attributes:
+            for alias in attribute.all_names():
+                if alias in all_names:
+                    raise SchemaError(
+                        f"{self.name}: name {alias!r} used by two attributes"
+                    )
+                all_names.add(alias)
+        for rate_name in (
+            "table_coverage",
+            "table_noise_rate",
+            "table_variant_rate",
+            "secondary_product_rate",
+            "negation_rate",
+            "markup_noise_rate",
+            "bare_page_rate",
+            "compact_spec_rate",
+        ):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise SchemaError(
+                    f"{self.name}: {rate_name} must be in [0, 1]"
+                )
+        low, high = self.filler_sentences
+        if low < 0 or high < low:
+            raise SchemaError(f"{self.name}: bad filler_sentences range")
+        for attribute in self.attributes:
+            confusable = attribute.confusable_with
+            if confusable is not None and confusable not in names:
+                raise SchemaError(
+                    f"{self.name}: {attribute.name} confusable_with "
+                    f"unknown attribute {confusable!r}"
+                )
+        if (
+            self.title_noun_attribute is not None
+            and self.title_noun_attribute not in names
+        ):
+            raise SchemaError(
+                f"{self.name}: title_noun_attribute "
+                f"{self.title_noun_attribute!r} is not an attribute"
+            )
+
+    def attribute(self, name: str) -> AttributeSpec:
+        """Look up an attribute spec by canonical name."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(name)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Canonical attribute names in schema order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Head-skewed sampling weights: ``1 / rank**skew`` (unnormalized)."""
+    return [1.0 / (rank ** skew) for rank in range(1, count + 1)]
+
+
+def weighted_choice(
+    rng: random.Random, items: Sequence[str], skew: float
+) -> str:
+    """Draw one item with Zipf-like head skew over the given order."""
+    return rng.choices(items, weights=zipf_weights(len(items), skew), k=1)[0]

@@ -1,0 +1,134 @@
+"""Corpus profiling: the statistics calibration depends on.
+
+The pipeline's behaviour is a function of a handful of corpus
+statistics (docs/calibration.md); :func:`profile_pages` measures them
+on any page collection — synthetic or real — so recalibration and
+sanity-checking real data is mechanical:
+
+* how many pages have dictionary tables, and how many rows they carry;
+* description richness (sentences/tokens per page);
+* per-attribute-name table support (what the seed will see);
+* value-shape histogram (PoS-tag sequences — what diversification
+  operates on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..html import extract_dictionary_tables, parse_html
+from ..nlp import get_locale
+from ..types import ProductPage
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Aggregate statistics of one page collection."""
+
+    page_count: int
+    pages_with_tables: int
+    table_rows: int
+    sentences_per_page: float
+    tokens_per_page: float
+    attribute_support: dict[str, int]
+    value_shapes: dict[str, int]
+
+    @property
+    def table_coverage(self) -> float:
+        """Share of pages with at least one dictionary table."""
+        if self.page_count == 0:
+            return 0.0
+        return self.pages_with_tables / self.page_count
+
+    def format(self) -> str:
+        """Human-readable profile report."""
+        lines = [
+            f"pages:             {self.page_count}",
+            f"with dict tables:  {self.pages_with_tables} "
+            f"({100 * self.table_coverage:.1f}%)",
+            f"table rows:        {self.table_rows}",
+            f"sentences/page:    {self.sentences_per_page:.1f}",
+            f"tokens/page:       {self.tokens_per_page:.1f}",
+            "top attribute names in tables:",
+        ]
+        support = Counter(self.attribute_support)
+        for name, count in support.most_common(12):
+            lines.append(f"  {name}: {count}")
+        lines.append("top value shapes (PoS sequences):")
+        shapes = Counter(self.value_shapes)
+        for shape, count in shapes.most_common(10):
+            lines.append(f"  {shape}: {count}")
+        return "\n".join(lines)
+
+    def seed_viability_warnings(
+        self,
+        *,
+        min_attribute_pages: int = 3,
+        min_table_coverage: float = 0.02,
+    ) -> list[str]:
+        """Warnings when the corpus cannot seed the pipeline well.
+
+        Mirrors the seed-stage thresholds: without enough recurring
+        table attributes there will be nothing to bootstrap from.
+        """
+        warnings: list[str] = []
+        if self.table_coverage < min_table_coverage:
+            warnings.append(
+                f"only {100 * self.table_coverage:.1f}% of pages have "
+                "dictionary tables; the seed will be tiny"
+            )
+        viable = [
+            name
+            for name, count in self.attribute_support.items()
+            if count >= min_attribute_pages
+        ]
+        if len(viable) < 2:
+            warnings.append(
+                "fewer than 2 attribute names recur across "
+                f"{min_attribute_pages}+ pages; aggregation will drop "
+                "almost everything"
+            )
+        return warnings
+
+
+def profile_pages(pages: Sequence[ProductPage]) -> CorpusProfile:
+    """Profile a page collection (see module docstring)."""
+    from ..core.text import tokenize_page
+
+    pages_with_tables = 0
+    table_rows = 0
+    sentence_total = 0
+    token_total = 0
+    attribute_support: Counter = Counter()
+    value_shapes: Counter = Counter()
+    for page in pages:
+        nlp = get_locale(page.locale)
+        root = parse_html(page.html)
+        tables = extract_dictionary_tables(root)
+        if tables:
+            pages_with_tables += 1
+        page_attributes: set[str] = set()
+        for table in tables:
+            for name, value in table.pairs:
+                table_rows += 1
+                name_tokens = nlp.tokenizer.tokenize(name)
+                page_attributes.add(" ".join(name_tokens))
+                value_tokens = nlp.tokenizer.tokenize(value)
+                shape = " ".join(nlp.pos_tagger.tag(value_tokens))
+                value_shapes[shape] += 1
+        attribute_support.update(page_attributes)
+        text = tokenize_page(page)
+        sentence_total += len(text.sentences)
+        token_total += text.token_count()
+    count = len(pages)
+    return CorpusProfile(
+        page_count=count,
+        pages_with_tables=pages_with_tables,
+        table_rows=table_rows,
+        sentences_per_page=sentence_total / count if count else 0.0,
+        tokens_per_page=token_total / count if count else 0.0,
+        attribute_support=dict(attribute_support),
+        value_shapes=dict(value_shapes),
+    )

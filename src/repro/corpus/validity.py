@@ -1,0 +1,97 @@
+"""Structural pair validity: is ``<attribute, value>`` a sane association?
+
+Stands in for the paper's human annotators judging whether a pair like
+``<color, pink>`` is a valid association (independent of any product).
+Validity is *structural*: a categorical value must come from the
+attribute's inventory; a numeric value must be a number in the
+attribute's unit; a composite value must instantiate one of the
+attribute's patterns. Magnitudes are not range-checked — a human would
+accept ``<weight, 100 kg>`` for any product domain.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..nlp import get_locale
+from .schema import (
+    AttributeSpec,
+    CategoricalValues,
+    CategorySchema,
+    CompositeValues,
+    NumericValues,
+)
+from .values import value_key
+
+_N_SENTINEL = "7777777"
+_M_SENTINEL = "8888888"
+
+
+def _numeric_regex(unit: str, locale: str) -> re.Pattern[str]:
+    if locale == "de":
+        number = r"[0-9]+(?:[.,][0-9]+)*"
+    else:
+        # ja tokenization splits at separators: "2 . 5" / "2 , 430".
+        number = r"[0-9]+(?: [.,] [0-9]+)*"
+    return re.compile(rf"^{number} {re.escape(unit)}$")
+
+
+def _composite_regexes(
+    spec: CompositeValues, locale: str
+) -> list[re.Pattern[str]]:
+    regexes: list[re.Pattern[str]] = []
+    for pattern in spec.patterns:
+        filled = pattern.replace("{n}", _N_SENTINEL).replace(
+            "{m}", _M_SENTINEL
+        )
+        key = value_key(filled, locale)
+        escaped = re.escape(key)
+        escaped = escaped.replace(_N_SENTINEL, "[0-9]+")
+        escaped = escaped.replace(_M_SENTINEL, "[0-9]+")
+        regexes.append(re.compile(f"^{escaped}$"))
+    return regexes
+
+
+class PairValidator:
+    """Judges pair validity for a set of category schemas.
+
+    Args:
+        schemas: the schemas whose attributes are known; in the
+            heterogeneous union study several schemas contribute.
+
+    An attribute name may be canonical or an alias; unknown attribute
+    names are always invalid (junk table rows, drifted clusters).
+    """
+
+    def __init__(self, schemas: tuple[CategorySchema, ...]):
+        self._checkers: dict[str, list] = {}
+        for schema in schemas:
+            for attribute in schema.attributes:
+                checker = self._build_checker(attribute, schema.locale)
+                for name in attribute.all_names():
+                    self._checkers.setdefault(name, []).append(checker)
+
+    @staticmethod
+    def _build_checker(attribute: AttributeSpec, locale: str):
+        spec = attribute.values
+        if isinstance(spec, CategoricalValues):
+            inventory = frozenset(
+                value_key(value, locale) for value in spec.values
+            )
+            return lambda key: key in inventory
+        if isinstance(spec, NumericValues):
+            regex = _numeric_regex(spec.unit, locale)
+            return lambda key: bool(regex.match(key))
+        regexes = _composite_regexes(spec, locale)
+        return lambda key: any(regex.match(key) for regex in regexes)
+
+    def knows_attribute(self, attribute: str) -> bool:
+        """True when the attribute name belongs to some schema."""
+        return attribute in self._checkers
+
+    def is_valid(self, attribute: str, key: str) -> bool:
+        """True when ``<attribute, key>`` is a structurally valid pair."""
+        checkers = self._checkers.get(attribute)
+        if not checkers:
+            return False
+        return any(checker(key) for checker in checkers)

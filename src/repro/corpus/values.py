@@ -1,0 +1,140 @@
+"""Sampling concrete :class:`ValueInstance` objects from value specs.
+
+The token form produced here must agree with what the locale tokenizer
+yields when the display form is embedded in page text — the pipeline's
+ground truth is keyed on tokens. A property test in
+``tests/test_corpus_values.py`` enforces this round-trip for every spec
+in every shipped category.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import SchemaError
+from ..nlp import get_locale
+from .schema import (
+    CategoricalValues,
+    CompositeValues,
+    NumericValues,
+    ValueInstance,
+    ValueSpec,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+def _format_thousands(magnitude: int) -> str:
+    return f"{magnitude:,}"
+
+
+def sample_numeric(
+    rng: random.Random, spec: NumericValues, locale: str
+) -> ValueInstance:
+    """Draw a numeric value, respecting locale tokenization.
+
+    In the ``ja`` locale a decimal like ``2.5`` tokenizes into three
+    tokens; in ``de`` the comma decimal stays one token. The display
+    form randomly glues or spaces the unit — both tokenize identically.
+    """
+    steps = (spec.high - spec.low) // spec.step
+    magnitude = spec.low + spec.step * rng.randint(0, steps)
+    decimal_digit: int | None = None
+    if spec.decimal_rate and rng.random() < spec.decimal_rate:
+        decimal_digit = rng.randint(1, 9)
+    use_thousands = (
+        magnitude >= 1000
+        and decimal_digit is None
+        and spec.thousands_rate
+        and rng.random() < spec.thousands_rate
+    )
+    if decimal_digit is not None:
+        if locale == "de":
+            number_display = f"{magnitude},{decimal_digit}"
+            number_tokens: tuple[str, ...] = (number_display,)
+        else:
+            number_display = f"{magnitude}.{decimal_digit}"
+            number_tokens = (str(magnitude), ".", str(decimal_digit))
+    elif use_thousands:
+        if locale == "de":
+            number_display = f"{magnitude:_}".replace("_", ".")
+            number_tokens = (number_display,)
+        else:
+            number_display = _format_thousands(magnitude)
+            parts: list[str] = []
+            chunks = number_display.split(",")
+            for index, chunk in enumerate(chunks):
+                if index:
+                    parts.append(",")
+                parts.append(chunk)
+            number_tokens = tuple(parts)
+    else:
+        number_display = str(magnitude)
+        number_tokens = (number_display,)
+    glue = rng.random() < 0.5
+    display = (
+        f"{number_display}{spec.unit}" if glue
+        else f"{number_display} {spec.unit}"
+    )
+    return ValueInstance(display, (*number_tokens, spec.unit))
+
+
+def sample_categorical(
+    rng: random.Random, spec: CategoricalValues, locale: str
+) -> ValueInstance:
+    """Draw a categorical value with head-skewed popularity."""
+    value = weighted_choice(rng, spec.values, spec.zipf)
+    tokens = tuple(get_locale(locale).tokenizer.tokenize(value))
+    return ValueInstance(value, tokens)
+
+
+def sample_composite(
+    rng: random.Random, spec: CompositeValues, locale: str
+) -> ValueInstance:
+    """Instantiate one composite pattern with random integers."""
+    pattern = weighted_choice(rng, spec.patterns, skew=0.7)
+    filled = pattern
+    if "{n}" in filled:
+        filled = filled.replace("{n}", str(rng.randint(spec.low, spec.high)))
+    if "{m}" in filled:
+        filled = filled.replace("{m}", str(rng.randint(spec.low, spec.high)))
+    tokens = tuple(get_locale(locale).tokenizer.tokenize(filled))
+    return ValueInstance(filled, tokens)
+
+
+def sample_value(
+    rng: random.Random, spec: ValueSpec, locale: str
+) -> ValueInstance:
+    """Dispatch on the spec type."""
+    if isinstance(spec, NumericValues):
+        return sample_numeric(rng, spec, locale)
+    if isinstance(spec, CategoricalValues):
+        return sample_categorical(rng, spec, locale)
+    if isinstance(spec, CompositeValues):
+        return sample_composite(rng, spec, locale)
+    raise SchemaError(f"unknown value spec type: {type(spec).__name__}")
+
+
+def value_key(display_or_tokens: str | tuple[str, ...], locale: str) -> str:
+    """Canonical value identity from a display string or token tuple.
+
+    Every subsystem — seed extraction, tagging, truth construction —
+    funnels values through this function so that ``"2.5kg"``, ``"2.5
+    kg"`` and the token tuple all map to the same key.
+    """
+    if isinstance(display_or_tokens, str):
+        tokens = get_locale(locale).tokenizer.tokenize(display_or_tokens)
+    else:
+        tokens = list(display_or_tokens)
+    return " ".join(tokens)
+
+
+def spec_value_inventory(spec: ValueSpec) -> tuple[str, ...] | None:
+    """The closed value list of a categorical spec, else None.
+
+    Used by the attribute-aggregation tests and the query-log builder;
+    numeric/composite specs have open inventories.
+    """
+    if isinstance(spec, CategoricalValues):
+        return spec.values
+    return None

@@ -1,0 +1,13 @@
+"""Word embeddings for semantic cleaning.
+
+The paper trains word2vec **per bootstrap iteration** on its own product
+corpus: pretrained general-domain vectors cannot represent merchant
+jargon, and vectors from earlier iterations miss newly discovered
+entities (Section V-C). :class:`Word2Vec` is a numpy skip-gram
+negative-sampling implementation sized for that per-iteration retraining.
+"""
+
+from .similarity import cosine_similarity, multiplicative_similarity
+from .word2vec import Word2Vec
+
+__all__ = ["Word2Vec", "cosine_similarity", "multiplicative_similarity"]

@@ -1,0 +1,67 @@
+"""Similarity utilities for the semantic-cleaning module.
+
+The paper's footnote 4: a candidate value is scored by "the
+multiplicative combination of the cosine similarities of all the
+elements in the core set ∪ {value}". Raw cosine lives in [-1, 1], so
+the multiplicative combination here shifts each cosine to [0, 1] first
+and returns the geometric mean — monotone in the paper's product while
+staying comparable across core sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain cosine similarity; 0.0 when either vector is zero."""
+    denominator = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denominator == 0.0:
+        return 0.0
+    return float(a @ b / denominator)
+
+
+def shifted_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine mapped from [-1, 1] to [0, 1]."""
+    return (cosine_similarity(a, b) + 1.0) / 2.0
+
+
+def multiplicative_similarity(
+    candidate: np.ndarray, core: Sequence[np.ndarray]
+) -> float:
+    """Geometric mean of shifted cosines between ``candidate`` and a core.
+
+    Args:
+        candidate: the new value's vector.
+        core: vectors of the attribute's semantic-core values.
+
+    Returns:
+        A score in [0, 1]; 0.0 for an empty core (nothing to compare
+        against — callers treat that as "skip cleaning").
+    """
+    if not core:
+        return 0.0
+    shifted = [shifted_cosine(candidate, member) for member in core]
+    product = float(np.prod(shifted))
+    return product ** (1.0 / len(shifted))
+
+
+def average_pairwise_similarity(
+    index: int, vectors: Sequence[np.ndarray]
+) -> float:
+    """Mean cosine of ``vectors[index]`` against every other vector.
+
+    Used when pruning an attribute's value set down to its semantic
+    core: the value with the lowest average similarity to the rest is
+    discarded first.
+    """
+    if len(vectors) <= 1:
+        return 0.0
+    others = [
+        cosine_similarity(vectors[index], vector)
+        for position, vector in enumerate(vectors)
+        if position != index
+    ]
+    return float(np.mean(others))

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the PAE reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the pipeline can catch a single base class. Subclasses
+are grouped by subsystem; they carry plain messages and, where useful,
+structured context attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class HtmlParseError(ReproError):
+    """The HTML substrate could not parse a document.
+
+    The lenient parser only raises this for internal invariant violations;
+    malformed markup is normally recovered from silently, as real product
+    pages are rarely well-formed.
+    """
+
+
+class TokenizationError(ReproError):
+    """A locale tokenizer was asked to process unsupported input."""
+
+
+class UnknownLocaleError(ConfigError):
+    """A locale name has no registered tokenizer/PoS tagger."""
+
+    def __init__(self, locale: str, known: tuple[str, ...]):
+        self.locale = locale
+        self.known = known
+        super().__init__(
+            f"unknown locale {locale!r}; registered locales: {', '.join(known)}"
+        )
+
+
+class SchemaError(ConfigError):
+    """A category schema is internally inconsistent."""
+
+
+class ModelError(ReproError):
+    """Base class for machine-learning model failures."""
+
+
+class NotFittedError(ModelError):
+    """A model was asked to predict before being trained."""
+
+    def __init__(self, model_name: str):
+        self.model_name = model_name
+        super().__init__(f"{model_name} must be trained before prediction")
+
+
+class TrainingError(ModelError):
+    """Model training failed or was given unusable data."""
+
+
+class EmbeddingError(ReproError):
+    """The word2vec subsystem was misused (e.g. empty corpus)."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation was requested against an incompatible truth sample."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured inconsistently."""

@@ -1,0 +1,41 @@
+"""Evaluation: the paper's truth-sample protocol and metrics.
+
+Section VI-B/C: a truth sample of annotated triples (built from an
+early system version, so recall-biased), precision over
+correct / incorrect / maybe-incorrect triples, and product *coverage*
+as the recall surrogate.
+
+Because our corpus is synthetic, the generator's exact ground truth is
+also available; :func:`build_truth_sample` reproduces the paper's biased
+protocol on top of it, and :class:`TruthSample` can alternatively be
+built from the full ground truth for unbiased diagnostics the paper
+could not run.
+"""
+
+from .analysis import ErrorBuckets, error_buckets
+from .metrics import (
+    PrecisionBreakdown,
+    attribute_coverage,
+    coverage,
+    pair_precision,
+    precision,
+    triples_per_product,
+)
+from .report import format_table, iteration_report
+from .truth import TruthSample, build_truth_sample, full_truth_sample
+
+__all__ = [
+    "ErrorBuckets",
+    "PrecisionBreakdown",
+    "TruthSample",
+    "attribute_coverage",
+    "build_truth_sample",
+    "coverage",
+    "error_buckets",
+    "format_table",
+    "full_truth_sample",
+    "iteration_report",
+    "pair_precision",
+    "precision",
+    "triples_per_product",
+]

@@ -1,0 +1,104 @@
+"""Structured error analysis — the paper's Section VIII as an API.
+
+:func:`error_buckets` classifies every system triple against a truth
+sample into the four evaluation buckets and keeps the witnesses, so
+callers (the error-analysis example, notebooks, regression dashboards)
+can inspect *which* values drive which error class — the paper's
+observation being that "precision figures are often affected not by a
+large number of different errors, but a few errors that affect many
+items".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..types import Triple
+from .truth import TruthSample
+
+
+@dataclass(frozen=True)
+class ErrorBuckets:
+    """System triples classified against a truth sample.
+
+    All triples are canonicalized (alias-mapped) forms.
+    """
+
+    correct: frozenset[Triple]
+    incorrect: frozenset[Triple]
+    maybe_incorrect: frozenset[Triple]
+    spurious: frozenset[Triple]
+
+    @property
+    def total(self) -> int:
+        return (
+            len(self.correct)
+            + len(self.incorrect)
+            + len(self.maybe_incorrect)
+            + len(self.spurious)
+        )
+
+    def errors_by_attribute(self) -> dict[str, Counter]:
+        """Error-class counts per attribute (concentration view)."""
+        by_attribute: dict[str, Counter] = {}
+        for bucket_name in ("incorrect", "maybe_incorrect", "spurious"):
+            for triple in getattr(self, bucket_name):
+                by_attribute.setdefault(triple.attribute, Counter())[
+                    bucket_name
+                ] += 1
+        return by_attribute
+
+    def dominant_error_values(
+        self, attribute: str, limit: int = 5
+    ) -> list[tuple[str, int]]:
+        """The most repeated wrong values of one attribute."""
+        counter: Counter = Counter()
+        for bucket in (self.incorrect, self.maybe_incorrect, self.spurious):
+            for triple in bucket:
+                if triple.attribute == attribute:
+                    counter[triple.value] += 1
+        return counter.most_common(limit)
+
+    def concentration(self) -> float:
+        """Share of all errors carried by the single worst attribute.
+
+        High concentration is the paper's "few errors affect many
+        items" pattern — fixable by one heuristic or one human pass.
+        """
+        by_attribute = self.errors_by_attribute()
+        if not by_attribute:
+            return 0.0
+        totals = [
+            sum(counter.values()) for counter in by_attribute.values()
+        ]
+        return max(totals) / sum(totals)
+
+
+def error_buckets(
+    system_triples: Iterable[Triple],
+    truth: TruthSample,
+) -> ErrorBuckets:
+    """Classify system triples into the four evaluation buckets."""
+    canonical = truth.canonicalize_all(system_triples)
+    correct_keys = truth.correct_keys()
+    correct: set[Triple] = set()
+    incorrect: set[Triple] = set()
+    maybe: set[Triple] = set()
+    spurious: set[Triple] = set()
+    for triple in canonical:
+        if triple in truth.correct:
+            correct.add(triple)
+        elif triple in truth.incorrect:
+            incorrect.add(triple)
+        elif (triple.product_id, triple.attribute) in correct_keys:
+            maybe.add(triple)
+        else:
+            spurious.add(triple)
+    return ErrorBuckets(
+        correct=frozenset(correct),
+        incorrect=frozenset(incorrect),
+        maybe_incorrect=frozenset(maybe),
+        spurious=frozenset(spurious),
+    )

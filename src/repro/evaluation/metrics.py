@@ -1,0 +1,167 @@
+"""The paper's metrics (Section VI-C).
+
+Precision buckets a system triple as:
+
+* **correct** — occurs in the truth sample marked correct;
+* **incorrect** — occurs in the truth sample marked incorrect;
+* **maybe incorrect** — the product and attribute coincide with some
+  correct triple but the value disagrees ("we assume it is wrong");
+* **spurious** — anything else. The paper has no such bucket because
+  its truth sample was annotated *from* system output, so annotators
+  judged every triple; with a pre-generated synthetic truth, a system
+  triple matching nothing was never truthfully stated anywhere and is
+  therefore wrong by construction. It counts against precision like
+  the other error buckets, and is reported separately for diagnosis.
+
+``precision = correct / (correct + incorrect + maybe_incorrect +
+spurious)``.
+
+Coverage is the paper's recall surrogate: the fraction of input
+products for which at least one triple was produced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..corpus.validity import PairValidator
+from ..types import AttributeValuePair, Triple
+from .truth import TruthSample
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionBreakdown:
+    """Counts behind one precision figure."""
+
+    correct: int
+    incorrect: int
+    maybe_incorrect: int
+    spurious: int
+
+    @property
+    def judged(self) -> int:
+        return (
+            self.correct
+            + self.incorrect
+            + self.maybe_incorrect
+            + self.spurious
+        )
+
+    @property
+    def precision(self) -> float:
+        """The paper's precision; 0.0 when nothing was judged."""
+        if self.judged == 0:
+            return 0.0
+        return self.correct / self.judged
+
+    @property
+    def total(self) -> int:
+        return self.judged
+
+
+def precision(
+    system_triples: Iterable[Triple],
+    truth: TruthSample,
+) -> PrecisionBreakdown:
+    """Bucket system triples against a truth sample.
+
+    System attribute names are canonicalized through the sample's alias
+    map first (annotators treat alias names as the same attribute).
+    """
+    canonical = truth.canonicalize_all(system_triples)
+    correct_keys = truth.correct_keys()
+    correct = incorrect = maybe = spurious = 0
+    for triple in canonical:
+        if triple in truth.correct:
+            correct += 1
+        elif triple in truth.incorrect:
+            incorrect += 1
+        elif (triple.product_id, triple.attribute) in correct_keys:
+            maybe += 1
+        else:
+            spurious += 1
+    return PrecisionBreakdown(correct, incorrect, maybe, spurious)
+
+
+def pair_precision(
+    pairs: Iterable[AttributeValuePair],
+    validator: PairValidator,
+    alias_map: Mapping[str, str] | None = None,
+) -> float:
+    """Fraction of ``<attribute, value>`` pairs that are valid
+    associations (Table I's "Precision Pairs").
+
+    Args:
+        pairs: distinct system pairs.
+        validator: structural validity judge.
+        alias_map: optional surface → canonical attribute map.
+    """
+    alias_map = alias_map or {}
+    total = 0
+    valid = 0
+    for pair in pairs:
+        total += 1
+        attribute = alias_map.get(pair.attribute, pair.attribute)
+        if validator.is_valid(attribute, pair.value):
+            valid += 1
+    if total == 0:
+        return 0.0
+    return valid / total
+
+
+def coverage(
+    system_triples: Iterable[Triple],
+    product_count: int,
+) -> float:
+    """Fraction of products with at least one triple."""
+    if product_count == 0:
+        return 0.0
+    covered = {triple.product_id for triple in system_triples}
+    return len(covered) / product_count
+
+
+def triple_coverage(
+    system_triples: Iterable[Triple],
+    truth: TruthSample,
+) -> float:
+    """Fraction of the truth sample's correct triples the system found
+    (Table I's "Coverage Triples")."""
+    if not truth.correct:
+        return 0.0
+    canonical = truth.canonicalize_all(system_triples)
+    return len(canonical & truth.correct) / len(truth.correct)
+
+
+def attribute_coverage(
+    system_triples: Iterable[Triple],
+    product_count: int,
+    alias_map: Mapping[str, str] | None = None,
+) -> dict[str, float]:
+    """Per-attribute product coverage (Figures 7 and 8).
+
+    Returns canonical attribute → fraction of products carrying a
+    triple for that attribute.
+    """
+    alias_map = alias_map or {}
+    products: dict[str, set[str]] = defaultdict(set)
+    for triple in system_triples:
+        attribute = alias_map.get(triple.attribute, triple.attribute)
+        products[attribute].add(triple.product_id)
+    if product_count == 0:
+        return {attribute: 0.0 for attribute in products}
+    return {
+        attribute: len(ids) / product_count
+        for attribute, ids in products.items()
+    }
+
+
+def triples_per_product(
+    system_triples: Sequence[Triple] | frozenset[Triple],
+    product_count: int,
+) -> float:
+    """Average triples per input product (Figure 4)."""
+    if product_count == 0:
+        return 0.0
+    return len(set(system_triples)) / product_count

@@ -1,0 +1,64 @@
+"""Plain-text reporting helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bootstrap import BootstrapResult
+from .metrics import coverage, precision
+from .truth import TruthSample
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in text_rows))
+        if text_rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def iteration_report(
+    result: BootstrapResult,
+    truth: TruthSample,
+    product_count: int,
+) -> str:
+    """Per-iteration precision/coverage table for one bootstrap run."""
+    rows: list[list[object]] = []
+    for iteration in range(len(result.iterations) + 1):
+        triples = result.triples_after(iteration)
+        breakdown = precision(triples, truth)
+        rows.append(
+            [
+                iteration,
+                len(triples),
+                100.0 * breakdown.precision,
+                100.0 * coverage(triples, product_count),
+            ]
+        )
+    return format_table(
+        ["iteration", "#triples", "precision%", "coverage%"], rows
+    )

@@ -1,0 +1,92 @@
+"""Truth samples: what the paper's annotators produced, reconstructed.
+
+The paper's protocol (Section VI-B): run an early system version, hand
+its triples to annotators, record correct / incorrect. The sample is
+therefore *stated-triple complete* but recall-biased. With a synthetic
+corpus we can reproduce exactly that — every triple stated on some page
+is annotated by the generator itself — and additionally build the
+unbiased full truth (including attributes products have but never
+state), which the paper explicitly could not afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..corpus.marketplace import CategoryDataset
+from ..types import Triple
+
+
+@dataclass(frozen=True)
+class TruthSample:
+    """An annotated triple collection.
+
+    Attributes:
+        correct: triples marked correct by annotation.
+        incorrect: triples marked incorrect.
+        alias_map: surface attribute name → canonical name; system
+            output is canonicalized through it before matching, exactly
+            as an annotator reads 製造元 and メーカー as the same
+            attribute.
+    """
+
+    correct: frozenset[Triple]
+    incorrect: frozenset[Triple]
+    alias_map: Mapping[str, str] = field(default_factory=dict)
+
+    def canonicalize(self, triple: Triple) -> Triple:
+        """Map a system triple's attribute to its canonical name."""
+        canonical = self.alias_map.get(triple.attribute)
+        if canonical is None or canonical == triple.attribute:
+            return triple
+        return Triple(triple.product_id, canonical, triple.value)
+
+    def canonicalize_all(
+        self, triples: Iterable[Triple]
+    ) -> frozenset[Triple]:
+        """Canonicalize a triple collection."""
+        return frozenset(self.canonicalize(triple) for triple in triples)
+
+    @property
+    def size(self) -> int:
+        return len(self.correct) + len(self.incorrect)
+
+    def correct_keys(self) -> frozenset[tuple[str, str]]:
+        """(product, attribute) pairs having a correct triple."""
+        return frozenset(
+            (triple.product_id, triple.attribute)
+            for triple in self.correct
+        )
+
+
+def build_truth_sample(dataset: CategoryDataset) -> TruthSample:
+    """The paper-protocol truth sample for a generated dataset.
+
+    Correct = triples stated truthfully on pages; incorrect = stated
+    but wrong (negations, secondary products, junk and variant table
+    rows). Both are what annotators reviewing system output would see.
+    """
+    return TruthSample(
+        correct=dataset.correct_triples,
+        incorrect=dataset.incorrect_triples,
+        alias_map=dataset.alias_map,
+    )
+
+
+def full_truth_sample(dataset: CategoryDataset) -> TruthSample:
+    """Unbiased truth: adds each product's full attribute assignment.
+
+    Useful for recall-style diagnostics; the paper's evaluation (and
+    all reproduction benches) use :func:`build_truth_sample` instead.
+    """
+    assignment_triples = {
+        Triple(generated.page.product_id, attribute, value_key)
+        for generated in dataset.pages
+        for attribute, value_key in generated.assignment.items()
+    }
+    return TruthSample(
+        correct=frozenset(assignment_triples | set(dataset.correct_triples)),
+        incorrect=dataset.incorrect_triples,
+        alias_map=dataset.alias_map,
+    )

@@ -1,0 +1,41 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Every runner is a pure function from an :class:`ExperimentSettings`
+(scale, seeds) to a structured result object with a ``format()`` method
+printing rows analogous to the paper's table/figure. Expensive
+bootstrap runs are memoized process-wide in :mod:`common`, so benches
+that share runs (Tables II and III; Figures 3 and 5) pay once.
+
+Paper → module map (see DESIGN.md §3 for the full index):
+
+====================  ==========================================
+Table I               :mod:`table1`
+Table II / III        :mod:`table2_3`
+Table IV              :mod:`table4`
+Figure 3              :mod:`figure3`
+Figure 4 / 6          :mod:`figure4_6`
+Figure 5              :mod:`figure5`
+Figure 7 / 8          :mod:`figure7_8`
+§VII-B/C German       :mod:`german`
+§VIII-A div. study    :mod:`diversification`
+§VIII-B cleaning      :mod:`cleaning_impact`
+§VIII-C complex attrs :mod:`per_attribute`
+§VIII-E heterogeneity :mod:`heterogeneous`
+====================  ==========================================
+"""
+
+from .common import (
+    CORE_CATEGORIES,
+    ExperimentSettings,
+    cached_dataset,
+    cached_run,
+    clear_cache,
+)
+
+__all__ = [
+    "CORE_CATEGORIES",
+    "ExperimentSettings",
+    "cached_dataset",
+    "cached_run",
+    "clear_cache",
+]

@@ -1,0 +1,104 @@
+"""Figure 3 — precision and coverage across bootstrap iterations,
+CRF with and without cleaning.
+
+The paper plots per-category curves over five cycles in four panels:
+precision/coverage × cleaning on/off. Expected shapes: precision decays
+slowly and stays above ~85% *with* cleaning (high-precision categories
+barely move); coverage rises steeply across iterations, a little less
+steeply with cleaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..evaluation import coverage, precision
+from ..evaluation.report import format_table
+from .common import (
+    ExperimentSettings,
+    cached_run,
+    cached_truth,
+    crf_config,
+)
+
+#: Categories plotted (vacuum_cleaner included so Figures 7/8 and the
+#: Table IV ablations can share the same cached full run).
+FIGURE3_CATEGORIES = (
+    "tennis",
+    "kitchen",
+    "cosmetics",
+    "garden",
+    "ladies_bags",
+    "digital_cameras",
+    "vacuum_cleaner",
+)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    iteration: int
+    precision: float
+    coverage: float
+    n_triples: int
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """curves[(category, cleaned)] -> points at iterations 0..N."""
+
+    curves: dict[tuple[str, bool], tuple[CurvePoint, ...]]
+
+    def format(self) -> str:
+        blocks = []
+        for cleaned in (False, True):
+            label = "with cleaning" if cleaned else "without cleaning"
+            for metric in ("precision", "coverage"):
+                rows = []
+                iterations = range(
+                    len(next(iter(self.curves.values())))
+                )
+                for (category, flag), points in sorted(self.curves.items()):
+                    if flag != cleaned:
+                        continue
+                    rows.append(
+                        [category]
+                        + [
+                            100.0 * getattr(point, metric)
+                            for point in points
+                        ]
+                    )
+                blocks.append(
+                    format_table(
+                        ["category"]
+                        + [f"iter{i}" for i in iterations],
+                        rows,
+                        title=f"Figure 3 — {metric} ({label})",
+                    )
+                )
+        return "\n\n".join(blocks)
+
+
+def run(settings: ExperimentSettings | None = None) -> Figure3Result:
+    """Reproduce Figure 3's four panels."""
+    settings = settings or ExperimentSettings()
+    curves: dict[tuple[str, bool], tuple[CurvePoint, ...]] = {}
+    for category in FIGURE3_CATEGORIES:
+        truth = cached_truth(category, settings.products, settings.data_seed)
+        for cleaned in (False, True):
+            config = crf_config(settings.iterations, cleaning=cleaned)
+            result = cached_run(
+                category, settings.products, settings.data_seed, config
+            )
+            points = []
+            for iteration in range(len(result.iterations) + 1):
+                triples = result.triples_after(iteration)
+                points.append(
+                    CurvePoint(
+                        iteration=iteration,
+                        precision=precision(triples, truth).precision,
+                        coverage=coverage(triples, settings.products),
+                        n_triples=len(triples),
+                    )
+                )
+            curves[(category, cleaned)] = tuple(points)
+    return Figure3Result(curves=curves)

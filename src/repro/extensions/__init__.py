@@ -1,0 +1,27 @@
+"""Extensions: the paper's future-work directions, implemented.
+
+Section IX lists future work: "improving the machine learning model by
+combining different approaches" and "partitioning the attributes to
+obtain better precision/coverage". Both are built here, on top of the
+unchanged core:
+
+* :class:`EnsembleTagger` — combines the CRF and the BiLSTM. The paper
+  observes "they often make similar mistakes, but they can complement
+  each other"; the ensemble supports an *agreement* policy (intersect
+  spans — precision-first, matching the business case) and a *union*
+  policy (coverage-first).
+* :func:`optimize_partition` — greedy search for an attribute
+  partition that maximizes a precision-weighted coverage objective
+  (§VIII-D: "this can be addressed as an optimization problem ... we
+  leave this task for future work").
+"""
+
+from .ensemble import EnsembleTagger
+from .partition import PartitionResult, evaluate_partition, optimize_partition
+
+__all__ = [
+    "EnsembleTagger",
+    "PartitionResult",
+    "evaluate_partition",
+    "optimize_partition",
+]

@@ -1,0 +1,36 @@
+"""Minimal, lenient HTML substrate.
+
+Product pages are rarely valid HTML, so this parser is deliberately
+forgiving: unknown entities pass through, unclosed tags are auto-closed,
+and stray ``</...>`` tags are dropped. The pipeline needs exactly three
+capabilities, all exported here:
+
+* :func:`parse_html` — build a DOM tree from markup;
+* :func:`extract_dictionary_tables` — find the 2-row/2-column
+  "dictionary" tables the seed extractor mines (Section V-A);
+* :func:`extract_text_blocks` — pull visible free text, preserving block
+  boundaries so the sentence splitter sees them.
+"""
+
+from .dom import Element, Node, Text
+from .entities import decode_entities, encode_entities
+from .lexer import HtmlToken, tokenize_html
+from .parser import parse_html
+from .tables import DictionaryTable, extract_dictionary_tables, extract_tables
+from .text import extract_text_blocks, extract_title
+
+__all__ = [
+    "DictionaryTable",
+    "Element",
+    "HtmlToken",
+    "Node",
+    "Text",
+    "decode_entities",
+    "encode_entities",
+    "extract_dictionary_tables",
+    "extract_tables",
+    "extract_text_blocks",
+    "extract_title",
+    "parse_html",
+    "tokenize_html",
+]

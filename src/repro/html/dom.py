@@ -1,0 +1,77 @@
+"""Tiny DOM tree used by the HTML substrate.
+
+Two node types: :class:`Element` (tag + attrs + children) and
+:class:`Text`. Traversal helpers cover exactly what the table extractor
+and text extractor need — ``find_all``, ``direct_children`` and
+``text_content``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+Node = Union["Element", "Text"]
+
+
+@dataclass(slots=True)
+class Text:
+    """A run of character data."""
+
+    data: str
+
+    def text_content(self) -> str:
+        return self.data
+
+
+@dataclass(slots=True)
+class Element:
+    """An element node with ordered children."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list[Node] = field(default_factory=list)
+
+    def append(self, node: Node) -> None:
+        self.children.append(node)
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iterator over element descendants,
+        including this element."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All descendant elements (including self) with the given tag."""
+        return [element for element in self.iter() if element.tag == tag]
+
+    def find(self, tag: str) -> "Element | None":
+        """First descendant element with the given tag, or None."""
+        for element in self.iter():
+            if element.tag == tag:
+                return element
+        return None
+
+    def direct_children(self, tag: str) -> list["Element"]:
+        """Immediate child elements with the given tag."""
+        return [
+            child
+            for child in self.children
+            if isinstance(child, Element) and child.tag == tag
+        ]
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        parts: list[str] = []
+        _collect_text(self, parts)
+        return "".join(parts)
+
+
+def _collect_text(element: Element, parts: list[str]) -> None:
+    for child in element.children:
+        if isinstance(child, Text):
+            parts.append(child.data)
+        else:
+            _collect_text(child, parts)

@@ -1,0 +1,75 @@
+"""HTML entity encoding and decoding.
+
+Only the entities that actually occur in product-page markup are mapped;
+numeric character references are fully supported. Unknown named entities
+are left verbatim, matching the lenient philosophy of the substrate.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",  # plain space: NBSP would glue tokens
+    "times": "×",
+    "deg": "°",
+    "yen": "¥",
+    "euro": "€",
+    "middot": "·",
+    "hellip": "…",
+    "mdash": "—",
+    "ndash": "–",
+    "uuml": "ü",
+    "ouml": "ö",
+    "auml": "ä",
+    "Uuml": "Ü",
+    "Ouml": "Ö",
+    "Auml": "Ä",
+    "szlig": "ß",
+}
+
+_REVERSE_ENTITIES = {"&": "amp", "<": "lt", ">": "gt", '"': "quot"}
+
+_ENTITY_RE = re.compile(r"&(#x?[0-9a-fA-F]+|[a-zA-Z][a-zA-Z0-9]*);")
+
+
+def _decode_one(match: re.Match[str]) -> str:
+    body = match.group(1)
+    if body.startswith("#"):
+        try:
+            if body[1:2] in ("x", "X"):
+                code = int(body[2:], 16)
+            else:
+                code = int(body[1:], 10)
+        except ValueError:
+            return match.group(0)
+        if 0 < code <= 0x10FFFF:
+            return chr(code)
+        return match.group(0)
+    return _NAMED_ENTITIES.get(body, match.group(0))
+
+
+def decode_entities(text: str) -> str:
+    """Replace entity references in ``text`` with their characters.
+
+    Unknown named entities and malformed numeric references are returned
+    unchanged rather than raising, since merchant HTML contains plenty of
+    stray ampersands.
+    """
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_decode_one, text)
+
+
+def encode_entities(text: str) -> str:
+    """Escape the characters that would break markup (&, <, >, ``"``)."""
+    out: list[str] = []
+    for char in text:
+        name = _REVERSE_ENTITIES.get(char)
+        out.append(f"&{name};" if name else char)
+    return "".join(out)

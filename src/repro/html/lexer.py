@@ -1,0 +1,96 @@
+"""Tokenizer for the lenient HTML parser.
+
+Splits markup into start tags, end tags, comments and text runs. Attribute
+strings are parsed into a dict; values may be double-quoted, single-quoted
+or bare. Anything that does not look like a tag is treated as text, so a
+lone ``<`` in a product description survives as data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_TAG_OPEN_RE = re.compile(r"<(/?)([a-zA-Z][a-zA-Z0-9]*)")
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z_:][-a-zA-Z0-9_:.]*)      # attribute name
+        (?:\s*=\s*
+            (?:"([^"]*)"|'([^']*)'|([^\s>]+))  # "v" | 'v' | bare
+        )?""",
+    re.VERBOSE,
+)
+
+#: Tags that never have content and need no end tag.
+VOID_TAGS = frozenset({"br", "hr", "img", "input", "meta", "link", "wbr"})
+
+
+@dataclass(frozen=True, slots=True)
+class HtmlToken:
+    """One lexical unit of an HTML document.
+
+    Attributes:
+        kind: ``"start"``, ``"end"``, ``"text"`` or ``"comment"``.
+        value: tag name (lowercased) for tags, raw text otherwise.
+        attrs: attribute mapping, only populated for start tags.
+        self_closing: True for ``<tag/>`` and void tags.
+    """
+
+    kind: str
+    value: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+def _parse_attrs(raw: str) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group(1).lower()
+        value = match.group(2) or match.group(3) or match.group(4) or ""
+        attrs[name] = value
+    return attrs
+
+
+def tokenize_html(markup: str) -> Iterator[HtmlToken]:
+    """Yield :class:`HtmlToken` objects for ``markup``.
+
+    The lexer never raises on malformed input: a ``<`` that does not
+    start a recognizable tag is emitted as text, and an unterminated tag
+    consumes the remainder of the document as that tag.
+    """
+    pos = 0
+    length = len(markup)
+    while pos < length:
+        lt = markup.find("<", pos)
+        if lt == -1:
+            yield HtmlToken("text", markup[pos:])
+            return
+        if lt > pos:
+            yield HtmlToken("text", markup[pos:lt])
+        if markup.startswith("<!--", lt):
+            end = markup.find("-->", lt + 4)
+            if end == -1:
+                yield HtmlToken("comment", markup[lt + 4:])
+                return
+            yield HtmlToken("comment", markup[lt + 4:end])
+            pos = end + 3
+            continue
+        match = _TAG_OPEN_RE.match(markup, lt)
+        if match is None:
+            # A bare '<' inside text (e.g. "weight < 5kg").
+            yield HtmlToken("text", "<")
+            pos = lt + 1
+            continue
+        gt = markup.find(">", match.end())
+        if gt == -1:
+            # Unterminated tag: treat the rest as the tag body.
+            gt = length
+        closing, name = match.group(1), match.group(2).lower()
+        body = markup[match.end():gt]
+        if closing:
+            yield HtmlToken("end", name)
+        else:
+            self_closing = body.rstrip().endswith("/") or name in VOID_TAGS
+            attrs = _parse_attrs(body.rstrip().rstrip("/"))
+            yield HtmlToken("start", name, attrs, self_closing)
+        pos = gt + 1

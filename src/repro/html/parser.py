@@ -1,0 +1,68 @@
+"""Lenient tree construction on top of the HTML lexer.
+
+Recovery rules (a small subset of the HTML5 algorithm, enough for
+merchant markup):
+
+* an end tag with no matching open tag is dropped;
+* an end tag matching a non-top open tag closes everything above it
+  (auto-closing, e.g. an unclosed ``<td>`` closed by ``</tr>``);
+* ``<tr>``/``<td>``/``<th>``/``<li>``/``<p>`` implicitly close a
+  same-tag sibling;
+* at end of input all remaining open tags are closed.
+"""
+
+from __future__ import annotations
+
+from .dom import Element, Text
+from .entities import decode_entities
+from .lexer import tokenize_html
+
+#: Tags that implicitly close an open sibling of the same tag.
+_SELF_NESTING = frozenset({"tr", "td", "th", "li", "p", "option"})
+
+#: When one of these opens, close any open tag in the mapped set first.
+_IMPLIED_CLOSERS = {
+    "tr": frozenset({"td", "th"}),
+    "tbody": frozenset({"tr", "td", "th"}),
+}
+
+
+def parse_html(markup: str) -> Element:
+    """Parse ``markup`` into a DOM tree rooted at a synthetic ``#root``.
+
+    Never raises on malformed markup; see the module docstring for the
+    recovery rules applied.
+    """
+    root = Element("#root")
+    stack: list[Element] = [root]
+    for token in tokenize_html(markup):
+        if token.kind == "comment":
+            continue
+        if token.kind == "text":
+            text = decode_entities(token.value)
+            if text:
+                stack[-1].append(Text(text))
+            continue
+        if token.kind == "start":
+            _close_implied(stack, token.value)
+            element = Element(token.value, dict(token.attrs))
+            stack[-1].append(element)
+            if not token.self_closing:
+                stack.append(element)
+            continue
+        # End tag: find the nearest matching open tag; drop if absent.
+        for depth in range(len(stack) - 1, 0, -1):
+            if stack[depth].tag == token.value:
+                del stack[depth:]
+                break
+    return root
+
+
+def _close_implied(stack: list[Element], incoming: str) -> None:
+    """Pop open tags that the ``incoming`` start tag implicitly closes."""
+    closers = _IMPLIED_CLOSERS.get(incoming, frozenset())
+    while len(stack) > 1 and stack[-1].tag in closers:
+        stack.pop()
+    if incoming in _SELF_NESTING and len(stack) > 1:
+        if stack[-1].tag == incoming:
+            stack.pop()

@@ -1,0 +1,109 @@
+"""Table extraction, including the paper's "dictionary" tables.
+
+Section V-A mines the initial seed from HTML tables *with a dictionary
+structure*: 2 columns and n rows (attribute name in the first cell, value
+in the second) or 2 rows and n columns (names in the first row, values in
+the second). :func:`extract_dictionary_tables` detects both orientations
+and normalizes them to ``(name, value)`` pair lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dom import Element
+from .parser import parse_html
+
+
+@dataclass(frozen=True, slots=True)
+class DictionaryTable:
+    """A dictionary-form table reduced to its attribute/value pairs.
+
+    Attributes:
+        pairs: ``(name, value)`` tuples in document order.
+        orientation: ``"columns"`` for 2-column/n-row tables,
+            ``"rows"`` for 2-row/n-column tables.
+    """
+
+    pairs: tuple[tuple[str, str], ...]
+    orientation: str
+
+
+def _cell_text(cell: Element) -> str:
+    return " ".join(cell.text_content().split())
+
+
+def _table_grid(table: Element) -> list[list[str]]:
+    """Flatten a ``<table>`` element to a row-major grid of cell texts."""
+    grid: list[list[str]] = []
+    for row in table.find_all("tr"):
+        cells = [
+            child
+            for child in row.children
+            if isinstance(child, Element) and child.tag in ("td", "th")
+        ]
+        if cells:
+            grid.append([_cell_text(cell) for cell in cells])
+    return grid
+
+
+def extract_tables(markup_or_root: str | Element) -> list[list[list[str]]]:
+    """Return every table in the document as a row-major text grid."""
+    root = (
+        parse_html(markup_or_root)
+        if isinstance(markup_or_root, str)
+        else markup_or_root
+    )
+    return [_table_grid(table) for table in root.find_all("table")]
+
+
+def _dictionary_from_grid(grid: list[list[str]]) -> DictionaryTable | None:
+    """Interpret a grid as a dictionary table if its shape allows.
+
+    A 2-column grid maps each row to a pair; a 2-row grid maps each
+    column. Pairs with an empty name or value are skipped; a grid
+    yielding no pairs is not a dictionary table.
+    """
+    if not grid:
+        return None
+    pairs: list[tuple[str, str]] = []
+    if all(len(row) == 2 for row in grid) and len(grid) >= 1:
+        orientation = "columns"
+        for name, value in grid:
+            if name and value:
+                pairs.append((name, value))
+    elif len(grid) == 2 and len(grid[0]) == len(grid[1]) and len(grid[0]) > 1:
+        orientation = "rows"
+        for name, value in zip(grid[0], grid[1]):
+            if name and value:
+                pairs.append((name, value))
+    else:
+        return None
+    if not pairs:
+        return None
+    return DictionaryTable(tuple(pairs), orientation)
+
+
+def extract_dictionary_tables(
+    markup_or_root: str | Element,
+) -> list[DictionaryTable]:
+    """Find all dictionary-form tables in a document.
+
+    Args:
+        markup_or_root: raw HTML or an already-parsed tree.
+
+    Returns:
+        One :class:`DictionaryTable` per table whose shape matches either
+        dictionary orientation, in document order.
+    """
+    root = (
+        parse_html(markup_or_root)
+        if isinstance(markup_or_root, str)
+        else markup_or_root
+    )
+    found: list[DictionaryTable] = []
+    for table in root.find_all("table"):
+        dictionary = _dictionary_from_grid(_table_grid(table))
+        if dictionary is not None:
+            found.append(dictionary)
+    return found

@@ -1,0 +1,88 @@
+"""Visible-text extraction from product pages.
+
+The tagger operates on the *free text* of a page — title and description —
+not on table cells (those feed the seed extractor instead). Block-level
+boundaries are preserved so the sentence splitter never glues two
+paragraphs into one sentence.
+"""
+
+from __future__ import annotations
+
+from .dom import Element, Text
+from .parser import parse_html
+
+#: Elements whose contents start a new text block.
+_BLOCK_TAGS = frozenset(
+    {
+        "p", "div", "li", "ul", "ol", "h1", "h2", "h3", "h4", "h5", "h6",
+        "title", "br", "tr", "td", "th", "table", "section", "article",
+        "header", "footer",
+    }
+)
+
+#: Elements whose text never reaches the reader.
+_SKIP_TAGS = frozenset({"script", "style", "table"})
+
+
+def extract_text_blocks(
+    markup_or_root: str | Element,
+    *,
+    skip_tables: bool = True,
+) -> list[str]:
+    """Return the visible text of a document as a list of blocks.
+
+    Args:
+        markup_or_root: raw HTML or a parsed tree.
+        skip_tables: when True (the default, matching the pipeline),
+            table contents are excluded — they are semi-structured data
+            handled by the seed extractor, not free text.
+
+    Returns:
+        Non-empty, whitespace-normalized text blocks in document order.
+    """
+    root = (
+        parse_html(markup_or_root)
+        if isinstance(markup_or_root, str)
+        else markup_or_root
+    )
+    skip = _SKIP_TAGS if skip_tables else frozenset({"script", "style"})
+    blocks: list[str] = []
+    current: list[str] = []
+
+    def flush() -> None:
+        text = " ".join("".join(current).split())
+        if text:
+            blocks.append(text)
+        current.clear()
+
+    def walk(element: Element) -> None:
+        for child in element.children:
+            if isinstance(child, Text):
+                current.append(child.data)
+                continue
+            if child.tag in skip:
+                continue
+            is_block = child.tag in _BLOCK_TAGS
+            if is_block:
+                flush()
+            walk(child)
+            if is_block:
+                flush()
+
+    walk(root)
+    flush()
+    return blocks
+
+
+def extract_title(markup_or_root: str | Element) -> str:
+    """Return the page title (``<title>`` or first ``<h1>``), or ``""``."""
+    root = (
+        parse_html(markup_or_root)
+        if isinstance(markup_or_root, str)
+        else markup_or_root
+    )
+    for tag in ("title", "h1"):
+        element = root.find(tag)
+        if element is not None:
+            return " ".join(element.text_content().split())
+    return ""

@@ -1,0 +1,25 @@
+"""Machine-learning substrates: the two taggers the paper evaluates.
+
+Both taggers implement the same two-method protocol —
+``train(tagged_sentences)`` and ``tag(sentences)`` — so the bootstrap
+loop is agnostic to the backend (Section VI-D: "we used both systems out
+of the box").
+
+* :class:`~repro.ml.crf.CrfTagger` — linear-chain CRF, L-BFGS with
+  L1+L2 regularisation, window features (crfsuite-equivalent).
+* :class:`~repro.ml.lstm.LstmTagger` — char+word BiLSTM with SGD and
+  dropout (NeuroNER-equivalent).
+"""
+
+from .base import SequenceTagger
+from .crf import CrfTagger
+from .features import FeatureExtractor, FeatureIndexer
+from .lstm import LstmTagger
+
+__all__ = [
+    "CrfTagger",
+    "FeatureExtractor",
+    "FeatureIndexer",
+    "LstmTagger",
+    "SequenceTagger",
+]

@@ -1,0 +1,20 @@
+"""The tagger protocol shared by CRF and BiLSTM backends."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..types import Sentence, TaggedSentence
+
+
+@runtime_checkable
+class SequenceTagger(Protocol):
+    """Anything that can be trained on BIO data and tag new sentences."""
+
+    def train(self, dataset: Sequence[TaggedSentence]) -> "SequenceTagger":
+        """Fit the model on labelled sentences; returns self."""
+        ...
+
+    def tag(self, sentences: Sequence[Sentence]) -> list[TaggedSentence]:
+        """Predict BIO labels for unlabelled sentences."""
+        ...

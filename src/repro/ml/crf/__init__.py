@@ -1,0 +1,19 @@
+"""Linear-chain Conditional Random Field, built from scratch.
+
+Equivalent to the paper's crfsuite setup: limited-memory BFGS training
+with L1+L2 (elastic-net) regularisation and the standard window feature
+template from :mod:`repro.ml.features`.
+
+Structure:
+
+* :mod:`inference` — batched log-space forward/backward, posterior
+  marginals and Viterbi decoding over padded tensors;
+* :mod:`train` — the regularized negative log-likelihood objective and
+  its analytic gradient, minimized with scipy's L-BFGS-B;
+* :mod:`model` — the :class:`CrfTagger` facade implementing the
+  :class:`~repro.ml.base.SequenceTagger` protocol.
+"""
+
+from .model import CrfTagger
+
+__all__ = ["CrfTagger"]

@@ -1,0 +1,155 @@
+"""Batched log-space inference for the linear-chain CRF.
+
+All routines operate on a padded batch:
+
+* ``emissions``: float array (B, T, L) — unary scores, zero at padding;
+* ``mask``: bool array (B, T) — True at real tokens (row-prefix form);
+* ``transitions``: float array (L, L) — score of label j following i.
+
+The forward/backward recursions use the carry trick at padded steps
+(alpha is propagated unchanged), so ``alpha[:, -1]`` always holds the
+value at each sequence's last real token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    peak = values.max(axis=axis, keepdims=True)
+    peak = np.where(np.isfinite(peak), peak, 0.0)
+    return (
+        np.log(np.exp(values - peak).sum(axis=axis))
+        + np.squeeze(peak, axis=axis)
+    )
+
+
+@dataclass(frozen=True)
+class ForwardBackward:
+    """Cached quantities from one forward/backward pass.
+
+    Attributes:
+        log_alpha: (B, T, L) forward messages.
+        log_beta: (B, T, L) backward messages.
+        log_z: (B,) log partition per sequence.
+    """
+
+    log_alpha: np.ndarray
+    log_beta: np.ndarray
+    log_z: np.ndarray
+
+    def unary_marginals(self) -> np.ndarray:
+        """Posterior P(y_t = l) as a (B, T, L) array (junk at padding)."""
+        logp = (
+            self.log_alpha
+            + self.log_beta
+            - self.log_z[:, None, None]
+        )
+        return np.exp(np.clip(logp, -60.0, 0.0))
+
+
+def forward_backward(
+    emissions: np.ndarray,
+    mask: np.ndarray,
+    transitions: np.ndarray,
+) -> ForwardBackward:
+    """Run the forward and backward recursions over a padded batch."""
+    batch, steps, labels = emissions.shape
+    log_alpha = np.empty((batch, steps, labels), dtype=np.float64)
+    log_alpha[:, 0] = emissions[:, 0]
+    for t in range(1, steps):
+        scores = (
+            log_alpha[:, t - 1][:, :, None]
+            + transitions[None, :, :]
+        )
+        updated = _logsumexp(scores, axis=1) + emissions[:, t]
+        step_mask = mask[:, t][:, None]
+        log_alpha[:, t] = np.where(step_mask, updated, log_alpha[:, t - 1])
+
+    log_beta = np.zeros((batch, steps, labels), dtype=np.float64)
+    for t in range(steps - 2, -1, -1):
+        scores = (
+            transitions[None, :, :]
+            + (emissions[:, t + 1] + log_beta[:, t + 1])[:, None, :]
+        )
+        updated = _logsumexp(scores, axis=2)
+        step_mask = mask[:, t + 1][:, None]
+        log_beta[:, t] = np.where(step_mask, updated, log_beta[:, t + 1])
+
+    log_z = _logsumexp(log_alpha[:, -1], axis=1)
+    return ForwardBackward(log_alpha, log_beta, log_z)
+
+
+def pairwise_expected_counts(
+    fb: ForwardBackward,
+    emissions: np.ndarray,
+    mask: np.ndarray,
+    transitions: np.ndarray,
+) -> np.ndarray:
+    """Sum of posterior pairwise marginals, an (L, L) matrix.
+
+    Accumulated over every *valid* transition (t-1 → t where token t is
+    real) of every sequence — this is the model-expectation term of the
+    transition gradient.
+    """
+    labels = transitions.shape[0]
+    expected = np.zeros((labels, labels), dtype=np.float64)
+    steps = emissions.shape[1]
+    for t in range(1, steps):
+        valid = mask[:, t]
+        if not valid.any():
+            break
+        log_pair = (
+            fb.log_alpha[:, t - 1][:, :, None]
+            + transitions[None, :, :]
+            + (emissions[:, t] + fb.log_beta[:, t])[:, None, :]
+            - fb.log_z[:, None, None]
+        )
+        pair = np.exp(np.clip(log_pair, -60.0, 0.0))
+        pair[~valid] = 0.0
+        expected += pair.sum(axis=0)
+    return expected
+
+
+def viterbi(
+    emissions: np.ndarray,
+    mask: np.ndarray,
+    transitions: np.ndarray,
+) -> list[list[int]]:
+    """Best label sequence per batch element.
+
+    Returns:
+        A list of per-sequence label-index lists, each trimmed to the
+        sequence's real length.
+    """
+    batch, steps, labels = emissions.shape
+    score = emissions[:, 0].copy()
+    backpointers = np.zeros((batch, steps, labels), dtype=np.int32)
+    for t in range(1, steps):
+        candidate = score[:, :, None] + transitions[None, :, :]
+        best_prev = candidate.argmax(axis=1)
+        updated = (
+            np.take_along_axis(candidate, best_prev[:, None, :], axis=1)
+            .squeeze(1)
+            + emissions[:, t]
+        )
+        step_mask = mask[:, t][:, None]
+        backpointers[:, t] = np.where(step_mask, best_prev, 0)
+        score = np.where(step_mask, updated, score)
+
+    lengths = mask.sum(axis=1).astype(np.int64)
+    paths: list[list[int]] = []
+    final_best = score.argmax(axis=1)
+    for b in range(batch):
+        length = int(lengths[b])
+        label = int(final_best[b])
+        path = [label]
+        for t in range(length - 1, 0, -1):
+            label = int(backpointers[b, t, label])
+            path.append(label)
+        path.reverse()
+        paths.append(path)
+    return paths

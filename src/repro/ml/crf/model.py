@@ -1,0 +1,192 @@
+"""The :class:`CrfTagger` facade.
+
+Ties together feature extraction, indexing, training and Viterbi
+decoding behind the two-method :class:`~repro.ml.base.SequenceTagger`
+protocol the bootstrap loop consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...config import CrfConfig
+from ...errors import NotFittedError, TrainingError
+from ...nlp.bio import OUTSIDE, repair_bio
+from ...types import Sentence, TaggedSentence
+from ..features import FeatureExtractor, FeatureIndexer
+from .inference import viterbi
+from .train import CrfProblem, train_crf
+
+
+class CrfTagger:
+    """Linear-chain CRF sequence tagger (crfsuite-equivalent).
+
+    Args:
+        config: hyperparameters; defaults mirror the paper's
+            out-of-the-box crfsuite configuration.
+    """
+
+    def __init__(self, config: CrfConfig | None = None):
+        self.config = config or CrfConfig()
+        self._extractor = FeatureExtractor(window=self.config.window)
+        self._indexer: FeatureIndexer | None = None
+        self._labels: list[str] = []
+        self._label_index: dict[str, int] = {}
+        self._unary: np.ndarray | None = None
+        self._transitions: np.ndarray | None = None
+
+    # -- protocol ---------------------------------------------------------
+
+    def train(self, dataset: Sequence[TaggedSentence]) -> "CrfTagger":
+        """Fit on BIO-labelled sentences.
+
+        Raises:
+            TrainingError: on an empty dataset.
+        """
+        if not dataset:
+            raise TrainingError("cannot train a CRF on an empty dataset")
+        label_set = {OUTSIDE}
+        for tagged in dataset:
+            label_set.update(tagged.labels)
+        self._labels = sorted(label_set)
+        self._label_index = {
+            label: index for index, label in enumerate(self._labels)
+        }
+
+        feature_rows = [
+            self._extractor.extract(tagged.sentence) for tagged in dataset
+        ]
+        self._indexer = FeatureIndexer(
+            min_count=self.config.min_feature_count
+        ).fit(feature_rows)
+        design = self._indexer.design_matrix(feature_rows)
+        labels = np.asarray(
+            [
+                self._label_index[label]
+                for tagged in dataset
+                for label in tagged.labels
+            ],
+            dtype=np.int64,
+        )
+        lengths = np.asarray(
+            [len(tagged) for tagged in dataset], dtype=np.int64
+        )
+        problem = CrfProblem(design, labels, lengths, len(self._labels))
+        self._unary, self._transitions = train_crf(
+            problem, self.config.l1, self.config.l2,
+            self.config.max_iterations,
+        )
+        return self
+
+    def tag(self, sentences: Sequence[Sentence]) -> list[TaggedSentence]:
+        """Viterbi-decode BIO labels (scheme-repaired) for new sentences."""
+        if self._unary is None or self._indexer is None:
+            raise NotFittedError("CrfTagger")
+        if not sentences:
+            return []
+        nonempty = [
+            sentence for sentence in sentences if len(sentence) > 0
+        ]
+        decoded: dict[int, list[str]] = {}
+        if nonempty:
+            decoded_paths = self._decode(nonempty)
+            for sentence, path in zip(nonempty, decoded_paths):
+                decoded[id(sentence)] = path
+        results: list[TaggedSentence] = []
+        for sentence in sentences:
+            labels = decoded.get(id(sentence), [])
+            results.append(
+                TaggedSentence(sentence, tuple(repair_bio(labels)))
+            )
+        return results
+
+    def tag_with_confidence(
+        self, sentences: Sequence[Sentence]
+    ) -> list[tuple[TaggedSentence, list[float]]]:
+        """Tag sentences and score every decoded span.
+
+        Returns:
+            For each sentence, ``(tagged, confidences)`` where
+            ``confidences[i]`` belongs to the i-th span of
+            ``decode_bio(tagged.labels)`` — the geometric mean of the
+            span labels' posterior marginals (see
+            :mod:`repro.ml.crf.confidence`).
+        """
+        if self._unary is None or self._indexer is None:
+            raise NotFittedError("CrfTagger")
+        from ...nlp.bio import decode_bio
+        from .confidence import span_confidences
+        from .inference import forward_backward
+
+        results: list[tuple[TaggedSentence, list[float]]] = []
+        nonempty = [s for s in sentences if len(s) > 0]
+        scored: dict[int, tuple[list[str], list[float]]] = {}
+        if nonempty:
+            emissions, mask = self._emissions(nonempty)
+            paths = viterbi(emissions, mask, self._transitions)
+            fb = forward_backward(emissions, mask, self._transitions)
+            marginals = fb.unary_marginals()
+            for index, sentence in enumerate(nonempty):
+                labels = repair_bio(
+                    [self._labels[label] for label in paths[index]]
+                )
+                spans = decode_bio(labels)
+                confidences = span_confidences(
+                    marginals[index, : len(sentence)],
+                    spans,
+                    self._label_index,
+                )
+                scored[id(sentence)] = (labels, confidences)
+        for sentence in sentences:
+            labels, confidences = scored.get(id(sentence), ([], []))
+            results.append(
+                (TaggedSentence(sentence, tuple(labels)), confidences)
+            )
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _emissions(
+        self, sentences: Sequence[Sentence]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Padded emission scores and mask for non-empty sentences."""
+        assert self._indexer is not None and self._unary is not None
+        feature_rows = [
+            self._extractor.extract(sentence) for sentence in sentences
+        ]
+        design = self._indexer.design_matrix(feature_rows)
+        scores_flat = design @ self._unary
+        lengths = [len(sentence) for sentence in sentences]
+        batch = len(sentences)
+        max_len = max(lengths)
+        n_labels = len(self._labels)
+        emissions = np.zeros((batch, max_len, n_labels), dtype=np.float64)
+        mask = np.zeros((batch, max_len), dtype=bool)
+        offset = 0
+        for index, length in enumerate(lengths):
+            emissions[index, :length] = scores_flat[offset:offset + length]
+            mask[index, :length] = True
+            offset += length
+        return emissions, mask
+
+    def _decode(self, sentences: Sequence[Sentence]) -> list[list[str]]:
+        assert self._transitions is not None
+        emissions, mask = self._emissions(sentences)
+        paths = viterbi(emissions, mask, self._transitions)
+        return [
+            [self._labels[label] for label in path] for path in paths
+        ]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The learned label inventory (empty before training)."""
+        return tuple(self._labels)
+
+    @property
+    def feature_count(self) -> int:
+        """Number of indexed features (0 before training)."""
+        return len(self._indexer) if self._indexer is not None else 0

@@ -1,0 +1,186 @@
+"""CRF training: regularized NLL minimized with L-BFGS.
+
+The parameter vector packs the unary weight matrix W (n_features × L)
+followed by the transition matrix A (L × L). The objective is
+
+    sum_i [ log Z(x_i) - score(x_i, y_i) ]
+    + l1 * Σ sqrt(w² + ε)          (smoothed L1; scipy's L-BFGS-B
+                                    needs a differentiable objective,
+                                    unlike crfsuite's OWL-QN)
+    + l2 * Σ w²
+
+with the analytic gradient (expected minus empirical feature counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ...errors import TrainingError
+from .inference import forward_backward, pairwise_expected_counts
+
+_L1_EPSILON = 1e-8
+
+
+@dataclass(frozen=True)
+class CrfProblem:
+    """A fully vectorized training problem.
+
+    Attributes:
+        design: CSR matrix (total_positions × n_features); rows are all
+            sentence positions, sentence-major.
+        labels: flat gold label indices aligned with design rows.
+        lengths: tokens per sentence.
+        n_labels: size of the label inventory.
+    """
+
+    design: sparse.csr_matrix
+    labels: np.ndarray
+    lengths: np.ndarray
+    n_labels: int
+
+    def __post_init__(self) -> None:
+        if self.design.shape[0] != self.labels.shape[0]:
+            raise TrainingError("design rows and labels misaligned")
+        if int(self.lengths.sum()) != self.design.shape[0]:
+            raise TrainingError("lengths do not sum to design rows")
+        if (self.lengths < 1).any():
+            raise TrainingError("empty sentences are not trainable")
+
+
+class _Workspace:
+    """Precomputed index structures reused on every objective call."""
+
+    def __init__(self, problem: CrfProblem):
+        self.problem = problem
+        batch = len(problem.lengths)
+        max_len = int(problem.lengths.max())
+        self.batch = batch
+        self.max_len = max_len
+        # flat row -> slot in the padded (B*T) layout
+        slots = []
+        for b, length in enumerate(problem.lengths):
+            base = b * max_len
+            slots.extend(range(base, base + int(length)))
+        self.flat_slots = np.asarray(slots, dtype=np.int64)
+        self.mask = np.zeros((batch, max_len), dtype=bool)
+        for b, length in enumerate(problem.lengths):
+            self.mask[b, : int(length)] = True
+        # empirical counts (constant across iterations)
+        rows = problem.design.shape[0]
+        one_hot = sparse.csr_matrix(
+            (
+                np.ones(rows),
+                (np.arange(rows), problem.labels),
+            ),
+            shape=(rows, problem.n_labels),
+        )
+        self.empirical_unary = (problem.design.T @ one_hot).toarray()
+        self.empirical_trans = np.zeros(
+            (problem.n_labels, problem.n_labels), dtype=np.float64
+        )
+        offset = 0
+        for length in problem.lengths:
+            length = int(length)
+            gold = problem.labels[offset:offset + length]
+            np.add.at(self.empirical_trans, (gold[:-1], gold[1:]), 1.0)
+            offset += length
+        # gold-score bookkeeping
+        self.gold_rows = np.arange(rows)
+        self.design_t = problem.design.T.tocsr()
+
+
+def _unpack(
+    weights: np.ndarray, n_features: int, n_labels: int
+) -> tuple[np.ndarray, np.ndarray]:
+    unary = weights[: n_features * n_labels].reshape(n_features, n_labels)
+    transitions = weights[n_features * n_labels:].reshape(
+        n_labels, n_labels
+    )
+    return unary, transitions
+
+
+def _objective(
+    weights: np.ndarray,
+    workspace: _Workspace,
+    l1: float,
+    l2: float,
+) -> tuple[float, np.ndarray]:
+    problem = workspace.problem
+    n_features = problem.design.shape[1]
+    n_labels = problem.n_labels
+    unary, transitions = _unpack(weights, n_features, n_labels)
+
+    scores_flat = problem.design @ unary  # (rows, L)
+    padded = np.zeros(
+        (workspace.batch * workspace.max_len, n_labels), dtype=np.float64
+    )
+    padded[workspace.flat_slots] = scores_flat
+    emissions = padded.reshape(workspace.batch, workspace.max_len, n_labels)
+
+    fb = forward_backward(emissions, workspace.mask, transitions)
+
+    gold_unary = scores_flat[workspace.gold_rows, problem.labels].sum()
+    gold_trans = (workspace.empirical_trans * transitions).sum()
+    nll = float(fb.log_z.sum() - gold_unary - gold_trans)
+
+    posteriors = fb.unary_marginals().reshape(-1, n_labels)
+    expected_flat = posteriors[workspace.flat_slots]
+    grad_unary = (
+        workspace.design_t @ expected_flat - workspace.empirical_unary
+    )
+    expected_trans = pairwise_expected_counts(
+        fb, emissions, workspace.mask, transitions
+    )
+    grad_trans = expected_trans - workspace.empirical_trans
+
+    gradient = np.concatenate(
+        [grad_unary.ravel(), grad_trans.ravel()]
+    )
+
+    if l2:
+        nll += float(l2 * (weights @ weights))
+        gradient += 2.0 * l2 * weights
+    if l1:
+        smooth = np.sqrt(weights * weights + _L1_EPSILON)
+        nll += float(l1 * smooth.sum())
+        gradient += l1 * weights / smooth
+    return nll, gradient
+
+
+def train_crf(
+    problem: CrfProblem,
+    l1: float,
+    l2: float,
+    max_iterations: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit CRF weights by L-BFGS.
+
+    Returns:
+        ``(unary_weights, transition_weights)`` with shapes
+        (n_features, L) and (L, L).
+
+    Raises:
+        TrainingError: if the optimizer reports a failure other than
+            hitting the iteration cap.
+    """
+    n_features = problem.design.shape[1]
+    n_labels = problem.n_labels
+    workspace = _Workspace(problem)
+    start = np.zeros(
+        n_features * n_labels + n_labels * n_labels, dtype=np.float64
+    )
+    result = optimize.minimize(
+        _objective,
+        start,
+        args=(workspace, l1, l2),
+        method="L-BFGS-B",
+        jac=True,
+        options={"maxiter": max_iterations, "maxcor": 10},
+    )
+    if not result.success and "ITERATIONS" not in str(result.message).upper():
+        raise TrainingError(f"L-BFGS failed: {result.message}")
+    return _unpack(result.x, n_features, n_labels)

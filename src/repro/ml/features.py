@@ -1,0 +1,127 @@
+"""CRF feature extraction — the paper's exact template (Section VI-D).
+
+For a token at position ``t`` the features are: the word ``w[t]``, the
+words in a window of size K around it, the PoS tags of those words, the
+concatenation of the window's PoS tags, and the sentence number. All
+features are "general and standard" (the paper cites the crfsuite
+tutorial) and contain nothing domain- or language-specific.
+
+:class:`FeatureIndexer` maps feature strings to integer columns of a
+sparse design matrix; unseen features at tag time are dropped (they have
+no learned weight).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..types import Sentence
+
+#: Sentence numbers are bucketed so the feature stays generic.
+_MAX_SENTENCE_BUCKET = 9
+
+
+class FeatureExtractor:
+    """Produces per-position feature strings for a sentence.
+
+    Args:
+        window: K — how many tokens each side contribute word/PoS
+            features (paper default used here: 2).
+    """
+
+    def __init__(self, window: int = 2):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        self.window = window
+
+    def extract(self, sentence: Sentence) -> list[list[str]]:
+        """Feature strings for every position of ``sentence``."""
+        words = sentence.texts()
+        tags = sentence.pos_tags()
+        length = len(words)
+        bucket = min(sentence.index, _MAX_SENTENCE_BUCKET)
+        sentence_feature = f"sent={bucket}"
+        features: list[list[str]] = []
+        for position in range(length):
+            row = [f"w0={words[position]}", f"p0={tags[position]}"]
+            pos_window: list[str] = []
+            for offset in range(-self.window, self.window + 1):
+                neighbour = position + offset
+                if neighbour < 0:
+                    word, tag = "<s>", "BOS"
+                elif neighbour >= length:
+                    word, tag = "</s>", "EOS"
+                else:
+                    word, tag = words[neighbour], tags[neighbour]
+                if offset != 0:
+                    row.append(f"w{offset:+d}={word}")
+                    row.append(f"p{offset:+d}={tag}")
+                pos_window.append(tag)
+            row.append("pcat=" + "|".join(pos_window))
+            row.append(sentence_feature)
+            features.append(row)
+        return features
+
+
+class FeatureIndexer:
+    """Feature-string → column-index mapping with frequency pruning.
+
+    Args:
+        min_count: features seen fewer times than this across the
+            training corpus get no column (weight sharing with nothing —
+            they are simply dropped).
+    """
+
+    def __init__(self, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self._min_count = min_count
+        self._index: dict[str, int] = {}
+
+    def fit(
+        self, feature_rows: Iterable[Sequence[Sequence[str]]]
+    ) -> "FeatureIndexer":
+        """Build the index from per-sentence, per-position features."""
+        counts: Counter[str] = Counter()
+        for sentence_features in feature_rows:
+            for row in sentence_features:
+                counts.update(row)
+        kept = sorted(
+            feature
+            for feature, count in counts.items()
+            if count >= self._min_count
+        )
+        self._index = {feature: column for column, feature in enumerate(kept)}
+        return self
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def design_matrix(
+        self, feature_rows: Sequence[Sequence[Sequence[str]]]
+    ) -> sparse.csr_matrix:
+        """Stack all positions of all sentences into one CSR matrix.
+
+        Row order is sentence-major then position; callers keep the
+        per-sentence lengths to slice it back apart.
+        """
+        indptr = [0]
+        indices: list[int] = []
+        for sentence_features in feature_rows:
+            for row in sentence_features:
+                for feature in row:
+                    column = self._index.get(feature)
+                    if column is not None:
+                        indices.append(column)
+                indptr.append(len(indices))
+        data = np.ones(len(indices), dtype=np.float64)
+        n_rows = len(indptr) - 1
+        return sparse.csr_matrix(
+            (data, np.asarray(indices, dtype=np.int64),
+             np.asarray(indptr, dtype=np.int64)),
+            shape=(n_rows, len(self._index)),
+        )

@@ -1,0 +1,13 @@
+"""Char+word BiLSTM sequence tagger, built from scratch in numpy.
+
+Equivalent to the paper's NeuroNER setup (Section VI-D): a character-
+level BiLSTM produces a per-token representation, the token's word
+embedding is appended, a word-level BiLSTM computes forward and backward
+context, and a feed-forward layer yields per-token label probabilities.
+Training is plain SGD with dropout regularisation; the paper's 2-epoch
+vs 10-epoch contrast is just the ``epochs`` hyperparameter.
+"""
+
+from .model import LstmTagger
+
+__all__ = ["LstmTagger"]

@@ -1,0 +1,230 @@
+"""Neural layers with explicit forward/backward passes.
+
+Everything operates on time-major float arrays: an LSTM consumes
+``(T, B, D_in)`` and produces ``(T, B, H)``. Parameters live in plain
+dicts of numpy arrays so the optimizer can treat them uniformly.
+
+Weight layout for the LSTM follows the fused convention: one input
+matrix ``wx`` of shape ``(D_in, 4H)`` and one recurrent matrix ``wh`` of
+``(H, 4H)``, gates ordered ``[input, forget, output, candidate]``; the
+forget-gate bias is initialized to 1 (standard practice, keeps long
+memories trainable from the start).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+# -- parameter initialisation ------------------------------------------
+
+
+def glorot(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    bound = np.sqrt(6.0 / (rows + cols))
+    return rng.uniform(-bound, bound, size=(rows, cols))
+
+
+def init_lstm(
+    rng: np.random.Generator, input_dim: int, hidden: int
+) -> dict[str, np.ndarray]:
+    """Fresh LSTM parameters (fused 4-gate layout)."""
+    bias = np.zeros(4 * hidden)
+    bias[hidden:2 * hidden] = 1.0  # forget gate
+    return {
+        "wx": glorot(rng, input_dim, 4 * hidden),
+        "wh": glorot(rng, hidden, 4 * hidden),
+        "b": bias,
+    }
+
+
+def init_dense(
+    rng: np.random.Generator, input_dim: int, output_dim: int
+) -> dict[str, np.ndarray]:
+    """Fresh dense-layer parameters."""
+    return {
+        "w": glorot(rng, input_dim, output_dim),
+        "b": np.zeros(output_dim),
+    }
+
+
+# -- LSTM ----------------------------------------------------------------
+
+
+def lstm_forward(
+    params: dict[str, np.ndarray], inputs: np.ndarray
+) -> tuple[np.ndarray, list]:
+    """Run an LSTM over ``inputs`` of shape (T, B, D_in).
+
+    Returns:
+        ``(hidden_states, cache)`` where hidden_states is (T, B, H) and
+        cache holds per-step intermediates for the backward pass.
+    """
+    steps, batch, _ = inputs.shape
+    hidden = params["wh"].shape[0]
+    h = np.zeros((batch, hidden))
+    c = np.zeros((batch, hidden))
+    outputs = np.empty((steps, batch, hidden))
+    cache: list = []
+    for t in range(steps):
+        x = inputs[t]
+        z = x @ params["wx"] + h @ params["wh"] + params["b"]
+        i = sigmoid(z[:, :hidden])
+        f = sigmoid(z[:, hidden:2 * hidden])
+        o = sigmoid(z[:, 2 * hidden:3 * hidden])
+        g = np.tanh(z[:, 3 * hidden:])
+        c_prev = c
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h_prev = h
+        h = o * tanh_c
+        outputs[t] = h
+        cache.append((x, h_prev, c_prev, i, f, o, g, tanh_c))
+    return outputs, cache
+
+
+def lstm_backward(
+    params: dict[str, np.ndarray],
+    cache: list,
+    d_outputs: np.ndarray,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Backprop through an LSTM.
+
+    Args:
+        params: the layer's parameters.
+        cache: from :func:`lstm_forward`.
+        d_outputs: gradient of the loss w.r.t. the hidden states,
+            shape (T, B, H).
+
+    Returns:
+        ``(d_inputs, grads)`` — gradient w.r.t. the inputs (T, B, D_in)
+        and a parameter-gradient dict matching ``params``.
+    """
+    steps = len(cache)
+    hidden = params["wh"].shape[0]
+    input_dim = params["wx"].shape[0]
+    batch = d_outputs.shape[1]
+    grads = {
+        "wx": np.zeros_like(params["wx"]),
+        "wh": np.zeros_like(params["wh"]),
+        "b": np.zeros_like(params["b"]),
+    }
+    d_inputs = np.empty((steps, batch, input_dim))
+    dh_next = np.zeros((batch, hidden))
+    dc_next = np.zeros((batch, hidden))
+    for t in range(steps - 1, -1, -1):
+        x, h_prev, c_prev, i, f, o, g, tanh_c = cache[t]
+        dh = d_outputs[t] + dh_next
+        do = dh * tanh_c
+        dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next
+        df = dc * c_prev
+        di = dc * g
+        dg = dc * i
+        dc_next = dc * f
+        dz = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                do * o * (1.0 - o),
+                dg * (1.0 - g * g),
+            ],
+            axis=1,
+        )
+        grads["wx"] += x.T @ dz
+        grads["wh"] += h_prev.T @ dz
+        grads["b"] += dz.sum(axis=0)
+        d_inputs[t] = dz @ params["wx"].T
+        dh_next = dz @ params["wh"].T
+    return d_inputs, grads
+
+
+# -- dense / softmax ------------------------------------------------------
+
+
+def dense_forward(
+    params: dict[str, np.ndarray], inputs: np.ndarray
+) -> np.ndarray:
+    """Affine map over the last axis."""
+    return inputs @ params["w"] + params["b"]
+
+
+def dense_backward(
+    params: dict[str, np.ndarray],
+    inputs: np.ndarray,
+    d_outputs: np.ndarray,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Backprop through the affine map (2-D inputs)."""
+    grads = {
+        "w": inputs.T @ d_outputs,
+        "b": d_outputs.sum(axis=0),
+    }
+    return d_outputs @ params["w"].T, grads
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean CE loss over rows.
+
+    Args:
+        logits: (N, L).
+        targets: (N,) int class indices.
+
+    Returns:
+        ``(loss, probabilities, d_logits)``.
+    """
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probabilities = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    log_likelihood = -np.log(
+        np.maximum(probabilities[np.arange(n), targets], 1e-12)
+    )
+    loss = float(log_likelihood.mean())
+    d_logits = probabilities.copy()
+    d_logits[np.arange(n), targets] -= 1.0
+    d_logits /= n
+    return loss, probabilities, d_logits
+
+
+# -- dropout ---------------------------------------------------------------
+
+
+def dropout_forward(
+    rng: np.random.Generator, inputs: np.ndarray, rate: float
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Inverted dropout; returns (outputs, mask). No-op when rate==0."""
+    if rate <= 0.0:
+        return inputs, None
+    mask = (rng.random(inputs.shape) >= rate) / (1.0 - rate)
+    return inputs * mask, mask
+
+
+def dropout_backward(
+    d_outputs: np.ndarray, mask: np.ndarray | None
+) -> np.ndarray:
+    """Backprop through dropout."""
+    if mask is None:
+        return d_outputs
+    return d_outputs * mask
+
+
+# -- optimizer --------------------------------------------------------------
+
+
+def sgd_update(
+    params: dict[str, np.ndarray],
+    grads: dict[str, np.ndarray],
+    learning_rate: float,
+    clip: float = 5.0,
+) -> None:
+    """In-place SGD step with per-tensor norm clipping."""
+    for key, gradient in grads.items():
+        norm = float(np.linalg.norm(gradient))
+        if norm > clip:
+            gradient = gradient * (clip / norm)
+        params[key] -= learning_rate * gradient

@@ -1,0 +1,157 @@
+"""Model persistence: save and load trained taggers and embeddings.
+
+A production pipeline trains once and tags many times; these helpers
+serialize the from-scratch models without pickle (no arbitrary code
+execution on load — a deliberate choice for artifacts that may be
+shared). Format: one directory per model, ``meta.json`` for structure
+and a ``weights.npz`` for arrays.
+
+Supported: :class:`~repro.ml.crf.CrfTagger`,
+:class:`~repro.ml.lstm.LstmTagger`,
+:class:`~repro.embeddings.word2vec.Word2Vec`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+
+import numpy as np
+
+from ..config import CrfConfig, LstmConfig
+from ..errors import ModelError, NotFittedError
+from ..nlp.vocab import Vocabulary
+from .crf import CrfTagger
+from .lstm import LstmTagger
+
+_FORMAT_VERSION = 1
+
+
+def _write(directory: pathlib.Path, meta: dict, arrays: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = dict(meta, format_version=_FORMAT_VERSION)
+    (directory / "meta.json").write_text(
+        json.dumps(meta, ensure_ascii=False, indent=1)
+    )
+    np.savez(directory / "weights.npz", **arrays)
+
+
+def _read(directory: pathlib.Path) -> tuple[dict, dict]:
+    directory = pathlib.Path(directory)
+    meta_path = directory / "meta.json"
+    weights_path = directory / "weights.npz"
+    if not meta_path.exists() or not weights_path.exists():
+        raise ModelError(f"no saved model at {directory}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format {meta.get('format_version')!r}"
+        )
+    arrays = dict(np.load(weights_path, allow_pickle=False))
+    return meta, arrays
+
+
+# -- CRF ---------------------------------------------------------------
+
+
+def save_crf(tagger: CrfTagger, directory: str | pathlib.Path) -> None:
+    """Persist a trained CRF (feature index, labels, weights)."""
+    if tagger._unary is None or tagger._indexer is None:
+        raise NotFittedError("CrfTagger")
+    features = [""] * len(tagger._indexer)
+    for feature, column in tagger._indexer._index.items():
+        features[column] = feature
+    _write(
+        pathlib.Path(directory),
+        meta={
+            "kind": "crf",
+            "config": asdict(tagger.config),
+            "labels": list(tagger.labels),
+            "features": features,
+        },
+        arrays={
+            "unary": tagger._unary,
+            "transitions": tagger._transitions,
+        },
+    )
+
+
+def load_crf(directory: str | pathlib.Path) -> CrfTagger:
+    """Load a CRF saved by :func:`save_crf`."""
+    meta, arrays = _read(pathlib.Path(directory))
+    if meta.get("kind") != "crf":
+        raise ModelError(f"not a CRF model: {meta.get('kind')!r}")
+    tagger = CrfTagger(CrfConfig(**meta["config"]))
+    tagger._labels = list(meta["labels"])
+    tagger._label_index = {
+        label: index for index, label in enumerate(tagger._labels)
+    }
+    from .features import FeatureIndexer
+
+    indexer = FeatureIndexer(min_count=tagger.config.min_feature_count)
+    indexer._index = {
+        feature: column
+        for column, feature in enumerate(meta["features"])
+    }
+    tagger._indexer = indexer
+    tagger._unary = arrays["unary"]
+    tagger._transitions = arrays["transitions"]
+    return tagger
+
+
+# -- LSTM --------------------------------------------------------------
+
+
+def _vocabulary_to_list(vocabulary: Vocabulary) -> list[str]:
+    return [vocabulary.token_of(i) for i in range(len(vocabulary))]
+
+
+def _vocabulary_from_list(tokens: list[str]) -> Vocabulary:
+    return Vocabulary.from_ordered_tokens(tokens)
+
+
+def save_lstm(tagger: LstmTagger, directory: str | pathlib.Path) -> None:
+    """Persist a trained BiLSTM tagger."""
+    if tagger._word_embedding is None:
+        raise NotFittedError("LstmTagger")
+    arrays: dict = {
+        "word_embedding": tagger._word_embedding,
+        "char_embedding": tagger._char_embedding,
+    }
+    for layer, params in tagger._params.items():
+        for name, array in params.items():
+            arrays[f"{layer}__{name}"] = array
+    _write(
+        pathlib.Path(directory),
+        meta={
+            "kind": "lstm",
+            "config": asdict(tagger.config),
+            "labels": list(tagger.labels),
+            "words": _vocabulary_to_list(tagger._words),
+            "chars": _vocabulary_to_list(tagger._chars),
+        },
+        arrays=arrays,
+    )
+
+
+def load_lstm(directory: str | pathlib.Path) -> LstmTagger:
+    """Load a BiLSTM tagger saved by :func:`save_lstm`."""
+    meta, arrays = _read(pathlib.Path(directory))
+    if meta.get("kind") != "lstm":
+        raise ModelError(f"not an LSTM model: {meta.get('kind')!r}")
+    tagger = LstmTagger(LstmConfig(**meta["config"]))
+    tagger._labels = list(meta["labels"])
+    tagger._label_index = {
+        label: index for index, label in enumerate(tagger._labels)
+    }
+    tagger._words = _vocabulary_from_list(meta["words"])
+    tagger._chars = _vocabulary_from_list(meta["chars"])
+    tagger._word_embedding = arrays.pop("word_embedding")
+    tagger._char_embedding = arrays.pop("char_embedding")
+    params: dict[str, dict[str, np.ndarray]] = {}
+    for key, array in arrays.items():
+        layer, _, name = key.partition("__")
+        params.setdefault(layer, {})[name] = array
+    tagger._params = params
+    return tagger

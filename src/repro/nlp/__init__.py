@@ -1,0 +1,43 @@
+"""NLP substrate: tokenization, PoS tagging, sentences, BIO labels.
+
+The paper treats the tokenizer and part-of-speech tagger as the only
+language-dependent plug-ins of the whole architecture. This package
+mirrors that: :func:`get_locale` returns a :class:`LocaleNlp` bundle for
+a locale code, and everything downstream consumes only the produced
+:class:`~repro.types.Token` sequences.
+
+Two locales ship with the reproduction:
+
+* ``"ja"`` — stands in for MeCab-tokenized Japanese. Reproduces the
+  paper's footnote 3: numbers are split at symbols, so ``1.5`` becomes
+  the three tokens ``1``, ``.``, ``5``.
+* ``"de"`` — stands in for a German tokenizer; decimal numbers stay a
+  single token.
+"""
+
+from .bio import (
+    bio_label,
+    decode_bio,
+    encode_bio,
+    is_valid_bio,
+    repair_bio,
+)
+from .pos import PosTagger
+from .sentences import split_sentences
+from .tokenizer import LocaleNlp, Tokenizer, available_locales, get_locale
+from .vocab import Vocabulary
+
+__all__ = [
+    "LocaleNlp",
+    "PosTagger",
+    "Tokenizer",
+    "Vocabulary",
+    "available_locales",
+    "bio_label",
+    "decode_bio",
+    "encode_bio",
+    "get_locale",
+    "is_valid_bio",
+    "repair_bio",
+    "split_sentences",
+]

@@ -1,0 +1,118 @@
+"""BIO label scheme: encoding spans, decoding labels, validation.
+
+Labels are ``"O"``, ``"B-<attribute>"`` and ``"I-<attribute>"``. The
+taggers are free-running classifiers, so their output may violate the
+scheme (an ``I-`` with no preceding ``B-``); :func:`repair_bio` applies
+the conventional fix of promoting such tokens to ``B-``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+OUTSIDE = "O"
+
+
+def bio_label(prefix: str, attribute: str) -> str:
+    """Compose a BIO label, e.g. ``bio_label("B", "color") == "B-color"``."""
+    if prefix not in ("B", "I"):
+        raise ValueError(f"BIO prefix must be 'B' or 'I', got {prefix!r}")
+    return f"{prefix}-{attribute}"
+
+
+def split_label(label: str) -> tuple[str, str | None]:
+    """Split a label into ``(prefix, attribute)``; O yields ``("O", None)``."""
+    if label == OUTSIDE:
+        return OUTSIDE, None
+    prefix, _, attribute = label.partition("-")
+    if prefix not in ("B", "I") or not attribute:
+        raise ValueError(f"malformed BIO label: {label!r}")
+    return prefix, attribute
+
+
+def labels_for_attributes(attributes: Sequence[str]) -> list[str]:
+    """The full label inventory for an attribute set (O first)."""
+    labels = [OUTSIDE]
+    for attribute in attributes:
+        labels.append(bio_label("B", attribute))
+        labels.append(bio_label("I", attribute))
+    return labels
+
+
+def encode_bio(
+    length: int,
+    spans: Sequence[tuple[int, int, str]],
+) -> list[str]:
+    """Turn ``(start, end, attribute)`` spans into a BIO label sequence.
+
+    Overlapping spans are resolved first-come-first-served: a span is
+    dropped if any of its tokens is already labelled.
+
+    Args:
+        length: sentence length in tokens.
+        spans: half-open token spans with their attribute name.
+
+    Returns:
+        One label per token.
+    """
+    labels = [OUTSIDE] * length
+    for start, end, attribute in spans:
+        if start < 0 or end > length or start >= end:
+            raise ValueError(
+                f"span ({start}, {end}) out of range for length {length}"
+            )
+        if any(labels[i] != OUTSIDE for i in range(start, end)):
+            continue
+        labels[start] = bio_label("B", attribute)
+        for i in range(start + 1, end):
+            labels[i] = bio_label("I", attribute)
+    return labels
+
+
+def decode_bio(labels: Sequence[str]) -> list[tuple[int, int, str]]:
+    """Extract ``(start, end, attribute)`` spans from a label sequence.
+
+    Tolerant of scheme violations: an ``I-`` starting a new attribute (or
+    following O) opens a fresh span, mirroring :func:`repair_bio`.
+    """
+    spans: list[tuple[int, int, str]] = []
+    start: int | None = None
+    current: str | None = None
+    for index, label in enumerate(labels):
+        prefix, attribute = split_label(label)
+        if prefix == "B" or (prefix == "I" and attribute != current):
+            if start is not None:
+                spans.append((start, index, current))  # type: ignore[arg-type]
+            start, current = index, attribute
+        elif prefix == OUTSIDE:
+            if start is not None:
+                spans.append((start, index, current))  # type: ignore[arg-type]
+            start, current = None, None
+        # prefix == "I" and attribute == current: span continues.
+    if start is not None:
+        spans.append((start, len(labels), current))  # type: ignore[arg-type]
+    return spans
+
+
+def is_valid_bio(labels: Sequence[str]) -> bool:
+    """True when every ``I-`` continues a same-attribute ``B-``/``I-``."""
+    previous_attribute: str | None = None
+    for label in labels:
+        prefix, attribute = split_label(label)
+        if prefix == "I" and attribute != previous_attribute:
+            return False
+        previous_attribute = attribute if prefix != OUTSIDE else None
+    return True
+
+
+def repair_bio(labels: Sequence[str]) -> list[str]:
+    """Promote orphan ``I-`` labels to ``B-`` so the sequence is valid."""
+    repaired: list[str] = []
+    previous_attribute: str | None = None
+    for label in labels:
+        prefix, attribute = split_label(label)
+        if prefix == "I" and attribute != previous_attribute:
+            label = bio_label("B", attribute)  # type: ignore[arg-type]
+        repaired.append(label)
+        previous_attribute = attribute if prefix != OUTSIDE else None
+    return repaired

@@ -1,0 +1,77 @@
+"""Deterministic rule-based part-of-speech tagging.
+
+The tagset is deliberately small — the downstream consumers (CRF feature
+templates and the value-diversification module's PoS-sequence shapes)
+only need coarse distinctions:
+
+====  =========================================================
+tag   meaning
+====  =========================================================
+NUM   bare number (``5``; in the de locale also ``1,5``)
+UNIT  measurement unit (``kg``, ``gaso``)
+FW    function word (particles, articles)
+SYM   punctuation / other symbol
+AN    alphanumeric mix, e.g. model codes (``X100``)
+NN    everything else (nouns and content words)
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+_NUM_RE = re.compile(r"^[0-9]+$")
+_DECIMAL_RE = re.compile(r"^[0-9]+(?:[.,][0-9]+)+$")
+_ALNUM_RE = re.compile(r"^[^\W\d_]+[0-9]+$", re.UNICODE)
+_WORD_RE = re.compile(r"^[^\W\d_]+$", re.UNICODE)
+
+
+class PosTagger:
+    """Lexicon+regex PoS tagger.
+
+    Args:
+        units: lowercase unit lexicon for the locale.
+        function_words: lowercase function-word lexicon.
+        single_token_decimals: whether the locale's tokenizer emits
+            decimals as one token (de) or split (ja); controls whether
+            the decimal regex can ever match.
+    """
+
+    def __init__(
+        self,
+        units: Iterable[str],
+        function_words: Iterable[str],
+        single_token_decimals: bool,
+    ):
+        self._units = frozenset(unit.lower() for unit in units)
+        self._function_words = frozenset(
+            word.lower() for word in function_words
+        )
+        self._single_token_decimals = single_token_decimals
+
+    def tag_one(self, surface: str) -> str:
+        """Tag a single surface form."""
+        lowered = surface.lower()
+        if _NUM_RE.match(surface):
+            return "NUM"
+        if self._single_token_decimals and _DECIMAL_RE.match(surface):
+            return "NUM"
+        if lowered in self._units:
+            return "UNIT"
+        if lowered in self._function_words:
+            return "FW"
+        if _WORD_RE.match(surface):
+            return "NN"
+        if _ALNUM_RE.match(surface):
+            return "AN"
+        if len(surface) == 1 and not surface.isalnum():
+            return "SYM"
+        # Mixed leftovers (digits+symbols, symbol clusters).
+        if any(char.isalpha() for char in surface):
+            return "AN"
+        return "SYM"
+
+    def tag(self, surfaces: Sequence[str]) -> list[str]:
+        """Tag a token sequence (context-free, so order is irrelevant)."""
+        return [self.tag_one(surface) for surface in surfaces]

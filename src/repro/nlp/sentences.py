@@ -1,0 +1,61 @@
+"""Sentence splitting over extracted text blocks.
+
+The pipeline tokenizes "all the sentences in the product title and
+descriptions" (Section V-A). Titles arrive as their own block; free-text
+blocks are split on the locale's sentence terminators. The terminator
+symbol is kept as the final token of its sentence, matching common
+tokenizer behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..types import Sentence
+from .tokenizer import LocaleNlp
+
+
+def split_block(block: str, terminators: frozenset[str]) -> list[str]:
+    """Split one text block into sentence strings.
+
+    Args:
+        block: whitespace-normalized text.
+        terminators: characters that end a sentence.
+
+    Returns:
+        Non-empty sentence strings; the terminator stays attached.
+    """
+    sentences: list[str] = []
+    start = 0
+    for index, char in enumerate(block):
+        if char in terminators:
+            piece = block[start:index + 1].strip()
+            if piece:
+                sentences.append(piece)
+            start = index + 1
+    tail = block[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences
+
+
+def split_sentences(
+    product_id: str,
+    blocks: Iterable[str],
+    nlp: LocaleNlp,
+) -> list[Sentence]:
+    """Tokenize the text blocks of a page into :class:`Sentence` objects.
+
+    Sentence indices are assigned page-wide in reading order; they feed
+    the CRF's "sentence number" feature.
+    """
+    sentences: list[Sentence] = []
+    index = 0
+    for block in blocks:
+        for piece in split_block(block, nlp.sentence_terminators):
+            tokens = nlp.tokens(piece)
+            if not tokens:
+                continue
+            sentences.append(Sentence(product_id, index, tokens))
+            index += 1
+    return sentences

@@ -1,0 +1,177 @@
+"""Locale-aware tokenizers.
+
+A tokenizer turns raw text into surface tokens; the PoS tagger
+(:mod:`repro.nlp.pos`) then annotates them. Both are bundled per locale
+in :class:`LocaleNlp`, retrieved through :func:`get_locale`.
+
+The ``ja`` tokenizer reproduces the paper's footnote 3 behaviour: the
+Japanese PoS tokenizer splits ``1.5`` into three tokens (``1``, ``.``,
+``5``), which is exactly what makes un-diversified seeds fail on decimal
+weights (Section VIII-A). The ``de`` tokenizer keeps ``1.5`` (and the
+comma form ``1,5``) as one numeric token.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..errors import UnknownLocaleError
+from ..types import Token
+from .pos import PosTagger
+
+
+class Tokenizer:
+    """Regex tokenizer parameterized by a token pattern.
+
+    Args:
+        pattern: compiled regex whose non-overlapping matches are the
+            tokens, evaluated left-to-right.
+        name: human-readable tokenizer name.
+    """
+
+    def __init__(self, pattern: re.Pattern[str], name: str):
+        self._pattern = pattern
+        self.name = name
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into surface tokens."""
+        return self._pattern.findall(text)
+
+    def tokenize_with_offsets(
+        self, text: str
+    ) -> list[tuple[str, int, int]]:
+        """Tokenize keeping character provenance.
+
+        Returns:
+            ``(token, start, end)`` triples with half-open character
+            spans into ``text`` — what a UI needs to highlight an
+            extraction in the original page.
+        """
+        return [
+            (match.group(0), match.start(), match.end())
+            for match in self._pattern.finditer(text)
+        ]
+
+
+# ja: numbers never absorb separators -> "1.5" lexes as 1 / . / 5.
+_JA_TOKEN_RE = re.compile(
+    r"[A-Za-zÀ-ɏ぀-ヿ一-鿿]+[0-9]*"  # words, e.g. X100
+    r"|[0-9]+"                                                  # digit runs
+    r"|[^\sA-Za-z0-9À-ɏ぀-ヿ一-鿿]"   # one symbol
+)
+
+# de: decimal/thousand-separated numbers stay one token.
+_DE_TOKEN_RE = re.compile(
+    r"[0-9]+(?:[.,][0-9]+)*"
+    r"|[A-Za-zÀ-ɏ]+(?:-[A-Za-zÀ-ɏ]+)*[0-9]*"
+    r"|[^\sA-Za-z0-9À-ɏ]"
+)
+
+
+@dataclass(frozen=True)
+class LocaleNlp:
+    """The language-dependent bundle: tokenizer + PoS tagger.
+
+    Attributes:
+        locale: locale code (``"ja"``, ``"de"``).
+        tokenizer: surface tokenizer.
+        pos_tagger: deterministic PoS tagger for the locale.
+        sentence_terminators: characters ending a sentence in this locale.
+    """
+
+    locale: str
+    tokenizer: Tokenizer
+    pos_tagger: PosTagger
+    sentence_terminators: frozenset[str]
+
+    def tokens(self, text: str) -> tuple[Token, ...]:
+        """Tokenize and PoS-tag ``text`` in one step."""
+        surfaces = self.tokenizer.tokenize(text)
+        tags = self.pos_tagger.tag(surfaces)
+        return tuple(
+            Token(surface, tag) for surface, tag in zip(surfaces, tags)
+        )
+
+
+_JA_UNITS = frozenset(
+    {
+        "kg", "g", "mg", "cm", "mm", "m", "ml", "l", "w", "v", "mah",
+        "gaso", "byo", "mai", "hon", "dai", "inchi", "waza",
+    }
+)
+_JA_FUNCTION_WORDS = frozenset(
+    {
+        "no", "wa", "ga", "de", "ni", "wo", "to", "desu", "shimasu",
+        "kono", "sono", "arimasu", "dekimasu", "yori", "made", "kara",
+    }
+)
+_DE_UNITS = frozenset(
+    {
+        "kg", "g", "mg", "cm", "mm", "m", "ml", "l", "w", "v", "mah",
+        "mp", "sek", "liter", "watt", "stück", "stueck", "bar",
+    }
+)
+_DE_FUNCTION_WORDS = frozenset(
+    {
+        "der", "die", "das", "ein", "eine", "mit", "und", "für", "aus",
+        "von", "ist", "hat", "bei", "im", "am", "nicht", "dieser",
+        "dieses", "auf", "zu",
+    }
+)
+
+
+def _build_registry() -> dict[str, LocaleNlp]:
+    ja = LocaleNlp(
+        locale="ja",
+        tokenizer=Tokenizer(_JA_TOKEN_RE, "ja-regex"),
+        pos_tagger=PosTagger(
+            units=_JA_UNITS,
+            function_words=_JA_FUNCTION_WORDS,
+            single_token_decimals=False,
+        ),
+        # "." is NOT a terminator: it is the decimal point that the ja
+        # tokenizer splits into its own token (paper footnote 3).
+        sentence_terminators=frozenset({"。", "!", "?", "！", "？"}),
+    )
+    de = LocaleNlp(
+        locale="de",
+        tokenizer=Tokenizer(_DE_TOKEN_RE, "de-regex"),
+        pos_tagger=PosTagger(
+            units=_DE_UNITS,
+            function_words=_DE_FUNCTION_WORDS,
+            single_token_decimals=True,
+        ),
+        sentence_terminators=frozenset({".", "!", "?"}),
+    )
+    return {"ja": ja, "de": de}
+
+
+_REGISTRY = _build_registry()
+
+
+def available_locales() -> tuple[str, ...]:
+    """Locale codes with a registered NLP bundle."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_locale(locale: str) -> LocaleNlp:
+    """Return the NLP bundle for ``locale``.
+
+    Raises:
+        UnknownLocaleError: if no bundle is registered for the code.
+    """
+    try:
+        return _REGISTRY[locale]
+    except KeyError:
+        raise UnknownLocaleError(locale, available_locales()) from None
+
+
+def register_locale(bundle: LocaleNlp) -> None:
+    """Register a custom locale bundle (ports to new languages).
+
+    The paper's architecture is language-independent except for this
+    plug-in point; downstream code picks the bundle by page locale.
+    """
+    _REGISTRY[bundle.locale] = bundle

@@ -1,0 +1,111 @@
+"""Vocabulary: bidirectional token/id mapping with frequency counts.
+
+Used by the word2vec trainer and the BiLSTM embedding layers. Index 0 is
+always the unknown token so models can embed out-of-vocabulary words.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+UNKNOWN = "<unk>"
+
+
+class Vocabulary:
+    """A frozen-on-demand token inventory.
+
+    Build by calling :meth:`add` (or :meth:`add_all`) and then
+    :meth:`freeze`. Lookup of unseen tokens returns the unknown id.
+    """
+
+    def __init__(self, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self._min_count = min_count
+        self._counts: Counter[str] = Counter()
+        self._token_to_id: dict[str, int] | None = None
+        self._id_to_token: list[str] = []
+
+    def add(self, token: str) -> None:
+        """Count one occurrence of ``token``. Only valid before freeze."""
+        if self._token_to_id is not None:
+            raise RuntimeError("vocabulary already frozen")
+        self._counts[token] += 1
+
+    def add_all(self, tokens: Iterable[str]) -> None:
+        """Count many tokens at once."""
+        if self._token_to_id is not None:
+            raise RuntimeError("vocabulary already frozen")
+        self._counts.update(tokens)
+
+    def freeze(self) -> "Vocabulary":
+        """Assign ids (frequency-descending, ties lexicographic).
+
+        Returns self for chaining. Idempotent.
+        """
+        if self._token_to_id is None:
+            kept = [
+                token
+                for token, count in self._counts.items()
+                if count >= self._min_count
+            ]
+            kept.sort(key=lambda token: (-self._counts[token], token))
+            self._id_to_token = [UNKNOWN] + kept
+            self._token_to_id = {
+                token: index for index, token in enumerate(self._id_to_token)
+            }
+        return self
+
+    @classmethod
+    def from_ordered_tokens(cls, tokens: list[str]) -> "Vocabulary":
+        """Rebuild a frozen vocabulary from its id-ordered token list.
+
+        Used by model persistence; ``tokens[0]`` must be the unknown
+        token. Counts are not restored (they are training-time state).
+        """
+        if not tokens or tokens[0] != UNKNOWN:
+            raise ValueError(
+                f"ordered token list must start with {UNKNOWN!r}"
+            )
+        vocabulary = cls()
+        vocabulary._id_to_token = list(tokens)
+        vocabulary._token_to_id = {
+            token: index for index, token in enumerate(tokens)
+        }
+        return vocabulary
+
+    @property
+    def frozen(self) -> bool:
+        return self._token_to_id is not None
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token``, or the unknown id (0) if absent."""
+        if self._token_to_id is None:
+            raise RuntimeError("vocabulary must be frozen before lookup")
+        return self._token_to_id.get(token, 0)
+
+    def token_of(self, index: int) -> str:
+        """Token with id ``index``."""
+        if self._token_to_id is None:
+            raise RuntimeError("vocabulary must be frozen before lookup")
+        return self._id_to_token[index]
+
+    def count_of(self, token: str) -> int:
+        """Raw occurrence count (0 for unseen tokens)."""
+        return self._counts.get(token, 0)
+
+    def __contains__(self, token: str) -> bool:
+        if self._token_to_id is None:
+            raise RuntimeError("vocabulary must be frozen before lookup")
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        if self._token_to_id is None:
+            raise RuntimeError("vocabulary must be frozen before lookup")
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        if self._token_to_id is None:
+            raise RuntimeError("vocabulary must be frozen before lookup")
+        return iter(self._id_to_token)

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus import Marketplace
+from repro.nlp import get_locale
+from repro.types import Sentence, TaggedSentence
+
+
+@pytest.fixture(scope="session")
+def ja():
+    """The Japanese-locale NLP bundle."""
+    return get_locale("ja")
+
+
+@pytest.fixture(scope="session")
+def de():
+    """The German-locale NLP bundle."""
+    return get_locale("de")
+
+
+@pytest.fixture
+def make_sentence(ja):
+    """Factory: text -> tokenized Sentence in the ja locale."""
+
+    def _make(
+        text: str, product_id: str = "p0", index: int = 0
+    ) -> Sentence:
+        return Sentence(product_id, index, ja.tokens(text))
+
+    return _make
+
+
+@pytest.fixture
+def make_tagged(make_sentence):
+    """Factory: (text, value, attribute) -> BIO-labelled sentence.
+
+    Labels the first occurrence of ``value``'s token sequence.
+    """
+
+    def _make(
+        text: str,
+        value: str,
+        attribute: str,
+        product_id: str = "p0",
+        index: int = 0,
+    ) -> TaggedSentence:
+        sentence = make_sentence(text, product_id, index)
+        texts = list(sentence.texts())
+        value_tokens = value.split(" ")
+        labels = ["O"] * len(texts)
+        for start in range(len(texts) - len(value_tokens) + 1):
+            if texts[start:start + len(value_tokens)] == value_tokens:
+                labels[start] = f"B-{attribute}"
+                for offset in range(1, len(value_tokens)):
+                    labels[start + offset] = f"I-{attribute}"
+                break
+        return TaggedSentence(sentence, tuple(labels))
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def small_vacuum_dataset():
+    """A small but non-trivial generated category (cached per session)."""
+    return Marketplace(seed=11).generate("vacuum_cleaner", 80)
+
+
+@pytest.fixture(scope="session")
+def small_garden_dataset():
+    """The noisy category at small scale (cached per session)."""
+    return Marketplace(seed=11).generate("garden", 80)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

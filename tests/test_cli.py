@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_categories_command(capsys):
+    assert main(["categories"]) == 0
+    out = capsys.readouterr().out
+    assert "vacuum_cleaner" in out
+    assert "baby_goods" in out
+    assert "heterogeneous union" in out
+
+
+def test_run_command(capsys):
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "50",
+            "--iterations", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "precision:" in out
+    assert "coverage:" in out
+    assert "iteration" in out
+
+
+def test_run_command_no_cleaning(capsys):
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "50",
+            "--iterations", "1", "--no-cleaning",
+            "--no-diversification",
+        ]
+    )
+    assert code == 0
+
+
+def test_experiment_command_table1(capsys):
+    code = main(
+        [
+            "experiment", "--name", "table1", "--products", "60",
+            "--iterations", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "--name", "table99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,167 @@
+"""Tests for attribute aggregation (the Charron-style scoring)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import SeedConfig
+from repro.core.preprocess import aggregate_attributes
+from repro.core.preprocess.aggregation import charron_score
+from repro.core.preprocess.candidate_discovery import RawCandidate
+
+
+def _candidates(spec):
+    """spec: {attribute: [(page, value), ...]}"""
+    return [
+        RawCandidate(page, attribute, value)
+        for attribute, rows in spec.items()
+        for page, value in rows
+    ]
+
+
+class TestCharronScore:
+    def test_identical_small_alias_scores_high(self):
+        small = {"A", "B"}
+        large = {"A", "B", "C", "D", "E", "F", "G", "H"}
+        assert charron_score(small, large, damping=0.6) > 0.8
+
+    def test_comparable_ranges_are_damped(self):
+        first = {"A", "B", "C", "D"}
+        second = {"A", "B", "C", "E"}
+        full = charron_score(first, second, damping=0.0)
+        damped = charron_score(first, second, damping=0.9)
+        assert damped < full
+
+    def test_disjoint_sets_score_zero(self):
+        assert charron_score({"A"}, {"B"}, damping=0.5) == 0.0
+
+    def test_empty_set_scores_zero(self):
+        assert charron_score(set(), {"A"}, damping=0.5) == 0.0
+
+    def test_symmetric(self):
+        first = {"A", "B", "C"}
+        second = {"B", "C", "D", "E"}
+        assert charron_score(first, second, 0.6) == charron_score(
+            second, first, 0.6
+        )
+
+    @given(
+        st.sets(st.integers(0, 30), min_size=1, max_size=15),
+        st.sets(st.integers(0, 30), min_size=1, max_size=15),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_score_bounded(self, first, second, damping):
+        first = {str(x) for x in first}
+        second = {str(x) for x in second}
+        score = charron_score(first, second, damping)
+        assert 0.0 <= score <= 1.0
+
+
+class TestAggregation:
+    def test_alias_with_shared_values_merges(self):
+        config = SeedConfig(min_attribute_pages=1)
+        candidates = _candidates(
+            {
+                "meka": [(f"p{i}", v) for i, v in enumerate(
+                    ["Nikkon", "Sorex", "Hikari", "Yamado", "Sakura",
+                     "Kazeno", "Fujita", "Aoyama"]
+                )],
+                "seizomoto": [("q1", "Nikkon"), ("q2", "Sorex")],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("seizomoto") == "meka"
+        assert clusters.resolve("meka") == "meka"
+        assert clusters.members("meka") == ("meka", "seizomoto")
+
+    def test_distinct_attributes_stay_apart(self):
+        config = SeedConfig(min_attribute_pages=1)
+        candidates = _candidates(
+            {
+                "iro": [(f"p{i}", v) for i, v in enumerate(
+                    ["aka", "ao", "shiro"]
+                )],
+                "sozai": [(f"p{i}", v) for i, v in enumerate(
+                    ["men", "kawa", "nairon"]
+                )],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("iro") == "iro"
+        assert clusters.resolve("sozai") == "sozai"
+
+    def test_comparable_range_sizes_do_not_merge(self):
+        # Two sibling attributes sharing half their values but with
+        # equal range sizes: the damping keeps them apart.
+        config = SeedConfig(
+            min_attribute_pages=1,
+            aggregation_threshold=0.5,
+            aggregation_damping=0.9,
+        )
+        shared = ["5 kg", "10 kg", "15 kg"]
+        candidates = _candidates(
+            {
+                "juryo": [
+                    (f"p{i}", v)
+                    for i, v in enumerate(shared + ["2 kg", "3 kg", "4 kg"])
+                ],
+                "taika juryo": [
+                    (f"q{i}", v)
+                    for i, v in enumerate(
+                        shared + ["40 kg", "60 kg", "80 kg"]
+                    )
+                ],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("juryo") != clusters.resolve("taika juryo")
+
+    def test_rare_attribute_names_dropped(self):
+        config = SeedConfig(min_attribute_pages=3)
+        candidates = _candidates(
+            {
+                "iro": [(f"p{i}", "aka") for i in range(5)],
+                "sonota": [("p1", "―")],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("sonota") is None
+        assert clusters.resolve("iro") == "iro"
+
+    def test_canonical_is_best_supported_member(self):
+        config = SeedConfig(min_attribute_pages=1)
+        candidates = _candidates(
+            {
+                "karaa": [("p1", "aka"), ("p2", "ao")],
+                "iro": [(f"q{i}", v) for i, v in enumerate(
+                    ["aka", "ao", "shiro", "kuro", "gin"]
+                )],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("karaa") == "iro"
+
+    def test_merging_is_transitive(self):
+        config = SeedConfig(
+            min_attribute_pages=1, aggregation_threshold=0.3
+        )
+        base = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J"]
+        candidates = _candidates(
+            {
+                "big": [(f"p{i}", v) for i, v in enumerate(base)],
+                "alias1": [("q1", "A"), ("q2", "B")],
+                "alias2": [("r1", "C"), ("r2", "D")],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.resolve("alias1") == clusters.resolve("alias2")
+
+    def test_cluster_names_sorted(self):
+        config = SeedConfig(min_attribute_pages=1)
+        candidates = _candidates(
+            {
+                "b": [("p1", "x")],
+                "a": [("p2", "y")],
+            }
+        )
+        clusters = aggregate_attributes(candidates, config)
+        assert clusters.cluster_names() == ("a", "b")

@@ -1,0 +1,114 @@
+"""Integration tests for the bootstrap loop (Figure 1)."""
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core.bootstrap import Bootstrapper, restrict_to_attributes
+from repro.errors import TrainingError
+from repro.evaluation import build_truth_sample, precision
+from repro.types import ProductPage, TaggedSentence
+
+
+@pytest.fixture(scope="module")
+def run_result(small_vacuum_dataset):
+    config = PipelineConfig(iterations=2)
+    return Bootstrapper(config).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+
+
+def test_runs_requested_iterations(run_result):
+    assert len(run_result.iterations) == 2
+    assert [it.iteration for it in run_result.iterations] == [1, 2]
+
+
+def test_triples_accumulate_monotonically(run_result):
+    previous = run_result.seed_triples
+    for iteration in run_result.iterations:
+        assert previous <= iteration.triples
+        previous = iteration.triples
+
+
+def test_bootstrap_extends_seed(run_result):
+    assert len(run_result.final_triples) > len(run_result.seed_triples)
+
+
+def test_new_triples_disjoint_from_prior(run_result):
+    seen = set(run_result.seed_triples)
+    for iteration in run_result.iterations:
+        assert not (iteration.new_triples & seen)
+        seen |= iteration.triples
+
+
+def test_veto_and_semantic_stats_present(run_result):
+    for iteration in run_result.iterations:
+        assert iteration.veto_stats is not None
+        assert iteration.candidate_extractions >= 0
+
+
+def test_cleaning_disabled_produces_no_stats(small_vacuum_dataset):
+    config = PipelineConfig(iterations=1).without_cleaning()
+    result = Bootstrapper(config).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    assert result.iterations[0].veto_stats is None
+    assert result.iterations[0].semantic_stats is None
+
+
+def test_triples_after_bounds(run_result):
+    assert run_result.triples_after(0) == run_result.seed_triples
+    with pytest.raises(IndexError):
+        run_result.triples_after(3)
+
+
+def test_covered_products_subset_of_inputs(
+    run_result, small_vacuum_dataset
+):
+    ids = {p.page.product_id for p in small_vacuum_dataset.pages}
+    assert run_result.covered_products() <= ids
+
+
+def test_precision_reasonable_on_small_data(
+    run_result, small_vacuum_dataset
+):
+    truth = build_truth_sample(small_vacuum_dataset)
+    breakdown = precision(run_result.final_triples, truth)
+    assert breakdown.precision > 0.6
+
+
+def test_attribute_subset_restricts_output(small_vacuum_dataset):
+    config = PipelineConfig(iterations=1)
+    result = Bootstrapper(config, attribute_subset=("juryo",)).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    attributes = {t.attribute for t in result.final_triples}
+    assert attributes <= {"juryo"}
+
+
+def test_restrict_to_attributes_blanks_labels(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro")
+    (restricted,) = restrict_to_attributes([tagged], frozenset({"juryo"}))
+    assert all(label == "O" for label in restricted.labels)
+    (kept,) = restrict_to_attributes([tagged], frozenset({"iro"}))
+    assert kept.labels == tagged.labels
+
+
+def test_category_without_tables_raises():
+    pages = [
+        ProductPage(
+            f"p{i}", "cat",
+            "<html><body><p>plain text。</p></body></html>", "ja",
+        )
+        for i in range(5)
+    ]
+    from collections import Counter
+
+    from repro.corpus.querylog import QueryLog
+
+    with pytest.raises(TrainingError):
+        Bootstrapper(PipelineConfig(iterations=1)).run(
+            pages, QueryLog(Counter())
+        )

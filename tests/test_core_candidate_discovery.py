@@ -1,0 +1,93 @@
+"""Tests for dictionary-table candidate discovery."""
+
+from repro.core.preprocess import discover_candidates
+from repro.core.preprocess.candidate_discovery import pages_with_tables
+from repro.types import ProductPage
+
+
+def _page(product_id, body, locale="ja"):
+    return ProductPage(
+        product_id, "cat", f"<html><body>{body}</body></html>", locale
+    )
+
+
+def test_extracts_rows_from_dictionary_table():
+    page = _page(
+        "p1",
+        "<table><tr><td>iro</td><td>aka</td></tr>"
+        "<tr><td>juryo</td><td>2.5kg</td></tr></table>",
+    )
+    candidates = discover_candidates([page])
+    assert {(c.attribute, c.value_key) for c in candidates} == {
+        ("iro", "aka"),
+        ("juryo", "2 . 5 kg"),
+    }
+    assert all(c.product_id == "p1" for c in candidates)
+
+
+def test_value_tokens_split_from_key():
+    page = _page(
+        "p1", "<table><tr><td>juryo</td><td>2.5kg</td></tr></table>"
+    )
+    (candidate,) = discover_candidates([page])
+    assert candidate.value_tokens == ("2", ".", "5", "kg")
+
+
+def test_page_without_tables_yields_nothing():
+    page = _page("p1", "<p>juryo wa 2kg desu。</p>")
+    assert discover_candidates([page]) == []
+
+
+def test_non_dictionary_tables_ignored():
+    page = _page(
+        "p1",
+        "<table><tr><td>a</td><td>b</td><td>c</td></tr>"
+        "<tr><td>d</td><td>e</td><td>f</td></tr>"
+        "<tr><td>g</td><td>h</td><td>i</td></tr></table>",
+    )
+    assert discover_candidates([page]) == []
+
+
+def test_duplicate_rows_within_page_kept_once():
+    page = _page(
+        "p1",
+        "<table><tr><td>iro</td><td>aka</td></tr>"
+        "<tr><td>iro</td><td>aka</td></tr></table>",
+    )
+    assert len(discover_candidates([page])) == 1
+
+
+def test_same_row_on_two_pages_counts_twice():
+    pages = [
+        _page("p1", "<table><tr><td>iro</td><td>aka</td></tr></table>"),
+        _page("p2", "<table><tr><td>iro</td><td>aka</td></tr></table>"),
+    ]
+    assert len(discover_candidates(pages)) == 2
+
+
+def test_german_pages_use_german_tokenizer():
+    page = _page(
+        "p1",
+        "<table><tr><td>Gewicht</td><td>2,5 kg</td></tr></table>",
+        locale="de",
+    )
+    (candidate,) = discover_candidates([page])
+    assert candidate.value_key == "2,5 kg"
+
+
+def test_pages_with_tables_helper():
+    pages = [
+        _page("p1", "<table><tr><td>iro</td><td>aka</td></tr></table>"),
+        _page("p2", "<p>no table</p>"),
+    ]
+    assert pages_with_tables(discover_candidates(pages)) == {"p1"}
+
+
+def test_multiword_attribute_names_normalized():
+    page = _page(
+        "p1",
+        "<table><tr><td>shatta  supido</td><td>1/4000 byo</td></tr>"
+        "</table>",
+    )
+    (candidate,) = discover_candidates([page])
+    assert candidate.attribute == "shatta supido"

@@ -1,0 +1,124 @@
+"""Tests for catalog assembly and faceted search."""
+
+import pytest
+
+from repro.core.catalog import build_catalog
+from repro.types import Triple
+
+
+def _triples(rows):
+    return [Triple(*row) for row in rows]
+
+
+def test_records_group_by_product():
+    catalog = build_catalog(
+        _triples(
+            [
+                ("p1", "iro", "aka"),
+                ("p1", "juryo", "2 kg"),
+                ("p2", "iro", "ao"),
+            ]
+        )
+    )
+    assert len(catalog) == 2
+    assert catalog.records["p1"].value_of("iro") == "aka"
+    assert catalog.records["p1"].value_of("juryo") == "2 kg"
+    assert catalog.records["p2"].value_of("juryo") is None
+
+
+def test_facet_search():
+    catalog = build_catalog(
+        _triples(
+            [
+                ("p1", "iro", "aka"),
+                ("p2", "iro", "aka"),
+                ("p3", "iro", "ao"),
+            ]
+        )
+    )
+    assert catalog.find("iro", "aka") == ("p1", "p2")
+    assert catalog.find("iro", "ao") == ("p3",)
+    assert catalog.find("iro", "missing") == ()
+    assert catalog.find("ghost", "aka") == ()
+
+
+def test_functional_attribute_conflict_resolution():
+    # juryo is single-valued for most products -> functional; p1's
+    # conflict resolves to the better-supported value.
+    rows = [("p1", "juryo", "2 kg"), ("p1", "juryo", "2 kg"),
+            ("p1", "juryo", "5 kg")]
+    rows += [(f"q{i}", "juryo", "3 kg") for i in range(8)]
+    catalog = build_catalog(_triples(rows))
+    assert "juryo" in catalog.functional_attributes
+    assert catalog.records["p1"].attributes["juryo"] == ("2 kg",)
+
+
+def test_multi_valued_attribute_keeps_all():
+    # sozai carries two values for most products -> not functional.
+    rows = []
+    for index in range(5):
+        rows.append((f"p{index}", "sozai", "men"))
+        rows.append((f"p{index}", "sozai", "kawa"))
+    catalog = build_catalog(_triples(rows))
+    assert "sozai" not in catalog.functional_attributes
+    assert catalog.records["p0"].attributes["sozai"] == ("kawa", "men")
+
+
+def test_alias_map_applied():
+    catalog = build_catalog(
+        _triples([("p1", "omosa", "2 kg")]),
+        alias_map={"omosa": "juryo"},
+    )
+    assert catalog.records["p1"].value_of("juryo") == "2 kg"
+
+
+def test_fill_rate():
+    catalog = build_catalog(
+        _triples(
+            [
+                ("p1", "iro", "aka"),
+                ("p2", "iro", "ao"),
+                ("p2", "juryo", "2 kg"),
+            ]
+        )
+    )
+    rates = catalog.attribute_fill_rate()
+    assert rates["iro"] == 1.0
+    assert rates["juryo"] == 0.5
+    # Against the whole input corpus (coverage semantics).
+    rates_vs_corpus = catalog.attribute_fill_rate(product_count=10)
+    assert rates_vs_corpus["iro"] == pytest.approx(0.2)
+
+
+def test_empty_input():
+    catalog = build_catalog([])
+    assert len(catalog) == 0
+    assert catalog.facets == {}
+
+
+def test_deterministic_tie_break():
+    rows = [("p1", "juryo", "5 kg"), ("p1", "juryo", "2 kg")]
+    rows += [(f"q{i}", "juryo", "3 kg") for i in range(8)]
+    first = build_catalog(_triples(rows))
+    second = build_catalog(_triples(reversed(rows)))
+    assert (
+        first.records["p1"].attributes
+        == second.records["p1"].attributes
+    )
+
+
+def test_end_to_end_from_pipeline(small_vacuum_dataset):
+    from repro import PAEPipeline, PipelineConfig
+
+    result = PAEPipeline(PipelineConfig(iterations=1)).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    catalog = build_catalog(
+        result.triples, alias_map=small_vacuum_dataset.alias_map
+    )
+    assert len(catalog) > 0
+    fill = catalog.attribute_fill_rate(
+        product_count=len(small_vacuum_dataset)
+    )
+    assert all(0.0 < rate <= 1.0 for rate in fill.values())

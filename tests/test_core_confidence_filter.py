@@ -1,0 +1,69 @@
+"""Tests for the confidence-filter bootstrap knob."""
+
+import pytest
+
+from repro import PAEPipeline, PipelineConfig
+from repro.errors import ConfigError
+
+
+def test_rejects_out_of_range_threshold():
+    with pytest.raises(ConfigError):
+        PipelineConfig(min_confidence=1.0)
+    with pytest.raises(ConfigError):
+        PipelineConfig(min_confidence=-0.1)
+
+
+def test_zero_threshold_is_identity(small_vacuum_dataset):
+    pages = list(small_vacuum_dataset.product_pages)
+    baseline = PAEPipeline(
+        PipelineConfig(iterations=1, min_confidence=0.0)
+    ).run(pages, small_vacuum_dataset.query_log)
+    # Confidence path with an always-passing threshold yields the same
+    # extraction set (labels are identical; only the code path differs).
+    low = PAEPipeline(
+        PipelineConfig(iterations=1, min_confidence=1e-9)
+    ).run(pages, small_vacuum_dataset.query_log)
+    assert low.triples == baseline.triples
+
+
+def test_high_threshold_prunes_extractions(small_vacuum_dataset):
+    pages = list(small_vacuum_dataset.product_pages)
+    baseline = PAEPipeline(
+        PipelineConfig(iterations=1)
+    ).run(pages, small_vacuum_dataset.query_log)
+    strict = PAEPipeline(
+        PipelineConfig(iterations=1, min_confidence=0.95)
+    ).run(pages, small_vacuum_dataset.query_log)
+    assert len(strict.triples) <= len(baseline.triples)
+    assert strict.seed_triples == baseline.seed_triples
+
+
+def test_confidence_filter_is_precision_positive(
+    small_vacuum_dataset,
+):
+    from repro.evaluation import build_truth_sample, precision
+
+    truth = build_truth_sample(small_vacuum_dataset)
+    pages = list(small_vacuum_dataset.product_pages)
+    baseline = PAEPipeline(PipelineConfig(iterations=1)).run(
+        pages, small_vacuum_dataset.query_log
+    )
+    strict = PAEPipeline(
+        PipelineConfig(iterations=1, min_confidence=0.9)
+    ).run(pages, small_vacuum_dataset.query_log)
+    assert (
+        precision(strict.triples, truth).precision
+        >= precision(baseline.triples, truth).precision - 0.02
+    )
+
+
+def test_lstm_backend_ignores_threshold(small_vacuum_dataset):
+    """The knob is CRF-only; the LSTM path must still run."""
+    config = PipelineConfig(
+        iterations=1, tagger="lstm", min_confidence=0.9
+    )
+    result = PAEPipeline(config).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    assert result.triples >= result.seed_triples

@@ -1,0 +1,96 @@
+"""Tests for value diversification (PoS-shape re-injection)."""
+
+from collections import Counter
+
+from repro.config import SeedConfig
+from repro.core.preprocess import aggregate_attributes, diversify_values
+from repro.core.preprocess.candidate_discovery import RawCandidate
+from repro.core.preprocess.diversification import pos_sequence
+
+
+def _setup(rows):
+    candidates = [
+        RawCandidate(page, "juryo", value) for page, value in rows
+    ]
+    clusters = aggregate_attributes(
+        candidates, SeedConfig(min_attribute_pages=1)
+    )
+    return candidates, clusters
+
+
+def test_pos_sequence_of_integer_and_decimal():
+    assert pos_sequence("5 kg", "ja") == ("NUM", "UNIT")
+    assert pos_sequence("2 . 5 kg", "ja") == ("NUM", "SYM", "NUM", "UNIT")
+
+
+def test_rare_shape_reinjected():
+    """The §VIII-A scenario: the cleaned seed has only integers, the
+    raw candidates also contain rare decimals — diversification adopts
+    the most frequent decimal values."""
+    rows = [(f"p{i}", f"{i % 4 + 1} kg") for i in range(12)]
+    rows += [("q1", "2 . 5 kg"), ("q2", "2 . 5 kg"), ("q3", "7 . 1 kg")]
+    candidates, clusters = _setup(rows)
+    cleaned = {"juryo": Counter({f"{m} kg": 3 for m in (1, 2, 3, 4)})}
+    diversified = diversify_values(
+        cleaned, candidates, clusters, "ja",
+        SeedConfig(diversification_k=3, diversification_n=2),
+    )
+    assert "2 . 5 kg" in diversified["juryo"]
+
+
+def test_respects_n_limit_per_shape():
+    rows = [(f"p{i}", f"{i % 4 + 1} kg") for i in range(12)]
+    rows += [(f"d{i}", f"{i} . 5 kg") for i in range(6)]
+    candidates, clusters = _setup(rows)
+    cleaned = {"juryo": Counter({"1 kg": 3})}
+    diversified = diversify_values(
+        cleaned, candidates, clusters, "ja",
+        SeedConfig(diversification_k=4, diversification_n=2),
+    )
+    decimals = [
+        value for value in diversified["juryo"] if " . " in value
+    ]
+    assert len(decimals) == 2
+
+
+def test_respects_k_shapes():
+    rows = (
+        [(f"a{i}", f"{i+1} kg") for i in range(8)]          # NUM UNIT
+        + [(f"b{i}", f"{i} . 5 kg") for i in range(4)]      # NUM SYM NUM UNIT
+        + [(f"c{i}", "kamipakku") for i in range(2)]        # NN (rarest)
+    )
+    candidates, clusters = _setup(rows)
+    cleaned = {"juryo": Counter({"1 kg": 3})}
+    diversified = diversify_values(
+        cleaned, candidates, clusters, "ja",
+        SeedConfig(diversification_k=2, diversification_n=3),
+    )
+    # The NN shape is the least frequent and falls outside top-2.
+    assert "kamipakku" not in diversified["juryo"]
+
+
+def test_disabled_when_k_or_n_zero():
+    rows = [("p1", "1 kg"), ("p2", "2 . 5 kg")]
+    candidates, clusters = _setup(rows)
+    cleaned = {"juryo": Counter({"1 kg": 1})}
+    out = diversify_values(
+        cleaned, candidates, clusters, "ja",
+        SeedConfig(diversification_k=0, diversification_n=0),
+    )
+    assert dict(out["juryo"]) == {"1 kg": 1}
+
+
+def test_input_not_mutated():
+    rows = [(f"p{i}", "1 kg") for i in range(3)]
+    rows += [("q1", "2 . 5 kg")]
+    candidates, clusters = _setup(rows)
+    cleaned = {"juryo": Counter({"1 kg": 3})}
+    diversify_values(cleaned, candidates, clusters, "ja", SeedConfig())
+    assert dict(cleaned["juryo"]) == {"1 kg": 3}
+
+
+def test_attributes_missing_from_cleaned_are_not_added():
+    rows = [("p1", "1 kg")]
+    candidates, clusters = _setup(rows)
+    out = diversify_values({}, candidates, clusters, "ja", SeedConfig())
+    assert out == {}

@@ -1,0 +1,53 @@
+"""Tests for extraction <-> tagged-sentence conversion."""
+
+from repro.core.cleaning import extractions_from_tagged, rebuild_tagged
+from repro.types import Extraction
+
+
+def test_extractions_from_tagged(make_tagged):
+    tagged = make_tagged("juryo wa 2 . 5 kg desu", "2 . 5 kg", "juryo")
+    (extraction,) = extractions_from_tagged([tagged])
+    assert extraction.attribute == "juryo"
+    assert extraction.value == "2 . 5 kg"
+    assert (extraction.start, extraction.end) == (2, 6)
+    assert extraction.product_id == "p0"
+
+
+def test_multiple_spans_per_sentence(make_sentence):
+    from repro.types import TaggedSentence
+
+    sentence = make_sentence("aka to ao desu")
+    tagged = TaggedSentence(
+        sentence, ("B-iro", "O", "B-iro", "O")
+    )
+    extractions = extractions_from_tagged([tagged])
+    assert [e.value for e in extractions] == ["aka", "ao"]
+
+
+def test_rebuild_keeps_only_surviving_spans(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro")
+    extraction = extractions_from_tagged([tagged])[0]
+    (rebuilt,) = rebuild_tagged([tagged], [extraction])
+    assert rebuilt.labels == tagged.labels
+
+
+def test_rebuild_drops_sentences_without_survivors(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro")
+    rebuilt = rebuild_tagged([tagged], [])
+    assert rebuilt == []
+
+
+def test_rebuild_can_keep_all_o_sentences(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro")
+    rebuilt = rebuild_tagged([tagged], [], drop_unlabelled=False)
+    assert len(rebuilt) == 1
+    assert all(label == "O" for label in rebuilt[0].labels)
+
+
+def test_rebuild_matches_by_sentence_identity(make_tagged):
+    first = make_tagged("iro wa aka desu", "aka", "iro", index=0)
+    second = make_tagged("iro wa ao desu", "ao", "iro", index=1)
+    extractions = extractions_from_tagged([first, second])
+    kept = [e for e in extractions if e.value == "ao"]
+    (rebuilt,) = rebuild_tagged([first, second], kept)
+    assert rebuilt.sentence.index == 1

@@ -1,0 +1,90 @@
+"""Unit and property tests for the distant-supervision value matcher."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.preprocess.matcher import ValueMatcher
+
+
+def test_single_word_match():
+    matcher = ValueMatcher({"iro": ["aka"]})
+    spans = matcher.find_spans(["iro", "wa", "aka", "desu"])
+    assert spans == [(2, 3, "iro")]
+
+
+def test_multiword_match():
+    matcher = ValueMatcher({"juryo": ["2 . 5 kg"]})
+    spans = matcher.find_spans(["juryo", "wa", "2", ".", "5", "kg", "desu"])
+    assert spans == [(2, 6, "juryo")]
+
+
+def test_longest_match_wins():
+    matcher = ValueMatcher({"juryo": ["5 kg", "2 . 5 kg"]})
+    spans = matcher.find_spans(["2", ".", "5", "kg"])
+    assert spans == [(0, 4, "juryo")]
+
+
+def test_ambiguous_value_skipped():
+    matcher = ValueMatcher({"iro": ["aka"], "teema": ["aka"]})
+    assert matcher.find_spans(["aka"]) == []
+
+
+def test_page_preference_resolves_ambiguity():
+    matcher = ValueMatcher({"iro": ["aka"], "teema": ["aka"]})
+    spans = matcher.find_spans(["aka"], prefer={"aka": "teema"})
+    assert spans == [(0, 1, "teema")]
+
+
+def test_preference_for_unknown_attribute_ignored():
+    matcher = ValueMatcher({"iro": ["aka"]})
+    spans = matcher.find_spans(["aka"], prefer={"aka": "ghost"})
+    # 'ghost' does not own the value; unique fallback applies.
+    assert spans == [(0, 1, "iro")]
+
+
+def test_multiple_occurrences_all_found():
+    matcher = ValueMatcher({"iro": ["aka"]})
+    spans = matcher.find_spans(["aka", "to", "aka"])
+    assert spans == [(0, 1, "iro"), (2, 3, "iro")]
+
+
+def test_no_match_in_plain_text():
+    matcher = ValueMatcher({"iro": ["aka"]})
+    assert matcher.find_spans(["nothing", "here"]) == []
+
+
+def test_empty_matcher():
+    matcher = ValueMatcher({})
+    assert len(matcher) == 0
+    assert matcher.find_spans(["a", "b"]) == []
+
+
+def test_longest_failed_match_does_not_hide_shorter_value():
+    # "2 . 5 kg" is known under juryo; "2 . 5" alone under another
+    # attribute. At position 0 the longest window fails (only the
+    # longest hit is tried), matching the greedy specification.
+    matcher = ValueMatcher({"juryo": ["2 . 5 kg"], "saizu": ["5 cm"]})
+    spans = matcher.find_spans(["2", ".", "5", "cm"])
+    assert spans == [(2, 4, "saizu")]
+
+
+_VOCAB = ["aka", "ao", "kg", "2", "5", ".", "wa", "desu"]
+
+
+@given(
+    st.lists(st.sampled_from(_VOCAB), max_size=25),
+)
+def test_spans_are_ordered_nonoverlapping_in_bounds(tokens):
+    matcher = ValueMatcher(
+        {"iro": ["aka", "ao"], "juryo": ["2 kg", "2 . 5 kg", "5 kg"]}
+    )
+    spans = matcher.find_spans(tokens)
+    previous_end = 0
+    for start, end, attribute in spans:
+        assert 0 <= start < end <= len(tokens)
+        assert start >= previous_end
+        previous_end = end
+        # Every span's tokens reproduce a known value key.
+        assert " ".join(tokens[start:end]) in {
+            "aka", "ao", "2 kg", "2 . 5 kg", "5 kg",
+        }

@@ -1,0 +1,95 @@
+"""Tests for the assembled Seed object and build_seed chain."""
+
+import pytest
+
+from repro.config import SeedConfig
+from repro.core.preprocess import build_seed, discover_candidates
+from repro.types import AttributeValuePair, ProductPage
+
+
+def _page(product_id, rows, extra=""):
+    table = "".join(
+        f"<tr><td>{name}</td><td>{value}</td></tr>"
+        for name, value in rows
+    )
+    return ProductPage(
+        product_id, "cat",
+        f"<html><body><table>{table}</table>{extra}</body></html>",
+        "ja",
+    )
+
+
+@pytest.fixture
+def pages():
+    rows = [("iro", "aka"), ("juryo", "2kg")]
+    return [
+        _page(f"p{index}", rows + ([("juryo", "2.5kg")] if index == 0 else []))
+        for index in range(4)
+    ]
+
+
+@pytest.fixture
+def config():
+    return SeedConfig(min_attribute_pages=1, min_value_page_frequency=2)
+
+
+@pytest.fixture
+def empty_log():
+    from collections import Counter
+
+    from repro.corpus.querylog import QueryLog
+
+    return QueryLog(Counter())
+
+
+def test_seed_contains_frequent_pairs(pages, config, empty_log):
+    seed = build_seed(pages, empty_log, config)
+    assert AttributeValuePair("iro", "aka") in seed
+    assert AttributeValuePair("juryo", "2 kg") in seed
+    assert seed.attributes == ("iro", "juryo")
+
+
+def test_value_keys_accessor(pages, config, empty_log):
+    seed = build_seed(pages, empty_log, config)
+    assert "aka" in seed.value_keys("iro")
+    assert seed.value_keys("ghost") == frozenset()
+
+
+def test_diversification_restores_rare_shape(pages, config, empty_log):
+    # "2 . 5 kg" occurs on one page only (below min frequency) but its
+    # decimal shape is among the top PoS sequences.
+    with_div = build_seed(
+        pages, empty_log, config, enable_diversification=True
+    )
+    without_div = build_seed(
+        pages, empty_log, config, enable_diversification=False
+    )
+    assert AttributeValuePair("juryo", "2 . 5 kg") in with_div
+    assert AttributeValuePair("juryo", "2 . 5 kg") not in without_div
+
+
+def test_table_triples_projected_through_seed(pages, config, empty_log):
+    seed = build_seed(pages, empty_log, config)
+    products = {triple.product_id for triple in seed.table_triples}
+    assert products == {"p0", "p1", "p2", "p3"}
+    assert all(
+        triple.value in seed.value_keys(triple.attribute)
+        for triple in seed.table_triples
+    )
+
+
+def test_stats_fields(pages, config, empty_log):
+    seed = build_seed(pages, empty_log, config)
+    assert seed.raw_candidate_count == sum(
+        1 for _ in discover_candidates(pages)
+    )
+    assert seed.cleaned_value_count <= len(seed.pairs())
+
+
+def test_precomputed_candidates_shortcut(pages, config, empty_log):
+    candidates = discover_candidates(pages)
+    direct = build_seed(pages, empty_log, config)
+    via_candidates = build_seed(
+        pages, empty_log, config, candidates=candidates
+    )
+    assert direct.pairs() == via_candidates.pairs()

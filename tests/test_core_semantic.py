@@ -1,0 +1,113 @@
+"""Tests for semantic cleaning (drift filter)."""
+
+from repro.config import SemanticConfig
+from repro.core.cleaning import SemanticCleaner
+from repro.core.cleaning.semantic import merge_values_in_corpus, merged_token
+from repro.types import Extraction
+
+
+def _extraction(attribute, value, product="p1"):
+    return Extraction(
+        product, attribute, value, 0, 0, len(value.split(" "))
+    )
+
+
+def test_merged_token():
+    assert merged_token("gosei kawa") == "gosei_kawa"
+    assert merged_token("aka") == "aka"
+
+
+def test_merge_values_in_corpus():
+    corpus = [["sozai", "wa", "gosei", "kawa", "desu"]]
+    merged = merge_values_in_corpus(corpus, ["gosei kawa"])
+    assert merged == [["sozai", "wa", "gosei_kawa", "desu"]]
+
+
+def test_merge_leaves_untouched_sentences():
+    corpus = [["nothing", "here"]]
+    merged = merge_values_in_corpus(corpus, ["gosei kawa"])
+    assert merged == [["nothing", "here"]]
+
+
+def _drift_corpus(repeats=120):
+    """Colors share contexts; the drifted term lives elsewhere."""
+    corpus = []
+    for _ in range(repeats):
+        corpus.append(["iro", "wa", "aka", "desu"])
+        corpus.append(["iro", "wa", "ao", "desu"])
+        corpus.append(["iro", "wa", "shiro", "desu"])
+        corpus.append(["iro", "wa", "kuro", "desu"])
+        corpus.append(["katachi", "ga", "hanagata", "da"])
+        corpus.append(["katachi", "ga", "hoshigata", "da"])
+    return corpus
+
+
+def test_drifted_value_removed():
+    extractions = [
+        _extraction("iro", "aka"),
+        _extraction("iro", "ao"),
+        _extraction("iro", "shiro"),
+        _extraction("iro", "kuro"),
+        _extraction("iro", "hanagata"),  # drift: a shape, not a color
+    ]
+    cleaner = SemanticCleaner(
+        SemanticConfig(
+            core_size=3,
+            accept_threshold=0.6,
+            embedding_epochs=12,
+            min_core_attribute_values=3,
+        ),
+        seed=2,
+    )
+    kept, stats = cleaner.clean(extractions, _drift_corpus())
+    kept_values = {extraction.value for extraction in kept}
+    assert "hanagata" not in kept_values
+    assert {"aka", "ao", "shiro", "kuro"} <= kept_values
+    assert stats.values_removed >= 1
+    assert "hanagata" in stats.removed_by_attribute.get("iro", ())
+
+
+def test_small_attributes_skipped():
+    extractions = [_extraction("iro", "aka"), _extraction("iro", "ao")]
+    cleaner = SemanticCleaner(
+        SemanticConfig(min_core_attribute_values=3), seed=0
+    )
+    kept, stats = cleaner.clean(extractions, _drift_corpus(10))
+    assert len(kept) == 2
+    assert stats.attributes_cleaned == 0
+
+
+def test_empty_extractions():
+    cleaner = SemanticCleaner(seed=0)
+    kept, stats = cleaner.clean([], [["a", "b"]])
+    assert kept == []
+    assert stats.values_scored == 0
+
+
+def test_unrestricted_core_keeps_all_values_in_core():
+    extractions = [
+        _extraction("iro", value)
+        for value in ("aka", "ao", "shiro", "kuro")
+    ]
+    cleaner = SemanticCleaner(
+        SemanticConfig(core_size=0, accept_threshold=0.0,
+                       embedding_epochs=2),
+        seed=1,
+    )
+    kept, _ = cleaner.clean(extractions, _drift_corpus(20))
+    assert len(kept) == 4
+
+
+def test_deterministic_given_seed():
+    extractions = [
+        _extraction("iro", value)
+        for value in ("aka", "ao", "shiro", "kuro", "hanagata")
+    ]
+    config = SemanticConfig(embedding_epochs=2)
+    first, _ = SemanticCleaner(config, seed=5).clean(
+        extractions, _drift_corpus(30)
+    )
+    second, _ = SemanticCleaner(config, seed=5).clean(
+        extractions, _drift_corpus(30)
+    )
+    assert [e.value for e in first] == [e.value for e in second]

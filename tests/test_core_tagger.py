@@ -1,0 +1,37 @@
+"""Tests for the tagger factory."""
+
+import pytest
+
+from repro.config import LstmConfig, PipelineConfig
+from repro.core.tagger import make_tagger
+from repro.errors import ConfigError
+from repro.ml import CrfTagger, LstmTagger
+
+
+def test_builds_crf_by_default():
+    assert isinstance(make_tagger(PipelineConfig()), CrfTagger)
+
+
+def test_builds_lstm():
+    tagger = make_tagger(PipelineConfig(tagger="lstm"))
+    assert isinstance(tagger, LstmTagger)
+
+
+def test_lstm_seed_varies_by_iteration():
+    config = PipelineConfig(tagger="lstm", lstm=LstmConfig(seed=100))
+    first = make_tagger(config, iteration=1)
+    second = make_tagger(config, iteration=2)
+    assert first.config.seed == 101
+    assert second.config.seed == 102
+    # Other hyperparameters are preserved.
+    assert first.config.epochs == config.lstm.epochs
+
+
+def test_fresh_instance_per_call():
+    config = PipelineConfig()
+    assert make_tagger(config) is not make_tagger(config)
+
+
+def test_unknown_backend_rejected_at_config_time():
+    with pytest.raises(ConfigError):
+        PipelineConfig(tagger="rules")

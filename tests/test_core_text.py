@@ -1,0 +1,85 @@
+"""Tests for page tokenization."""
+
+from repro.core.text import (
+    corpus_token_sentences,
+    tokenize_page,
+    tokenize_pages,
+)
+from repro.types import ProductPage
+
+
+def _page(body, product_id="p1", locale="ja"):
+    return ProductPage(
+        product_id, "cat",
+        f"<html><head><title>Kamera X</title></head>"
+        f"<body>{body}</body></html>",
+        locale,
+    )
+
+
+def test_title_is_first_sentence():
+    text = tokenize_page(_page("<p>honbun。</p>"))
+    assert text.sentences[0].texts()[0] == "Kamera"
+    assert text.sentences[0].index == 0
+
+
+def test_table_contents_excluded():
+    text = tokenize_page(
+        _page(
+            "<table><tr><td>iro</td><td>mimizuku-value</td></tr></table>"
+            "<p>honbun。</p>"
+        )
+    )
+    all_tokens = {
+        token.text
+        for sentence in text.sentences
+        for token in sentence
+    }
+    assert "mimizuku" not in " ".join(all_tokens)
+
+
+def test_sentences_carry_product_id():
+    text = tokenize_page(_page("<p>a。b。</p>", product_id="px"))
+    assert all(s.product_id == "px" for s in text.sentences)
+    assert text.product_id == "px"
+
+
+def test_sentence_indices_page_wide():
+    text = tokenize_page(_page("<p>a。b。</p><p>c。</p>"))
+    indices = [sentence.index for sentence in text.sentences]
+    assert indices == list(range(len(indices)))
+
+
+def test_token_count():
+    text = tokenize_page(_page("<p>a b c。</p>"))
+    assert text.token_count() == sum(
+        len(sentence) for sentence in text.sentences
+    )
+
+
+def test_tokenize_pages_preserves_order():
+    pages = [_page("<p>x。</p>", product_id=f"p{i}") for i in range(3)]
+    texts = tokenize_pages(pages)
+    assert [text.product_id for text in texts] == ["p0", "p1", "p2"]
+
+
+def test_corpus_token_sentences_flattens():
+    texts = tokenize_pages([_page("<p>a。b。</p>")])
+    sentences = corpus_token_sentences(texts)
+    assert all(
+        isinstance(token, str)
+        for sentence in sentences
+        for token in sentence
+    )
+    assert len(sentences) == len(texts[0].sentences)
+
+
+def test_german_locale_used_for_de_pages():
+    page = ProductPage(
+        "p1", "cat",
+        "<html><body><p>Gewicht ist 2,5 kg .</p></body></html>",
+        "de",
+    )
+    text = tokenize_page(page)
+    tokens = [t.text for s in text.sentences for t in s]
+    assert "2,5" in tokens

@@ -1,0 +1,123 @@
+"""Tests for training-set generation from the seed."""
+
+from repro.core.preprocess import (
+    build_seed,
+    build_training_material,
+    discover_candidates,
+)
+from repro.core.text import tokenize_pages
+from repro.config import SeedConfig
+from repro.types import ProductPage
+
+
+def _page(product_id, body):
+    return ProductPage(
+        product_id, "cat", f"<html><body>{body}</body></html>", "ja"
+    )
+
+
+def _material(pages, query_log=None):
+    from collections import Counter
+
+    from repro.corpus.querylog import QueryLog
+
+    log = query_log or QueryLog(Counter())
+    candidates = discover_candidates(pages)
+    seed = build_seed(
+        pages, log,
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=1),
+        candidates=candidates,
+    )
+    return seed, build_training_material(
+        tokenize_pages(pages), seed, candidates
+    )
+
+
+TABLE = "<table><tr><td>iro</td><td>aka</td></tr></table>"
+
+
+def test_table_pages_are_labelled():
+    pages = [
+        _page("p1", TABLE + "<p>iro wa aka desu。</p>"),
+        _page("p2", "<p>nothing here。</p>"),
+    ]
+    seed, material = _material(pages)
+    assert [p.product_id for p in material.labeled_pages] == ["p1"]
+    assert [p.product_id for p in material.unlabeled_pages] == ["p2"]
+    labelled = {
+        label
+        for tagged in material.labeled
+        for label in tagged.labels
+    }
+    assert "B-iro" in labelled
+
+
+def test_text_triples_extracted_from_labelled_spans():
+    pages = [_page("p1", TABLE + "<p>iro wa aka desu。</p>")]
+    seed, material = _material(pages)
+    assert any(
+        triple.attribute == "iro" and triple.value == "aka"
+        for triple in material.text_triples
+    )
+
+
+def test_all_o_sentences_kept_as_negatives():
+    pages = [
+        _page("p1", TABLE + "<p>kore wa bun desu。</p>")
+    ]
+    seed, material = _material(pages)
+    all_o = [
+        tagged
+        for tagged in material.labeled
+        if all(label == "O" for label in tagged.labels)
+    ]
+    assert all_o
+
+
+def test_page_table_preference_disambiguates():
+    # 'aka' belongs to two attributes whose wider value ranges keep
+    # them from aggregating; each page's own table decides the label.
+    iro_rows = "".join(
+        f"<tr><td>iro</td><td>{value}</td></tr>"
+        for value in ("aka", "ao", "shiro")
+    )
+    teema_rows = "".join(
+        f"<tr><td>teema</td><td>{value}</td></tr>"
+        for value in ("aka", "natsu", "fuyu")
+    )
+    pages = [
+        _page(
+            "p1",
+            f"<table>{iro_rows}</table><p>aka desu。</p>",
+        ),
+        _page(
+            "p2",
+            f"<table>{teema_rows}</table><p>aka desu。</p>",
+        ),
+    ]
+    seed, material = _material(pages)
+    by_page = {}
+    for tagged in material.labeled:
+        for label in tagged.labels:
+            if label != "O":
+                by_page.setdefault(tagged.product_id, set()).add(label)
+    assert by_page.get("p1") == {"B-iro"}
+    assert by_page.get("p2") == {"B-teema"}
+
+
+def test_multiword_value_labelled_with_continuation():
+    pages = [
+        _page(
+            "p1",
+            "<table><tr><td>juryo</td><td>2.5kg</td></tr></table>"
+            "<p>juryo wa 2.5kg desu。</p>",
+        )
+    ]
+    seed, material = _material(pages)
+    labels = [
+        label
+        for tagged in material.labeled
+        for label in tagged.labels
+    ]
+    assert "B-juryo" in labels
+    assert "I-juryo" in labels

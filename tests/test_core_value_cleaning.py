@@ -1,0 +1,109 @@
+"""Tests for seed value cleaning (query log + frequency filter)."""
+
+from collections import Counter
+
+from repro.config import SeedConfig
+from repro.core.preprocess import aggregate_attributes, clean_values
+from repro.core.preprocess.candidate_discovery import RawCandidate
+from repro.corpus.querylog import QueryLog
+
+
+def _make(spec):
+    candidates = [
+        RawCandidate(page, attribute, value)
+        for attribute, rows in spec.items()
+        for page, value in rows
+    ]
+    clusters = aggregate_attributes(
+        candidates, SeedConfig(min_attribute_pages=1)
+    )
+    return candidates, clusters
+
+
+def _log(*keys):
+    return QueryLog(Counter({key: 1 for key in keys}))
+
+
+def test_frequent_values_survive_without_query_log():
+    candidates, clusters = _make(
+        {"iro": [(f"p{i}", "aka") for i in range(4)]}
+    )
+    cleaned = clean_values(
+        candidates, clusters, _log(),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=3),
+    )
+    assert cleaned["iro"]["aka"] == 4
+
+
+def test_rare_values_dropped_unless_searched():
+    candidates, clusters = _make(
+        {
+            "iro": [
+                ("p1", "aka"), ("p2", "aka"), ("p3", "aka"),
+                ("p4", "nebi"),
+                ("p5", "rozu pinku"),
+            ]
+        }
+    )
+    cleaned = clean_values(
+        candidates, clusters, _log("rozu pinku"),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=3),
+    )
+    assert "aka" in cleaned["iro"]            # frequent
+    assert "rozu pinku" in cleaned["iro"]     # searched
+    assert "nebi" not in cleaned["iro"]       # rare + unsearched
+
+
+def test_support_counts_distinct_pages_not_rows():
+    candidates, clusters = _make(
+        {"iro": [("p1", "aka"), ("p1", "aka"), ("p2", "aka")]}
+    )
+    cleaned = clean_values(
+        candidates, clusters, _log(),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=2),
+    )
+    assert cleaned["iro"]["aka"] == 2
+
+
+def test_dropped_attribute_names_ignored():
+    candidates, clusters = _make(
+        {
+            "iro": [(f"p{i}", "aka") for i in range(4)],
+        }
+    )
+    # Inject a candidate whose attribute was never clustered.
+    candidates.append(RawCandidate("p9", "ghost", "x"))
+    cleaned = clean_values(
+        candidates, clusters, _log(),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=1),
+    )
+    assert "ghost" not in cleaned
+
+
+def test_attribute_with_no_surviving_values_removed():
+    candidates, clusters = _make(
+        {"iro": [("p1", "nebi")]}
+    )
+    cleaned = clean_values(
+        candidates, clusters, _log(),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=3),
+    )
+    assert cleaned == {}
+
+
+def test_aliases_pool_their_support():
+    candidates, clusters = _make(
+        {
+            "iro": [(f"p{i}", v) for i, v in enumerate(
+                ["aka", "aka", "ao", "shiro", "gin"]
+            )],
+            "karaa": [("q1", "aka"), ("q2", "ao")],
+        }
+    )
+    assert clusters.resolve("karaa") == "iro"
+    cleaned = clean_values(
+        candidates, clusters, _log(),
+        SeedConfig(min_attribute_pages=1, min_value_page_frequency=3),
+    )
+    # aka: 2 pages via 'iro' + 1 via 'karaa' = 3 -> survives.
+    assert cleaned["iro"]["aka"] == 3

@@ -1,0 +1,128 @@
+"""Tests for the four veto rules."""
+
+from repro.config import VetoConfig
+from repro.core.cleaning import apply_veto
+from repro.core.cleaning.veto import (
+    is_long_value,
+    is_markup_value,
+    is_symbol_value,
+)
+from repro.types import Extraction
+
+
+def _extraction(value, product="p1", attribute="iro", tokens=None):
+    token_count = tokens if tokens is not None else len(value.split(" "))
+    return Extraction(product, attribute, value, 0, 0, token_count)
+
+
+class TestRuleSymbols:
+    def test_single_symbol_vetoed(self):
+        assert is_symbol_value(_extraction(";"))
+        assert is_symbol_value(_extraction("*"))
+        assert is_symbol_value(_extraction("―"))
+
+    def test_word_not_vetoed(self):
+        assert not is_symbol_value(_extraction("aka"))
+
+    def test_number_not_vetoed(self):
+        assert not is_symbol_value(_extraction("5"))
+
+    def test_multitoken_symbols_not_this_rule(self):
+        assert not is_symbol_value(_extraction("* *"))
+
+
+class TestRuleMarkup:
+    def test_markup_tags_vetoed(self):
+        assert is_markup_value("< br >")
+        assert is_markup_value("aka < / span >")
+        assert is_markup_value("&nbsp;")
+
+    def test_plain_text_kept(self):
+        assert not is_markup_value("aka")
+        assert not is_markup_value("2 . 5 kg")
+
+    def test_comparison_text_kept(self):
+        # A lone '<' in "weight < 5" is not a markup tag.
+        assert not is_markup_value("juryo < 5 kg")
+
+
+class TestRuleLong:
+    def test_long_value_vetoed(self):
+        assert is_long_value("x" * 31, 30)
+
+    def test_short_value_kept(self):
+        assert not is_long_value("x" * 30, 30)
+
+
+class TestRuleUnpopular:
+    def test_bottom_share_removed(self):
+        extractions = []
+        # 'aka' tagged on 8 products, 'ao' on 4, 'nebi' on 1.
+        for index in range(8):
+            extractions.append(_extraction("aka", product=f"a{index}"))
+        for index in range(4):
+            extractions.append(_extraction("ao", product=f"b{index}"))
+        extractions.append(_extraction("nebi", product="c0"))
+        # ceil(0.6 * 3 distinct values) = 2 kept.
+        kept, stats = apply_veto(
+            extractions, VetoConfig(keep_top_share=0.6)
+        )
+        values = {extraction.value for extraction in kept}
+        assert values == {"aka", "ao"}
+        assert stats.unpopular == 1
+
+    def test_popularity_counts_distinct_products(self):
+        extractions = [
+            _extraction("aka", product="a1"),
+            _extraction("aka", product="a1"),  # same product twice
+            _extraction("ao", product="b1"),
+            _extraction("ao", product="b2"),
+        ]
+        kept, _ = apply_veto(extractions, VetoConfig(keep_top_share=0.5))
+        assert {extraction.value for extraction in kept} == {"ao"}
+
+    def test_single_value_always_kept(self):
+        extractions = [_extraction("aka")]
+        kept, _ = apply_veto(extractions, VetoConfig(keep_top_share=0.5))
+        assert len(kept) == 1
+
+    def test_rule_is_per_attribute(self):
+        extractions = [
+            _extraction("aka", product="a1", attribute="iro"),
+            _extraction("aka", product="a2", attribute="iro"),
+            _extraction("men", product="a1", attribute="sozai"),
+            _extraction("men", product="a2", attribute="sozai"),
+        ]
+        kept, _ = apply_veto(extractions, VetoConfig(keep_top_share=0.8))
+        assert len(kept) == 4
+
+
+def test_stats_accounting():
+    extractions = [
+        _extraction(";"),                       # symbol
+        _extraction("< br >", tokens=3),        # markup
+        _extraction("y" * 40, tokens=1),        # long
+        _extraction("aka", product="a1"),
+        _extraction("aka", product="a2"),
+    ]
+    kept, stats = apply_veto(extractions, VetoConfig())
+    assert stats.total == 5
+    assert stats.symbol == 1
+    assert stats.markup == 1
+    assert stats.long == 1
+    assert stats.kept == len(kept) == 2
+    assert stats.discard_rate == 3 / 5
+
+
+def test_empty_input():
+    kept, stats = apply_veto([], VetoConfig())
+    assert kept == []
+    assert stats.total == 0
+    assert stats.discard_rate == 0.0
+
+
+def test_rule_order_symbol_before_markup():
+    # A one-char symbol that also looks markup-ish counts as symbol.
+    kept, stats = apply_veto([_extraction("<")], VetoConfig())
+    assert stats.symbol == 1
+    assert stats.markup == 0

@@ -1,0 +1,72 @@
+"""Generation invariants across the entire category inventory.
+
+Every shipped category (and union) must produce internally consistent
+ground truth: correct triples match assignments and are genuinely
+stated on the page, correct/incorrect never overlap, and the query log
+only contains keys. Parametrized over all 23 schemas plus the union.
+"""
+
+import pytest
+
+from repro.corpus import Marketplace, category_names
+from repro.html import extract_text_blocks
+from repro.nlp import get_locale
+
+ALL = tuple(category_names()) + ("baby_goods",)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    market = Marketplace(seed=41)
+    return {name: market.generate(name, 16) for name in ALL}
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_truth_buckets_disjoint(datasets, name):
+    dataset = datasets[name]
+    assert not (dataset.correct_triples & dataset.incorrect_triples)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_correct_triples_stated_on_their_pages(datasets, name):
+    dataset = datasets[name]
+    nlp = get_locale(dataset.locale)
+    for generated in dataset.pages:
+        blocks = extract_text_blocks(
+            generated.page.html, skip_tables=False
+        )
+        tokens: list[str] = []
+        for block in blocks:
+            tokens.extend(nlp.tokenizer.tokenize(block))
+        joined = " ".join(tokens)
+        for triple in generated.correct_triples:
+            assert triple.value in joined, (name, triple)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_correct_triples_consistent_with_assignment(datasets, name):
+    dataset = datasets[name]
+    for generated in dataset.pages:
+        for triple in generated.correct_triples:
+            assert generated.assignment.get(triple.attribute) == (
+                triple.value
+            ), (name, triple)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_stated_pairs_are_structurally_valid(datasets, name):
+    dataset = datasets[name]
+    validator = dataset.pair_validator
+    for triple in dataset.correct_triples:
+        assert validator.is_valid(triple.attribute, triple.value), (
+            name,
+            triple,
+        )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_pages_parse_and_have_text(datasets, name):
+    dataset = datasets[name]
+    for generated in dataset.pages:
+        blocks = extract_text_blocks(generated.page.html)
+        assert blocks, (name, generated.page.product_id)

@@ -1,0 +1,98 @@
+"""Consistency tests over the whole shipped category inventory."""
+
+import pytest
+
+from repro.corpus import category_names, get_schema
+from repro.corpus.categories import (
+    CORE_JA_CATEGORIES,
+    GERMAN_CATEGORIES,
+    HETEROGENEOUS_UNIONS,
+)
+from repro.corpus.locales import get_style
+from repro.nlp import get_locale
+
+
+def test_japanese_category_count_matches_paper():
+    ja = [
+        name for name in category_names()
+        if get_schema(name).locale == "ja"
+        and name not in ("baby_clothes", "baby_toys")
+    ]
+    # The paper evaluates 18 Japanese categories.
+    assert len(ja) == 18
+
+
+def test_german_category_count_matches_paper():
+    de = [
+        name for name in category_names()
+        if get_schema(name).locale == "de"
+    ]
+    assert len(de) == len(GERMAN_CATEGORIES) == 3
+
+
+@pytest.mark.parametrize("name", category_names())
+def test_every_schema_has_registered_locale(name):
+    schema = get_schema(name)
+    get_locale(schema.locale)   # raises if unregistered
+    get_style(schema.locale)
+
+
+@pytest.mark.parametrize("name", category_names())
+def test_every_schema_has_title_nouns(name):
+    assert get_schema(name).title_nouns
+
+
+@pytest.mark.parametrize("name", category_names())
+def test_title_nouns_never_collide_with_categorical_values(name):
+    """A generic title noun must not *be* an attribute value of the
+    same schema — that contradiction poisoned cosmetics/vacuum truth
+    until title_noun_attribute was introduced."""
+    from repro.corpus.schema import CategoricalValues
+
+    schema = get_schema(name)
+    value_tokens: set[str] = set()
+    for attribute in schema.attributes:
+        if isinstance(attribute.values, CategoricalValues):
+            for value in attribute.values.values:
+                value_tokens.add(value)
+    for noun in schema.title_nouns:
+        assert noun not in value_tokens, (name, noun)
+
+
+@pytest.mark.parametrize("name", CORE_JA_CATEGORIES)
+def test_core_categories_have_confusable_or_numeric_attributes(name):
+    """Each Table I-IV category carries at least one 'hard' attribute
+    (numeric/composite or a confusable sibling) so the bootstrap has
+    something nontrivial to learn."""
+    from repro.corpus.schema import CategoricalValues
+
+    schema = get_schema(name)
+    hard = [
+        attribute
+        for attribute in schema.attributes
+        if attribute.confusable_with is not None
+        or not isinstance(attribute.values, CategoricalValues)
+    ]
+    assert hard, name
+
+
+def test_union_members_are_registered():
+    for union, members in HETEROGENEOUS_UNIONS.items():
+        for member in members:
+            get_schema(member)
+
+
+def test_union_members_share_locale():
+    for members in HETEROGENEOUS_UNIONS.values():
+        locales = {get_schema(member).locale for member in members}
+        assert len(locales) == 1
+
+
+@pytest.mark.parametrize("name", category_names())
+def test_alias_sets_disjoint_within_schema(name):
+    schema = get_schema(name)
+    seen: set[str] = set()
+    for attribute in schema.attributes:
+        for surface in attribute.all_names():
+            assert surface not in seen, (name, surface)
+            seen.add(surface)

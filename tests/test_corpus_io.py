@@ -1,0 +1,97 @@
+"""Tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.corpus import Marketplace
+from repro.corpus.io import load_dataset, load_pages, save_dataset
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return Marketplace(seed=17).generate("tennis", 25)
+
+
+def test_round_trip_preserves_everything(dataset, tmp_path):
+    save_dataset(dataset, tmp_path / "ds")
+    loaded = load_dataset(tmp_path / "ds")
+    assert loaded.name == dataset.name
+    assert loaded.locale == dataset.locale
+    assert [p.page.html for p in loaded.pages] == [
+        p.page.html for p in dataset.pages
+    ]
+    assert loaded.correct_triples == dataset.correct_triples
+    assert loaded.incorrect_triples == dataset.incorrect_triples
+    assert loaded.query_log.counts == dataset.query_log.counts
+    assert [s.name for s in loaded.schemas] == [
+        s.name for s in dataset.schemas
+    ]
+
+
+def test_loaded_dataset_supports_evaluation(dataset, tmp_path):
+    from repro.evaluation import build_truth_sample
+
+    save_dataset(dataset, tmp_path / "ds")
+    loaded = load_dataset(tmp_path / "ds")
+    truth = build_truth_sample(loaded)
+    assert truth.correct == dataset.correct_triples
+    # Validators came back via the schema registry.
+    sample = next(iter(loaded.correct_triples))
+    assert loaded.pair_validator.is_valid(sample.attribute, sample.value)
+
+
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(ReproError):
+        load_dataset(tmp_path / "missing")
+
+
+def test_load_rejects_unknown_version(dataset, tmp_path):
+    save_dataset(dataset, tmp_path / "ds")
+    meta_path = tmp_path / "ds" / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["format_version"] = 99
+    meta_path.write_text(json.dumps(meta))
+    with pytest.raises(ReproError):
+        load_dataset(tmp_path / "ds")
+
+
+def test_load_pages_schema_free(dataset, tmp_path):
+    save_dataset(dataset, tmp_path / "ds")
+    pages, query_log = load_pages(tmp_path / "ds")
+    assert len(pages) == len(dataset)
+    assert query_log.counts == dataset.query_log.counts
+
+
+def test_load_pages_from_bare_jsonl(tmp_path):
+    records = [
+        {"product_id": "r1", "html": "<p>x</p>"},
+        {"product_id": "r2", "html": "<p>y</p>", "locale": "de"},
+    ]
+    path = tmp_path / "pages.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n"
+    )
+    pages, query_log = load_pages(path)
+    assert [page.product_id for page in pages] == ["r1", "r2"]
+    assert pages[0].locale == "ja"  # default
+    assert pages[1].locale == "de"
+    assert len(query_log) == 0
+
+
+def test_loaded_pages_run_through_pipeline(dataset, tmp_path):
+    from repro import PAEPipeline, PipelineConfig
+
+    save_dataset(dataset, tmp_path / "ds")
+    pages, query_log = load_pages(tmp_path / "ds")
+    from repro.config import SeedConfig
+
+    config = PipelineConfig(
+        iterations=1,
+        seed_config=SeedConfig(
+            min_attribute_pages=1, min_value_page_frequency=1
+        ),
+    )
+    result = PAEPipeline(config).run(pages, query_log)
+    assert len(result.triples) > 0

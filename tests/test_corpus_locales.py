@@ -1,0 +1,75 @@
+"""Tests for the locale page styles."""
+
+import pytest
+
+from repro.corpus.locales import get_style
+from repro.errors import UnknownLocaleError
+
+
+@pytest.fixture(scope="module")
+def ja_style():
+    return get_style("ja")
+
+
+@pytest.fixture(scope="module")
+def de_style():
+    return get_style("de")
+
+
+def test_unknown_style_raises():
+    with pytest.raises(UnknownLocaleError):
+        get_style("fr")
+
+
+def test_statement_embeds_attr_and_value(ja_style, rng):
+    for dialect in range(ja_style.dialect_count):
+        sentence = ja_style.statement(rng, "juryo", "2.5kg", dialect)
+        assert "juryo" in sentence
+        assert "2.5kg" in sentence
+
+
+def test_dialects_have_disjoint_templates(ja_style):
+    for i, first in enumerate(ja_style.statement_dialects):
+        for second in ja_style.statement_dialects[i + 1:]:
+            assert not (set(first) & set(second))
+
+
+def test_negation_embeds_both(ja_style, de_style, rng):
+    for style in (ja_style, de_style):
+        sentence = style.negation(rng, "iro", "aka")
+        assert "iro" in sentence
+        assert "aka" in sentence
+
+
+def test_compact_lists_values_without_attr_names(ja_style, rng):
+    sentence = ja_style.compact(rng, ["aka", "hana gata"], "uekibachi")
+    assert "aka" in sentence
+    assert "hana gata" in sentence
+    assert "iro" not in sentence
+
+
+def test_secondary_mentions_other_product(ja_style, rng):
+    sentence = ja_style.secondary(rng, "iro", "aka", "OTHER-PRODUCT")
+    assert "OTHER-PRODUCT" in sentence
+
+
+def test_title_uses_given_brand(ja_style, rng):
+    title = ja_style.title(rng, "sojiki", "XX-123", brand="Nikkon")
+    assert title.startswith("Nikkon")
+    assert "XX-123" in title
+
+
+def test_title_without_brand_picks_from_pool(ja_style, rng):
+    title = ja_style.title(rng, "sojiki", "XX-123")
+    assert any(title.startswith(brand) for brand in ja_style.brands)
+
+
+def test_filler_pool_nonempty(ja_style, de_style, rng):
+    assert ja_style.filler(rng)
+    assert de_style.filler(rng)
+
+
+def test_junk_rows_have_two_fields(ja_style, de_style):
+    for style in (ja_style, de_style):
+        for name, value in style.junk_table_rows:
+            assert name and value

@@ -1,0 +1,100 @@
+"""Unit tests for the marketplace facade and datasets."""
+
+import pytest
+
+from repro.corpus import Marketplace, category_names, get_schema
+from repro.corpus.categories import (
+    CORE_JA_CATEGORIES,
+    GERMAN_CATEGORIES,
+    HETEROGENEOUS_UNIONS,
+)
+from repro.errors import SchemaError
+
+
+def test_registry_matches_paper_inventory():
+    names = category_names()
+    # 18 Japanese + 3 German + 2 heterogeneous-study subcategories.
+    assert len(names) == 23
+    assert set(CORE_JA_CATEGORIES) <= set(names)
+    assert set(GERMAN_CATEGORIES) <= set(names)
+
+
+def test_generation_is_deterministic():
+    first = Marketplace(seed=5).generate("tennis", 15)
+    second = Marketplace(seed=5).generate("tennis", 15)
+    assert [p.page.html for p in first.pages] == [
+        p.page.html for p in second.pages
+    ]
+    assert first.correct_triples == second.correct_triples
+
+
+def test_different_seeds_differ():
+    first = Marketplace(seed=5).generate("tennis", 15)
+    second = Marketplace(seed=6).generate("tennis", 15)
+    assert [p.page.html for p in first.pages] != [
+        p.page.html for p in second.pages
+    ]
+
+
+def test_rejects_nonpositive_size():
+    with pytest.raises(SchemaError):
+        Marketplace().generate("tennis", 0)
+
+
+def test_unknown_category_raises():
+    with pytest.raises(KeyError):
+        Marketplace().generate("unknown_category", 5)
+
+
+def test_product_ids_unique(small_vacuum_dataset):
+    ids = [p.page.product_id for p in small_vacuum_dataset.pages]
+    assert len(set(ids)) == len(ids)
+
+
+def test_alias_map_covers_all_surface_names(small_vacuum_dataset):
+    mapping = small_vacuum_dataset.alias_map
+    for schema in small_vacuum_dataset.schemas:
+        for attribute in schema.attributes:
+            for name in attribute.all_names():
+                assert mapping[name] == attribute.name
+
+
+def test_union_mixes_subcategories():
+    dataset = Marketplace(seed=3).generate("baby_goods", 12)
+    assert len(dataset.schemas) == len(
+        HETEROGENEOUS_UNIONS["baby_goods"]
+    )
+    assert len(dataset) == 12
+    # Union attribute names cover every subschema.
+    subschema_attrs = {
+        attribute.name
+        for member in HETEROGENEOUS_UNIONS["baby_goods"]
+        for attribute in get_schema(member).attributes
+    }
+    assert set(dataset.attribute_names) == subschema_attrs
+
+
+def test_query_log_contains_popular_values(small_vacuum_dataset):
+    log = small_vacuum_dataset.query_log
+    assert len(log) > 10
+    # The most popular stated values should almost surely be present.
+    from collections import Counter
+
+    popularity = Counter(
+        triple.value for triple in small_vacuum_dataset.correct_triples
+    )
+    top_values = [value for value, _ in popularity.most_common(3)]
+    assert any(log.contains(value) for value in top_values)
+
+
+def test_correct_triples_are_aggregated(small_vacuum_dataset):
+    union = set()
+    for page in small_vacuum_dataset.pages:
+        union |= page.correct_triples
+    assert small_vacuum_dataset.correct_triples == frozenset(union)
+
+
+def test_pair_validator_accepts_stated_pairs(small_vacuum_dataset):
+    validator = small_vacuum_dataset.pair_validator
+    for triple in list(small_vacuum_dataset.correct_triples)[:50]:
+        assert validator.is_valid(triple.attribute, triple.value)

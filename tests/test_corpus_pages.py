@@ -1,0 +1,112 @@
+"""Ground-truth consistency tests for the page generator.
+
+The whole evaluation rests on these invariants: every triple the
+generator marks correct is genuinely extractable from the page (its
+value tokens appear in the page's text or tables under the triple's
+attribute), and correct/incorrect never overlap.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import get_schema
+from repro.corpus.pages import PageGenerator
+from repro.html import extract_dictionary_tables, extract_text_blocks
+from repro.nlp import get_locale
+
+
+def _generate(category, seed, count=12):
+    schema = get_schema(category)
+    generator = PageGenerator(schema, random.Random(seed))
+    return schema, [
+        generator.generate(f"{category}_{i}") for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize(
+    "category", ["vacuum_cleaner", "garden", "mailbox", "cosmetics"]
+)
+def test_correct_and_incorrect_never_overlap(category):
+    _, pages = _generate(category, seed=3)
+    for page in pages:
+        assert not (page.correct_triples & page.incorrect_triples)
+
+
+@pytest.mark.parametrize("category", ["vacuum_cleaner", "mailbox"])
+def test_correct_triples_match_assignment(category):
+    _, pages = _generate(category, seed=4)
+    for page in pages:
+        for triple in page.correct_triples:
+            assert page.assignment.get(triple.attribute) == triple.value
+
+
+@pytest.mark.parametrize("category", ["vacuum_cleaner", "garden"])
+def test_correct_triples_are_stated_on_the_page(category):
+    schema, pages = _generate(category, seed=5)
+    nlp = get_locale(schema.locale)
+    for page in pages:
+        blocks = extract_text_blocks(page.page.html, skip_tables=False)
+        page_tokens = []
+        for block in blocks:
+            page_tokens.extend(nlp.tokenizer.tokenize(block))
+        joined = " ".join(page_tokens)
+        for triple in page.correct_triples:
+            assert triple.value in joined, (
+                page.page.product_id, triple
+            )
+
+
+@pytest.mark.parametrize("category", ["vacuum_cleaner", "garden"])
+def test_incorrect_triples_disagree_with_assignment(category):
+    _, pages = _generate(category, seed=6)
+    for page in pages:
+        for triple in page.incorrect_triples:
+            assigned = page.assignment.get(triple.attribute)
+            assert assigned != triple.value
+
+
+def test_product_ids_propagate():
+    _, pages = _generate("tennis", seed=7, count=3)
+    for page in pages:
+        for triple in page.correct_triples | page.incorrect_triples:
+            assert triple.product_id == page.page.product_id
+
+
+def test_pages_have_titles():
+    _, pages = _generate("tennis", seed=8, count=5)
+    for page in pages:
+        blocks = extract_text_blocks(page.page.html)
+        assert blocks, "every page must have visible text"
+
+
+def test_table_pages_have_dictionary_tables():
+    schema, pages = _generate("ladies_bags", seed=9, count=40)
+    with_tables = [
+        page
+        for page in pages
+        if extract_dictionary_tables(page.page.html)
+    ]
+    # ladies_bags has the highest table coverage of all categories.
+    assert with_tables
+
+
+def test_locale_recorded_on_page():
+    _, ja_pages = _generate("tennis", seed=10, count=2)
+    _, de_pages = _generate("mailbox", seed=10, count=2)
+    assert all(page.page.locale == "ja" for page in ja_pages)
+    assert all(page.page.locale == "de" for page in de_pages)
+
+
+def test_title_brand_matches_assignment_when_present():
+    schema, pages = _generate("tennis", seed=11, count=40)
+    for page in pages:
+        brand = page.assignment.get("burando")
+        title_block = extract_text_blocks(page.page.html)[0]
+        for other_brand in (
+            set(get_schema("tennis").attribute("burando").values.values)
+            - ({brand} if brand else set())
+        ):
+            # No page advertises a brand it does not have (titles of
+            # secondary products live in the description, not the title).
+            assert not title_block.startswith(other_brand + " ")

@@ -1,0 +1,130 @@
+"""Targeted tests for the page generator's behaviour knobs."""
+
+import random
+from dataclasses import replace
+
+from repro.corpus import get_schema
+from repro.corpus.pages import PageGenerator
+from repro.html import extract_dictionary_tables, extract_text_blocks
+
+
+def _pages(schema, seed=0, count=60):
+    generator = PageGenerator(schema, random.Random(seed))
+    return [generator.generate(f"x_{i}") for i in range(count)]
+
+
+def test_bare_pages_suppress_statements():
+    schema = replace(
+        get_schema("tennis"),
+        bare_page_rate=1.0,
+        compact_spec_rate=0.0,
+        table_coverage=0.0,
+        negation_rate=0.0,
+        secondary_product_rate=0.0,
+    )
+    for page in _pages(schema, count=25):
+        # Only title statements (brand/type) can be correct on a bare
+        # page; no description statement exists.
+        blocks = extract_text_blocks(page.page.html)
+        body = " ".join(blocks[1:])  # skip the title block
+        for triple in page.correct_triples:
+            assert triple.value not in body or triple.value in blocks[0]
+
+
+def test_compact_spec_rate_zero_yields_no_bare_value_lines():
+    schema = replace(get_schema("garden"), compact_spec_rate=0.0)
+    pages_without = _pages(schema, seed=1)
+    schema_with = replace(get_schema("garden"), compact_spec_rate=1.0,
+                          bare_page_rate=0.0)
+    pages_with = _pages(schema_with, seed=1)
+    # With the knob maxed, pages state strictly more correct triples
+    # on average (compact lines add statements).
+    mean_without = sum(
+        len(p.correct_triples) for p in pages_without
+    ) / len(pages_without)
+    mean_with = sum(
+        len(p.correct_triples) for p in pages_with
+    ) / len(pages_with)
+    assert mean_with > mean_without
+
+
+def test_table_coverage_zero_means_no_tables():
+    schema = replace(get_schema("ladies_bags"), table_coverage=0.0)
+    for page in _pages(schema, count=30):
+        assert extract_dictionary_tables(page.page.html) == []
+
+
+def test_table_noise_rate_injects_junk_rows():
+    schema = replace(
+        get_schema("ladies_bags"),
+        table_coverage=1.0,
+        table_noise_rate=0.9,
+        table_variant_rate=0.0,
+    )
+    pages = _pages(schema, count=30)
+    junk = [
+        triple
+        for page in pages
+        for triple in page.incorrect_triples
+        if triple.attribute in ("sonota", "bikou", "chuui jiko")
+    ]
+    assert junk
+
+
+def test_negation_rate_one_marks_incorrect():
+    schema = replace(
+        get_schema("tennis"),
+        negation_rate=1.0,
+        secondary_product_rate=0.0,
+        table_coverage=0.0,
+        table_noise_rate=0.0,
+        table_variant_rate=0.0,
+        bare_page_rate=0.0,
+        markup_noise_rate=0.0,
+        compact_spec_rate=0.0,
+    )
+    pages = _pages(schema, count=30)
+    with_negation = [page for page in pages if page.incorrect_triples]
+    # Negation sampling retries up to 8 times; nearly every page
+    # carries one.
+    assert len(with_negation) > 20
+
+
+def test_markup_noise_appears_in_visible_text():
+    schema = replace(
+        get_schema("tennis"), markup_noise_rate=1.0, bare_page_rate=0.0
+    )
+    pages = _pages(schema, count=20)
+    fragments = ("<br>", "&nbsp;", "</span>", "<b>", "★★★")
+    hits = 0
+    for page in pages:
+        text = " ".join(extract_text_blocks(page.page.html))
+        if any(fragment in text for fragment in fragments):
+            hits += 1
+    assert hits > 10
+
+
+def test_typed_title_adds_type_triple():
+    schema = get_schema("vacuum_cleaner")
+    pages = _pages(schema, seed=4, count=80)
+    typed = [
+        page
+        for page in pages
+        if any(
+            triple.attribute == "taipu"
+            and triple.value == page.assignment.get("taipu")
+            for triple in page.correct_triples
+        )
+    ]
+    assert typed  # some titles carry the true type
+
+
+def test_brand_attribute_detection():
+    generator = PageGenerator(
+        get_schema("tennis"), random.Random(0)
+    )
+    assert generator._brand_attribute == "burando"
+    generator_no_brand = PageGenerator(
+        get_schema("garden"), random.Random(0)
+    )
+    assert generator_no_brand._brand_attribute is None

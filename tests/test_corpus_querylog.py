@@ -1,0 +1,48 @@
+"""Unit tests for the query-log generator."""
+
+import random
+from collections import Counter
+
+from repro.corpus.querylog import QueryLog, build_query_log
+
+
+def test_contains_and_frequency():
+    log = QueryLog(Counter({"aka": 3}))
+    assert log.contains("aka")
+    assert not log.contains("ao")
+    assert log.frequency("aka") == 3
+    assert log.frequency("ao") == 0
+
+
+def test_popular_values_almost_always_kept():
+    # Across many log draws, the head value is kept most of the time.
+    kept = 0
+    for seed in range(20):
+        rng = random.Random(seed)
+        stated = ["aka"] * 50 + ["ao"] * 40 + ["rare"] * 1
+        log = build_query_log(rng, stated, "ja", noise_queries=0)
+        kept += log.contains("aka")
+    assert kept >= 12
+
+
+def test_tail_values_mostly_dropped():
+    rng = random.Random(0)
+    stated = []
+    for index in range(60):
+        stated.extend([f"v{index}"] * max(1, 60 - index))
+    log = build_query_log(rng, stated, "ja", noise_queries=0)
+    head_kept = sum(log.contains(f"v{i}") for i in range(10))
+    tail_kept = sum(log.contains(f"v{i}") for i in range(50, 60))
+    assert head_kept > tail_kept
+
+
+def test_noise_queries_are_counted():
+    rng = random.Random(1)
+    log = build_query_log(rng, ["aka"] * 5, "ja", noise_queries=50)
+    assert len(log) > 1
+
+
+def test_deterministic_given_rng_state():
+    first = build_query_log(random.Random(2), ["a", "b", "a"], "ja")
+    second = build_query_log(random.Random(2), ["a", "b", "a"], "ja")
+    assert first.counts == second.counts

@@ -1,0 +1,138 @@
+"""Unit tests for category schemas and value specs."""
+
+import pytest
+
+from repro.corpus import (
+    AttributeSpec,
+    CategoricalValues,
+    CategorySchema,
+    CompositeValues,
+    NumericValues,
+)
+from repro.corpus.schema import weighted_choice, zipf_weights
+from repro.errors import SchemaError
+
+
+def _attr(name="iro", **kwargs):
+    return AttributeSpec(
+        name=name, values=CategoricalValues(("aka", "ao")), **kwargs
+    )
+
+
+class TestValueSpecs:
+    def test_categorical_requires_values(self):
+        with pytest.raises(SchemaError):
+            CategoricalValues(())
+
+    def test_categorical_rejects_negative_skew(self):
+        with pytest.raises(SchemaError):
+            CategoricalValues(("a",), zipf=-1.0)
+
+    def test_numeric_requires_ordered_range(self):
+        with pytest.raises(SchemaError):
+            NumericValues(10, 5, "kg")
+
+    def test_numeric_requires_unit(self):
+        with pytest.raises(SchemaError):
+            NumericValues(1, 5, "")
+
+    def test_numeric_rejects_bad_rates(self):
+        with pytest.raises(SchemaError):
+            NumericValues(1, 5, "kg", decimal_rate=1.5)
+        with pytest.raises(SchemaError):
+            NumericValues(1, 5, "kg", thousands_rate=-0.1)
+
+    def test_numeric_rejects_zero_step(self):
+        with pytest.raises(SchemaError):
+            NumericValues(1, 5, "kg", step=0)
+
+    def test_composite_requires_patterns(self):
+        with pytest.raises(SchemaError):
+            CompositeValues(())
+
+    def test_composite_requires_ordered_range(self):
+        with pytest.raises(SchemaError):
+            CompositeValues(("1/{n}",), low=5, high=1)
+
+
+class TestAttributeSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            _attr(name="")
+
+    def test_rejects_alias_equal_to_name(self):
+        with pytest.raises(SchemaError):
+            _attr(aliases=("iro",))
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SchemaError):
+            _attr(presence_rate=1.5)
+        with pytest.raises(SchemaError):
+            _attr(table_rate=-0.1)
+
+    def test_all_names_orders_canonical_first(self):
+        spec = _attr(aliases=("karaa",))
+        assert spec.all_names() == ("iro", "karaa")
+
+
+class TestCategorySchema:
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            CategorySchema(name="x", locale="ja", attributes=())
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(SchemaError):
+            CategorySchema(
+                name="x", locale="ja",
+                attributes=(_attr(), _attr()),
+            )
+
+    def test_rejects_alias_collision_across_attributes(self):
+        first = _attr(name="iro", aliases=("karaa",))
+        second = _attr(name="shurui", aliases=("karaa",))
+        with pytest.raises(SchemaError):
+            CategorySchema(
+                name="x", locale="ja", attributes=(first, second)
+            )
+
+    def test_rejects_unknown_confusable(self):
+        spec = _attr(confusable_with="ghost")
+        with pytest.raises(SchemaError):
+            CategorySchema(name="x", locale="ja", attributes=(spec,))
+
+    def test_rejects_unknown_title_noun_attribute(self):
+        with pytest.raises(SchemaError):
+            CategorySchema(
+                name="x", locale="ja", attributes=(_attr(),),
+                title_noun_attribute="ghost",
+            )
+
+    def test_rejects_bad_filler_range(self):
+        with pytest.raises(SchemaError):
+            CategorySchema(
+                name="x", locale="ja", attributes=(_attr(),),
+                filler_sentences=(3, 1),
+            )
+
+    def test_attribute_lookup(self):
+        schema = CategorySchema(
+            name="x", locale="ja", attributes=(_attr(),)
+        )
+        assert schema.attribute("iro").name == "iro"
+        with pytest.raises(KeyError):
+            schema.attribute("ghost")
+        assert schema.attribute_names() == ("iro",)
+
+
+class TestZipf:
+    def test_weights_are_decreasing(self):
+        weights = zipf_weights(5, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_skew_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0] * 4
+
+    def test_weighted_choice_prefers_head(self, rng):
+        items = [str(i) for i in range(10)]
+        draws = [weighted_choice(rng, items, 1.2) for _ in range(600)]
+        assert draws.count("0") > draws.count("9")

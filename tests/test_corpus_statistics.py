@@ -1,0 +1,112 @@
+"""Tests for corpus profiling."""
+
+import pytest
+
+from repro.corpus.statistics import profile_pages
+from repro.types import ProductPage
+
+
+def _page(product_id, body, locale="ja"):
+    return ProductPage(
+        product_id, "cat", f"<html><body>{body}</body></html>", locale
+    )
+
+
+TABLE = (
+    "<table><tr><td>iro</td><td>aka</td></tr>"
+    "<tr><td>juryo</td><td>2.5kg</td></tr></table>"
+)
+
+
+def test_profile_counts_tables_and_rows():
+    pages = [
+        _page("p1", TABLE + "<p>a。b。</p>"),
+        _page("p2", "<p>no table here。</p>"),
+    ]
+    profile = profile_pages(pages)
+    assert profile.page_count == 2
+    assert profile.pages_with_tables == 1
+    assert profile.table_rows == 2
+    assert profile.table_coverage == 0.5
+
+
+def test_profile_attribute_support_counts_pages():
+    pages = [
+        _page("p1", TABLE),
+        _page("p2", TABLE),
+    ]
+    profile = profile_pages(pages)
+    assert profile.attribute_support["iro"] == 2
+    assert profile.attribute_support["juryo"] == 2
+
+
+def test_profile_value_shapes():
+    profile = profile_pages([_page("p1", TABLE)])
+    assert profile.value_shapes.get("NN") == 1               # aka
+    assert profile.value_shapes.get("NUM SYM NUM UNIT") == 1  # 2.5kg
+
+
+def test_profile_text_statistics():
+    profile = profile_pages(
+        [_page("p1", "<p>hito futa mitsu。yon go。</p>")]
+    )
+    assert profile.sentences_per_page >= 2
+    assert profile.tokens_per_page > 4
+
+
+def test_warnings_on_tableless_corpus():
+    pages = [_page(f"p{i}", "<p>text。</p>") for i in range(10)]
+    warnings = profile_pages(pages).seed_viability_warnings()
+    assert warnings
+    assert any("dictionary tables" in warning for warning in warnings)
+
+
+def test_no_warnings_on_healthy_synthetic_category(
+    small_vacuum_dataset,
+):
+    profile = profile_pages(list(small_vacuum_dataset.product_pages))
+    assert profile.seed_viability_warnings() == []
+    assert 0.05 < profile.table_coverage < 0.9
+
+
+def test_format_is_printable(small_vacuum_dataset):
+    profile = profile_pages(
+        list(small_vacuum_dataset.product_pages)[:20]
+    )
+    text = profile.format()
+    assert "pages:" in text
+    assert "value shapes" in text
+
+
+def test_empty_collection():
+    profile = profile_pages([])
+    assert profile.page_count == 0
+    assert profile.table_coverage == 0.0
+
+
+def test_cli_profile_category(capsys):
+    from repro.cli import main
+
+    assert main(
+        ["profile", "--category", "tennis", "--products", "30"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pages:" in out
+
+
+def test_cli_profile_real_pages(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    records = [
+        {"product_id": "r1", "html": f"<html><body>{TABLE}</body></html>"}
+        for _ in range(3)
+    ]
+    path = tmp_path / "pages.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n"
+    )
+    assert main(["profile", "--pages", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "with dict tables" in out

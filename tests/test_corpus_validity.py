@@ -1,0 +1,73 @@
+"""Unit tests for structural pair validity."""
+
+import pytest
+
+from repro.corpus import get_schema
+from repro.corpus.validity import PairValidator
+
+
+@pytest.fixture(scope="module")
+def vacuum_validator():
+    return PairValidator((get_schema("vacuum_cleaner"),))
+
+
+@pytest.fixture(scope="module")
+def camera_validator():
+    return PairValidator((get_schema("digital_cameras"),))
+
+
+def test_categorical_membership(vacuum_validator):
+    assert vacuum_validator.is_valid("taipu", "robotto")
+    assert not vacuum_validator.is_valid("taipu", "not a type")
+
+
+def test_alias_names_are_known(vacuum_validator):
+    assert vacuum_validator.knows_attribute("omosa")
+    assert vacuum_validator.is_valid("omosa", "2 kg")
+
+
+def test_numeric_integer_and_decimal(vacuum_validator):
+    assert vacuum_validator.is_valid("juryo", "3 kg")
+    assert vacuum_validator.is_valid("juryo", "2 . 5 kg")
+    assert not vacuum_validator.is_valid("juryo", "2 . 5 cm")
+    assert not vacuum_validator.is_valid("juryo", "kg")
+
+
+def test_numeric_thousands_separator(camera_validator):
+    assert camera_validator.is_valid("yukogaso", "2 , 430 gaso")
+    assert camera_validator.is_valid("yukogaso", "2430 gaso")
+
+
+def test_numeric_does_not_range_check(vacuum_validator):
+    # A human judging <weight, 100 kg> calls the *pair* valid.
+    assert vacuum_validator.is_valid("juryo", "100 kg")
+
+
+def test_composite_patterns(camera_validator):
+    assert camera_validator.is_valid("shatta supido", "1 / 4000 byo")
+    assert camera_validator.is_valid(
+        "shatta supido", "1 / 4000 byo ~ 30 byo"
+    )
+    assert not camera_validator.is_valid("shatta supido", "aka")
+
+
+def test_unknown_attribute_invalid(vacuum_validator):
+    assert not vacuum_validator.knows_attribute("sonota")
+    assert not vacuum_validator.is_valid("sonota", "―")
+
+
+def test_german_decimal_form():
+    validator = PairValidator((get_schema("mailbox"),))
+    assert validator.is_valid("Gewicht", "2,5 kg")
+    assert validator.is_valid("Gewicht", "3 kg")
+    assert not validator.is_valid("Gewicht", "schwer")
+
+
+def test_multiple_schemas_merge_checkers():
+    validator = PairValidator(
+        (get_schema("baby_carriers"), get_schema("baby_toys"))
+    )
+    # 'iro' exists in both schemas; either inventory accepts.
+    assert validator.is_valid("iro", "aka")
+    # carrier-only attribute still known.
+    assert validator.knows_attribute("taiju seigen")

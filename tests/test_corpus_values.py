@@ -1,0 +1,130 @@
+"""Unit and property tests for value sampling.
+
+The critical invariant: a value's canonical token tuple must equal what
+the locale tokenizer produces from its display form — the ground truth
+is keyed on tokens, so any divergence would corrupt every experiment.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    CategoricalValues,
+    CompositeValues,
+    NumericValues,
+    category_names,
+    get_schema,
+)
+from repro.corpus.values import (
+    sample_categorical,
+    sample_composite,
+    sample_numeric,
+    sample_value,
+    spec_value_inventory,
+    value_key,
+)
+from repro.nlp import get_locale
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_numeric_display_tokenizes_to_token_tuple_ja(seed):
+    rng = random.Random(seed)
+    spec = NumericValues(
+        1, 5000, "kg", decimal_rate=0.4, thousands_rate=0.4
+    )
+    value = sample_numeric(rng, spec, "ja")
+    tokenizer = get_locale("ja").tokenizer
+    assert tuple(tokenizer.tokenize(value.display)) == value.tokens
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60)
+def test_numeric_display_tokenizes_to_token_tuple_de(seed):
+    rng = random.Random(seed)
+    spec = NumericValues(
+        1, 5000, "kg", decimal_rate=0.4, thousands_rate=0.4
+    )
+    value = sample_numeric(rng, spec, "de")
+    tokenizer = get_locale("de").tokenizer
+    assert tuple(tokenizer.tokenize(value.display)) == value.tokens
+
+
+def test_numeric_magnitude_respects_step(rng):
+    spec = NumericValues(10, 50, "cm", step=10)
+    for _ in range(50):
+        value = sample_numeric(rng, spec, "ja")
+        magnitude = int(value.tokens[0])
+        assert magnitude % 10 == 0
+        assert 10 <= magnitude <= 50
+
+
+def test_numeric_unit_is_final_token(rng):
+    spec = NumericValues(1, 9, "w")
+    value = sample_numeric(rng, spec, "ja")
+    assert value.tokens[-1] == "w"
+
+
+def test_categorical_values_come_from_inventory(rng):
+    spec = CategoricalValues(("aka", "gosei kawa"))
+    for _ in range(20):
+        value = sample_categorical(rng, spec, "ja")
+        assert value.display in spec.values
+
+
+def test_categorical_multiword_tokens(rng):
+    spec = CategoricalValues(("gosei kawa",))
+    value = sample_categorical(rng, spec, "ja")
+    assert value.tokens == ("gosei", "kawa")
+    assert value.key == "gosei kawa"
+
+
+def test_composite_fills_placeholders(rng):
+    spec = CompositeValues(("1/{n} byo ~ {m} byo",), low=1, high=9)
+    value = sample_composite(rng, spec, "ja")
+    assert "{n}" not in value.display
+    assert "{m}" not in value.display
+    assert value.tokens[0] == "1"
+
+
+def test_sample_value_dispatches(rng):
+    assert sample_value(
+        rng, NumericValues(1, 2, "kg"), "ja"
+    ).tokens[-1] == "kg"
+    assert sample_value(
+        rng, CategoricalValues(("x",)), "ja"
+    ).display == "x"
+    assert sample_value(
+        rng, CompositeValues(("{n} bai",)), "ja"
+    ).tokens[-1] == "bai"
+
+
+def test_value_key_from_string_and_tokens_agree():
+    assert value_key("2.5kg", "ja") == value_key(
+        ("2", ".", "5", "kg"), "ja"
+    )
+    assert value_key("2.5 kg", "ja") == "2 . 5 kg"
+
+
+def test_spec_value_inventory():
+    assert spec_value_inventory(CategoricalValues(("a", "b"))) == (
+        "a", "b",
+    )
+    assert spec_value_inventory(NumericValues(1, 2, "kg")) is None
+
+
+@pytest.mark.parametrize("category", category_names())
+def test_every_shipped_spec_round_trips(category, rng):
+    """For every attribute of every shipped schema, sampled displays
+    tokenize back to the canonical token tuple."""
+    schema = get_schema(category)
+    tokenizer = get_locale(schema.locale).tokenizer
+    for attribute in schema.attributes:
+        for _ in range(8):
+            value = sample_value(rng, attribute.values, schema.locale)
+            assert tuple(tokenizer.tokenize(value.display)) == (
+                value.tokens
+            ), (category, attribute.name, value.display)

@@ -1,0 +1,72 @@
+"""Tests for frequent-word subsampling in word2vec."""
+
+import numpy as np
+
+from repro.embeddings import Word2Vec
+from repro.nlp.vocab import Vocabulary
+
+
+def _vocabulary(counts):
+    vocabulary = Vocabulary()
+    for token, count in counts.items():
+        for _ in range(count):
+            vocabulary.add(token)
+    return vocabulary.freeze()
+
+
+def test_keep_probability_monotone_in_frequency():
+    vocabulary = _vocabulary({"rare": 2, "mid": 50, "stop": 500})
+    model = Word2Vec(subsample=1e-3)
+    keep = model._keep_probabilities(vocabulary)
+    assert keep[vocabulary.id_of("rare")] >= keep[vocabulary.id_of("mid")]
+    assert keep[vocabulary.id_of("mid")] > keep[vocabulary.id_of("stop")]
+
+
+def test_keep_probability_capped_at_one():
+    vocabulary = _vocabulary({"a": 1, "b": 1})
+    keep = Word2Vec(subsample=1e-3)._keep_probabilities(vocabulary)
+    assert np.all(keep <= 1.0)
+
+
+def test_subsample_zero_keeps_everything():
+    vocabulary = _vocabulary({"a": 100, "b": 1})
+    keep = Word2Vec(subsample=0.0)._keep_probabilities(vocabulary)
+    assert np.all(keep == 1.0)
+
+
+def test_tiny_uniform_corpus_falls_back_to_full_pairs():
+    # Subsampling would drop everything; training must still work.
+    model = Word2Vec(dim=4, epochs=1, seed=0).train(
+        [["a", "b", "c"]] * 4
+    )
+    assert model.fitted
+    assert model.vector("a") is not None
+
+
+def test_subsampling_prevents_anisotropy_collapse():
+    """Without subsampling, ubiquitous particles pull every content
+    vector into one direction and all pairwise cosines saturate near 1;
+    subsampling keeps the geometry spread out."""
+    corpus = []
+    for _ in range(120):
+        corpus.append(["iro", "wa", "aka", "desu"])
+        corpus.append(["iro", "wa", "ao", "desu"])
+        corpus.append(["juryo", "ga", "omoi", "kg"])
+        corpus.append(["juryo", "ga", "karui", "kg"])
+
+    def mean_abs_cosine(model):
+        words = ["aka", "ao", "omoi", "karui"]
+        sims = [
+            abs(model.similarity(a, b))
+            for i, a in enumerate(words)
+            for b in words[i + 1:]
+        ]
+        return sum(sims) / len(sims)
+
+    collapsed = Word2Vec(
+        dim=16, epochs=12, seed=3, subsample=0.0
+    ).train(corpus)
+    spread = Word2Vec(
+        dim=16, epochs=12, seed=3, subsample=1e-3
+    ).train(corpus)
+    assert mean_abs_cosine(spread) < mean_abs_cosine(collapsed)

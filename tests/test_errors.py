@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_unknown_locale_error_carries_context():
+    error = errors.UnknownLocaleError("fr", ("de", "ja"))
+    assert error.locale == "fr"
+    assert error.known == ("de", "ja")
+    assert "fr" in str(error)
+    assert "de" in str(error)
+
+
+def test_not_fitted_error_names_the_model():
+    error = errors.NotFittedError("CrfTagger")
+    assert "CrfTagger" in str(error)
+
+
+def test_config_errors_are_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.ConfigError("bad")
+
+
+def test_schema_error_is_config_error():
+    assert issubclass(errors.SchemaError, errors.ConfigError)
+
+
+def test_model_errors_grouped():
+    assert issubclass(errors.NotFittedError, errors.ModelError)
+    assert issubclass(errors.TrainingError, errors.ModelError)

@@ -1,0 +1,95 @@
+"""Tests for the structured error-analysis API."""
+
+import pytest
+
+from repro.evaluation import error_buckets
+from repro.evaluation.truth import TruthSample
+from repro.types import Triple
+
+
+@pytest.fixture
+def truth():
+    return TruthSample(
+        correct=frozenset(
+            {
+                Triple("p1", "iro", "aka"),
+                Triple("p2", "iro", "ao"),
+                Triple("p2", "juryo", "2 kg"),
+            }
+        ),
+        incorrect=frozenset({Triple("p3", "iro", "shiro")}),
+        alias_map={"karaa": "iro"},
+    )
+
+
+def test_buckets_partition_all_triples(truth):
+    system = [
+        Triple("p1", "iro", "aka"),      # correct
+        Triple("p3", "iro", "shiro"),    # incorrect
+        Triple("p2", "iro", "kuro"),     # maybe (value disagrees)
+        Triple("p9", "iro", "aka"),      # spurious
+    ]
+    buckets = error_buckets(system, truth)
+    assert len(buckets.correct) == 1
+    assert len(buckets.incorrect) == 1
+    assert len(buckets.maybe_incorrect) == 1
+    assert len(buckets.spurious) == 1
+    assert buckets.total == 4
+
+
+def test_buckets_agree_with_precision_metric(truth):
+    from repro.evaluation import precision
+
+    system = [
+        Triple("p1", "iro", "aka"),
+        Triple("p2", "iro", "kuro"),
+        Triple("p9", "juryo", "9 kg"),
+    ]
+    buckets = error_buckets(system, truth)
+    breakdown = precision(system, truth)
+    assert len(buckets.correct) == breakdown.correct
+    assert len(buckets.incorrect) == breakdown.incorrect
+    assert len(buckets.maybe_incorrect) == breakdown.maybe_incorrect
+    assert len(buckets.spurious) == breakdown.spurious
+
+
+def test_alias_canonicalized(truth):
+    buckets = error_buckets([Triple("p1", "karaa", "aka")], truth)
+    assert Triple("p1", "iro", "aka") in buckets.correct
+
+
+def test_errors_by_attribute(truth):
+    system = [
+        Triple("p3", "iro", "shiro"),
+        Triple("p2", "iro", "kuro"),
+        Triple("p9", "juryo", "9 kg"),
+    ]
+    by_attribute = error_buckets(system, truth).errors_by_attribute()
+    assert by_attribute["iro"]["incorrect"] == 1
+    assert by_attribute["iro"]["maybe_incorrect"] == 1
+    assert by_attribute["juryo"]["spurious"] == 1
+
+
+def test_dominant_error_values(truth):
+    system = [
+        Triple("p2", "iro", "kuro"),
+        Triple("p9", "iro", "kuro"),
+        Triple("p8", "iro", "gin"),
+    ]
+    dominant = error_buckets(system, truth).dominant_error_values("iro")
+    assert dominant[0] == ("kuro", 2)
+
+
+def test_concentration(truth):
+    system = [
+        Triple("p3", "iro", "shiro"),
+        Triple("p2", "iro", "kuro"),
+        Triple("p9", "juryo", "9 kg"),
+    ]
+    buckets = error_buckets(system, truth)
+    assert buckets.concentration() == pytest.approx(2 / 3)
+
+
+def test_concentration_with_no_errors(truth):
+    buckets = error_buckets([Triple("p1", "iro", "aka")], truth)
+    assert buckets.concentration() == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the paper's metrics."""
+
+import pytest
+
+from repro.evaluation import (
+    attribute_coverage,
+    coverage,
+    pair_precision,
+    precision,
+)
+from repro.evaluation.metrics import triple_coverage, triples_per_product
+from repro.evaluation.truth import TruthSample
+from repro.types import AttributeValuePair, Triple
+
+
+@pytest.fixture
+def truth():
+    return TruthSample(
+        correct=frozenset(
+            {
+                Triple("p1", "iro", "aka"),
+                Triple("p2", "iro", "ao"),
+                Triple("p2", "juryo", "2 kg"),
+            }
+        ),
+        incorrect=frozenset({Triple("p3", "iro", "shiro")}),
+        alias_map={"iro": "iro", "karaa": "iro", "juryo": "juryo"},
+    )
+
+
+class TestPrecision:
+    def test_all_correct(self, truth):
+        breakdown = precision([Triple("p1", "iro", "aka")], truth)
+        assert breakdown.correct == 1
+        assert breakdown.precision == 1.0
+
+    def test_incorrect_counts_against(self, truth):
+        breakdown = precision(
+            [Triple("p1", "iro", "aka"), Triple("p3", "iro", "shiro")],
+            truth,
+        )
+        assert breakdown.incorrect == 1
+        assert breakdown.precision == 0.5
+
+    def test_maybe_incorrect_value_disagreement(self, truth):
+        # p1 has iro=aka in truth; system says kuro.
+        breakdown = precision([Triple("p1", "iro", "kuro")], truth)
+        assert breakdown.maybe_incorrect == 1
+        assert breakdown.precision == 0.0
+
+    def test_spurious_counts_against(self, truth):
+        breakdown = precision([Triple("p9", "iro", "aka")], truth)
+        assert breakdown.spurious == 1
+        assert breakdown.precision == 0.0
+
+    def test_alias_canonicalized_before_matching(self, truth):
+        breakdown = precision([Triple("p1", "karaa", "aka")], truth)
+        assert breakdown.correct == 1
+
+    def test_empty_system_output(self, truth):
+        breakdown = precision([], truth)
+        assert breakdown.precision == 0.0
+        assert breakdown.judged == 0
+
+    def test_duplicates_collapse(self, truth):
+        breakdown = precision(
+            [Triple("p1", "iro", "aka"), Triple("p1", "karaa", "aka")],
+            truth,
+        )
+        assert breakdown.correct == 1
+        assert breakdown.total == 1
+
+
+class TestCoverage:
+    def test_counts_distinct_products(self):
+        triples = [
+            Triple("p1", "iro", "aka"),
+            Triple("p1", "juryo", "2 kg"),
+            Triple("p2", "iro", "ao"),
+        ]
+        assert coverage(triples, 4) == 0.5
+
+    def test_zero_products(self):
+        assert coverage([], 0) == 0.0
+
+    def test_triple_coverage(self, truth):
+        found = [Triple("p1", "iro", "aka"), Triple("p9", "x", "y")]
+        assert triple_coverage(found, truth) == pytest.approx(1 / 3)
+
+    def test_attribute_coverage_uses_alias_map(self, truth):
+        triples = [
+            Triple("p1", "karaa", "aka"),
+            Triple("p2", "iro", "ao"),
+        ]
+        by_attribute = attribute_coverage(
+            triples, 4, truth.alias_map
+        )
+        assert by_attribute == {"iro": 0.5}
+
+    def test_triples_per_product(self):
+        triples = {
+            Triple("p1", "iro", "aka"),
+            Triple("p1", "juryo", "2 kg"),
+        }
+        assert triples_per_product(triples, 2) == 1.0
+
+
+class TestPairPrecision:
+    def test_structural_judgement(self, small_vacuum_dataset):
+        validator = small_vacuum_dataset.pair_validator
+        pairs = [
+            AttributeValuePair("juryo", "2 kg"),       # valid
+            AttributeValuePair("juryo", "aka"),        # wrong shape
+            AttributeValuePair("sonota", "―"),         # unknown attr
+            AttributeValuePair("omosa", "3 kg"),       # alias, valid
+        ]
+        score = pair_precision(
+            pairs, validator, small_vacuum_dataset.alias_map
+        )
+        assert score == 0.5
+
+    def test_empty_pairs(self, small_vacuum_dataset):
+        assert pair_precision(
+            [], small_vacuum_dataset.pair_validator
+        ) == 0.0

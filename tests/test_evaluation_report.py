@@ -1,0 +1,50 @@
+"""Tests for report formatting."""
+
+from repro.evaluation import format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["a", 1], ["longer-name", 2.5]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert "longer-name" in lines[-1]
+    # Columns align: every data line has the separator width.
+    assert len(lines[2]) >= len("longer-name")
+
+
+def test_floats_rendered_with_two_decimals():
+    text = format_table(["x"], [[1.23456]])
+    assert "1.23" in text
+
+
+def test_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_no_title():
+    text = format_table(["a"], [["x"]])
+    assert not text.startswith("\n")
+    assert text.splitlines()[0].startswith("a")
+
+
+def test_iteration_report_shape(small_vacuum_dataset):
+    from repro import PipelineConfig
+    from repro.core.bootstrap import Bootstrapper
+    from repro.evaluation import build_truth_sample
+    from repro.evaluation.report import iteration_report
+
+    result = Bootstrapper(PipelineConfig(iterations=1)).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    truth = build_truth_sample(small_vacuum_dataset)
+    text = iteration_report(result, truth, len(small_vacuum_dataset))
+    lines = text.splitlines()
+    # header + separator + (iterations + 1) rows
+    assert len(lines) == 2 + 2

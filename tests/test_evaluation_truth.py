@@ -1,0 +1,54 @@
+"""Tests for truth-sample construction and canonicalization."""
+
+from repro.evaluation import build_truth_sample, full_truth_sample
+from repro.types import Triple
+
+
+def test_build_truth_from_dataset(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    assert truth.correct == small_vacuum_dataset.correct_triples
+    assert truth.incorrect == small_vacuum_dataset.incorrect_triples
+    assert truth.size == len(truth.correct) + len(truth.incorrect)
+
+
+def test_correct_and_incorrect_disjoint(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    assert not (truth.correct & truth.incorrect)
+
+
+def test_canonicalize_maps_aliases(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    triple = Triple("p1", "omosa", "2 kg")
+    assert truth.canonicalize(triple) == Triple("p1", "juryo", "2 kg")
+
+
+def test_canonicalize_leaves_unknown_names(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    triple = Triple("p1", "sonota", "x")
+    assert truth.canonicalize(triple) == triple
+
+
+def test_canonicalize_all(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    triples = {
+        Triple("p1", "omosa", "2 kg"),
+        Triple("p1", "juryo", "2 kg"),
+    }
+    assert truth.canonicalize_all(triples) == frozenset(
+        {Triple("p1", "juryo", "2 kg")}
+    )
+
+
+def test_correct_keys(small_vacuum_dataset):
+    truth = build_truth_sample(small_vacuum_dataset)
+    keys = truth.correct_keys()
+    sample = next(iter(truth.correct))
+    assert (sample.product_id, sample.attribute) in keys
+
+
+def test_full_truth_is_superset(small_vacuum_dataset):
+    biased = build_truth_sample(small_vacuum_dataset)
+    full = full_truth_sample(small_vacuum_dataset)
+    assert biased.correct <= full.correct
+    # Unstated assignments exist (text_rate/table_rate < 1).
+    assert len(full.correct) > len(biased.correct)

@@ -1,0 +1,82 @@
+"""Tests for the experiment infrastructure (caching, configs)."""
+
+from repro.config import PipelineConfig
+from repro.experiments import ExperimentSettings, cached_dataset, cached_run
+from repro.experiments.common import (
+    CORE_CATEGORIES,
+    cached_truth,
+    crf_config,
+    lstm_config,
+)
+
+
+def test_core_categories_match_paper():
+    assert CORE_CATEGORIES == (
+        "tennis", "kitchen", "cosmetics", "garden", "shoes",
+        "ladies_bags", "digital_cameras", "vacuum_cleaner",
+    )
+
+
+def test_settings_defaults():
+    settings = ExperimentSettings()
+    assert settings.iterations == 5
+    assert settings.german_products < settings.products
+
+
+def test_cached_dataset_is_memoized():
+    first = cached_dataset("tennis", 12, 99)
+    second = cached_dataset("tennis", 12, 99)
+    assert first is second
+
+
+def test_cached_dataset_key_includes_seed():
+    first = cached_dataset("tennis", 12, 99)
+    second = cached_dataset("tennis", 12, 100)
+    assert first is not second
+
+
+def test_cached_run_is_memoized():
+    config = crf_config(1, cleaning=False)
+    first = cached_run("tennis", 30, 99, config)
+    second = cached_run("tennis", 30, 99, config)
+    assert first is second
+
+
+def test_cached_run_key_includes_config():
+    first = cached_run("tennis", 30, 99, crf_config(1, cleaning=False))
+    second = cached_run("tennis", 30, 99, crf_config(1, cleaning=True))
+    assert first is not second
+
+
+def test_cached_run_key_includes_subset():
+    config = crf_config(1, cleaning=False)
+    full = cached_run("tennis", 30, 99, config)
+    subset = cached_run(
+        "tennis", 30, 99, config, attribute_subset=("iro",)
+    )
+    assert full is not subset
+    assert {t.attribute for t in subset.final_triples} <= {"iro"}
+
+
+def test_cached_truth_matches_dataset():
+    truth = cached_truth("tennis", 12, 99)
+    dataset = cached_dataset("tennis", 12, 99)
+    assert truth.correct == dataset.correct_triples
+
+
+def test_crf_config_knobs():
+    config = crf_config(3, semantic=False, syntactic=True)
+    assert config.tagger == "crf"
+    assert config.iterations == 3
+    assert not config.enable_semantic_cleaning
+    assert config.enable_syntactic_cleaning
+
+    no_div = crf_config(2, cleaning=True, diversification=False)
+    assert not no_div.enable_diversification
+
+
+def test_lstm_config_knobs():
+    config = lstm_config(1, epochs=10, cleaning=False)
+    assert config.tagger == "lstm"
+    assert config.lstm.epochs == 10
+    assert not config.enable_semantic_cleaning

@@ -1,0 +1,125 @@
+"""Smoke tests for every experiment runner at tiny scale.
+
+These are *structure* tests — the runners must produce complete,
+well-formed result objects and printable tables. Shape assertions
+against the paper live in the benchmarks at proper scale.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import (
+    cleaning_impact,
+    diversification,
+    figure3,
+    figure4_6,
+    figure5,
+    figure7_8,
+    german,
+    heterogeneous,
+    per_attribute,
+    table1,
+    table2_3,
+    table4,
+)
+
+TINY = ExperimentSettings(products=60, data_seed=5, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return TINY
+
+
+def test_table1_runner(tiny):
+    result = table1.run(tiny)
+    assert len(result.rows) == 8
+    assert "Table I" in result.format()
+    for row in result.rows:
+        assert 0.0 <= row.precision_pairs <= 1.0
+        assert 0.0 <= row.coverage_triples <= 1.0
+
+
+def test_table2_3_runner(tiny):
+    result = table2_3.run(tiny)
+    assert len(result.cells) == 5 * 8
+    text = result.format()
+    assert "Table II" in text
+    assert "Table III" in text
+
+
+def test_table4_runner(tiny):
+    result = table4.run(tiny)
+    # 4 ablations × 2 categories × (iteration 1, iteration N) — with
+    # N=1 the two reads coincide on the same key.
+    assert len(result.precisions) == 4 * 2
+    assert "Table IV" in result.format()
+
+
+def test_figure3_runner(tiny):
+    result = figure3.run(tiny)
+    assert len(result.curves) == 2 * len(figure3.FIGURE3_CATEGORIES)
+    for points in result.curves.values():
+        assert len(points) == tiny.iterations + 1
+    assert "Figure 3" in result.format()
+
+
+def test_figure4_and_6_runners(tiny):
+    fig4 = figure4_6.run_figure4(tiny)
+    assert len(fig4.per_product) == 2 * 8
+    assert "Figure 4" in fig4.format()
+    fig6 = figure4_6.run_figure6(tiny)
+    assert len(fig6.increases) == 3 * 8
+    assert all(value >= 0 for value in fig6.increases.values())
+    assert "Figure 6" in fig6.format()
+
+
+def test_figure5_runner(tiny):
+    result = figure5.run(tiny)
+    for counts in result.counts.values():
+        assert len(counts) == tiny.iterations + 1
+        assert list(counts) == sorted(counts)
+    assert "Figure 5" in result.format()
+
+
+def test_figure7_8_runners(tiny):
+    fig7 = figure7_8.run_figure7(tiny)
+    assert set(fig7.attributes) == set(figure7_8.FIGURE7[1])
+    assert "Figure 7" in fig7.format("Figure 7")
+    fig8 = figure7_8.run_figure8(tiny)
+    assert set(fig8.attributes) == set(figure7_8.FIGURE8[1])
+
+
+def test_german_runner(tiny):
+    result = german.run(tiny)
+    assert [row.category for row in result.rows] == list(
+        german.GERMAN_CATEGORIES
+    )
+    assert "German" in result.format()
+
+
+def test_diversification_runner(tiny):
+    result = diversification.run(tiny)
+    assert result.with_div.seed_weight_values >= (
+        result.without_div.seed_weight_values
+    )
+    assert "diversification" in result.format()
+
+
+def test_cleaning_impact_runner(tiny):
+    result = cleaning_impact.run(tiny)
+    assert len(result.veto_rows) == 8
+    assert len(result.core_sweep) == 2 * 3
+    assert "veto" in result.format()
+
+
+def test_per_attribute_runner(tiny):
+    result = per_attribute.run(tiny)
+    assert len(result.rows) == 6
+    assert "per-attribute" in result.format()
+
+
+def test_heterogeneous_runner(tiny):
+    result = heterogeneous.run(tiny)
+    assert 0.0 <= result.heterogeneous_precision <= 1.0
+    assert "homogeneity" in result.format()

@@ -1,0 +1,133 @@
+"""Tests for the CRF+LSTM ensemble (§IX future work)."""
+
+import random
+
+import pytest
+
+from repro.config import CrfConfig, LstmConfig, PipelineConfig
+from repro.errors import ConfigError
+from repro.extensions import EnsembleTagger
+from repro.nlp import get_locale
+from repro.nlp.bio import decode_bio, is_valid_bio
+from repro.types import Sentence, TaggedSentence
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ja = get_locale("ja")
+    rng = random.Random(3)
+    colors = ["aka", "ao", "shiro", "kuro"]
+    data = []
+    for index in range(140):
+        color = rng.choice(colors)
+        tokens = ja.tokens(f"iro wa {color} desu")
+        data.append(
+            TaggedSentence(
+                Sentence(f"p{index}", 0, tokens),
+                ("O", "O", "B-iro", "O"),
+            )
+        )
+    return data
+
+
+@pytest.fixture(scope="module")
+def trained_agreement(dataset):
+    return EnsembleTagger(
+        policy="agreement",
+        crf_config=CrfConfig(max_iterations=40),
+        lstm_config=LstmConfig(epochs=4),
+    ).train(dataset)
+
+
+def test_rejects_unknown_policy():
+    with pytest.raises(ConfigError):
+        EnsembleTagger(policy="majority")
+
+
+def test_agreement_tags_clear_cases(trained_agreement, dataset):
+    predictions = trained_agreement.tag(
+        [tagged.sentence for tagged in dataset[:20]]
+    )
+    hits = sum(
+        prediction.labels == gold.labels
+        for prediction, gold in zip(predictions, dataset[:20])
+    )
+    assert hits >= 15
+
+
+def test_agreement_is_intersection(dataset):
+    ensemble = EnsembleTagger(
+        policy="agreement",
+        crf_config=CrfConfig(max_iterations=40),
+        lstm_config=LstmConfig(epochs=4),
+    ).train(dataset)
+    sentences = [tagged.sentence for tagged in dataset[:30]]
+    crf, lstm = ensemble.members
+    crf_spans = {
+        (s.product_id, span)
+        for tagged, s in zip(crf.tag(sentences), sentences)
+        for span in decode_bio(tagged.labels)
+    }
+    lstm_spans = {
+        (s.product_id, span)
+        for tagged, s in zip(lstm.tag(sentences), sentences)
+        for span in decode_bio(tagged.labels)
+    }
+    ensemble_spans = {
+        (s.product_id, span)
+        for tagged, s in zip(ensemble.tag(sentences), sentences)
+        for span in decode_bio(tagged.labels)
+    }
+    assert ensemble_spans == (crf_spans & lstm_spans)
+
+
+def test_union_is_superset_of_agreement(dataset):
+    sentences = [tagged.sentence for tagged in dataset[:30]]
+    agreement = EnsembleTagger(
+        policy="agreement",
+        crf_config=CrfConfig(max_iterations=40),
+        lstm_config=LstmConfig(epochs=4),
+    ).train(dataset)
+    union = EnsembleTagger(
+        policy="union",
+        crf_config=CrfConfig(max_iterations=40),
+        lstm_config=LstmConfig(epochs=4),
+    ).train(dataset)
+
+    def spans(tagger):
+        return {
+            (s.product_id, span)
+            for tagged, s in zip(tagger.tag(sentences), sentences)
+            for span in decode_bio(tagged.labels)
+        }
+
+    assert spans(agreement) <= spans(union)
+
+
+def test_union_spans_do_not_overlap():
+    crf_spans = [(0, 2, "a"), (4, 6, "b")]
+    lstm_spans = [(1, 3, "c"), (6, 8, "d")]
+    merged = EnsembleTagger._union_spans(crf_spans, lstm_spans)
+    # (1,3,"c") overlaps the CRF's (0,2,"a") and is dropped.
+    assert merged == [(0, 2, "a"), (4, 6, "b"), (6, 8, "d")]
+
+
+def test_output_is_valid_bio(trained_agreement, dataset):
+    for prediction in trained_agreement.tag(
+        [tagged.sentence for tagged in dataset[:10]]
+    ):
+        assert is_valid_bio(prediction.labels)
+
+
+def test_pipeline_config_accepts_ensemble():
+    config = PipelineConfig(tagger="ensemble")
+    assert config.ensemble_policy == "agreement"
+    with pytest.raises(ConfigError):
+        PipelineConfig(tagger="ensemble", ensemble_policy="noisy")
+
+
+def test_make_tagger_builds_ensemble():
+    from repro.core.tagger import make_tagger
+
+    tagger = make_tagger(PipelineConfig(tagger="ensemble"))
+    assert isinstance(tagger, EnsembleTagger)

@@ -1,0 +1,112 @@
+"""Failure injection: the pipeline must survive hostile inputs.
+
+Merchant HTML is adversarially bad in practice; these tests feed
+malformed pages, broken tables, empty text and mixed garbage through
+the full pipeline and assert graceful behaviour (no crashes, sane
+output) rather than specific extractions.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import PAEPipeline, PipelineConfig
+from repro.core.text import tokenize_page
+from repro.corpus import Marketplace
+from repro.corpus.querylog import QueryLog
+from repro.types import ProductPage
+
+
+def _page(product_id, html):
+    return ProductPage(product_id, "cat", html, "ja")
+
+
+GOOD_TABLE = (
+    "<table><tr><td>iro</td><td>aka</td></tr>"
+    "<tr><td>juryo</td><td>2kg</td></tr></table>"
+)
+
+HOSTILE_BODIES = [
+    "",                                        # empty document
+    "<p>",                                     # unclosed everything
+    "<table><tr><td>only-one-cell</td></tr>",  # broken table
+    "<table></table>",                         # empty table
+    "<<<<>>>>&&&&",                            # tag soup
+    "<p>" + "x" * 5000 + "</p>",               # pathological length
+    "<script>alert('x')</script>",             # script only
+    "<p>重量 2kg \x00 null byte</p>",           # control characters
+    "<table><tr><td>iro</td><td></td></tr></table>",  # empty value
+]
+
+
+@pytest.mark.parametrize("body", HOSTILE_BODIES)
+def test_tokenize_page_never_crashes(body):
+    text = tokenize_page(_page("p1", f"<html><body>{body}</body></html>"))
+    assert text.product_id == "p1"
+
+
+def test_pipeline_survives_hostile_minority():
+    """A corpus where a third of the pages are garbage still runs."""
+    dataset = Marketplace(seed=31).generate("vacuum_cleaner", 60)
+    pages = list(dataset.product_pages)
+    for index, body in enumerate(HOSTILE_BODIES):
+        pages.append(
+            _page(
+                f"hostile_{index}",
+                f"<html><body>{body}{GOOD_TABLE if index % 2 else ''}"
+                "</body></html>",
+            )
+        )
+    result = PAEPipeline(PipelineConfig(iterations=1)).run(
+        pages, dataset.query_log
+    )
+    assert len(result.triples) > 0
+    # Hostile pages never produce phantom product ids.
+    ids = {page.product_id for page in pages}
+    assert {t.product_id for t in result.triples} <= ids
+
+
+def test_pipeline_with_empty_query_log():
+    dataset = Marketplace(seed=32).generate("ladies_bags", 60)
+    result = PAEPipeline(PipelineConfig(iterations=1)).run(
+        list(dataset.product_pages), QueryLog(Counter())
+    )
+    # Frequency filtering alone still yields a seed.
+    assert len(result.seed_triples) > 0
+
+
+def test_single_page_corpus():
+    """One page with a table: degenerate but must not crash."""
+    page = _page(
+        "solo",
+        f"<html><body>{GOOD_TABLE}<p>iro wa aka desu。</p></body></html>",
+    )
+    from repro.config import SeedConfig
+
+    config = PipelineConfig(
+        iterations=1,
+        seed_config=SeedConfig(
+            min_attribute_pages=1, min_value_page_frequency=1
+        ),
+    )
+    result = PAEPipeline(config).run([page], QueryLog(Counter()))
+    assert result.product_count == 1
+
+
+def test_duplicate_product_ids_tolerated():
+    page = _page(
+        "dup",
+        f"<html><body>{GOOD_TABLE}<p>iro wa aka desu。</p></body></html>",
+    )
+    from repro.config import SeedConfig
+
+    config = PipelineConfig(
+        iterations=1,
+        seed_config=SeedConfig(
+            min_attribute_pages=1, min_value_page_frequency=1
+        ),
+    )
+    result = PAEPipeline(config).run(
+        [page, page], QueryLog(Counter())
+    )
+    assert {t.product_id for t in result.triples} <= {"dup"}

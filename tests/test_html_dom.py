@@ -1,0 +1,57 @@
+"""Direct tests for the DOM node types."""
+
+from repro.html import Element, Text
+
+
+def test_text_content_of_text_node():
+    assert Text("hello").text_content() == "hello"
+
+
+def test_element_text_content_concatenates_descendants():
+    root = Element("div")
+    root.append(Text("a"))
+    child = Element("b")
+    child.append(Text("c"))
+    root.append(child)
+    root.append(Text("d"))
+    assert root.text_content() == "acd"
+
+
+def test_find_all_includes_self():
+    root = Element("table")
+    inner = Element("table")
+    root.append(inner)
+    assert root.find_all("table") == [root, inner]
+
+
+def test_direct_children_excludes_grandchildren():
+    root = Element("ul")
+    li = Element("li")
+    nested = Element("li")
+    li.append(nested)
+    root.append(li)
+    assert root.direct_children("li") == [li]
+
+
+def test_direct_children_skips_text_nodes():
+    root = Element("tr")
+    root.append(Text("whitespace"))
+    cell = Element("td")
+    root.append(cell)
+    assert root.direct_children("td") == [cell]
+
+
+def test_find_returns_first_in_document_order():
+    root = Element("div")
+    first = Element("p")
+    second = Element("p")
+    root.append(first)
+    root.append(second)
+    assert root.find("p") is first
+
+
+def test_attrs_default_to_empty_dict():
+    first = Element("a")
+    second = Element("a")
+    first.attrs["href"] = "x"
+    assert second.attrs == {}

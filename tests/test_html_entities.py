@@ -1,0 +1,53 @@
+"""Unit tests for HTML entity decoding/encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import decode_entities, encode_entities
+
+
+def test_decodes_named_entities():
+    assert decode_entities("a &amp; b") == "a & b"
+    assert decode_entities("&lt;br&gt;") == "<br>"
+    assert decode_entities("5&nbsp;kg") == "5 kg"
+
+
+def test_decodes_german_umlauts():
+    assert decode_entities("Gr&uuml;n &szlig;") == "Grün ß"
+
+
+def test_decodes_decimal_and_hex_references():
+    assert decode_entities("&#65;&#x42;") == "AB"
+    assert decode_entities("&#x3042;") == "あ"
+
+
+def test_unknown_entity_passes_through():
+    assert decode_entities("&unknownent;") == "&unknownent;"
+
+
+def test_out_of_range_reference_passes_through():
+    assert decode_entities("&#x110000;") == "&#x110000;"
+
+
+def test_bare_ampersand_untouched():
+    assert decode_entities("fish & chips") == "fish & chips"
+
+
+def test_text_without_ampersand_is_returned_unchanged():
+    text = "no entities here"
+    assert decode_entities(text) is text
+
+
+def test_encode_escapes_markup_characters():
+    assert encode_entities('<a href="x">&') == (
+        "&lt;a href=&quot;x&quot;&gt;&amp;"
+    )
+
+
+def test_encode_leaves_plain_text():
+    assert encode_entities("juryo wa 2.5kg") == "juryo wa 2.5kg"
+
+
+@given(st.text(max_size=200))
+def test_encode_then_decode_round_trips(text):
+    assert decode_entities(encode_entities(text)) == text

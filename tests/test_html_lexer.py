@@ -1,0 +1,71 @@
+"""Unit tests for the HTML lexer."""
+
+from repro.html import tokenize_html
+from repro.html.lexer import HtmlToken
+
+
+def lex(markup):
+    return list(tokenize_html(markup))
+
+
+def test_simple_element():
+    tokens = lex("<p>hello</p>")
+    assert [token.kind for token in tokens] == ["start", "text", "end"]
+    assert tokens[0].value == "p"
+    assert tokens[1].value == "hello"
+
+
+def test_attributes_parsed_with_all_quote_styles():
+    (token,) = lex('<a href="x" id=\'y\' data=z checked>')
+    assert token.attrs == {
+        "href": "x", "id": "y", "data": "z", "checked": "",
+    }
+
+
+def test_tag_names_lowercased():
+    tokens = lex("<TABLE></TABLE>")
+    assert tokens[0].value == "table"
+    assert tokens[1].value == "table"
+
+
+def test_void_tag_is_self_closing():
+    (token,) = lex("<br>")
+    assert token.self_closing
+
+
+def test_explicit_self_closing():
+    (token,) = lex("<span/>")
+    assert token.self_closing
+
+
+def test_comment_extracted():
+    tokens = lex("a<!-- hidden -->b")
+    assert [token.kind for token in tokens] == ["text", "comment", "text"]
+    assert tokens[1].value == " hidden "
+
+
+def test_unterminated_comment_consumes_rest():
+    tokens = lex("a<!-- oops")
+    assert tokens[-1].kind == "comment"
+
+
+def test_bare_less_than_is_text():
+    tokens = lex("weight < 5kg")
+    assert all(token.kind == "text" for token in tokens)
+    assert "".join(token.value for token in tokens) == "weight < 5kg"
+
+
+def test_unterminated_tag_recovers():
+    tokens = lex("<p class=x")
+    assert tokens[0].kind == "start"
+    assert tokens[0].value == "p"
+
+
+def test_empty_input():
+    assert lex("") == []
+
+
+def test_token_is_frozen():
+    token = HtmlToken("text", "x")
+    assert token.kind == "text"
+    assert token.attrs == {}

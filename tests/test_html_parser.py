@@ -1,0 +1,86 @@
+"""Unit tests for the lenient DOM parser."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import Element, Text, parse_html
+
+
+def test_builds_nested_tree():
+    root = parse_html("<div><p>a</p><p>b</p></div>")
+    div = root.find("div")
+    assert div is not None
+    paragraphs = div.direct_children("p")
+    assert [p.text_content() for p in paragraphs] == ["a", "b"]
+
+
+def test_entities_decoded_in_text_nodes():
+    root = parse_html("<p>a &amp; b</p>")
+    assert root.text_content() == "a & b"
+
+
+def test_stray_end_tag_is_dropped():
+    root = parse_html("</div><p>x</p>")
+    assert root.find("p") is not None
+    assert root.find("div") is None
+
+
+def test_unclosed_tags_auto_close_at_eof():
+    root = parse_html("<div><p>x")
+    assert root.find("p").text_content() == "x"
+
+
+def test_end_tag_closes_intermediate_elements():
+    # </div> closes the unclosed <span>.
+    root = parse_html("<div><span>x</div><p>y</p>")
+    div = root.find("div")
+    assert div.find("span") is not None
+    # <p> is a sibling of <div>, not nested in <span>.
+    assert root.direct_children("p")
+
+
+def test_self_nesting_tags_close_siblings():
+    root = parse_html("<ul><li>one<li>two</ul>")
+    items = root.find("ul").direct_children("li")
+    assert [item.text_content() for item in items] == ["one", "two"]
+
+
+def test_table_rows_implicitly_closed():
+    root = parse_html(
+        "<table><tr><td>a<td>b<tr><td>c<td>d</table>"
+    )
+    rows = root.find("table").find_all("tr")
+    assert len(rows) == 2
+    assert [len(row.direct_children("td")) for row in rows] == [2, 2]
+
+
+def test_comments_are_ignored():
+    root = parse_html("<p>a<!-- not content -->b</p>")
+    assert root.find("p").text_content() == "ab"
+
+
+def test_iter_is_preorder():
+    root = parse_html("<a><b></b><c></c></a>")
+    tags = [element.tag for element in root.iter()]
+    assert tags == ["#root", "a", "b", "c"]
+
+
+def test_find_returns_none_when_absent():
+    assert parse_html("<p>x</p>").find("table") is None
+
+
+def test_text_nodes_preserved_in_order():
+    root = parse_html("x<b>y</b>z")
+    kinds = [
+        child.data if isinstance(child, Text) else child.tag
+        for child in root.children
+    ]
+    assert kinds == ["x", "b", "z"]
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=300))
+def test_parser_never_raises_on_arbitrary_input(markup):
+    root = parse_html(markup)
+    assert isinstance(root, Element)
+    # Traversal also terminates and visits a finite set of nodes.
+    assert sum(1 for _ in root.iter()) >= 1

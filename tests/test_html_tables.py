@@ -1,0 +1,112 @@
+"""Unit tests for table extraction and dictionary-table detection."""
+
+from repro.html import extract_dictionary_tables, extract_tables
+
+
+def test_two_column_dictionary():
+    html = (
+        "<table>"
+        "<tr><td>iro</td><td>aka</td></tr>"
+        "<tr><td>juryo</td><td>2kg</td></tr>"
+        "</table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.orientation == "columns"
+    assert table.pairs == (("iro", "aka"), ("juryo", "2kg"))
+
+
+def test_two_row_dictionary():
+    html = (
+        "<table>"
+        "<tr><td>iro</td><td>juryo</td><td>saizu</td></tr>"
+        "<tr><td>aka</td><td>2kg</td><td>30cm</td></tr>"
+        "</table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.orientation == "rows"
+    assert table.pairs == (
+        ("iro", "aka"), ("juryo", "2kg"), ("saizu", "30cm"),
+    )
+
+
+def test_th_cells_count_as_cells():
+    html = (
+        "<table><tr><th>iro</th><td>aka</td></tr></table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.pairs == (("iro", "aka"),)
+
+
+def test_non_dictionary_table_is_skipped():
+    html = (
+        "<table>"
+        "<tr><td>a</td><td>b</td><td>c</td></tr>"
+        "<tr><td>d</td><td>e</td><td>f</td></tr>"
+        "<tr><td>g</td><td>h</td><td>i</td></tr>"
+        "</table>"
+    )
+    assert extract_dictionary_tables(html) == []
+
+
+def test_empty_cells_skipped_but_table_kept():
+    html = (
+        "<table>"
+        "<tr><td>iro</td><td>aka</td></tr>"
+        "<tr><td></td><td>orphan</td></tr>"
+        "</table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.pairs == (("iro", "aka"),)
+
+
+def test_table_of_only_empty_pairs_not_a_dictionary():
+    html = "<table><tr><td></td><td></td></tr></table>"
+    assert extract_dictionary_tables(html) == []
+
+
+def test_multiple_tables_in_document_order():
+    html = (
+        "<table><tr><td>a</td><td>1</td></tr></table>"
+        "<p>text</p>"
+        "<table><tr><td>b</td><td>2</td></tr></table>"
+    )
+    tables = extract_dictionary_tables(html)
+    assert [table.pairs[0][0] for table in tables] == ["a", "b"]
+
+
+def test_cell_text_is_whitespace_normalized():
+    html = (
+        "<table><tr><td>  iro \n</td><td> aka  chan </td></tr></table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.pairs == (("iro", "aka chan"),)
+
+
+def test_nested_markup_inside_cells():
+    html = (
+        "<table><tr><td><b>iro</b></td><td><span>aka</span></td></tr>"
+        "</table>"
+    )
+    (table,) = extract_dictionary_tables(html)
+    assert table.pairs == (("iro", "aka"),)
+
+
+def test_extract_tables_returns_raw_grids():
+    html = (
+        "<table>"
+        "<tr><td>a</td><td>b</td><td>c</td></tr>"
+        "<tr><td>d</td><td>e</td><td>f</td></tr>"
+        "</table>"
+    )
+    (grid,) = extract_tables(html)
+    assert grid == [["a", "b", "c"], ["d", "e", "f"]]
+
+
+def test_single_row_two_columns_is_dictionary():
+    html = "<table><tr><td>iro</td><td>aka</td></tr></table>"
+    (table,) = extract_dictionary_tables(html)
+    assert table.orientation == "columns"
+
+
+def test_no_tables_yields_empty_list():
+    assert extract_dictionary_tables("<p>no tables</p>") == []

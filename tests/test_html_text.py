@@ -1,0 +1,61 @@
+"""Unit tests for visible-text extraction."""
+
+from repro.html import extract_text_blocks, extract_title
+
+
+def test_blocks_split_at_block_tags():
+    html = "<div><p>one</p><p>two</p></div>"
+    assert extract_text_blocks(html) == ["one", "two"]
+
+
+def test_inline_markup_does_not_split():
+    html = "<p>one <b>bold</b> two</p>"
+    assert extract_text_blocks(html) == ["one bold two"]
+
+
+def test_tables_excluded_by_default():
+    html = "<p>text</p><table><tr><td>iro</td><td>aka</td></tr></table>"
+    assert extract_text_blocks(html) == ["text"]
+
+
+def test_tables_included_on_request():
+    html = "<p>text</p><table><tr><td>iro</td><td>aka</td></tr></table>"
+    blocks = extract_text_blocks(html, skip_tables=False)
+    assert "iro aka" in " ".join(blocks)
+
+
+def test_script_and_style_always_excluded():
+    html = "<script>var x=1;</script><style>p{}</style><p>keep</p>"
+    assert extract_text_blocks(html) == ["keep"]
+
+
+def test_title_and_h1_are_blocks():
+    html = "<title>T</title><h1>H</h1><p>body</p>"
+    assert extract_text_blocks(html) == ["T", "H", "body"]
+
+
+def test_whitespace_normalized_within_block():
+    html = "<p>a\n   b\t c</p>"
+    assert extract_text_blocks(html) == ["a b c"]
+
+
+def test_br_splits_blocks():
+    html = "<p>one<br>two</p>"
+    assert extract_text_blocks(html) == ["one", "two"]
+
+
+def test_empty_document_yields_no_blocks():
+    assert extract_text_blocks("") == []
+
+
+def test_extract_title_prefers_title_tag():
+    html = "<title>the title</title><h1>the h1</h1>"
+    assert extract_title(html) == "the title"
+
+
+def test_extract_title_falls_back_to_h1():
+    assert extract_title("<h1>only h1</h1>") == "only h1"
+
+
+def test_extract_title_empty_when_absent():
+    assert extract_title("<p>nothing</p>") == ""

@@ -1,0 +1,74 @@
+"""Cross-module integration tests: generator → pipeline → evaluation.
+
+These check the *shapes* the benchmarks rely on, at a scale small
+enough for the unit-test suite.
+"""
+
+import pytest
+
+from repro import PAEPipeline, PipelineConfig
+from repro.corpus import Marketplace
+from repro.evaluation import build_truth_sample, coverage, precision
+
+
+@pytest.fixture(scope="module")
+def two_iteration_runs():
+    """Cleaned and uncleaned two-iteration runs over one dataset."""
+    dataset = Marketplace(seed=21).generate("ladies_bags", 110)
+    truth = build_truth_sample(dataset)
+    pages = list(dataset.product_pages)
+    cleaned = PAEPipeline(PipelineConfig(iterations=2)).run(
+        pages, dataset.query_log
+    )
+    raw = PAEPipeline(
+        PipelineConfig(iterations=2).without_cleaning()
+    ).run(pages, dataset.query_log)
+    return dataset, truth, cleaned, raw
+
+
+def test_bootstrap_grows_coverage(two_iteration_runs):
+    dataset, truth, cleaned, raw = two_iteration_runs
+    assert cleaned.coverage() > cleaned.coverage(0)
+
+
+def test_precision_stays_high_with_cleaning(two_iteration_runs):
+    dataset, truth, cleaned, raw = two_iteration_runs
+    breakdown = precision(cleaned.triples, truth)
+    assert breakdown.precision > 0.75
+
+
+def test_cleaning_never_increases_triple_count(two_iteration_runs):
+    dataset, truth, cleaned, raw = two_iteration_runs
+    assert len(cleaned.triples) <= len(raw.triples)
+
+
+def test_seed_triples_shared_between_configs(two_iteration_runs):
+    dataset, truth, cleaned, raw = two_iteration_runs
+    assert cleaned.seed_triples == raw.seed_triples
+
+
+def test_german_pipeline_end_to_end():
+    dataset = Marketplace(seed=22).generate("coffee_machines", 90)
+    truth = build_truth_sample(dataset)
+    result = PAEPipeline(PipelineConfig(iterations=2)).run(
+        list(dataset.product_pages), dataset.query_log
+    )
+    breakdown = precision(result.triples, truth)
+    assert breakdown.correct > 10
+    assert breakdown.precision > 0.7
+    assert result.coverage() > 0.3
+
+
+def test_attribute_aggregation_survives_end_to_end():
+    """Merchant aliases (meka / seizomoto) must collapse into the
+    canonical brand attribute somewhere in the discovered inventory."""
+    dataset = Marketplace(seed=23).generate("ladies_bags", 110)
+    result = PAEPipeline(PipelineConfig(iterations=1)).run(
+        list(dataset.product_pages), dataset.query_log
+    )
+    brand_names = {"burando", "meka", "seizomoto"}
+    discovered = set(result.attributes)
+    # At least one brand surface made it through, and fewer cluster
+    # names than surface names survive (some merging happened).
+    assert discovered & brand_names
+    assert len(discovered & brand_names) < 3

@@ -1,0 +1,120 @@
+"""Tests for CRF span confidences."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crf.confidence import span_confidences
+
+
+def test_single_token_span_is_its_marginal():
+    marginals = np.array([[0.1, 0.9], [0.5, 0.5]])
+    confidences = span_confidences(
+        marginals, [(0, 1, "iro")], {"B-iro": 1}
+    )
+    assert confidences == [pytest.approx(0.9)]
+
+
+def test_multitoken_span_geometric_mean():
+    marginals = np.array(
+        [[0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]
+    )
+    confidences = span_confidences(
+        marginals, [(0, 2, "juryo")], {"B-juryo": 1, "I-juryo": 2}
+    )
+    assert confidences == [pytest.approx(0.8)]
+
+
+def test_missing_label_scores_zero():
+    marginals = np.array([[0.5, 0.5]])
+    confidences = span_confidences(
+        marginals, [(0, 1, "ghost")], {"B-iro": 1}
+    )
+    assert confidences == [0.0]
+
+
+def test_empty_spans():
+    assert span_confidences(np.zeros((3, 2)), [], {}) == []
+
+
+class TestTagWithConfidence:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        import random
+
+        from repro.config import CrfConfig
+        from repro.ml import CrfTagger
+        from repro.nlp import get_locale
+        from repro.types import Sentence, TaggedSentence
+
+        ja = get_locale("ja")
+        rng = random.Random(0)
+        colors = ["aka", "ao", "shiro"]
+        data = []
+        for index in range(150):
+            color = rng.choice(colors)
+            tokens = ja.tokens(f"iro wa {color} desu")
+            data.append(
+                TaggedSentence(
+                    Sentence(f"p{index}", 0, tokens),
+                    ("O", "O", "B-iro", "O"),
+                )
+            )
+        tagger = CrfTagger(CrfConfig(max_iterations=40)).train(data)
+        return tagger, ja
+
+    def test_confident_on_trained_pattern(self, trained):
+        from repro.nlp.bio import decode_bio
+        from repro.types import Sentence
+
+        tagger, ja = trained
+        sentence = Sentence("x", 0, ja.tokens("iro wa aka desu"))
+        ((tagged, confidences),) = tagger.tag_with_confidence([sentence])
+        spans = decode_bio(tagged.labels)
+        assert len(confidences) == len(spans) == 1
+        assert confidences[0] > 0.9
+
+    def test_labels_match_plain_tag(self, trained):
+        from repro.types import Sentence
+
+        tagger, ja = trained
+        sentences = [
+            Sentence("a", 0, ja.tokens("iro wa ao desu")),
+            Sentence("b", 0, ja.tokens("nani mo nai")),
+        ]
+        plain = tagger.tag(sentences)
+        scored = tagger.tag_with_confidence(sentences)
+        assert [t.labels for t in plain] == [
+            t.labels for t, _ in scored
+        ]
+
+    def test_empty_sentence(self, trained):
+        from repro.types import Sentence
+
+        tagger, _ = trained
+        ((tagged, confidences),) = tagger.tag_with_confidence(
+            [Sentence("e", 0, ())]
+        )
+        assert tagged.labels == ()
+        assert confidences == []
+
+    def test_unfitted_raises(self):
+        from repro.errors import NotFittedError
+        from repro.ml import CrfTagger
+
+        with pytest.raises(NotFittedError):
+            CrfTagger().tag_with_confidence([])
+
+    def test_confidences_in_unit_interval(self, trained):
+        from repro.nlp.bio import decode_bio
+        from repro.types import Sentence
+
+        tagger, ja = trained
+        sentences = [
+            Sentence(f"s{i}", 0, ja.tokens(text))
+            for i, text in enumerate(
+                ["iro wa aka desu", "aka to ao", "mimizuku desu"]
+            )
+        ]
+        for tagged, confidences in tagger.tag_with_confidence(sentences):
+            assert len(confidences) == len(decode_bio(tagged.labels))
+            assert all(0.0 <= c <= 1.0 for c in confidences)

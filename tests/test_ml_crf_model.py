@@ -1,0 +1,109 @@
+"""Tests for the CrfTagger facade."""
+
+import pytest
+
+from repro.config import CrfConfig
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import CrfTagger
+from repro.nlp.bio import is_valid_bio
+from repro.types import Sentence, TaggedSentence
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    """A CRF trained on a small synthetic labelling task."""
+    import random
+
+    from repro.nlp import get_locale
+
+    ja = get_locale("ja")
+    rng = random.Random(0)
+    colors = ["aka", "ao", "shiro", "kuro", "midori"]
+    weights = ["2 kg", "3 kg", "5 kg", "1 . 5 kg"]
+    data = []
+    for index in range(200):
+        color = rng.choice(colors)
+        weight = rng.choice(weights)
+        tokens = ja.tokens(
+            f"iro wa {color} desu soshite juryo wa {weight} desu"
+        )
+        texts = [token.text for token in tokens]
+        labels = ["O"] * len(tokens)
+        labels[texts.index(color)] = "B-iro"
+        weight_tokens = weight.split()
+        for start in range(len(texts)):
+            if texts[start:start + len(weight_tokens)] == weight_tokens:
+                labels[start] = "B-juryo"
+                for offset in range(1, len(weight_tokens)):
+                    labels[start + offset] = "I-juryo"
+                break
+        data.append(
+            TaggedSentence(Sentence(f"p{index}", 0, tokens), tuple(labels))
+        )
+    tagger = CrfTagger(CrfConfig(max_iterations=50)).train(data)
+    return tagger, data, ja
+
+
+def test_training_on_empty_dataset_raises():
+    with pytest.raises(TrainingError):
+        CrfTagger().train([])
+
+
+def test_tagging_before_training_raises(make_sentence):
+    with pytest.raises(NotFittedError):
+        CrfTagger().tag([make_sentence("x")])
+
+
+def test_learns_training_data(trained):
+    tagger, data, _ = trained
+    predictions = tagger.tag([tagged.sentence for tagged in data[:30]])
+    exact = sum(
+        prediction.labels == gold.labels
+        for prediction, gold in zip(predictions, data[:30])
+    )
+    assert exact >= 28
+
+
+def test_generalizes_to_unseen_values(trained):
+    tagger, _, ja = trained
+    sentence = Sentence(
+        "x", 0, ja.tokens("juryo wa 4 kg desu soshite iro wa kuro desu")
+    )
+    (prediction,) = tagger.tag([sentence])
+    texts = sentence.texts()
+    labels = dict(zip(texts, prediction.labels))
+    assert labels["4"] == "B-juryo"
+    assert labels["kg"] == "I-juryo"
+    assert labels["kuro"] == "B-iro"
+
+
+def test_output_is_valid_bio(trained):
+    tagger, data, _ = trained
+    for prediction in tagger.tag([tagged.sentence for tagged in data[:20]]):
+        assert is_valid_bio(prediction.labels)
+
+
+def test_label_inventory(trained):
+    tagger, _, _ = trained
+    # Colors are single tokens, so I-iro never occurs in the training
+    # labels; the inventory only contains observed labels plus O.
+    assert set(tagger.labels) == {
+        "O", "B-iro", "B-juryo", "I-juryo",
+    }
+
+
+def test_empty_sentence_gets_empty_labels(trained):
+    tagger, _, _ = trained
+    empty = Sentence("p", 0, ())
+    (prediction,) = tagger.tag([empty])
+    assert prediction.labels == ()
+
+
+def test_tag_empty_list(trained):
+    tagger, _, _ = trained
+    assert tagger.tag([]) == []
+
+
+def test_feature_count_positive(trained):
+    tagger, _, _ = trained
+    assert tagger.feature_count > 10

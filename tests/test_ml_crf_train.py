@@ -1,0 +1,109 @@
+"""Tests for CRF training: numerical gradient check and learning sanity."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import TrainingError
+from repro.ml.crf.train import CrfProblem, _objective, _Workspace, train_crf
+
+
+def _toy_problem(seed=0, sentences=6, max_len=5, labels=3, features=7):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, max_len + 1, size=sentences)
+    rows = int(lengths.sum())
+    # Each position activates 2 random features.
+    indices = []
+    indptr = [0]
+    for _ in range(rows):
+        indices.extend(rng.choice(features, size=2, replace=False))
+        indptr.append(len(indices))
+    design = sparse.csr_matrix(
+        (np.ones(len(indices)), np.array(indices), np.array(indptr)),
+        shape=(rows, features),
+    )
+    gold = rng.integers(0, labels, size=rows)
+    return CrfProblem(design, gold, lengths, labels)
+
+
+def test_problem_validates_alignment():
+    problem = _toy_problem()
+    with pytest.raises(TrainingError):
+        CrfProblem(
+            problem.design,
+            problem.labels[:-1],
+            problem.lengths,
+            problem.n_labels,
+        )
+
+
+def test_problem_rejects_empty_sentences():
+    problem = _toy_problem()
+    lengths = problem.lengths.copy()
+    lengths[0] = 0
+    lengths[1] += problem.lengths[0]
+    with pytest.raises(TrainingError):
+        CrfProblem(
+            problem.design, problem.labels, lengths, problem.n_labels
+        )
+
+
+def test_analytic_gradient_matches_numerical():
+    problem = _toy_problem(seed=3)
+    workspace = _Workspace(problem)
+    n_params = (
+        problem.design.shape[1] * problem.n_labels
+        + problem.n_labels ** 2
+    )
+    rng = np.random.default_rng(1)
+    weights = rng.normal(scale=0.3, size=n_params)
+    value, gradient = _objective(weights, workspace, l1=0.01, l2=0.1)
+
+    epsilon = 1e-6
+    for index in rng.choice(n_params, size=12, replace=False):
+        bumped = weights.copy()
+        bumped[index] += epsilon
+        up, _ = _objective(bumped, workspace, l1=0.01, l2=0.1)
+        bumped[index] -= 2 * epsilon
+        down, _ = _objective(bumped, workspace, l1=0.01, l2=0.1)
+        numerical = (up - down) / (2 * epsilon)
+        assert gradient[index] == pytest.approx(
+            numerical, rel=1e-4, abs=1e-6
+        )
+
+
+def test_objective_at_zero_is_uniform_nll():
+    problem = _toy_problem(seed=4)
+    workspace = _Workspace(problem)
+    n_params = (
+        problem.design.shape[1] * problem.n_labels
+        + problem.n_labels ** 2
+    )
+    value, _ = _objective(
+        np.zeros(n_params), workspace, l1=0.0, l2=0.0
+    )
+    # With zero weights, every position is a uniform choice over L.
+    expected = problem.design.shape[0] * np.log(problem.n_labels)
+    assert value == pytest.approx(expected, rel=1e-9)
+
+
+def test_training_reduces_nll():
+    problem = _toy_problem(seed=5, sentences=12)
+    workspace = _Workspace(problem)
+    unary, transitions = train_crf(
+        problem, l1=0.01, l2=0.01, max_iterations=40
+    )
+    n_params = unary.size + transitions.size
+    trained = np.concatenate([unary.ravel(), transitions.ravel()])
+    nll_zero, _ = _objective(
+        np.zeros(n_params), workspace, l1=0.0, l2=0.0
+    )
+    nll_trained, _ = _objective(trained, workspace, l1=0.0, l2=0.0)
+    assert nll_trained < nll_zero
+
+
+def test_regularisation_shrinks_weights():
+    problem = _toy_problem(seed=6, sentences=12)
+    loose_unary, _ = train_crf(problem, l1=0.0, l2=0.001, max_iterations=40)
+    tight_unary, _ = train_crf(problem, l1=0.0, l2=10.0, max_iterations=40)
+    assert np.abs(tight_unary).sum() < np.abs(loose_unary).sum()

@@ -1,0 +1,107 @@
+"""Tests for the CRF feature template and indexer."""
+
+import pytest
+
+from repro.ml import FeatureExtractor, FeatureIndexer
+
+
+def test_window_word_and_pos_features(make_sentence):
+    sentence = make_sentence("juryo wa 2 kg desu")
+    rows = FeatureExtractor(window=2).extract(sentence)
+    middle = rows[2]  # the token "2"
+    assert "w0=2" in middle
+    assert "p0=NUM" in middle
+    assert "w-1=wa" in middle
+    assert "w+1=kg" in middle
+    assert "p+1=UNIT" in middle
+    assert "w-2=juryo" in middle
+    assert "w+2=desu" in middle
+
+
+def test_pos_concatenation_feature(make_sentence):
+    sentence = make_sentence("juryo wa 2 kg desu")
+    rows = FeatureExtractor(window=1).extract(sentence)
+    assert "pcat=FW|NUM|UNIT" in rows[2]
+
+
+def test_boundary_padding(make_sentence):
+    sentence = make_sentence("aka desu")
+    rows = FeatureExtractor(window=2).extract(sentence)
+    first = rows[0]
+    assert "w-1=<s>" in first
+    assert "p-1=BOS" in first
+    last = rows[-1]
+    assert "w+1=</s>" in last
+    assert "p+1=EOS" in last
+
+
+def test_sentence_number_feature(ja):
+    from repro.types import Sentence
+
+    extractor = FeatureExtractor(window=0)
+    late = Sentence("p", 4, ja.tokens("aka"))
+    assert "sent=4" in extractor.extract(late)[0]
+
+
+def test_sentence_number_is_bucketed(ja):
+    from repro.types import Sentence
+
+    extractor = FeatureExtractor(window=0)
+    very_late = Sentence("p", 42, ja.tokens("aka"))
+    assert "sent=9" in extractor.extract(very_late)[0]
+
+
+def test_zero_window_has_no_neighbours(make_sentence):
+    rows = FeatureExtractor(window=0).extract(
+        make_sentence("aka desu")
+    )
+    assert not any(
+        feature.startswith(("w-", "w+")) for feature in rows[0]
+    )
+
+
+def test_extractor_rejects_negative_window():
+    with pytest.raises(ValueError):
+        FeatureExtractor(window=-1)
+
+
+def test_indexer_design_matrix_shape(make_sentence):
+    extractor = FeatureExtractor(window=1)
+    rows = [
+        extractor.extract(make_sentence("aka desu")),
+        extractor.extract(make_sentence("juryo wa 2 kg")),
+    ]
+    indexer = FeatureIndexer().fit(rows)
+    matrix = indexer.design_matrix(rows)
+    assert matrix.shape == (6, len(indexer))
+    # Every position activates every one of its known features once.
+    assert matrix.sum() == sum(len(row) for block in rows for row in block)
+
+
+def test_indexer_min_count_prunes(make_sentence):
+    extractor = FeatureExtractor(window=0)
+    rows = [
+        extractor.extract(make_sentence("aka aka")),
+        extractor.extract(make_sentence("ao")),
+    ]
+    indexer = FeatureIndexer(min_count=2).fit(rows)
+    matrix = indexer.design_matrix(rows)
+    # 'w0=ao' appears once and is pruned; row for 'ao' keeps only
+    # features shared with other tokens (p0=NN, sent=0).
+    assert matrix[2].sum() < matrix[0].sum()
+
+
+def test_indexer_unknown_features_dropped_at_transform(make_sentence):
+    extractor = FeatureExtractor(window=0)
+    train_rows = [extractor.extract(make_sentence("aka"))]
+    indexer = FeatureIndexer().fit(train_rows)
+    test_rows = [extractor.extract(make_sentence("mimizuku"))]
+    matrix = indexer.design_matrix(test_rows)
+    assert matrix.shape[0] == 1
+    # Unknown word feature contributes nothing.
+    assert matrix.sum() < len(test_rows[0][0])
+
+
+def test_indexer_rejects_bad_min_count():
+    with pytest.raises(ValueError):
+        FeatureIndexer(min_count=0)

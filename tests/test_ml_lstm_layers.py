@@ -1,0 +1,134 @@
+"""Numerical gradient checks for the numpy neural layers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import layers
+
+
+def numerical_gradient(function, array, epsilon=1e-6):
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        up = function()
+        array[index] = original - epsilon
+        down = function()
+        array[index] = original
+        gradient[index] = (up - down) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+def test_lstm_gradients_match_numerical():
+    rng = np.random.default_rng(0)
+    params = layers.init_lstm(rng, input_dim=3, hidden=4)
+    inputs = rng.normal(size=(5, 2, 3))
+    target = rng.normal(size=(5, 2, 4))
+
+    def loss():
+        outputs, _ = layers.lstm_forward(params, inputs)
+        return float(((outputs - target) ** 2).sum() / 2)
+
+    outputs, cache = layers.lstm_forward(params, inputs)
+    d_outputs = outputs - target
+    d_inputs, grads = layers.lstm_backward(params, cache, d_outputs)
+
+    for key in ("wx", "wh", "b"):
+        numerical = numerical_gradient(loss, params[key])
+        assert np.allclose(grads[key], numerical, atol=1e-5), key
+
+    numerical_inputs = numerical_gradient(loss, inputs)
+    assert np.allclose(d_inputs, numerical_inputs, atol=1e-5)
+
+
+def test_dense_gradients_match_numerical():
+    rng = np.random.default_rng(1)
+    params = layers.init_dense(rng, 4, 3)
+    inputs = rng.normal(size=(6, 4))
+    target = rng.normal(size=(6, 3))
+
+    def loss():
+        return float(
+            ((layers.dense_forward(params, inputs) - target) ** 2).sum()
+            / 2
+        )
+
+    outputs = layers.dense_forward(params, inputs)
+    d_inputs, grads = layers.dense_backward(
+        params, inputs, outputs - target
+    )
+    assert np.allclose(
+        grads["w"], numerical_gradient(loss, params["w"]), atol=1e-5
+    )
+    assert np.allclose(
+        grads["b"], numerical_gradient(loss, params["b"]), atol=1e-5
+    )
+    assert np.allclose(
+        d_inputs, numerical_gradient(loss, inputs), atol=1e-5
+    )
+
+
+def test_softmax_cross_entropy_gradient():
+    rng = np.random.default_rng(2)
+    logits = rng.normal(size=(5, 4))
+    targets = rng.integers(0, 4, size=5)
+
+    def loss():
+        value, _, _ = layers.softmax_cross_entropy(logits, targets)
+        return value
+
+    _, probabilities, d_logits = layers.softmax_cross_entropy(
+        logits, targets
+    )
+    assert np.allclose(
+        d_logits, numerical_gradient(loss, logits), atol=1e-6
+    )
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+def test_softmax_loss_is_nll():
+    logits = np.log(np.array([[0.7, 0.2, 0.1]]))
+    loss, _, _ = layers.softmax_cross_entropy(logits, np.array([0]))
+    assert loss == pytest.approx(-np.log(0.7))
+
+
+def test_forget_bias_initialized_to_one():
+    params = layers.init_lstm(np.random.default_rng(0), 2, 3)
+    assert np.all(params["b"][3:6] == 1.0)
+    assert np.all(params["b"][:3] == 0.0)
+
+
+def test_dropout_scales_kept_units():
+    rng = np.random.default_rng(3)
+    inputs = np.ones((1000,))
+    outputs, mask = layers.dropout_forward(rng, inputs, 0.5)
+    kept = outputs[outputs > 0]
+    assert np.allclose(kept, 2.0)  # inverted dropout
+    assert 300 < kept.size < 700
+
+
+def test_dropout_rate_zero_is_identity():
+    rng = np.random.default_rng(4)
+    inputs = np.ones((10,))
+    outputs, mask = layers.dropout_forward(rng, inputs, 0.0)
+    assert outputs is inputs
+    assert mask is None
+    assert layers.dropout_backward(inputs, None) is inputs
+
+
+def test_sgd_update_clips_gradients():
+    params = {"w": np.zeros(4)}
+    huge = {"w": np.full(4, 1e6)}
+    layers.sgd_update(params, huge, learning_rate=1.0, clip=1.0)
+    assert np.linalg.norm(params["w"]) == pytest.approx(1.0)
+
+
+def test_sgd_update_moves_against_gradient():
+    params = {"w": np.zeros(2)}
+    layers.sgd_update(
+        params, {"w": np.array([1.0, -1.0])}, learning_rate=0.1
+    )
+    assert params["w"][0] < 0 < params["w"][1]

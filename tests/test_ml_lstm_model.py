@@ -1,0 +1,91 @@
+"""Tests for the BiLSTM tagger."""
+
+import random
+
+import pytest
+
+from repro.config import LstmConfig
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import LstmTagger
+from repro.nlp import get_locale
+from repro.nlp.bio import is_valid_bio
+from repro.types import Sentence, TaggedSentence
+
+
+def _make_dataset(count=150, seed=0):
+    ja = get_locale("ja")
+    rng = random.Random(seed)
+    colors = ["aka", "ao", "shiro", "kuro"]
+    data = []
+    for index in range(count):
+        color = rng.choice(colors)
+        tokens = ja.tokens(f"iro wa {color} desu")
+        labels = ["O", "O", "B-iro", "O"]
+        data.append(
+            TaggedSentence(
+                Sentence(f"p{index}", 0, tokens), tuple(labels)
+            )
+        )
+    return data, ja
+
+
+def test_training_on_empty_dataset_raises():
+    with pytest.raises(TrainingError):
+        LstmTagger().train([])
+
+
+def test_tagging_before_training_raises(make_sentence):
+    with pytest.raises(NotFittedError):
+        LstmTagger().tag([make_sentence("x")])
+
+
+def test_learns_simple_pattern():
+    data, ja = _make_dataset()
+    tagger = LstmTagger(LstmConfig(epochs=4)).train(data)
+    predictions = tagger.tag([tagged.sentence for tagged in data[:30]])
+    token_accuracy = sum(
+        label == gold
+        for prediction, tagged in zip(predictions, data[:30])
+        for label, gold in zip(prediction.labels, tagged.labels)
+    ) / sum(len(tagged) for tagged in data[:30])
+    assert token_accuracy > 0.9
+
+
+def test_output_is_valid_bio():
+    data, ja = _make_dataset(count=80)
+    tagger = LstmTagger(LstmConfig(epochs=2)).train(data)
+    for prediction in tagger.tag(
+        [tagged.sentence for tagged in data[:20]]
+    ):
+        assert is_valid_bio(prediction.labels)
+
+
+def test_deterministic_given_seed():
+    data, _ = _make_dataset(count=60)
+    first = LstmTagger(LstmConfig(epochs=2, seed=9)).train(data)
+    second = LstmTagger(LstmConfig(epochs=2, seed=9)).train(data)
+    sentences = [tagged.sentence for tagged in data[:15]]
+    assert [p.labels for p in first.tag(sentences)] == [
+        p.labels for p in second.tag(sentences)
+    ]
+
+
+def test_empty_sentence_handled():
+    data, _ = _make_dataset(count=40)
+    tagger = LstmTagger(LstmConfig(epochs=1)).train(data)
+    (prediction,) = tagger.tag([Sentence("p", 0, ())])
+    assert prediction.labels == ()
+
+
+def test_label_inventory():
+    data, _ = _make_dataset(count=40)
+    tagger = LstmTagger(LstmConfig(epochs=1)).train(data)
+    assert set(tagger.labels) == {"O", "B-iro"}
+
+
+def test_unseen_characters_do_not_crash():
+    data, ja = _make_dataset(count=40)
+    tagger = LstmTagger(LstmConfig(epochs=1)).train(data)
+    sentence = Sentence("p", 0, ja.tokens("未知 の 単語 ÜÄ"))
+    (prediction,) = tagger.tag([sentence])
+    assert len(prediction.labels) == len(sentence)

@@ -1,0 +1,90 @@
+"""Protocol conformance: every tagger backend behaves identically at
+the interface level (the bootstrap loop depends on it).
+"""
+
+import random
+
+import pytest
+
+from repro.config import CrfConfig, LstmConfig
+from repro.extensions import EnsembleTagger
+from repro.ml import CrfTagger, LstmTagger
+from repro.ml.base import SequenceTagger
+from repro.nlp import get_locale
+from repro.nlp.bio import is_valid_bio
+from repro.types import Sentence, TaggedSentence
+
+
+def _dataset(count=100):
+    ja = get_locale("ja")
+    rng = random.Random(5)
+    colors = ["aka", "ao", "shiro"]
+    data = []
+    for index in range(count):
+        color = rng.choice(colors)
+        tokens = ja.tokens(f"iro wa {color} desu")
+        data.append(
+            TaggedSentence(
+                Sentence(f"p{index}", 0, tokens),
+                ("O", "O", "B-iro", "O"),
+            )
+        )
+    return data
+
+
+BACKENDS = [
+    lambda: CrfTagger(CrfConfig(max_iterations=25)),
+    lambda: LstmTagger(LstmConfig(epochs=1)),
+    lambda: EnsembleTagger(
+        crf_config=CrfConfig(max_iterations=25),
+        lstm_config=LstmConfig(epochs=1),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return _dataset()
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_satisfies_runtime_protocol(factory):
+    assert isinstance(factory(), SequenceTagger)
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_train_returns_self(factory, data):
+    tagger = factory()
+    assert tagger.train(data) is tagger
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_output_alignment_and_validity(factory, data):
+    tagger = factory().train(data)
+    sentences = [tagged.sentence for tagged in data[:10]]
+    predictions = tagger.tag(sentences)
+    assert len(predictions) == len(sentences)
+    for sentence, prediction in zip(sentences, predictions):
+        assert prediction.sentence is sentence
+        assert len(prediction.labels) == len(sentence)
+        assert is_valid_bio(prediction.labels)
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_labels_within_training_inventory(factory, data):
+    tagger = factory().train(data)
+    predictions = tagger.tag([tagged.sentence for tagged in data[:10]])
+    training_labels = {
+        label for tagged in data for label in tagged.labels
+    }
+    for prediction in predictions:
+        assert set(prediction.labels) <= training_labels
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_tagging_is_deterministic(factory, data):
+    tagger = factory().train(data)
+    sentences = [tagged.sentence for tagged in data[:10]]
+    first = [prediction.labels for prediction in tagger.tag(sentences)]
+    second = [prediction.labels for prediction in tagger.tag(sentences)]
+    assert first == second

@@ -1,0 +1,157 @@
+"""Unit and property tests for the BIO label scheme."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import (
+    bio_label,
+    decode_bio,
+    encode_bio,
+    is_valid_bio,
+    repair_bio,
+)
+from repro.nlp.bio import labels_for_attributes, split_label
+
+
+def test_bio_label_composition():
+    assert bio_label("B", "iro") == "B-iro"
+    assert bio_label("I", "juryo") == "I-juryo"
+
+
+def test_bio_label_rejects_bad_prefix():
+    with pytest.raises(ValueError):
+        bio_label("X", "iro")
+
+
+def test_split_label():
+    assert split_label("O") == ("O", None)
+    assert split_label("B-iro") == ("B", "iro")
+    assert split_label("I-shatta supido") == ("I", "shatta supido")
+
+
+def test_split_label_rejects_malformed():
+    with pytest.raises(ValueError):
+        split_label("Z-iro")
+    with pytest.raises(ValueError):
+        split_label("B-")
+
+
+def test_labels_for_attributes():
+    labels = labels_for_attributes(["iro", "juryo"])
+    assert labels == ["O", "B-iro", "I-iro", "B-juryo", "I-juryo"]
+
+
+def test_encode_simple_span():
+    assert encode_bio(5, [(1, 3, "juryo")]) == [
+        "O", "B-juryo", "I-juryo", "O", "O",
+    ]
+
+
+def test_encode_overlap_first_wins():
+    labels = encode_bio(4, [(0, 2, "a"), (1, 3, "b")])
+    assert labels == ["B-a", "I-a", "O", "O"]
+
+
+def test_encode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        encode_bio(3, [(2, 4, "a")])
+    with pytest.raises(ValueError):
+        encode_bio(3, [(2, 2, "a")])
+
+
+def test_decode_simple():
+    assert decode_bio(["O", "B-a", "I-a", "O"]) == [(1, 3, "a")]
+
+
+def test_decode_adjacent_b_labels():
+    assert decode_bio(["B-a", "B-a"]) == [(0, 1, "a"), (1, 2, "a")]
+
+
+def test_decode_orphan_i_opens_span():
+    assert decode_bio(["O", "I-a", "I-a"]) == [(1, 3, "a")]
+
+
+def test_decode_attribute_switch_mid_span():
+    assert decode_bio(["B-a", "I-b"]) == [(0, 1, "a"), (1, 2, "b")]
+
+
+def test_decode_span_to_end():
+    assert decode_bio(["B-a", "I-a"]) == [(0, 2, "a")]
+
+
+def test_is_valid_bio():
+    assert is_valid_bio(["O", "B-a", "I-a"])
+    assert not is_valid_bio(["O", "I-a"])
+    assert not is_valid_bio(["B-a", "I-b"])
+
+
+def test_repair_bio_promotes_orphans():
+    assert repair_bio(["O", "I-a", "I-a"]) == ["O", "B-a", "I-a"]
+    assert repair_bio(["B-a", "I-b"]) == ["B-a", "B-b"]
+
+
+_ATTRS = st.sampled_from(["iro", "juryo", "saizu"])
+
+
+@st.composite
+def spans_and_length(draw):
+    length = draw(st.integers(min_value=1, max_value=20))
+    spans = []
+    position = 0
+    while position < length:
+        if draw(st.booleans()):
+            end = draw(
+                st.integers(min_value=position + 1, max_value=length)
+            )
+            spans.append((position, end, draw(_ATTRS)))
+            position = end
+        else:
+            position += 1
+    return length, spans
+
+
+@given(spans_and_length())
+def test_encode_decode_round_trip(case):
+    """Non-overlapping spans survive encode→decode unchanged, except
+    that adjacent same-attribute spans may merge — so we compare the
+    token-level labelling instead of the span lists."""
+    length, spans = case
+    labels = encode_bio(length, spans)
+    assert is_valid_bio(labels)
+    relabelled = encode_bio(length, decode_bio(labels))
+    assert relabelled == labels
+
+
+@given(
+    st.lists(
+        st.sampled_from(["O", "B-a", "I-a", "B-b", "I-b"]), max_size=20
+    )
+)
+def test_repair_always_produces_valid_sequences(labels):
+    assert is_valid_bio(repair_bio(labels))
+
+
+@given(
+    st.lists(
+        st.sampled_from(["O", "B-a", "I-a", "B-b", "I-b"]), max_size=20
+    )
+)
+def test_repair_is_idempotent(labels):
+    repaired = repair_bio(labels)
+    assert repair_bio(repaired) == repaired
+
+
+@given(
+    st.lists(
+        st.sampled_from(["O", "B-a", "I-a", "B-b", "I-b"]), max_size=20
+    )
+)
+def test_decode_spans_are_sane(labels):
+    spans = decode_bio(labels)
+    previous_end = 0
+    for start, end, attribute in spans:
+        assert 0 <= start < end <= len(labels)
+        assert start >= previous_end  # non-overlapping, ordered
+        assert attribute in ("a", "b")
+        previous_end = end

@@ -1,0 +1,45 @@
+"""Tests for offset-preserving tokenization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import get_locale
+
+
+def test_offsets_point_at_surfaces(ja):
+    text = "juryo wa 2.5kg desu"
+    for token, start, end in ja.tokenizer.tokenize_with_offsets(text):
+        assert text[start:end] == token
+
+
+def test_offsets_agree_with_plain_tokenize(ja, de):
+    text = "Gewicht 1,5 kg — 重量 2.5kg"
+    for bundle in (ja, de):
+        plain = bundle.tokenizer.tokenize(text)
+        with_offsets = [
+            token
+            for token, _, _ in bundle.tokenizer.tokenize_with_offsets(text)
+        ]
+        assert plain == with_offsets
+
+
+def test_offsets_are_monotone(ja):
+    spans = ja.tokenizer.tokenize_with_offsets("a b 1.5 kg c")
+    previous_end = 0
+    for _, start, end in spans:
+        assert start >= previous_end
+        assert end > start
+        previous_end = end
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=80)
+def test_offsets_substring_property(text):
+    for locale in ("ja", "de"):
+        tokenizer = get_locale(locale).tokenizer
+        for token, start, end in tokenizer.tokenize_with_offsets(text):
+            assert text[start:end] == token
+
+
+def test_empty_text(ja):
+    assert ja.tokenizer.tokenize_with_offsets("") == []

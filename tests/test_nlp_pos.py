@@ -1,0 +1,76 @@
+"""Unit tests for the rule-based PoS tagger."""
+
+import pytest
+
+from repro.nlp.pos import PosTagger
+
+
+@pytest.fixture
+def tagger():
+    return PosTagger(
+        units={"kg", "cm"},
+        function_words={"wa", "no"},
+        single_token_decimals=False,
+    )
+
+
+@pytest.fixture
+def de_tagger():
+    return PosTagger(
+        units={"kg"},
+        function_words={"der"},
+        single_token_decimals=True,
+    )
+
+
+def test_number(tagger):
+    assert tagger.tag_one("42") == "NUM"
+
+
+def test_unit_case_insensitive(tagger):
+    assert tagger.tag_one("KG") == "UNIT"
+    assert tagger.tag_one("kg") == "UNIT"
+
+
+def test_function_word(tagger):
+    assert tagger.tag_one("wa") == "FW"
+
+
+def test_plain_word_is_noun(tagger):
+    assert tagger.tag_one("kamera") == "NN"
+
+
+def test_unicode_word_is_noun(tagger):
+    assert tagger.tag_one("重量") == "NN"
+
+
+def test_symbol(tagger):
+    assert tagger.tag_one(";") == "SYM"
+    assert tagger.tag_one("。") == "SYM"
+
+
+def test_alphanumeric_model_code(tagger):
+    assert tagger.tag_one("X100") == "AN"
+
+
+def test_decimal_single_token_only_in_de(tagger, de_tagger):
+    assert de_tagger.tag_one("1,5") == "NUM"
+    assert de_tagger.tag_one("2.430") == "NUM"
+    # The ja tokenizer never produces these, but the tagger must not
+    # claim NUM for them either.
+    assert tagger.tag_one("1,5") != "NUM"
+
+
+def test_tag_sequence_matches_per_token(tagger):
+    surfaces = ["juryo", "wa", "2", "kg"]
+    assert tagger.tag(surfaces) == [
+        tagger.tag_one(surface) for surface in surfaces
+    ]
+
+
+def test_symbol_cluster(tagger):
+    assert tagger.tag_one("***") == "SYM"
+
+
+def test_digit_symbol_mix(tagger):
+    assert tagger.tag_one("1/2") == "SYM"

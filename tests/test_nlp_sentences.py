@@ -1,0 +1,52 @@
+"""Unit tests for sentence splitting."""
+
+from repro.nlp import split_sentences
+from repro.nlp.sentences import split_block
+
+
+def test_split_block_keeps_terminator(ja):
+    pieces = split_block(
+        "hai。iie。", ja.sentence_terminators
+    )
+    assert pieces == ["hai。", "iie。"]
+
+
+def test_split_block_keeps_unterminated_tail(ja):
+    pieces = split_block("a。tail", ja.sentence_terminators)
+    assert pieces == ["a。", "tail"]
+
+
+def test_ja_decimal_does_not_split(ja):
+    pieces = split_block(
+        "juryo wa 1.5 kg desu。", ja.sentence_terminators
+    )
+    assert len(pieces) == 1
+
+
+def test_de_period_splits(de):
+    pieces = split_block("Eins . Zwei .", de.sentence_terminators)
+    assert len(pieces) == 2
+
+
+def test_split_sentences_assigns_page_wide_indices(ja):
+    sentences = split_sentences(
+        "p1", ["a。b。", "c。"], ja
+    )
+    assert [sentence.index for sentence in sentences] == [0, 1, 2]
+    assert all(sentence.product_id == "p1" for sentence in sentences)
+
+
+def test_split_sentences_skips_empty_blocks(ja):
+    sentences = split_sentences("p1", ["", "  ", "a。"], ja)
+    assert len(sentences) == 1
+
+
+def test_split_sentences_tokens_are_tagged(ja):
+    (sentence,) = split_sentences("p1", ["juryo wa 2 kg desu。"], ja)
+    assert sentence.pos_tags()[:4] == ("NN", "FW", "NUM", "UNIT")
+
+
+def test_whitespace_only_sentence_dropped(ja):
+    sentences = split_sentences("p1", ["。。"], ja)
+    # Each terminator alone still tokenizes to a symbol token.
+    assert all(len(sentence) > 0 for sentence in sentences)

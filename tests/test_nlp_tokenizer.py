@@ -1,0 +1,82 @@
+"""Unit tests for the locale tokenizers and bundles."""
+
+import pytest
+
+from repro.errors import UnknownLocaleError
+from repro.nlp import available_locales, get_locale
+from repro.nlp.tokenizer import LocaleNlp, register_locale
+
+
+def test_available_locales():
+    assert set(available_locales()) >= {"ja", "de"}
+
+
+def test_unknown_locale_raises():
+    with pytest.raises(UnknownLocaleError) as excinfo:
+        get_locale("fr")
+    assert "fr" in str(excinfo.value)
+
+
+def test_ja_splits_decimal_numbers(ja):
+    """The paper's footnote 3: 1.5 becomes three tokens."""
+    assert ja.tokenizer.tokenize("1.5kg") == ["1", ".", "5", "kg"]
+
+
+def test_ja_splits_thousands_separator(ja):
+    assert ja.tokenizer.tokenize("2,430") == ["2", ",", "430"]
+
+
+def test_de_keeps_decimal_as_one_token(de):
+    assert de.tokenizer.tokenize("1,5 kg") == ["1,5", "kg"]
+    assert de.tokenizer.tokenize("2.430") == ["2.430"]
+
+
+def test_ja_word_with_trailing_digits(ja):
+    assert ja.tokenizer.tokenize("X100") == ["X100"]
+
+
+def test_de_hyphenated_compound(de):
+    assert de.tokenizer.tokenize("Edelstahl-Gehäuse") == [
+        "Edelstahl-Gehäuse"
+    ]
+
+
+def test_symbols_are_single_tokens(ja):
+    assert ja.tokenizer.tokenize("a;b*c") == ["a", ";", "b", "*", "c"]
+
+
+def test_ja_handles_cjk_characters(ja):
+    tokens = ja.tokenizer.tokenize("重量 は 2kg")
+    assert "重量" in tokens
+    assert "2" in tokens
+
+
+def test_tokens_pairs_surface_and_pos(ja):
+    tokens = ja.tokens("juryo wa 2 kg desu")
+    assert [token.text for token in tokens] == [
+        "juryo", "wa", "2", "kg", "desu",
+    ]
+    assert [token.pos for token in tokens] == [
+        "NN", "FW", "NUM", "UNIT", "FW",
+    ]
+
+
+def test_ja_period_not_a_sentence_terminator(ja):
+    # "." must stay available as the decimal point (footnote 3).
+    assert "." not in ja.sentence_terminators
+    assert "。" in ja.sentence_terminators
+
+
+def test_de_period_is_a_terminator(de):
+    assert "." in de.sentence_terminators
+
+
+def test_register_custom_locale(ja):
+    custom = LocaleNlp(
+        locale="xx-test",
+        tokenizer=ja.tokenizer,
+        pos_tagger=ja.pos_tagger,
+        sentence_terminators=frozenset({"."}),
+    )
+    register_locale(custom)
+    assert get_locale("xx-test") is custom

@@ -1,0 +1,87 @@
+"""Unit tests for the vocabulary."""
+
+import pytest
+
+from repro.nlp import Vocabulary
+from repro.nlp.vocab import UNKNOWN
+
+
+def test_freeze_assigns_frequency_descending_ids():
+    vocab = Vocabulary()
+    vocab.add_all(["b", "a", "a", "c", "a", "b"])
+    vocab.freeze()
+    assert vocab.token_of(0) == UNKNOWN
+    assert vocab.token_of(1) == "a"
+    assert vocab.token_of(2) == "b"
+    assert vocab.token_of(3) == "c"
+
+
+def test_ties_broken_lexicographically():
+    vocab = Vocabulary()
+    vocab.add_all(["z", "y"])
+    vocab.freeze()
+    assert vocab.token_of(1) == "y"
+    assert vocab.token_of(2) == "z"
+
+
+def test_unknown_lookup_returns_zero():
+    vocab = Vocabulary()
+    vocab.add("x")
+    vocab.freeze()
+    assert vocab.id_of("never-seen") == 0
+
+
+def test_min_count_prunes():
+    vocab = Vocabulary(min_count=2)
+    vocab.add_all(["a", "a", "b"])
+    vocab.freeze()
+    assert "a" in vocab
+    assert "b" not in vocab
+    assert vocab.id_of("b") == 0
+
+
+def test_counts_survive_pruning():
+    vocab = Vocabulary(min_count=2)
+    vocab.add_all(["a", "a", "b"])
+    vocab.freeze()
+    assert vocab.count_of("b") == 1
+    assert vocab.count_of("missing") == 0
+
+
+def test_lookup_before_freeze_raises():
+    vocab = Vocabulary()
+    vocab.add("x")
+    with pytest.raises(RuntimeError):
+        vocab.id_of("x")
+    with pytest.raises(RuntimeError):
+        len(vocab)
+
+
+def test_add_after_freeze_raises():
+    vocab = Vocabulary()
+    vocab.add("x")
+    vocab.freeze()
+    with pytest.raises(RuntimeError):
+        vocab.add("y")
+
+
+def test_freeze_is_idempotent():
+    vocab = Vocabulary()
+    vocab.add("x")
+    vocab.freeze()
+    first = list(vocab)
+    vocab.freeze()
+    assert list(vocab) == first
+
+
+def test_len_and_iteration():
+    vocab = Vocabulary()
+    vocab.add_all(["a", "b"])
+    vocab.freeze()
+    assert len(vocab) == 3  # <unk> + 2
+    assert list(vocab)[0] == UNKNOWN
+
+
+def test_rejects_bad_min_count():
+    with pytest.raises(ValueError):
+        Vocabulary(min_count=0)

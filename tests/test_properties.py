@@ -1,0 +1,154 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that hold across the whole system, checked on generated
+inputs: cleaning passes only ever remove extractions; Viterbi paths
+score at least as high as any labelled path; tokenization preserves
+non-whitespace content; veto is idempotent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import VetoConfig
+from repro.core.cleaning import apply_veto
+from repro.ml.crf.inference import viterbi
+from repro.nlp import get_locale
+from repro.types import Extraction
+
+# -- veto properties -----------------------------------------------------
+
+_VALUES = st.sampled_from(
+    ["aka", "2 kg", ";", "< br >", "x" * 40, "gosei kawa", "*"]
+)
+
+
+@st.composite
+def extractions(draw):
+    count = draw(st.integers(min_value=0, max_value=25))
+    result = []
+    for index in range(count):
+        value = draw(_VALUES)
+        result.append(
+            Extraction(
+                product_id=f"p{draw(st.integers(0, 8))}",
+                attribute=draw(st.sampled_from(["iro", "juryo"])),
+                value=value,
+                sentence_index=0,
+                start=0,
+                end=max(1, len(value.split(" "))),
+            )
+        )
+    return result
+
+
+@given(extractions())
+@settings(max_examples=60)
+def test_veto_output_is_subset_of_input(items):
+    kept, stats = apply_veto(items, VetoConfig())
+    assert len(kept) <= len(items)
+    identities = {id(extraction) for extraction in items}
+    assert all(id(extraction) in identities for extraction in kept)
+    assert stats.total == len(items)
+    assert stats.kept == len(kept)
+
+
+@given(extractions())
+@settings(max_examples=60)
+def test_veto_is_idempotent(items):
+    once, _ = apply_veto(items, VetoConfig())
+    twice, stats = apply_veto(once, VetoConfig())
+    assert [e.value for e in twice] == [e.value for e in once]
+    # The per-item rules never fire on already-cleaned data...
+    assert stats.symbol == stats.markup == stats.long == 0
+    # ...and the popularity ranking is stable, so nothing is dropped.
+    assert stats.unpopular == 0
+
+
+# -- Viterbi optimality ---------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_viterbi_beats_random_paths(seed):
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(1, 8))
+    labels = 4
+    emissions = rng.normal(size=(1, length, labels))
+    mask = np.ones((1, length), dtype=bool)
+    transitions = rng.normal(size=(labels, labels))
+
+    def score(path):
+        total = emissions[0, 0, path[0]]
+        for t in range(1, length):
+            total += transitions[path[t - 1], path[t]]
+            total += emissions[0, t, path[t]]
+        return total
+
+    (best,) = viterbi(emissions, mask, transitions)
+    best_score = score(best)
+    for _ in range(30):
+        random_path = rng.integers(0, labels, size=length).tolist()
+        assert best_score >= score(random_path) - 1e-9
+
+
+# -- tokenizer properties --------------------------------------------------
+
+
+@given(
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd", "Po", "Sm"),
+            max_codepoint=0x2FFF,
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=80)
+def test_ja_tokenizer_preserves_non_whitespace(text):
+    tokens = get_locale("ja").tokenizer.tokenize(text)
+    # Tokens never contain whitespace and are non-empty.
+    assert all(token and not token.isspace() for token in tokens)
+    # ASCII-alphanumeric content survives tokenization.
+    kept = "".join(tokens)
+    for char in text:
+        if char.isascii() and char.isalnum():
+            assert char in kept
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=60)
+def test_pos_tagger_total(text):
+    """The tagger assigns some tag to every token either locale emits."""
+    for locale in ("ja", "de"):
+        bundle = get_locale(locale)
+        for token in bundle.tokens(text):
+            assert token.pos in {"NN", "NUM", "UNIT", "FW", "SYM", "AN"}
+
+
+# -- html/text properties ---------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=60)
+def test_text_extraction_round_trips_paragraphs(paragraphs):
+    from repro.html import extract_text_blocks
+    from repro.html.entities import encode_entities
+
+    html = "".join(
+        f"<p>{encode_entities(paragraph)}</p>" for paragraph in paragraphs
+    )
+    blocks = extract_text_blocks(html)
+    assert blocks == [p for p in paragraphs]

@@ -1,0 +1,82 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    AttributeValuePair,
+    Dataset,
+    Extraction,
+    Sentence,
+    TaggedSentence,
+    Token,
+    Triple,
+    unique_triples,
+)
+
+
+def test_token_numeric_and_symbol_flags():
+    assert Token("5", "NUM").is_numeric()
+    assert not Token("kg", "UNIT").is_numeric()
+    assert Token(".", "SYM").is_symbol()
+    assert not Token("aka", "NN").is_symbol()
+
+
+def test_triple_exposes_its_pair():
+    triple = Triple("p1", "iro", "aka")
+    assert triple.pair == AttributeValuePair("iro", "aka")
+
+
+def test_triples_are_hashable_and_value_equal():
+    assert Triple("p", "a", "v") == Triple("p", "a", "v")
+    assert len({Triple("p", "a", "v"), Triple("p", "a", "v")}) == 1
+
+
+def test_sentence_accessors(make_sentence):
+    sentence = make_sentence("iro wa aka desu")
+    assert sentence.texts() == ("iro", "wa", "aka", "desu")
+    assert len(sentence.pos_tags()) == 4
+    assert len(sentence) == 4
+    assert [token.text for token in sentence] == list(sentence.texts())
+
+
+def test_tagged_sentence_rejects_label_mismatch(make_sentence):
+    sentence = make_sentence("iro wa aka desu")
+    with pytest.raises(ValueError):
+        TaggedSentence(sentence, ("O", "O"))
+
+
+def test_tagged_sentence_with_labels(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro")
+    relabelled = tagged.with_labels(["O"] * len(tagged))
+    assert relabelled.labels == ("O",) * len(tagged)
+    assert relabelled.sentence is tagged.sentence
+
+
+def test_tagged_sentence_product_id(make_tagged):
+    tagged = make_tagged("iro wa aka desu", "aka", "iro", product_id="px")
+    assert tagged.product_id == "px"
+
+
+def test_extraction_projects_to_triple():
+    extraction = Extraction("p1", "juryo", "2 kg", 3, 4, 6)
+    assert extraction.triple == Triple("p1", "juryo", "2 kg")
+    assert extraction.token_count == 2
+
+
+def test_unique_triples_deduplicates():
+    extractions = [
+        Extraction("p1", "iro", "aka", 0, 1, 2),
+        Extraction("p1", "iro", "aka", 5, 0, 1),
+        Extraction("p2", "iro", "aka", 0, 1, 2),
+    ]
+    assert unique_triples(extractions) == {
+        Triple("p1", "iro", "aka"),
+        Triple("p2", "iro", "aka"),
+    }
+
+
+def test_dataset_counts_labelled_tokens(make_tagged):
+    tagged = make_tagged("juryo wa 2 kg desu", "2 kg", "juryo")
+    dataset = Dataset(tagged=[tagged], attributes=("juryo",))
+    assert len(dataset) == 1
+    assert dataset.labelled_token_count() == 2
