@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test bench bench-fast examples clean
+.PHONY: install test bench bench-fast bench-runner examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,10 @@ bench:
 # Quick shape check at reduced scale (~3-4 min).
 bench-fast:
 	REPRO_BENCH_PRODUCTS=120 pytest benchmarks/ --benchmark-only
+
+# Serial vs parallel sweep wall-clock -> BENCH_runner.json.
+bench-runner:
+	python benchmarks/bench_runner.py
 
 examples:
 	python examples/quickstart.py

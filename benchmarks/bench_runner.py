@@ -1,0 +1,104 @@
+"""Serial vs. parallel sweep benchmark for the CategoryRunner.
+
+Runs the same 4-category sweep twice — once serially inline, once over
+a 4-worker process pool — verifies the results are identical, and
+records both wall-clocks (plus the visible CPU count, so single-core
+CI numbers are interpretable) to ``BENCH_runner.json`` at the repo
+root. Re-run with ``make bench-runner``; the committed artifact tracks
+the perf trajectory PR over PR.
+
+Scale knobs: ``REPRO_BENCH_PRODUCTS`` (default 120 pages/category) and
+``REPRO_BENCH_ITERATIONS`` (default 2 bootstrap cycles).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.config import PipelineConfig  # noqa: E402
+from repro.runtime import CategoryRunner, RunnerJob  # noqa: E402
+
+CATEGORIES = ("tennis", "kitchen", "garden", "vacuum_cleaner")
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+
+def _jobs(products: int, iterations: int) -> list[RunnerJob]:
+    config = PipelineConfig(iterations=iterations)
+    return [
+        RunnerJob.generate(category, products, config, data_seed=7)
+        for category in CATEGORIES
+    ]
+
+
+def main() -> int:
+    products = int(os.environ.get("REPRO_BENCH_PRODUCTS", "120"))
+    iterations = int(os.environ.get("REPRO_BENCH_ITERATIONS", "2"))
+    workers = 4
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+
+    print(
+        f"sweep: {len(CATEGORIES)} categories x {products} products, "
+        f"{iterations} iterations ({cpus} CPU(s) visible)"
+    )
+
+    start = time.perf_counter()
+    serial = CategoryRunner(mode="serial").run(_jobs(products, iterations))
+    serial_seconds = time.perf_counter() - start
+    print(f"serial:   {serial_seconds:.2f}s")
+
+    start = time.perf_counter()
+    parallel = CategoryRunner(workers=workers, mode="process").run(
+        _jobs(products, iterations)
+    )
+    parallel_seconds = time.perf_counter() - start
+    print(f"parallel: {parallel_seconds:.2f}s ({workers} workers)")
+
+    failures = [o.job_name for o in serial + parallel if not o.ok]
+    identical = not failures and all(
+        s.result.bootstrap == p.result.bootstrap
+        for s, p in zip(serial, parallel)
+    )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(f"speedup:  {speedup:.2f}x   identical results: {identical}")
+
+    record = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "cpu_count": cpus,
+        "workers": workers,
+        "categories": list(CATEGORIES),
+        "products": products,
+        "iterations": iterations,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "identical_results": identical,
+        "per_category_seconds": {
+            outcome.job_name: round(outcome.seconds, 3)
+            for outcome in parallel
+        },
+        "failures": failures,
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"recorded to {ARTIFACT}")
+    if failures or not identical:
+        print("ERROR: sweep failed or results diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .core import (
     PipelineResult,
 )
 from .errors import ReproError
+from .runtime import PipelineTrace
 from .types import AttributeValuePair, Extraction, ProductPage, Triple
 
 __version__ = "1.0.0"
@@ -51,6 +52,7 @@ __all__ = [
     "PAEPipeline",
     "PipelineConfig",
     "PipelineResult",
+    "PipelineTrace",
     "ProductPage",
     "ReproError",
     "SeedConfig",

@@ -7,7 +7,10 @@ Three subcommands::
 
     repro-pae run --category vacuum_cleaner --products 220
         Generate a synthetic catalog, run the full pipeline and print
-        the per-iteration precision/coverage report.
+        the per-iteration precision/coverage report. A comma-separated
+        ``--category`` list sweeps many categories in parallel
+        (``--workers``); ``--trace trace.json`` dumps per-stage,
+        per-iteration wall-clock timings.
 
     repro-pae experiment --name table1
         Regenerate one of the paper's tables/figures (same runners the
@@ -63,11 +66,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     run = commands.add_parser(
-        "run", help="run the pipeline on one synthetic category"
+        "run", help="run the pipeline on one or more synthetic categories"
     )
     run.add_argument(
         "--category", required=True,
-        help="a category name (see `categories`)",
+        help="a category name, or a comma-separated list for a "
+        "parallel multi-category sweep (see `categories`)",
     )
     run.add_argument("--products", type=int, default=220)
     run.add_argument("--iterations", type=int, default=5)
@@ -83,6 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-diversification", action="store_true",
         help="disable seed value diversification",
     )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for multi-category sweeps "
+        "(default: CPUs visible to the process)",
+    )
+    run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write per-stage, per-iteration wall-clock timings "
+        "to this JSON file",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -92,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--products", type=int, default=None)
     experiment.add_argument("--iterations", type=int, default=5)
+    experiment.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the experiment's bootstrap sweep "
+        "(default: CPUs visible to the process)",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -117,10 +136,33 @@ def _command_categories() -> int:
     return 0
 
 
+def _write_trace(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"trace written to {path}")
+
+
+def _print_category_report(
+    category: str, dataset, result
+) -> None:
+    truth = build_truth_sample(dataset)
+    breakdown = precision(result.triples, truth)
+    print(f"category:   {category} ({dataset.locale})")
+    print(f"attributes: {', '.join(result.attributes)}")
+    print(f"triples:    {len(result.triples)}")
+    print(f"precision:  {100 * breakdown.precision:.2f}%")
+    print(f"coverage:   {100 * result.coverage():.2f}%")
+    print()
+    print(iteration_report(result.bootstrap, truth, len(dataset)))
+
+
 def _command_run(args: argparse.Namespace) -> int:
-    dataset = Marketplace(seed=args.seed).generate(
-        args.category, args.products
-    )
+    categories = [
+        name.strip() for name in args.category.split(",") if name.strip()
+    ]
     config = PipelineConfig(
         iterations=args.iterations,
         tagger=args.tagger,
@@ -128,26 +170,74 @@ def _command_run(args: argparse.Namespace) -> int:
         enable_semantic_cleaning=not args.no_cleaning,
         enable_diversification=not args.no_diversification,
     )
-    result = PAEPipeline(config).run(
-        dataset.product_pages, dataset.query_log
-    )
-    truth = build_truth_sample(dataset)
-    breakdown = precision(result.triples, truth)
-    print(f"category:   {args.category} ({dataset.locale})")
-    print(f"attributes: {', '.join(result.attributes)}")
-    print(f"triples:    {len(result.triples)}")
-    print(f"precision:  {100 * breakdown.precision:.2f}%")
-    print(f"coverage:   {100 * result.coverage():.2f}%")
-    print()
-    print(iteration_report(result.bootstrap, truth, len(dataset)))
-    return 0
+    if len(categories) == 1:
+        from .runtime import PipelineTrace
+
+        category = categories[0]
+        dataset = Marketplace(seed=args.seed).generate(
+            category, args.products
+        )
+        trace = PipelineTrace(label=category)
+        result = PAEPipeline(config).run(
+            dataset.product_pages, dataset.query_log, trace=trace
+        )
+        _print_category_report(category, dataset, result)
+        if args.trace:
+            _write_trace(args.trace, trace.to_dict())
+        return 0
+    return _run_sweep(categories, config, args)
+
+
+def _run_sweep(
+    categories: list[str],
+    config: PipelineConfig,
+    args: argparse.Namespace,
+) -> int:
+    """Fan a multi-category sweep out over a CategoryRunner."""
+    from .runtime import CategoryRunner, RunnerJob
+
+    jobs = [
+        RunnerJob.generate(
+            category, args.products, config, data_seed=args.seed
+        )
+        for category in categories
+    ]
+    runner = CategoryRunner(workers=args.workers)
+    outcomes = runner.run(jobs)
+    traces: dict[str, dict] = {}
+    failures = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures += 1
+            print(f"category:   {outcome.job_name}  FAILED")
+            print(f"  {outcome.failure}")
+            print()
+            continue
+        dataset = Marketplace(seed=args.seed).generate(
+            outcome.job_name, args.products
+        )
+        _print_category_report(
+            outcome.job_name, dataset, outcome.result
+        )
+        print(f"wall-clock: {outcome.seconds:.2f}s")
+        print()
+        if outcome.trace is not None:
+            traces[outcome.job_name] = outcome.trace.to_dict()
+    if args.trace:
+        _write_trace(args.trace, {"categories": traces})
+    return 1 if failures else 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import os
 
     from .experiments import ExperimentSettings
 
+    if args.workers is not None:
+        # prefetch_runs / parallel_map resolve their pool size from
+        # REPRO_WORKERS via repro.runtime.default_workers.
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     module_name, function_name = _EXPERIMENTS[args.name]
     module = importlib.import_module(
         f"repro.experiments.{module_name}"

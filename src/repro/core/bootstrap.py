@@ -35,8 +35,10 @@ from .preprocess import (
     build_training_material,
     discover_candidates,
 )
+from .preprocess.aggregation import AttributeClusters
 from .preprocess.training_set import TrainingMaterial
 from .preprocess.value_cleaning import QueryLogLike
+from ..runtime.trace import PipelineTrace
 from .tagger import make_tagger
 from .text import PageText, corpus_token_sentences, tokenize_pages
 
@@ -65,6 +67,20 @@ class IterationResult:
     veto_stats: VetoStats | None
     semantic_stats: SemanticStats | None
     dataset_sentences: int
+
+
+@dataclass(frozen=True)
+class _IterationArtifacts:
+    """Intermediate products one cycle hands to the next.
+
+    Threaded through return values (never stashed on the bootstrapper)
+    so ``Bootstrapper.run`` is re-entrant: two interleaved or
+    concurrent runs of the same instance cannot observe each other's
+    extractions.
+    """
+
+    kept_extractions: list[Extraction]
+    tagged: list[TaggedSentence]
 
 
 @dataclass(frozen=True)
@@ -157,19 +173,47 @@ class Bootstrapper:
         self,
         pages: Sequence[ProductPage],
         query_log: QueryLogLike,
+        trace: PipelineTrace | None = None,
     ) -> BootstrapResult:
-        """Execute seed construction plus N bootstrap cycles."""
-        page_texts = tokenize_pages(pages)
-        candidates = discover_candidates(pages)
-        seed = build_seed(
-            pages,
-            query_log,
-            self.config.seed_config,
-            enable_diversification=self.config.enable_diversification,
-            candidates=candidates,
-        )
-        seed = self._restrict_seed(seed)
-        material = build_training_material(page_texts, seed, candidates)
+        """Execute seed construction plus N bootstrap cycles.
+
+        The method is stateless: every intermediate artifact lives in
+        locals or flows through return values, so one ``Bootstrapper``
+        can serve sequential or concurrent runs without leakage.
+
+        Args:
+            pages: the category's product pages.
+            query_log: search-log membership filter.
+            trace: optional per-stage timing sink; a throwaway trace is
+                used when None so the instrumented path is the only
+                path.
+        """
+        trace = trace if trace is not None else PipelineTrace()
+        with trace.stage("tokenize") as stage:
+            page_texts = tokenize_pages(pages)
+            stage.add(pages=len(pages))
+        with trace.stage("candidate_discovery") as stage:
+            candidates = discover_candidates(pages)
+            stage.add(candidates=len(candidates))
+        with trace.stage("seed_build") as stage:
+            seed = build_seed(
+                pages,
+                query_log,
+                self.config.seed_config,
+                enable_diversification=self.config.enable_diversification,
+                candidates=candidates,
+            )
+            seed = self._restrict_seed(seed)
+            stage.add(
+                attributes=len(seed.attributes),
+                seed_pairs=len(seed.pairs()),
+            )
+        with trace.stage("training_material") as stage:
+            material = build_training_material(page_texts, seed, candidates)
+            stage.add(
+                labeled_sentences=len(material.labeled),
+                unlabeled_pages=len(material.unlabeled_pages),
+            )
 
         attributes = seed.attributes
         seed_triples = frozenset(seed.table_triples | material.text_triples)
@@ -184,16 +228,18 @@ class Bootstrapper:
         cumulative: set[Triple] = set(seed_triples)
         iterations: list[IterationResult] = []
         for iteration in range(1, self.config.iterations + 1):
-            result = self._iterate(
+            result, artifacts = self._iterate(
                 iteration,
                 dataset,
                 unlabeled_sentences,
                 corpus,
-                material,
                 cumulative,
+                trace,
             )
             iterations.append(result)
-            dataset = self._next_dataset(material, result)
+            with trace.stage("fold_dataset", iteration) as stage:
+                dataset = self._next_dataset(material, artifacts)
+                stage.add(dataset_sentences=len(dataset))
         return BootstrapResult(
             seed=seed,
             material=material,
@@ -217,9 +263,25 @@ class Bootstrapper:
             for triple in seed.table_triples
             if triple.attribute in self.attribute_subset
         )
+        # Clusters must shrink with the subset too: a specialized model
+        # (Section VIII-D) told to exclude an attribute must not keep
+        # that attribute's value clusters or surface-name aliases.
+        canonical = {
+            surface: name
+            for surface, name in seed.clusters.canonical.items()
+            if name in self.attribute_subset
+        }
+        clusters = AttributeClusters(
+            canonical=canonical,
+            page_support={
+                surface: count
+                for surface, count in seed.clusters.page_support.items()
+                if surface in canonical
+            },
+        )
         return Seed(
             values=values,
-            clusters=seed.clusters,
+            clusters=clusters,
             table_triples=table_triples,
             raw_candidate_count=seed.raw_candidate_count,
             cleaned_value_count=seed.cleaned_value_count,
@@ -231,49 +293,66 @@ class Bootstrapper:
         dataset: list[TaggedSentence],
         unlabeled_sentences: list[Sentence],
         corpus: list[list[str]],
-        material: TrainingMaterial,
         cumulative: set[Triple],
-    ) -> IterationResult:
+        trace: PipelineTrace,
+    ) -> tuple[IterationResult, _IterationArtifacts]:
         if not dataset:
             raise TrainingError(
                 "seed produced no labelled sentences; the category has "
                 "no usable dictionary tables"
             )
         model = make_tagger(self.config, iteration)
-        model.train(dataset)
-        if (
-            self.config.min_confidence > 0.0
-            and hasattr(model, "tag_with_confidence")
-        ):
-            tagged, extractions = self._tag_with_confidence_filter(
-                model, unlabeled_sentences
+        with trace.stage("tagger_train", iteration) as stage:
+            model.train(dataset)
+            stage.add(sentences=len(dataset))
+        with trace.stage("tagger_tag", iteration) as stage:
+            if (
+                self.config.min_confidence > 0.0
+                and hasattr(model, "tag_with_confidence")
+            ):
+                tagged, extractions = self._tag_with_confidence_filter(
+                    model, unlabeled_sentences
+                )
+            else:
+                tagged = model.tag(unlabeled_sentences)
+                extractions = extractions_from_tagged(tagged)
+            stage.add(
+                sentences=len(unlabeled_sentences),
+                extractions=len(extractions),
             )
-        else:
-            tagged = model.tag(unlabeled_sentences)
-            extractions = extractions_from_tagged(tagged)
         candidate_count = len(extractions)
 
         veto_stats: VetoStats | None = None
         if self.config.enable_syntactic_cleaning:
-            extractions, veto_stats = apply_veto(
-                extractions, self.config.veto
-            )
+            with trace.stage("veto", iteration) as stage:
+                extractions, veto_stats = apply_veto(
+                    extractions, self.config.veto
+                )
+                stage.add(
+                    kept=len(extractions),
+                    removed=candidate_count - len(extractions),
+                )
 
         semantic_stats: SemanticStats | None = None
         if self.config.enable_semantic_cleaning and extractions:
-            cleaner = SemanticCleaner(
-                self.config.semantic,
-                seed=self.config.seed + iteration,
-            )
-            extractions, semantic_stats = cleaner.clean(extractions, corpus)
+            with trace.stage("semantic_clean", iteration) as stage:
+                cleaner = SemanticCleaner(
+                    self.config.semantic,
+                    seed=self.config.seed + iteration,
+                )
+                extractions, semantic_stats = cleaner.clean(
+                    extractions, corpus
+                )
+                stage.add(
+                    kept=len(extractions),
+                    removed=semantic_stats.values_removed,
+                )
 
-        self._kept_extractions = extractions  # exposed for _next_dataset
-        self._last_tagged = tagged
         new_triples = frozenset(
             extraction.triple for extraction in extractions
         ) - frozenset(cumulative)
         cumulative.update(extraction.triple for extraction in extractions)
-        return IterationResult(
+        result = IterationResult(
             iteration=iteration,
             triples=frozenset(cumulative),
             new_triples=new_triples,
@@ -282,6 +361,10 @@ class Bootstrapper:
             semantic_stats=semantic_stats,
             dataset_sentences=len(dataset),
         )
+        artifacts = _IterationArtifacts(
+            kept_extractions=extractions, tagged=tagged
+        )
+        return result, artifacts
 
     def _tag_with_confidence_filter(
         self,
@@ -319,10 +402,10 @@ class Bootstrapper:
     def _next_dataset(
         self,
         material: TrainingMaterial,
-        result: IterationResult,
+        artifacts: _IterationArtifacts,
     ) -> list[TaggedSentence]:
         """Seed-labelled sentences plus this cycle's cleaned evidence."""
         cleaned = rebuild_tagged(
-            self._last_tagged, self._kept_extractions
+            artifacts.tagged, artifacts.kept_extractions
         )
         return list(material.labeled) + cleaned

@@ -66,6 +66,20 @@ def merge_values_in_corpus(
     return merged_corpus
 
 
+def _median(sorted_scores: Sequence[float]) -> float:
+    """True median of an already-sorted score list.
+
+    Even-length lists average the two middle elements; taking the
+    upper one (the old behaviour) biased the acceptance cutoff high
+    and over-removed borderline values.
+    """
+    count = len(sorted_scores)
+    middle = count // 2
+    if count % 2:
+        return sorted_scores[middle]
+    return 0.5 * (sorted_scores[middle - 1] + sorted_scores[middle])
+
+
 @dataclass(frozen=True)
 class SemanticStats:
     """Outcome of one semantic-cleaning pass."""
@@ -149,7 +163,7 @@ class SemanticCleaner:
                 for value, vector in vectors.items()
             }
             core_scores = sorted(scores[value] for value in core_values)
-            median_core = core_scores[len(core_scores) // 2]
+            median_core = _median(core_scores)
             cutoff = self.config.accept_threshold * median_core
             for value, score in scores.items():
                 scored += 1

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..config import PipelineConfig
+from ..runtime.trace import PipelineTrace
 from ..types import ProductPage, Triple
 from .bootstrap import BootstrapResult, Bootstrapper
 from .preprocess.value_cleaning import QueryLogLike
@@ -30,10 +31,12 @@ class PipelineResult:
     Attributes:
         bootstrap: the full per-iteration record.
         product_count: pages the run consumed (coverage denominator).
+        trace: per-stage wall-clock and counter events of the run.
     """
 
     bootstrap: BootstrapResult
     product_count: int
+    trace: PipelineTrace | None = None
 
     @property
     def triples(self) -> frozenset[Triple]:
@@ -82,24 +85,42 @@ class PAEPipeline:
         attribute_subset: Sequence[str] | None = None,
     ):
         self.config = config or PipelineConfig()
-        self._bootstrapper = Bootstrapper(self.config, attribute_subset)
+        self.attribute_subset = (
+            tuple(attribute_subset)
+            if attribute_subset is not None
+            else None
+        )
 
     def run(
         self,
         pages: Sequence[ProductPage],
         query_log: QueryLogLike,
+        *,
+        trace: PipelineTrace | None = None,
     ) -> PipelineResult:
         """Extract attribute-value triples from product pages.
+
+        Re-entrant: every run constructs a fresh
+        :class:`~repro.core.bootstrap.Bootstrapper` (itself stateless),
+        so one pipeline instance can be reused across datasets — or
+        driven concurrently — without any state bleeding between runs.
 
         Args:
             pages: the category's product pages (HTML).
             query_log: search-log membership filter used during seed
                 value cleaning.
+            trace: optional stage-timing sink; a fresh
+                :class:`PipelineTrace` is created when omitted and
+                surfaced on the result either way.
 
         Returns:
             A :class:`PipelineResult`.
         """
-        bootstrap = self._bootstrapper.run(pages, query_log)
+        trace = trace if trace is not None else PipelineTrace()
+        bootstrapper = Bootstrapper(self.config, self.attribute_subset)
+        bootstrap = bootstrapper.run(pages, query_log, trace=trace)
         return PipelineResult(
-            bootstrap=bootstrap, product_count=len(pages)
+            bootstrap=bootstrap,
+            product_count=len(pages),
+            trace=trace,
         )

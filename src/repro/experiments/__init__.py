@@ -27,15 +27,19 @@ Figure 7 / 8          :mod:`figure7_8`
 from .common import (
     CORE_CATEGORIES,
     ExperimentSettings,
+    RunRequest,
     cached_dataset,
     cached_run,
     clear_cache,
+    prefetch_runs,
 )
 
 __all__ = [
     "CORE_CATEGORIES",
     "ExperimentSettings",
+    "RunRequest",
     "cached_dataset",
     "cached_run",
     "clear_cache",
+    "prefetch_runs",
 ]

@@ -20,9 +20,11 @@ from ..evaluation.report import format_table
 from .common import (
     CORE_CATEGORIES,
     ExperimentSettings,
+    RunRequest,
     cached_run,
     cached_truth,
     crf_config,
+    prefetch_runs,
 )
 
 SWEEP_CATEGORIES = ("garden", "shoes")
@@ -81,6 +83,22 @@ def run(settings: ExperimentSettings | None = None) -> CleaningImpactResult:
     """Reproduce the §VIII-B measurements."""
     settings = settings or ExperimentSettings()
     config = crf_config(settings.iterations, cleaning=True)
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config)
+            for category in CORE_CATEGORIES
+        ]
+        + [
+            RunRequest(
+                category,
+                settings.products,
+                settings.data_seed,
+                replace(config, semantic=SemanticConfig(core_size=n)),
+            )
+            for category in SWEEP_CATEGORIES
+            for n in CORE_SIZES
+        ]
+    )
 
     veto_rows = []
     for category in CORE_CATEGORIES:

@@ -18,7 +18,14 @@ from dataclasses import dataclass
 
 from ..evaluation import attribute_coverage, precision
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, cached_truth, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    cached_truth,
+    crf_config,
+    prefetch_runs,
+)
 
 CATEGORY = "vacuum_cleaner"
 WEIGHT_ATTRIBUTE = "juryo"
@@ -122,6 +129,21 @@ def run(
 ) -> DiversificationResult:
     """Reproduce the §VIII-A diversification study."""
     settings = settings or ExperimentSettings()
+    prefetch_runs(
+        [
+            RunRequest(
+                CATEGORY,
+                settings.products,
+                settings.data_seed,
+                crf_config(
+                    settings.iterations,
+                    cleaning=True,
+                    diversification=diversification,
+                ),
+            )
+            for diversification in (True, False)
+        ]
+    )
     return DiversificationResult(
         with_div=_side(True, settings),
         without_div=_side(False, settings),

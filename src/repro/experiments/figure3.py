@@ -16,9 +16,11 @@ from ..evaluation import coverage, precision
 from ..evaluation.report import format_table
 from .common import (
     ExperimentSettings,
+    RunRequest,
     cached_run,
     cached_truth,
     crf_config,
+    prefetch_runs,
 )
 
 #: Categories plotted (vacuum_cleaner included so Figures 7/8 and the
@@ -81,6 +83,18 @@ class Figure3Result:
 def run(settings: ExperimentSettings | None = None) -> Figure3Result:
     """Reproduce Figure 3's four panels."""
     settings = settings or ExperimentSettings()
+    prefetch_runs(
+        [
+            RunRequest(
+                category,
+                settings.products,
+                settings.data_seed,
+                crf_config(settings.iterations, cleaning=cleaned),
+            )
+            for category in FIGURE3_CATEGORIES
+            for cleaned in (False, True)
+        ]
+    )
     curves: dict[tuple[str, bool], tuple[CurvePoint, ...]] = {}
     for category in FIGURE3_CATEGORIES:
         truth = cached_truth(category, settings.products, settings.data_seed)

@@ -21,9 +21,11 @@ from ..evaluation.report import format_table
 from .common import (
     CORE_CATEGORIES,
     ExperimentSettings,
+    RunRequest,
     cached_run,
     crf_config,
     lstm_config,
+    prefetch_runs,
 )
 
 
@@ -84,6 +86,16 @@ def run_figure4(
 ) -> Figure4Result:
     """Reproduce Figure 4."""
     settings = settings or ExperimentSettings()
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config)
+            for category in CORE_CATEGORIES
+            for config in (
+                crf_config(settings.iterations, cleaning=True),
+                lstm_config(1, epochs=2, cleaning=True),
+            )
+        ]
+    )
     per_product: dict[tuple[str, str], float] = {}
     for category in CORE_CATEGORIES:
         crf = cached_run(
@@ -118,6 +130,13 @@ def run_figure6(
         "RNN 10 epochs": lstm_config(1, epochs=10, cleaning=False),
         "RNN 2 epochs + cleaning": lstm_config(1, epochs=2, cleaning=True),
     }
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config)
+            for category in CORE_CATEGORIES
+            for config in configurations.values()
+        ]
+    )
     for category in CORE_CATEGORIES:
         for name, config in configurations.items():
             result = cached_run(

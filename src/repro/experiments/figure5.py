@@ -10,7 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    crf_config,
+    prefetch_runs,
+)
 from .figure3 import FIGURE3_CATEGORIES
 
 
@@ -46,6 +52,14 @@ def run(settings: ExperimentSettings | None = None) -> Figure5Result:
     settings = settings or ExperimentSettings()
     counts: dict[str, tuple[int, ...]] = {}
     config = crf_config(settings.iterations, cleaning=True)
+    prefetch_runs(
+        [
+            RunRequest(
+                category, settings.products, settings.data_seed, config
+            )
+            for category in FIGURE3_CATEGORIES
+        ]
+    )
     for category in FIGURE3_CATEGORIES:
         result = cached_run(
             category, settings.products, settings.data_seed, config

@@ -18,7 +18,14 @@ from dataclasses import dataclass
 
 from ..evaluation import attribute_coverage, precision
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, cached_truth, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    cached_truth,
+    crf_config,
+    prefetch_runs,
+)
 
 #: (category, studied attributes) per figure.
 FIGURE7 = ("digital_cameras", ("shatta supido", "yukogaso", "juryo"))
@@ -87,6 +94,31 @@ def run_specialization(
     settings = settings or ExperimentSettings()
     truth = cached_truth(category, settings.products, settings.data_seed)
     config = crf_config(settings.iterations, cleaning=True)
+
+    # The global, specialized and every single-attribute run are
+    # mutually independent: warm them all in one fan-out.
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config),
+            RunRequest(
+                category,
+                settings.products,
+                settings.data_seed,
+                config,
+                attribute_subset=attributes,
+            ),
+            *(
+                RunRequest(
+                    category,
+                    settings.products,
+                    settings.data_seed,
+                    config,
+                    attribute_subset=(attribute,),
+                )
+                for attribute in attributes
+            ),
+        ]
+    )
 
     global_run = cached_run(
         category, settings.products, settings.data_seed, config

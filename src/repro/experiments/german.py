@@ -15,9 +15,11 @@ from ..evaluation import coverage, precision
 from ..evaluation.report import format_table
 from .common import (
     ExperimentSettings,
+    RunRequest,
     cached_run,
     cached_truth,
     crf_config,
+    prefetch_runs,
 )
 
 GERMAN_CATEGORIES = ("mailbox", "coffee_machines", "garden_de")
@@ -57,6 +59,12 @@ def run(settings: ExperimentSettings | None = None) -> GermanResult:
     settings = settings or ExperimentSettings()
     products = settings.german_products
     config = crf_config(settings.iterations, cleaning=True)
+    prefetch_runs(
+        [
+            RunRequest(category, products, settings.data_seed, config)
+            for category in GERMAN_CATEGORIES
+        ]
+    )
     rows = []
     for category in GERMAN_CATEGORIES:
         truth = cached_truth(category, products, settings.data_seed)

@@ -14,7 +14,14 @@ from dataclasses import dataclass
 
 from ..evaluation import coverage, precision
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, cached_truth, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    cached_truth,
+    crf_config,
+    prefetch_runs,
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,12 @@ def run(settings: ExperimentSettings | None = None) -> HeterogeneousResult:
     """Reproduce the §VIII-E heterogeneity comparison."""
     settings = settings or ExperimentSettings()
     config = crf_config(settings.iterations, cleaning=True)
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config)
+            for category in ("baby_carriers", "baby_goods")
+        ]
+    )
     measurements = {}
     for category in ("baby_carriers", "baby_goods"):
         truth = cached_truth(category, settings.products, settings.data_seed)

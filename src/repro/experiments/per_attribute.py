@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 from ..evaluation import attribute_coverage, precision
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, cached_truth, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    cached_truth,
+    crf_config,
+    prefetch_runs,
+)
 
 STUDIES = (
     ("digital_cameras", ("shatta supido", "yukogaso", "juryo")),
@@ -54,6 +61,12 @@ def run(settings: ExperimentSettings | None = None) -> PerAttributeResult:
     """Reproduce the §VIII-C per-attribute study."""
     settings = settings or ExperimentSettings()
     config = crf_config(settings.iterations, cleaning=True)
+    prefetch_runs(
+        [
+            RunRequest(category, settings.products, settings.data_seed, config)
+            for category, _ in STUDIES
+        ]
+    )
     rows = []
     for category, attributes in STUDIES:
         truth = cached_truth(category, settings.products, settings.data_seed)

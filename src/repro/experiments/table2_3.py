@@ -20,10 +20,12 @@ from ..evaluation.report import format_table
 from .common import (
     CORE_CATEGORIES,
     ExperimentSettings,
+    RunRequest,
     cached_run,
     cached_truth,
     crf_config,
     lstm_config,
+    prefetch_runs,
 )
 
 #: Configuration rows in paper order.
@@ -98,6 +100,18 @@ class Table23Result:
 def run(settings: ExperimentSettings | None = None) -> Table23Result:
     """Reproduce Tables II and III."""
     settings = settings or ExperimentSettings()
+    prefetch_runs(
+        [
+            RunRequest(
+                category,
+                settings.products,
+                settings.data_seed,
+                _config_for(name, settings)[0],
+            )
+            for category in CORE_CATEGORIES
+            for name in CONFIG_NAMES
+        ]
+    )
     cells: dict[tuple[str, str], ConfigCell] = {}
     for category in CORE_CATEGORIES:
         truth = cached_truth(

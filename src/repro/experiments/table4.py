@@ -16,7 +16,14 @@ from dataclasses import dataclass
 
 from ..evaluation import precision
 from ..evaluation.report import format_table
-from .common import ExperimentSettings, cached_run, cached_truth, crf_config
+from .common import (
+    ExperimentSettings,
+    RunRequest,
+    cached_run,
+    cached_truth,
+    crf_config,
+    prefetch_runs,
+)
 
 CATEGORIES = ("vacuum_cleaner", "garden")
 
@@ -69,6 +76,18 @@ class Table4Result:
 def run(settings: ExperimentSettings | None = None) -> Table4Result:
     """Reproduce Table IV (both halves)."""
     settings = settings or ExperimentSettings()
+    prefetch_runs(
+        [
+            RunRequest(
+                category,
+                settings.products,
+                settings.data_seed,
+                _config_for(name, settings.iterations),
+            )
+            for category in CATEGORIES
+            for name in ABLATIONS
+        ]
+    )
     precisions: dict[tuple[str, str, int], float] = {}
     for category in CATEGORIES:
         truth = cached_truth(category, settings.products, settings.data_seed)

@@ -1,0 +1,52 @@
+"""Runtime subsystem: parallel category sweeps and per-stage tracing.
+
+Public surface:
+
+* :class:`PipelineTrace` / :class:`StageEvent` — per-stage wall-clock
+  and counter events of one pipeline run (``trace.py``).
+* :class:`RunnerJob` / :class:`JobOutcome` / :class:`JobFailure` — job
+  specs and structured results of a sweep (``jobs.py``).
+* :class:`CategoryRunner` / :func:`default_workers` — the
+  ``concurrent.futures``-backed fan-out engine (``runner.py``).
+
+Only the trace types are imported eagerly: ``repro.core.bootstrap``
+instruments itself with :class:`PipelineTrace`, while the runner
+imports ``repro.core.pipeline`` — loading everything at package import
+time would be a cycle. The runner/job names resolve lazily via PEP 562
+module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .trace import PipelineTrace, StageEvent
+
+_LAZY = {
+    "RunnerJob": "jobs",
+    "JobOutcome": "jobs",
+    "JobFailure": "jobs",
+    "execute_job": "jobs",
+    "CategoryRunner": "runner",
+    "parallel_map": "runner",
+    "default_workers": "runner",
+}
+
+__all__ = [
+    "PipelineTrace",
+    "StageEvent",
+    "RunnerJob",
+    "JobOutcome",
+    "JobFailure",
+    "execute_job",
+    "CategoryRunner",
+    "parallel_map",
+    "default_workers",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,207 @@
+"""Job specifications and the worker entry point for category sweeps.
+
+A :class:`RunnerJob` describes one pipeline run: either an explicit
+``(pages, query_log)`` dataset or a generator spec (category name +
+scale + RNG seed) that the worker materialises locally. Generator-spec
+jobs are the cheap way to fan out over a process pool — a few ints and
+strings cross the process boundary instead of a pickled page corpus.
+
+``execute_job`` is a module-level function (so it pickles by reference
+into worker processes) that runs one job with bounded retries and
+converts any exception into a structured :class:`JobFailure` instead of
+letting it propagate — a failed category must never crash the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import PipelineConfig
+from ..types import ProductPage
+from .trace import PipelineTrace
+
+
+@dataclass(frozen=True)
+class RunnerJob:
+    """One category run in a sweep.
+
+    Exactly one of (``pages`` + ``query_log``) or ``category`` must be
+    provided. ``products``/``data_seed`` only apply to generator-spec
+    jobs.
+    """
+
+    name: str
+    config: PipelineConfig
+    attribute_subset: tuple[str, ...] | None = None
+    pages: tuple[ProductPage, ...] | None = None
+    query_log: object | None = None
+    category: str | None = None
+    products: int | None = None
+    data_seed: int = 7
+
+    def __post_init__(self) -> None:
+        has_dataset = self.pages is not None
+        has_spec = self.category is not None
+        if has_dataset == has_spec:
+            raise ValueError(
+                "RunnerJob needs either pages+query_log or a category "
+                "generator spec, not both"
+            )
+        if has_dataset and self.query_log is None:
+            raise ValueError("RunnerJob with pages also needs a query_log")
+
+    @classmethod
+    def from_dataset(
+        cls,
+        name: str,
+        pages: Sequence[ProductPage],
+        query_log: object,
+        config: PipelineConfig,
+        attribute_subset: Sequence[str] | None = None,
+    ) -> "RunnerJob":
+        """A job over an explicit page collection."""
+        return cls(
+            name=name,
+            config=config,
+            attribute_subset=(
+                tuple(attribute_subset)
+                if attribute_subset is not None
+                else None
+            ),
+            pages=tuple(pages),
+            query_log=query_log,
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        category: str,
+        products: int,
+        config: PipelineConfig,
+        *,
+        data_seed: int = 7,
+        attribute_subset: Sequence[str] | None = None,
+        name: str | None = None,
+    ) -> "RunnerJob":
+        """A job whose dataset the worker generates from a spec."""
+        return cls(
+            name=name or category,
+            config=config,
+            attribute_subset=(
+                tuple(attribute_subset)
+                if attribute_subset is not None
+                else None
+            ),
+            category=category,
+            products=products,
+            data_seed=data_seed,
+        )
+
+    def materialize(self) -> tuple[tuple[ProductPage, ...], object]:
+        """The (pages, query_log) this job runs over."""
+        if self.pages is not None:
+            return self.pages, self.query_log
+        from ..corpus import Marketplace
+
+        dataset = Marketplace(seed=self.data_seed).generate(
+            self.category, self.products
+        )
+        return dataset.product_pages, dataset.query_log
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that exhausted its retries."""
+
+    job_name: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.job_name}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt(s))"
+        )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Result slot of one job, in submission order.
+
+    Exactly one of ``result``/``failure`` is set.
+    """
+
+    index: int
+    job_name: str
+    result: object | None  # PipelineResult, annotated loosely to avoid cycle
+    failure: JobFailure | None
+    seconds: float
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def trace(self) -> PipelineTrace | None:
+        """The run's trace (None for failed jobs)."""
+        return None if self.result is None else self.result.trace
+
+
+def execute_job(
+    index: int, job: RunnerJob, retries: int = 1
+) -> JobOutcome:
+    """Run one job, retrying on failure, never raising.
+
+    Args:
+        index: submission position (preserved for deterministic result
+            ordering).
+        job: the job spec.
+        retries: extra attempts after the first failure.
+
+    Returns:
+        A :class:`JobOutcome` carrying either the
+        :class:`~repro.core.pipeline.PipelineResult` or a
+        :class:`JobFailure`.
+    """
+    from ..core.pipeline import PAEPipeline
+
+    attempts = 0
+    start = time.perf_counter()
+    last_failure: JobFailure | None = None
+    while attempts <= retries:
+        attempts += 1
+        try:
+            pages, query_log = job.materialize()
+            pipeline = PAEPipeline(job.config, job.attribute_subset)
+            trace = PipelineTrace(label=job.name)
+            result = pipeline.run(pages, query_log, trace=trace)
+            return JobOutcome(
+                index=index,
+                job_name=job.name,
+                result=result,
+                failure=None,
+                seconds=time.perf_counter() - start,
+                attempts=attempts,
+            )
+        except Exception as error:  # noqa: BLE001 - sweeps must not crash
+            last_failure = JobFailure(
+                job_name=job.name,
+                error_type=type(error).__name__,
+                message=str(error),
+                traceback=traceback.format_exc(),
+                attempts=attempts,
+            )
+    return JobOutcome(
+        index=index,
+        job_name=job.name,
+        result=None,
+        failure=last_failure,
+        seconds=time.perf_counter() - start,
+        attempts=attempts,
+    )

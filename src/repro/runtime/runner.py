@@ -1,0 +1,187 @@
+"""The parallel multi-category sweep runner.
+
+:class:`CategoryRunner` fans a list of :class:`~repro.runtime.jobs.
+RunnerJob` out over a ``concurrent.futures`` pool and returns one
+:class:`~repro.runtime.jobs.JobOutcome` per job **in submission
+order**, regardless of completion order — sweeps must be reproducible
+run-to-run and identical to serial execution.
+
+Three execution modes:
+
+* ``"process"`` (default) — real parallelism via
+  ``ProcessPoolExecutor``; jobs and results cross the boundary by
+  pickle, so generator-spec jobs (category name + scale) are preferred
+  over shipping whole page corpora.
+* ``"thread"`` — ``ThreadPoolExecutor``; useful when results must
+  share memory with the caller or the platform cannot fork.
+* ``"serial"`` — run inline, no pool. ``workers <= 1`` always takes
+  this path, making the serial baseline exactly the parallel code
+  minus the executor.
+
+Failure semantics: ``execute_job`` converts in-job exceptions into
+:class:`JobFailure` records after bounded retries; the runner
+additionally catches pool-level faults (a worker killed by the OOM
+killer, unpicklable results) and, rather than crashing the sweep,
+retries the affected job inline before recording a failure.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Sequence
+
+from .jobs import JobFailure, JobOutcome, RunnerJob, execute_job
+
+_MODES = ("process", "thread", "serial")
+
+
+def default_workers(job_count: int | None = None) -> int:
+    """A sensible worker count: CPUs visible to this process, capped.
+
+    Honours the ``REPRO_WORKERS`` environment variable when set;
+    ``REPRO_WORKERS=0`` (or 1) forces serial execution.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        workers = max(1, int(env)) if env.strip() else 1
+    else:
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            cpus = os.cpu_count() or 1
+        workers = max(1, cpus)
+    if job_count is not None:
+        workers = min(workers, max(1, job_count))
+    return workers
+
+
+def parallel_map(function, items, workers: int | None = None) -> list:
+    """Order-preserving process-pool map with serial fallback.
+
+    For fan-outs that are not full pipeline runs (seed-only sweeps,
+    dataset generation). ``function`` and every item must be picklable;
+    ``workers <= 1`` (the single-CPU default) runs inline. Any
+    pool-level fault degrades to inline execution of the remaining
+    items instead of crashing.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = (
+        default_workers(len(items))
+        if workers is None
+        else min(workers, len(items))
+    )
+    if workers <= 1:
+        return [function(item) for item in items]
+    results: list = [None] * len(items)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (index, pool.submit(function, item))
+                for index, item in enumerate(items)
+            ]
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except Exception:  # noqa: BLE001 - degrade, don't crash
+                    results[index] = function(items[index])
+    except OSError:
+        return [function(item) for item in items]
+    return results
+
+
+class CategoryRunner:
+    """Run many category pipelines with bounded parallelism.
+
+    Args:
+        workers: pool size; None resolves via :func:`default_workers`
+            at ``run()`` time. ``<= 1`` runs serially inline.
+        mode: ``"process"``, ``"thread"`` or ``"serial"``.
+        retries: extra in-worker attempts per failed job.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        mode: str = "process",
+        retries: int = 1,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.mode = mode
+        self.retries = retries
+
+    def run(self, jobs: Sequence[RunnerJob]) -> list[JobOutcome]:
+        """Execute every job; outcomes come back in submission order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = (
+            default_workers(len(jobs))
+            if self.workers is None
+            else min(self.workers, len(jobs))
+        )
+        if self.mode == "serial" or workers <= 1:
+            return [
+                execute_job(index, job, self.retries)
+                for index, job in enumerate(jobs)
+            ]
+        executor_type = (
+            ProcessPoolExecutor
+            if self.mode == "process"
+            else ThreadPoolExecutor
+        )
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        try:
+            with executor_type(max_workers=workers) as pool:
+                futures: list[tuple[int, Future]] = [
+                    (index, pool.submit(execute_job, index, job, self.retries))
+                    for index, job in enumerate(jobs)
+                ]
+                for index, future in futures:
+                    outcomes[index] = self._collect(index, jobs[index], future)
+        except OSError:
+            # Pool construction itself failed (fork refused, fd
+            # exhaustion): degrade to serial rather than crash.
+            return [
+                execute_job(index, job, self.retries)
+                for index, job in enumerate(jobs)
+            ]
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # -- internals -----------------------------------------------------------
+
+    def _collect(
+        self, index: int, job: RunnerJob, future: Future
+    ) -> JobOutcome:
+        """Resolve one future; pool-level faults fall back inline."""
+        try:
+            return future.result()
+        except Exception as error:  # noqa: BLE001 - degrade, don't crash
+            inline = execute_job(index, job, retries=0)
+            if inline.ok:
+                return inline
+            return JobOutcome(
+                index=index,
+                job_name=job.name,
+                result=None,
+                failure=JobFailure(
+                    job_name=job.name,
+                    error_type=type(error).__name__,
+                    message=f"worker pool fault: {error}",
+                    traceback="",
+                    attempts=1,
+                ),
+                seconds=inline.seconds,
+                attempts=1,
+            )

@@ -38,6 +38,57 @@ def test_run_command_no_cleaning(capsys):
     assert code == 0
 
 
+def test_run_command_writes_trace(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "40",
+            "--iterations", "1", "--trace", str(trace_path),
+        ]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(trace_path.read_text())
+    assert payload["label"] == "tennis"
+    stages = {event["stage"] for event in payload["events"]}
+    assert {"seed_build", "tagger_train", "tagger_tag"} <= stages
+    assert any(event.get("iteration") == 1 for event in payload["events"])
+
+
+def test_run_command_multi_category_sweep(capsys, tmp_path):
+    trace_path = tmp_path / "sweep.json"
+    code = main(
+        [
+            "run", "--category", "tennis,garden", "--products", "40",
+            "--iterations", "1", "--workers", "2",
+            "--trace", str(trace_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "category:   tennis" in out
+    assert "category:   garden" in out
+    assert "wall-clock:" in out
+    import json
+
+    payload = json.loads(trace_path.read_text())
+    assert set(payload["categories"]) == {"tennis", "garden"}
+
+
+def test_run_command_sweep_reports_failures(capsys):
+    code = main(
+        [
+            "run", "--category", "tennis,no_such_category",
+            "--products", "40", "--iterations", "1",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "category:   tennis" in out
+
+
 def test_experiment_command_table1(capsys):
     code = main(
         [

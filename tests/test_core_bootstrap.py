@@ -88,6 +88,22 @@ def test_attribute_subset_restricts_output(small_vacuum_dataset):
     assert attributes <= {"juryo"}
 
 
+def test_attribute_subset_restricts_seed_clusters(small_vacuum_dataset):
+    """Regression: a specialized model (§VIII-D) must not keep value
+    clusters or surface-name aliases of excluded attributes."""
+    config = PipelineConfig(iterations=1)
+    result = Bootstrapper(config, attribute_subset=("juryo",)).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    clusters = result.seed.clusters
+    assert set(clusters.cluster_names()) <= {"juryo"}
+    assert set(clusters.canonical.values()) <= {"juryo"}
+    # page_support only tracks surfaces that still resolve somewhere.
+    assert set(clusters.page_support) <= set(clusters.canonical)
+    assert set(result.seed.values) <= {"juryo"}
+
+
 def test_restrict_to_attributes_blanks_labels(make_tagged):
     tagged = make_tagged("iro wa aka desu", "aka", "iro")
     (restricted,) = restrict_to_attributes([tagged], frozenset({"juryo"}))

@@ -39,6 +39,33 @@ def test_seed_triples_subset_of_final(pipeline_result):
     assert pipeline_result.seed_triples <= pipeline_result.triples
 
 
+def test_reused_pipeline_instance_is_re_entrant(
+    small_vacuum_dataset, small_garden_dataset
+):
+    """Regression: one instance run on two datasets must match two
+    fresh pipelines — no `_kept_extractions`/`_last_tagged` leakage."""
+    config = PipelineConfig(iterations=1)
+    shared = PAEPipeline(config)
+    reused_vacuum = shared.run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    reused_garden = shared.run(
+        list(small_garden_dataset.product_pages),
+        small_garden_dataset.query_log,
+    )
+    fresh_vacuum = PAEPipeline(config).run(
+        list(small_vacuum_dataset.product_pages),
+        small_vacuum_dataset.query_log,
+    )
+    fresh_garden = PAEPipeline(config).run(
+        list(small_garden_dataset.product_pages),
+        small_garden_dataset.query_log,
+    )
+    assert reused_vacuum.bootstrap == fresh_vacuum.bootstrap
+    assert reused_garden.bootstrap == fresh_garden.bootstrap
+
+
 def test_deterministic_end_to_end(small_vacuum_dataset):
     config = PipelineConfig(iterations=1)
     pages = list(small_vacuum_dataset.product_pages)

@@ -2,8 +2,22 @@
 
 from repro.config import SemanticConfig
 from repro.core.cleaning import SemanticCleaner
-from repro.core.cleaning.semantic import merge_values_in_corpus, merged_token
+from repro.core.cleaning.semantic import (
+    _median,
+    merge_values_in_corpus,
+    merged_token,
+)
 from repro.types import Extraction
+
+
+def test_median_odd_length():
+    assert _median([1.0, 2.0, 9.0]) == 2.0
+
+
+def test_median_even_length_averages_middle_pair():
+    # Regression: the upper-middle element biased the cutoff high.
+    assert _median([1.0, 2.0, 4.0, 9.0]) == 3.0
+    assert _median([1.0, 3.0]) == 2.0
 
 
 def _extraction(attribute, value, product="p1"):

@@ -4,9 +4,11 @@ from repro.config import PipelineConfig
 from repro.experiments import ExperimentSettings, cached_dataset, cached_run
 from repro.experiments.common import (
     CORE_CATEGORIES,
+    RunRequest,
     cached_truth,
     crf_config,
     lstm_config,
+    prefetch_runs,
 )
 
 
@@ -46,6 +48,33 @@ def test_cached_run_key_includes_config():
     first = cached_run("tennis", 30, 99, crf_config(1, cleaning=False))
     second = cached_run("tennis", 30, 99, crf_config(1, cleaning=True))
     assert first is not second
+
+
+def test_prefetch_runs_warms_the_cache():
+    config = crf_config(1, cleaning=False)
+    requests = [
+        RunRequest("tennis", 25, 123, config),
+        RunRequest("garden", 25, 123, config),
+        RunRequest("tennis", 25, 123, config),  # duplicate, deduped
+    ]
+    prefetch_runs(requests, workers=2)
+    # Hits must come straight from the warmed memo.
+    first = cached_run("tennis", 25, 123, config)
+    assert cached_run("tennis", 25, 123, config) is first
+    assert cached_run("garden", 25, 123, config) is not first
+
+
+def test_prefetch_matches_inline_run():
+    config = crf_config(1, cleaning=True)
+    prefetch_runs([RunRequest("kitchen", 25, 124, config)], workers=2)
+    warmed = cached_run("kitchen", 25, 124, config)
+    from repro.core.bootstrap import Bootstrapper
+
+    dataset = cached_dataset("kitchen", 25, 124)
+    inline = Bootstrapper(config).run(
+        list(dataset.product_pages), dataset.query_log
+    )
+    assert warmed == inline
 
 
 def test_cached_run_key_includes_subset():

@@ -1,0 +1,136 @@
+"""Tests for CategoryRunner: parallel sweeps, retries, degradation."""
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.runtime import (
+    CategoryRunner,
+    JobOutcome,
+    RunnerJob,
+    default_workers,
+    execute_job,
+    parallel_map,
+)
+
+SWEEP_CATEGORIES = ("tennis", "kitchen", "garden", "vacuum_cleaner")
+
+
+def _sweep_jobs(products=40, iterations=1):
+    config = PipelineConfig(iterations=iterations)
+    return [
+        RunnerJob.generate(category, products, config, data_seed=7)
+        for category in SWEEP_CATEGORIES
+    ]
+
+
+def test_job_requires_dataset_or_spec():
+    config = PipelineConfig(iterations=1)
+    with pytest.raises(ValueError):
+        RunnerJob(name="bad", config=config)
+    with pytest.raises(ValueError):
+        RunnerJob(
+            name="bad",
+            config=config,
+            pages=(),
+            query_log=object(),
+            category="tennis",
+            products=10,
+        )
+
+
+def test_parallel_matches_serial_on_four_categories():
+    """The headline determinism contract of the sweep runner."""
+    serial = CategoryRunner(mode="serial").run(_sweep_jobs())
+    parallel = CategoryRunner(workers=4, mode="process").run(_sweep_jobs())
+    assert len(serial) == len(parallel) == len(SWEEP_CATEGORIES)
+    for ser, par in zip(serial, parallel):
+        assert ser.ok and par.ok
+        assert ser.job_name == par.job_name
+        # Full structural equality: seed, material, every iteration.
+        assert ser.result.bootstrap == par.result.bootstrap
+        assert ser.result.triples == par.result.triples
+
+
+def test_outcomes_in_submission_order():
+    outcomes = CategoryRunner(workers=2).run(_sweep_jobs(products=30))
+    assert [o.job_name for o in outcomes] == list(SWEEP_CATEGORIES)
+    assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+
+def test_failed_category_yields_error_record_not_crash():
+    config = PipelineConfig(iterations=1)
+    jobs = [
+        RunnerJob.generate("tennis", 30, config),
+        RunnerJob.generate("no_such_category", 30, config),
+        RunnerJob.generate("garden", 30, config),
+    ]
+    outcomes = CategoryRunner(workers=2, retries=0).run(jobs)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    failure = outcomes[1].failure
+    assert failure is not None
+    assert failure.job_name == "no_such_category"
+    assert failure.error_type
+    assert failure.traceback
+    assert outcomes[1].trace is None
+
+
+def test_execute_job_retries_until_success(monkeypatch):
+    attempts = {"n": 0}
+    original = RunnerJob.materialize
+
+    def flaky(self):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise OSError("transient")
+        return original(self)
+
+    monkeypatch.setattr(RunnerJob, "materialize", flaky)
+    job = RunnerJob.generate("tennis", 30, PipelineConfig(iterations=1))
+    outcome = execute_job(0, job, retries=2)
+    assert outcome.ok
+    assert outcome.attempts == 3
+
+
+def test_execute_job_exhausts_retries(monkeypatch):
+    def always_broken(self):
+        raise OSError("permanent")
+
+    monkeypatch.setattr(RunnerJob, "materialize", always_broken)
+    job = RunnerJob.generate("tennis", 30, PipelineConfig(iterations=1))
+    outcome = execute_job(0, job, retries=1)
+    assert not outcome.ok
+    assert outcome.attempts == 2
+    assert outcome.failure.error_type == "OSError"
+
+
+def test_runner_trace_travels_across_processes():
+    outcomes = CategoryRunner(workers=2).run(_sweep_jobs(products=30))
+    for outcome in outcomes:
+        assert outcome.trace is not None
+        assert "tagger_train" in outcome.trace.stage_totals()
+
+
+def test_empty_job_list():
+    assert CategoryRunner().run([]) == []
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        CategoryRunner(mode="coroutine")
+
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    assert default_workers(job_count=2) == 2
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    assert default_workers() == 1
+
+
+def test_parallel_map_preserves_order():
+    assert parallel_map(str.upper, ["a", "b", "c"], workers=2) == [
+        "A",
+        "B",
+        "C",
+    ]
+    assert parallel_map(str.upper, [], workers=2) == []
