@@ -1,12 +1,17 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test bench bench-fast bench-runner examples clean
+.PHONY: install test chaos bench bench-fast bench-runner examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Fault-injection suite: kill-and-resume, deadlines, chaos recovery.
+# PYTHONPATH makes the target work from a bare checkout too.
+chaos:
+	PYTHONPATH=src pytest tests/test_chaos.py tests/test_runtime_checkpoint.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -10,7 +10,11 @@ Three subcommands::
         the per-iteration precision/coverage report. A comma-separated
         ``--category`` list sweeps many categories in parallel
         (``--workers``); ``--trace trace.json`` dumps per-stage,
-        per-iteration wall-clock timings.
+        per-iteration wall-clock timings. ``--checkpoint-dir`` makes
+        the run crash-safe (per-iteration snapshots; re-invoke with
+        ``--resume`` to continue a killed run bit-identically), and
+        ``--job-timeout`` bounds each sweep job's wall-clock so a hung
+        category degrades to a structured Timeout failure.
 
     repro-pae experiment --name table1
         Regenerate one of the paper's tables/figures (same runners the
@@ -97,6 +101,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write per-stage, per-iteration wall-clock timings "
         "to this JSON file",
     )
+    run.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write crash-safe per-iteration snapshots here (one "
+        "subdirectory per category in a sweep); a killed run "
+        "re-invoked with --resume continues from the last completed "
+        "iteration",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from snapshots in --checkpoint-dir instead of "
+        "starting over (bit-identical output to an uninterrupted run)",
+    )
+    run.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget in sweeps; a hung category "
+        "becomes a structured Timeout failure instead of a stuck sweep",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -179,7 +200,11 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         trace = PipelineTrace(label=category)
         result = PAEPipeline(config).run(
-            dataset.product_pages, dataset.query_log, trace=trace
+            dataset.product_pages,
+            dataset.query_log,
+            trace=trace,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         _print_category_report(category, dataset, result)
         if args.trace:
@@ -194,15 +219,28 @@ def _run_sweep(
     args: argparse.Namespace,
 ) -> int:
     """Fan a multi-category sweep out over a CategoryRunner."""
+    import os
+
     from .runtime import CategoryRunner, RunnerJob
 
     jobs = [
         RunnerJob.generate(
-            category, args.products, config, data_seed=args.seed
+            category,
+            args.products,
+            config,
+            data_seed=args.seed,
+            checkpoint_dir=(
+                os.path.join(args.checkpoint_dir, category)
+                if args.checkpoint_dir
+                else None
+            ),
+            resume=args.resume,
         )
         for category in categories
     ]
-    runner = CategoryRunner(workers=args.workers)
+    runner = CategoryRunner(
+        workers=args.workers, job_timeout=args.job_timeout
+    )
     outcomes = runner.run(jobs)
     traces: dict[str, dict] = {}
     failures = 0

@@ -184,6 +184,11 @@ class PipelineConfig:
             meaningful with ``tagger="crf"``). A principled version of
             the candidate-scoring idea the paper cites against drift.
         seed: RNG seed for every stochastic component.
+        stage_retries: extra attempts per failed pipeline stage before
+            the failure escalates (optional cleaning stages degrade to
+            a counted skip instead). Stage bodies are pure functions of
+            their inputs, so retries cannot change a successful run's
+            output.
     """
 
     iterations: int = 5
@@ -194,6 +199,7 @@ class PipelineConfig:
     enable_diversification: bool = True
     min_confidence: float = 0.0
     seed: int = 7
+    stage_retries: int = 1
     seed_config: SeedConfig = field(default_factory=SeedConfig)
     veto: VetoConfig = field(default_factory=VetoConfig)
     semantic: SemanticConfig = field(default_factory=SemanticConfig)
@@ -213,6 +219,8 @@ class PipelineConfig:
             )
         if not 0.0 <= self.min_confidence < 1.0:
             raise ConfigError("min_confidence must be in [0, 1)")
+        if self.stage_retries < 0:
+            raise ConfigError("stage_retries must be >= 0")
 
     def without_cleaning(self) -> "PipelineConfig":
         """A copy with both cleaning stages disabled."""

@@ -5,15 +5,27 @@ the unlabeled pool, veto syntactically malformed extractions, filter
 semantic drift, fold the surviving evidence back into the dataset, and
 accumulate the surviving triples. The stopping criterion is a fixed
 iteration count (the paper uses 5).
+
+Resilience: every stage body runs through :meth:`Bootstrapper._stage`,
+which retries a failed stage up to ``config.stage_retries`` times
+(stage bodies are pure functions of their inputs, so a retry of a
+transient fault reproduces the uninterrupted output bit-identically)
+and records ``stage_retry`` / ``fault_injected`` counter events on the
+trace. The optional cleaning stages degrade further: when their retries
+are exhausted the stage is skipped with a ``stage_skip`` counter rather
+than failing the run — cleaning refines output, it is not required for
+one. With a ``checkpoint`` store attached, each completed iteration is
+snapshotted and ``run()`` resumes from the last snapshot instead of
+recomputing finished cycles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..config import PipelineConfig
-from ..errors import TrainingError
+from ..errors import FaultInjectionError, TrainingError
 from ..types import (
     Extraction,
     ProductPage,
@@ -41,6 +53,10 @@ from .preprocess.value_cleaning import QueryLogLike
 from ..runtime.trace import PipelineTrace
 from .tagger import make_tagger
 from .text import PageText, corpus_token_sentences, tokenize_pages
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.checkpoint import CheckpointStore
+    from ..runtime.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -174,6 +190,10 @@ class Bootstrapper:
         pages: Sequence[ProductPage],
         query_log: QueryLogLike,
         trace: PipelineTrace | None = None,
+        *,
+        checkpoint: "CheckpointStore | None" = None,
+        resume: bool = True,
+        faults: "FaultPlan | None" = None,
     ) -> BootstrapResult:
         """Execute seed construction plus N bootstrap cycles.
 
@@ -187,33 +207,39 @@ class Bootstrapper:
             trace: optional per-stage timing sink; a throwaway trace is
                 used when None so the instrumented path is the only
                 path.
+            checkpoint: optional snapshot store; every completed
+                iteration is written to it, and (with ``resume=True``)
+                a run whose directory already holds snapshots continues
+                from the last completed iteration instead of redoing
+                them. The seed phase is recomputed — it is deterministic
+                — and verified against the stored digest.
+            resume: with ``checkpoint``, False discards any existing
+                snapshots and starts over.
+            faults: optional fault-injection plan; its hooks fire at
+                the top of every stage body.
         """
         trace = trace if trace is not None else PipelineTrace()
-        with trace.stage("tokenize") as stage:
-            page_texts = tokenize_pages(pages)
-            stage.add(pages=len(pages))
-        with trace.stage("candidate_discovery") as stage:
-            candidates = discover_candidates(pages)
-            stage.add(candidates=len(candidates))
-        with trace.stage("seed_build") as stage:
-            seed = build_seed(
-                pages,
-                query_log,
-                self.config.seed_config,
-                enable_diversification=self.config.enable_diversification,
-                candidates=candidates,
-            )
-            seed = self._restrict_seed(seed)
-            stage.add(
-                attributes=len(seed.attributes),
-                seed_pairs=len(seed.pairs()),
-            )
-        with trace.stage("training_material") as stage:
-            material = build_training_material(page_texts, seed, candidates)
-            stage.add(
-                labeled_sentences=len(material.labeled),
-                unlabeled_pages=len(material.unlabeled_pages),
-            )
+        pages = list(pages)
+        if faults is not None:
+            pages = self._apply_page_faults(pages, faults, trace)
+        page_texts = self._stage(
+            trace, faults, "tokenize", None,
+            lambda stage: self._tokenize(stage, pages),
+        )
+        candidates = self._stage(
+            trace, faults, "candidate_discovery", None,
+            lambda stage: self._discover(stage, pages),
+        )
+        seed = self._stage(
+            trace, faults, "seed_build", None,
+            lambda stage: self._build_seed(stage, pages, query_log,
+                                           candidates),
+        )
+        material = self._stage(
+            trace, faults, "training_material", None,
+            lambda stage: self._build_material(stage, page_texts, seed,
+                                               candidates),
+        )
 
         attributes = seed.attributes
         seed_triples = frozenset(seed.table_triples | material.text_triples)
@@ -227,7 +253,21 @@ class Bootstrapper:
         dataset: list[TaggedSentence] = list(material.labeled)
         cumulative: set[Triple] = set(seed_triples)
         iterations: list[IterationResult] = []
-        for iteration in range(1, self.config.iterations + 1):
+        start_iteration = 1
+        if checkpoint is not None:
+            restored = self._open_checkpoint(
+                checkpoint, resume, pages, seed_triples, attributes
+            )
+            if restored is not None:
+                iterations = list(restored.results)
+                dataset = restored.dataset
+                cumulative = set(iterations[-1].triples)
+                start_iteration = len(iterations) + 1
+                trace.count(
+                    "checkpoint_resume",
+                    iterations=restored.completed_iterations,
+                )
+        for iteration in range(start_iteration, self.config.iterations + 1):
             result, artifacts = self._iterate(
                 iteration,
                 dataset,
@@ -235,11 +275,20 @@ class Bootstrapper:
                 corpus,
                 cumulative,
                 trace,
+                faults,
             )
             iterations.append(result)
-            with trace.stage("fold_dataset", iteration) as stage:
-                dataset = self._next_dataset(material, artifacts)
-                stage.add(dataset_sentences=len(dataset))
+            dataset = self._stage(
+                trace, faults, "fold_dataset", iteration,
+                lambda stage: self._fold(stage, material, artifacts),
+            )
+            if checkpoint is not None:
+                self._stage(
+                    trace, faults, "checkpoint_write", iteration,
+                    lambda stage: self._snapshot(
+                        stage, checkpoint, result, dataset
+                    ),
+                )
         return BootstrapResult(
             seed=seed,
             material=material,
@@ -247,6 +296,147 @@ class Bootstrapper:
             iterations=tuple(iterations),
             attributes=attributes,
         )
+
+    # -- resilience machinery ------------------------------------------------
+
+    def _stage(
+        self,
+        trace: PipelineTrace,
+        faults: "FaultPlan | None",
+        name: str,
+        iteration: int | None,
+        body: Callable,
+    ):
+        """Run one traced stage body with fault hooks and retries.
+
+        The fault hook fires inside the stage timing context, so
+        injected failures show up in the trace like real ones. Stage
+        bodies are pure functions of their inputs; a retry therefore
+        reproduces exactly what an untroubled first attempt would have
+        produced. Failures beyond ``config.stage_retries`` propagate.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with trace.stage(name, iteration) as stage:
+                    if faults is not None:
+                        faults.fire(name, iteration)
+                    return body(stage)
+            except Exception as error:  # noqa: BLE001 - retried or re-raised
+                if isinstance(error, FaultInjectionError):
+                    trace.count("fault_injected", iteration, **{name: 1})
+                if attempt > self.config.stage_retries:
+                    raise
+                trace.count("stage_retry", iteration, **{name: 1})
+
+    def _optional_stage(
+        self,
+        trace: PipelineTrace,
+        faults: "FaultPlan | None",
+        name: str,
+        iteration: int | None,
+        body: Callable,
+    ):
+        """A stage whose exhausted failure degrades to a counted skip.
+
+        Used for the cleaning stages: they refine output but a run
+        without them is still a valid (if noisier) run — "degrade,
+        don't crash". Returns None when the stage was skipped.
+        """
+        try:
+            return self._stage(trace, faults, name, iteration, body)
+        except Exception:  # noqa: BLE001 - deliberate degradation
+            trace.count("stage_skip", iteration, **{name: 1})
+            return None
+
+    def _apply_page_faults(
+        self,
+        pages: list[ProductPage],
+        faults: "FaultPlan",
+        trace: PipelineTrace,
+    ) -> list[ProductPage]:
+        corrupted_pages = faults.corrupt_pages(pages)
+        corrupted = sum(
+            1
+            for before, after in zip(pages, corrupted_pages)
+            if before.html != after.html
+        )
+        if corrupted:
+            trace.count("pages_corrupted", pages=corrupted)
+        return corrupted_pages
+
+    def _open_checkpoint(
+        self,
+        checkpoint: "CheckpointStore",
+        resume: bool,
+        pages: list[ProductPage],
+        seed_triples: frozenset[Triple],
+        attributes: tuple[str, ...],
+    ):
+        """Validate/create the store; return restore state or None."""
+        from ..runtime.checkpoint import run_fingerprint, seed_digest
+
+        fingerprint = run_fingerprint(
+            pages, self.config, self.attribute_subset
+        )
+        digest = seed_digest(seed_triples, attributes)
+        if resume and checkpoint.has_run():
+            checkpoint.validate(fingerprint, digest)
+            return checkpoint.load_resume_state()
+        checkpoint.begin(fingerprint, digest, self.config.iterations)
+        return None
+
+    # -- stage bodies --------------------------------------------------------
+
+    def _tokenize(self, stage, pages: list[ProductPage]) -> list[PageText]:
+        page_texts = tokenize_pages(pages)
+        stage.add(pages=len(pages))
+        return page_texts
+
+    def _discover(self, stage, pages: list[ProductPage]):
+        candidates = discover_candidates(pages)
+        stage.add(candidates=len(candidates))
+        return candidates
+
+    def _build_seed(
+        self, stage, pages: list[ProductPage], query_log, candidates
+    ) -> Seed:
+        seed = build_seed(
+            pages,
+            query_log,
+            self.config.seed_config,
+            enable_diversification=self.config.enable_diversification,
+            candidates=candidates,
+        )
+        seed = self._restrict_seed(seed)
+        stage.add(
+            attributes=len(seed.attributes),
+            seed_pairs=len(seed.pairs()),
+        )
+        return seed
+
+    def _build_material(
+        self, stage, page_texts, seed: Seed, candidates
+    ) -> TrainingMaterial:
+        material = build_training_material(page_texts, seed, candidates)
+        stage.add(
+            labeled_sentences=len(material.labeled),
+            unlabeled_pages=len(material.unlabeled_pages),
+        )
+        return material
+
+    def _fold(
+        self, stage, material: TrainingMaterial,
+        artifacts: _IterationArtifacts,
+    ) -> list[TaggedSentence]:
+        dataset = self._next_dataset(material, artifacts)
+        stage.add(dataset_sentences=len(dataset))
+        return dataset
+
+    def _snapshot(self, stage, checkpoint, result, dataset) -> None:
+        checkpoint.write_iteration(result, dataset)
+        stage.add(iterations=1)
 
     # -- internals -----------------------------------------------------------
 
@@ -295,58 +485,44 @@ class Bootstrapper:
         corpus: list[list[str]],
         cumulative: set[Triple],
         trace: PipelineTrace,
+        faults: "FaultPlan | None" = None,
     ) -> tuple[IterationResult, _IterationArtifacts]:
         if not dataset:
             raise TrainingError(
                 "seed produced no labelled sentences; the category has "
                 "no usable dictionary tables"
             )
-        model = make_tagger(self.config, iteration)
-        with trace.stage("tagger_train", iteration) as stage:
-            model.train(dataset)
-            stage.add(sentences=len(dataset))
-        with trace.stage("tagger_tag", iteration) as stage:
-            if (
-                self.config.min_confidence > 0.0
-                and hasattr(model, "tag_with_confidence")
-            ):
-                tagged, extractions = self._tag_with_confidence_filter(
-                    model, unlabeled_sentences
-                )
-            else:
-                tagged = model.tag(unlabeled_sentences)
-                extractions = extractions_from_tagged(tagged)
-            stage.add(
-                sentences=len(unlabeled_sentences),
-                extractions=len(extractions),
-            )
+        model = self._stage(
+            trace, faults, "tagger_train", iteration,
+            lambda stage: self._train(stage, iteration, dataset),
+        )
+        tagged, extractions = self._stage(
+            trace, faults, "tagger_tag", iteration,
+            lambda stage: self._tag(stage, model, unlabeled_sentences),
+        )
         candidate_count = len(extractions)
 
         veto_stats: VetoStats | None = None
         if self.config.enable_syntactic_cleaning:
-            with trace.stage("veto", iteration) as stage:
-                extractions, veto_stats = apply_veto(
-                    extractions, self.config.veto
-                )
-                stage.add(
-                    kept=len(extractions),
-                    removed=candidate_count - len(extractions),
-                )
+            vetoed = self._optional_stage(
+                trace, faults, "veto", iteration,
+                lambda stage: self._veto(
+                    stage, extractions, candidate_count
+                ),
+            )
+            if vetoed is not None:
+                extractions, veto_stats = vetoed
 
         semantic_stats: SemanticStats | None = None
         if self.config.enable_semantic_cleaning and extractions:
-            with trace.stage("semantic_clean", iteration) as stage:
-                cleaner = SemanticCleaner(
-                    self.config.semantic,
-                    seed=self.config.seed + iteration,
-                )
-                extractions, semantic_stats = cleaner.clean(
-                    extractions, corpus
-                )
-                stage.add(
-                    kept=len(extractions),
-                    removed=semantic_stats.values_removed,
-                )
+            cleaned = self._optional_stage(
+                trace, faults, "semantic_clean", iteration,
+                lambda stage: self._semantic_clean(
+                    stage, iteration, extractions, corpus
+                ),
+            )
+            if cleaned is not None:
+                extractions, semantic_stats = cleaned
 
         new_triples = frozenset(
             extraction.triple for extraction in extractions
@@ -365,6 +541,55 @@ class Bootstrapper:
             kept_extractions=extractions, tagged=tagged
         )
         return result, artifacts
+
+    def _train(self, stage, iteration: int, dataset: list[TaggedSentence]):
+        # The model is built inside the stage body so a retried stage
+        # trains a fresh, identically-seeded tagger.
+        model = make_tagger(self.config, iteration)
+        model.train(dataset)
+        stage.add(sentences=len(dataset))
+        return model
+
+    def _tag(
+        self, stage, model, unlabeled_sentences: list[Sentence]
+    ) -> tuple[list[TaggedSentence], list[Extraction]]:
+        if (
+            self.config.min_confidence > 0.0
+            and hasattr(model, "tag_with_confidence")
+        ):
+            tagged, extractions = self._tag_with_confidence_filter(
+                model, unlabeled_sentences
+            )
+        else:
+            tagged = model.tag(unlabeled_sentences)
+            extractions = extractions_from_tagged(tagged)
+        stage.add(
+            sentences=len(unlabeled_sentences),
+            extractions=len(extractions),
+        )
+        return tagged, extractions
+
+    def _veto(
+        self, stage, extractions: list[Extraction], candidate_count: int
+    ) -> tuple[list[Extraction], VetoStats]:
+        kept, veto_stats = apply_veto(extractions, self.config.veto)
+        stage.add(kept=len(kept), removed=candidate_count - len(kept))
+        return kept, veto_stats
+
+    def _semantic_clean(
+        self,
+        stage,
+        iteration: int,
+        extractions: list[Extraction],
+        corpus: list[list[str]],
+    ) -> tuple[list[Extraction], SemanticStats]:
+        cleaner = SemanticCleaner(
+            self.config.semantic,
+            seed=self.config.seed + iteration,
+        )
+        kept, semantic_stats = cleaner.clean(extractions, corpus)
+        stage.add(kept=len(kept), removed=semantic_stats.values_removed)
+        return kept, semantic_stats
 
     def _tag_with_confidence_filter(
         self,

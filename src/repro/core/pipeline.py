@@ -15,13 +15,16 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import PipelineConfig
 from ..runtime.trace import PipelineTrace
 from ..types import ProductPage, Triple
 from .bootstrap import BootstrapResult, Bootstrapper
 from .preprocess.value_cleaning import QueryLogLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,31 @@ class PipelineResult:
             return 0.0
         return len(self.triples) / len(covered)
 
+    def resilience_counters(self) -> dict:
+        """Per-stage fault/retry/skip counters observed during the run.
+
+        Returns a dict with four keys: ``"faults"`` (injected faults
+        per stage), ``"retries"`` (stage retries per stage),
+        ``"skips"`` (optional stages degraded to a skip, per stage)
+        and ``"pages_corrupted"`` (pages mangled by a fault plan).
+        All empty/zero for an untroubled run.
+        """
+        if self.trace is None:
+            return {
+                "faults": {},
+                "retries": {},
+                "skips": {},
+                "pages_corrupted": 0,
+            }
+        return {
+            "faults": self.trace.counter_totals("fault_injected"),
+            "retries": self.trace.counter_totals("stage_retry"),
+            "skips": self.trace.counter_totals("stage_skip"),
+            "pages_corrupted": self.trace.counter_totals(
+                "pages_corrupted"
+            ).get("pages", 0),
+        }
+
 
 class PAEPipeline:
     """End-to-end Product Attribute Extraction, as published.
@@ -97,6 +125,9 @@ class PAEPipeline:
         query_log: QueryLogLike,
         *,
         trace: PipelineTrace | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        faults: "FaultPlan | None" = None,
     ) -> PipelineResult:
         """Extract attribute-value triples from product pages.
 
@@ -112,13 +143,36 @@ class PAEPipeline:
             trace: optional stage-timing sink; a fresh
                 :class:`PipelineTrace` is created when omitted and
                 surfaced on the result either way.
+            checkpoint_dir: optional directory for crash-safe
+                per-iteration snapshots. A run killed at any point can
+                be re-invoked with the same arguments and resumes from
+                the last completed iteration, producing bit-identical
+                ``final_triples`` to an uninterrupted run.
+            resume: with ``checkpoint_dir``, False discards existing
+                snapshots and starts over instead of resuming.
+            faults: optional
+                :class:`~repro.runtime.faults.FaultPlan` injecting
+                deterministic faults at named pipeline stages (chaos
+                testing).
 
         Returns:
             A :class:`PipelineResult`.
         """
         trace = trace if trace is not None else PipelineTrace()
+        checkpoint = None
+        if checkpoint_dir is not None:
+            from ..runtime.checkpoint import CheckpointStore
+
+            checkpoint = CheckpointStore(checkpoint_dir)
         bootstrapper = Bootstrapper(self.config, self.attribute_subset)
-        bootstrap = bootstrapper.run(pages, query_log, trace=trace)
+        bootstrap = bootstrapper.run(
+            pages,
+            query_log,
+            trace=trace,
+            checkpoint=checkpoint,
+            resume=resume,
+            faults=faults,
+        )
         return PipelineResult(
             bootstrap=bootstrap,
             product_count=len(pages),

@@ -65,6 +65,52 @@ class EmbeddingError(ReproError):
     """The word2vec subsystem was misused (e.g. empty corpus)."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint directory is missing, corrupt, or from another run.
+
+    Raised when resuming from snapshots that fail integrity checks
+    (truncated/garbled JSON, checksum mismatch) or whose fingerprint
+    does not match the pages/config being resumed.
+    """
+
+
+class JobTimeoutError(ReproError):
+    """A runner job exceeded its wall-clock budget.
+
+    Attributes:
+        job_name: the job that blew its deadline.
+        budget_seconds: the configured per-job budget.
+    """
+
+    def __init__(self, job_name: str, budget_seconds: float):
+        self.job_name = job_name
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            f"job {job_name!r} exceeded its {budget_seconds:g}s "
+            "wall-clock budget"
+        )
+
+
+class FaultInjectionError(ReproError):
+    """An exception deliberately raised by the fault-injection harness.
+
+    Attributes:
+        stage: pipeline stage the fault fired at.
+        iteration: bootstrap cycle (None for seed-phase stages).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        iteration: int | None = None,
+        message: str = "injected fault",
+    ):
+        self.stage = stage
+        self.iteration = iteration
+        where = stage if iteration is None else f"{stage}@{iteration}"
+        super().__init__(f"{message} [{where}]")
+
+
 class EvaluationError(ReproError):
     """An evaluation was requested against an incompatible truth sample."""
 

@@ -8,6 +8,10 @@ Public surface:
   specs and structured results of a sweep (``jobs.py``).
 * :class:`CategoryRunner` / :func:`default_workers` — the
   ``concurrent.futures``-backed fan-out engine (``runner.py``).
+* :class:`CheckpointStore` / :class:`ResumeState` — crash-safe
+  per-iteration bootstrap snapshots and resume (``checkpoint.py``).
+* :class:`FaultPlan` / :class:`FaultSpec` — deterministic fault
+  injection at named pipeline stages (``faults.py``).
 
 Only the trace types are imported eagerly: ``repro.core.bootstrap``
 instruments itself with :class:`PipelineTrace`, while the runner
@@ -25,9 +29,16 @@ _LAZY = {
     "JobOutcome": "jobs",
     "JobFailure": "jobs",
     "execute_job": "jobs",
+    "retry_backoff": "jobs",
     "CategoryRunner": "runner",
     "parallel_map": "runner",
     "default_workers": "runner",
+    "CheckpointStore": "checkpoint",
+    "ResumeState": "checkpoint",
+    "run_fingerprint": "checkpoint",
+    "seed_digest": "checkpoint",
+    "FaultPlan": "faults",
+    "FaultSpec": "faults",
 }
 
 __all__ = [
@@ -37,9 +48,16 @@ __all__ = [
     "JobOutcome",
     "JobFailure",
     "execute_job",
+    "retry_backoff",
     "CategoryRunner",
     "parallel_map",
     "default_workers",
+    "CheckpointStore",
+    "ResumeState",
+    "run_fingerprint",
+    "seed_digest",
+    "FaultPlan",
+    "FaultSpec",
 ]
 
 

@@ -1,0 +1,389 @@
+"""Crash-safe bootstrap checkpoints: per-iteration snapshots + resume.
+
+A field deployment runs the bootstrap loop over millions of pages per
+category; a sweep killed at iteration 4 of 5 must not redo days of
+tagger training. :class:`CheckpointStore` persists everything the loop
+needs to continue — the per-iteration records and the folded training
+dataset — as one JSON snapshot per completed iteration, in the same
+pickle-free spirit as :mod:`repro.ml.persistence` (``meta.json`` for
+run identity, plain JSON for state; no arbitrary code execution on
+load).
+
+Layout of a checkpoint directory::
+
+    meta.json            # format version, run fingerprint, seed digest
+    iteration_0001.json  # IterationResult + folded dataset, checksummed
+    iteration_0002.json
+    ...
+
+Guarantees:
+
+* **Atomicity** — snapshots are written to a temp file and
+  ``os.replace``d into place, so a crash mid-write never leaves a
+  half-snapshot under the final name.
+* **Integrity** — every snapshot embeds a SHA-256 checksum of its
+  payload; truncated or hand-edited files raise
+  :class:`~repro.errors.CheckpointError` instead of silently resuming
+  from garbage.
+* **Identity** — ``meta.json`` records a fingerprint of the pages,
+  configuration and attribute subset, plus a digest of the recomputed
+  seed state; resuming against different inputs raises
+  :class:`CheckpointError` rather than splicing two unrelated runs.
+
+The seed phase itself is *not* snapshotted: it is deterministic and
+cheap relative to tagger training, so resume recomputes it and verifies
+the digest matches — which also catches a changed query log that the
+page fingerprint alone cannot see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..config import PipelineConfig
+from ..errors import CheckpointError
+from ..types import ProductPage, Sentence, TaggedSentence, Token, Triple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.bootstrap import IterationResult
+
+_FORMAT_VERSION = 1
+_SNAPSHOT_PATTERN = re.compile(r"^iteration_(\d{4})\.json$")
+
+
+# -- fingerprints -------------------------------------------------------
+
+
+def run_fingerprint(
+    pages: Sequence[ProductPage],
+    config: PipelineConfig,
+    attribute_subset: Sequence[str] | None = None,
+) -> str:
+    """A stable digest of everything that determines a run's output.
+
+    Covers the full configuration (including iteration count and every
+    nested sub-config), the attribute subset, and each page's identity
+    and HTML. Two calls with equal inputs always agree; any drift in
+    pages or config changes the digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(asdict(config), sort_keys=True).encode("utf-8")
+    )
+    subset = (
+        sorted(attribute_subset) if attribute_subset is not None else None
+    )
+    digest.update(json.dumps(subset).encode("utf-8"))
+    for page in pages:
+        for part in (page.product_id, page.category, page.locale, page.html):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def seed_digest(
+    seed_triples: frozenset[Triple], attributes: Sequence[str]
+) -> str:
+    """Digest of the recomputed seed-phase output (triples + schema)."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(sorted(attributes)).encode("utf-8"))
+    rows = sorted(
+        (t.product_id, t.attribute, t.value) for t in seed_triples
+    )
+    digest.update(json.dumps(rows, ensure_ascii=False).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- serialization helpers ----------------------------------------------
+
+
+def _triples_to_json(triples) -> list[list[str]]:
+    return sorted(
+        [t.product_id, t.attribute, t.value] for t in triples
+    )
+
+
+def _triples_from_json(rows) -> frozenset[Triple]:
+    return frozenset(Triple(*row) for row in rows)
+
+
+def _tagged_to_json(tagged: TaggedSentence) -> dict:
+    return {
+        "product_id": tagged.sentence.product_id,
+        "index": tagged.sentence.index,
+        "tokens": [
+            [token.text, token.pos] for token in tagged.sentence.tokens
+        ],
+        "labels": list(tagged.labels),
+    }
+
+
+def _tagged_from_json(record: dict) -> TaggedSentence:
+    sentence = Sentence(
+        product_id=record["product_id"],
+        index=record["index"],
+        tokens=tuple(Token(text, pos) for text, pos in record["tokens"]),
+    )
+    return TaggedSentence(sentence, tuple(record["labels"]))
+
+
+def _result_to_json(result: "IterationResult") -> dict:
+    return {
+        "iteration": result.iteration,
+        "triples": _triples_to_json(result.triples),
+        "new_triples": _triples_to_json(result.new_triples),
+        "candidate_extractions": result.candidate_extractions,
+        "veto_stats": (
+            None if result.veto_stats is None else asdict(result.veto_stats)
+        ),
+        "semantic_stats": (
+            None
+            if result.semantic_stats is None
+            else {
+                "attributes_cleaned": result.semantic_stats.attributes_cleaned,
+                "values_scored": result.semantic_stats.values_scored,
+                "values_removed": result.semantic_stats.values_removed,
+                "removed_by_attribute": {
+                    attribute: list(values)
+                    for attribute, values in (
+                        result.semantic_stats.removed_by_attribute.items()
+                    )
+                },
+            }
+        ),
+        "dataset_sentences": result.dataset_sentences,
+    }
+
+
+def _result_from_json(record: dict) -> "IterationResult":
+    from ..core.bootstrap import IterationResult
+    from ..core.cleaning import SemanticStats, VetoStats
+
+    veto = record["veto_stats"]
+    semantic = record["semantic_stats"]
+    return IterationResult(
+        iteration=record["iteration"],
+        triples=_triples_from_json(record["triples"]),
+        new_triples=_triples_from_json(record["new_triples"]),
+        candidate_extractions=record["candidate_extractions"],
+        veto_stats=None if veto is None else VetoStats(**veto),
+        semantic_stats=(
+            None
+            if semantic is None
+            else SemanticStats(
+                attributes_cleaned=semantic["attributes_cleaned"],
+                values_scored=semantic["values_scored"],
+                values_removed=semantic["values_removed"],
+                removed_by_attribute={
+                    attribute: tuple(values)
+                    for attribute, values in (
+                        semantic["removed_by_attribute"].items()
+                    )
+                },
+            )
+        ),
+        dataset_sentences=record["dataset_sentences"],
+    )
+
+
+def _checksum(body: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True, ensure_ascii=False).encode("utf-8")
+    ).hexdigest()
+
+
+# -- the store ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """What the bootstrap loop needs to continue a checkpointed run.
+
+    Attributes:
+        results: per-iteration records of every completed cycle, in
+            order (``results[-1].iteration`` is the resume point).
+        dataset: the folded training dataset feeding the next cycle.
+    """
+
+    results: tuple["IterationResult", ...]
+    dataset: list[TaggedSentence]
+
+    @property
+    def completed_iterations(self) -> int:
+        return len(self.results)
+
+
+class CheckpointStore:
+    """Reads and writes one run's checkpoint directory.
+
+    Args:
+        directory: checkpoint root for exactly one (pages, config) run;
+            created on first write.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = pathlib.Path(directory)
+
+    # -- writing --------------------------------------------------------
+
+    def _write_json(self, name: str, payload: dict) -> None:
+        """Atomically write one JSON document into the directory."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.directory / name
+        temp = self.directory / f".{name}.tmp"
+        temp.write_text(
+            json.dumps(payload, ensure_ascii=False, indent=1),
+            encoding="utf-8",
+        )
+        os.replace(temp, final)
+
+    def begin(
+        self, fingerprint: str, digest: str, iterations: int
+    ) -> None:
+        """Start (or restart) a checkpointed run: wipe stale snapshots.
+
+        Any snapshot from a previous run in this directory is deleted —
+        a fresh run must never splice in old iterations — and a new
+        ``meta.json`` records the run identity.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for path in self._snapshot_paths():
+            path.unlink()
+        self._write_json(
+            "meta.json",
+            {
+                "format_version": _FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "seed_digest": digest,
+                "iterations_target": iterations,
+            },
+        )
+
+    def write_iteration(
+        self, result: "IterationResult", dataset: Sequence[TaggedSentence]
+    ) -> None:
+        """Snapshot one completed iteration and its folded dataset."""
+        body = {
+            "iteration": result.iteration,
+            "result": _result_to_json(result),
+            "dataset": [_tagged_to_json(tagged) for tagged in dataset],
+        }
+        payload = dict(
+            body,
+            format_version=_FORMAT_VERSION,
+            checksum=_checksum(body),
+        )
+        self._write_json(f"iteration_{result.iteration:04d}.json", payload)
+
+    # -- reading --------------------------------------------------------
+
+    def has_run(self) -> bool:
+        """True when this directory holds a started checkpointed run."""
+        return (self.directory / "meta.json").exists()
+
+    def _snapshot_paths(self) -> list[pathlib.Path]:
+        if not self.directory.exists():
+            return []
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if _SNAPSHOT_PATTERN.match(path.name)
+        )
+
+    def _load_json(self, path: pathlib.Path) -> dict:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: not a JSON object"
+            )
+        return payload
+
+    def load_meta(self) -> dict:
+        """Read and validate ``meta.json``."""
+        path = self.directory / "meta.json"
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint run at {self.directory}")
+        meta = self._load_json(path)
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                "unsupported checkpoint format "
+                f"{meta.get('format_version')!r} at {path}"
+            )
+        return meta
+
+    def validate(
+        self, fingerprint: str, digest: str
+    ) -> None:
+        """Check the stored run identity against a resume attempt."""
+        meta = self.load_meta()
+        if meta.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint at {self.directory} belongs to a different "
+                "run (pages/config fingerprint mismatch); pass "
+                "resume=False to restart"
+            )
+        if meta.get("seed_digest") != digest:
+            raise CheckpointError(
+                f"checkpoint at {self.directory} was built from a "
+                "different seed state (query log or seed inputs "
+                "changed); pass resume=False to restart"
+            )
+
+    def _load_snapshot(self, path: pathlib.Path) -> dict:
+        payload = self._load_json(path)
+        try:
+            body = {
+                "iteration": payload["iteration"],
+                "result": payload["result"],
+                "dataset": payload["dataset"],
+            }
+            stored = payload["checksum"]
+        except KeyError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: missing {error}"
+            ) from error
+        if _checksum(body) != stored:
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: checksum mismatch"
+            )
+        return body
+
+    def load_resume_state(self) -> ResumeState | None:
+        """Rebuild the loop state from the last completed iteration.
+
+        Returns None when the run has no completed iterations yet.
+        Snapshots must be contiguous from iteration 1; a gap means the
+        directory was tampered with and raises
+        :class:`CheckpointError`.
+        """
+        paths = self._snapshot_paths()
+        if not paths:
+            return None
+        results = []
+        last_body: dict | None = None
+        for expected, path in enumerate(paths, start=1):
+            body = self._load_snapshot(path)
+            if body["iteration"] != expected:
+                raise CheckpointError(
+                    f"checkpoint at {self.directory} is missing "
+                    f"iteration {expected} (found {body['iteration']} "
+                    f"in {path.name})"
+                )
+            results.append(_result_from_json(body["result"]))
+            last_body = body
+        assert last_body is not None
+        dataset = [
+            _tagged_from_json(record) for record in last_body["dataset"]
+        ]
+        return ResumeState(results=tuple(results), dataset=dataset)

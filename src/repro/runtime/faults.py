@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the bootstrap pipeline.
+
+Production sweeps die from worker crashes, hung stages and hostile
+merchant HTML. Rather than hoping the recovery paths work, this module
+makes failure reproducible: a :class:`FaultPlan` is a seedable schedule
+of faults — exceptions, delays, corrupted pages — attached to *named
+pipeline stages* (the same names :class:`~repro.runtime.trace.
+PipelineTrace` records: ``"tokenize"``, ``"seed_build"``,
+``"tagger_train"``, ``"semantic_clean"``, …). The bootstrap loop calls
+:meth:`FaultPlan.fire` at the top of every stage body, so a plan can
+kill any stage of any iteration on demand::
+
+    plan = FaultPlan(
+        [FaultSpec(stage="tagger_tag", iteration=2, times=1)], seed=3
+    )
+    result = PAEPipeline(config).run(pages, query_log, faults=plan)
+
+Determinism is the point: every stochastic choice (probabilistic
+injection, which pages to corrupt) flows from ``random.Random(seed)``,
+so a chaos test that fails replays bit-identically. Plans also count
+what they injected (:attr:`FaultPlan.injected`), letting tests assert
+"exactly one fault fired and the retry path absorbed it".
+
+Fault kinds:
+
+* ``"error"`` — raise :class:`~repro.errors.FaultInjectionError` at the
+  stage. With ``times=1`` the stage-level retry in the bootstrap loop
+  recovers and output is bit-identical to a fault-free run; unlimited
+  ``times`` exercises the degradation paths (skip for optional cleaning
+  stages, structured :class:`JobFailure` for mandatory ones).
+* ``"delay"`` — sleep ``delay_seconds`` inside the stage; combined with
+  job deadlines this turns a hung worker into a ``Timeout`` failure.
+* ``"corrupt_pages"`` — mangle a deterministic fraction of page HTML
+  before tokenization (truncated markup plus tag soup), exercising the
+  hostile-input tolerance of the HTML substrate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigError, FaultInjectionError
+from ..types import ProductPage
+
+_KINDS = ("error", "delay", "corrupt_pages")
+
+#: Appended to a corrupted page's truncated HTML — the same tag soup
+#: the failure-injection tests use for hostile-input coverage.
+_GARBAGE = "<<<<>>>>&&&&<table><tr><td>x</script>"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        stage: pipeline stage name the fault targets (``"corpus"`` for
+            ``corrupt_pages``, which fires before tokenization).
+        kind: ``"error"``, ``"delay"`` or ``"corrupt_pages"``.
+        iteration: restrict to one bootstrap cycle (None matches every
+            occurrence of the stage, including the seed phase).
+        times: maximum number of injections; None means unlimited.
+        probability: per-opportunity injection chance, drawn from the
+            plan's seeded RNG (1.0 fires every time).
+        delay_seconds: sleep length for ``"delay"`` faults.
+        corrupt_fraction: share of pages mangled by ``"corrupt_pages"``.
+        message: carried into the raised :class:`FaultInjectionError`.
+    """
+
+    stage: str
+    kind: str = "error"
+    iteration: int | None = None
+    times: int | None = 1
+    probability: float = 1.0
+    delay_seconds: float = 0.0
+    corrupt_fraction: float = 0.25
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError("probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ConfigError("times must be >= 1 (or None for unlimited)")
+        if self.delay_seconds < 0:
+            raise ConfigError("delay_seconds must be >= 0")
+        if not 0.0 <= self.corrupt_fraction <= 1.0:
+            raise ConfigError("corrupt_fraction must be in [0, 1]")
+
+
+class FaultPlan:
+    """A seeded, counting schedule of pipeline faults.
+
+    Args:
+        specs: the faults to inject.
+        seed: RNG seed; two plans with equal specs and seed make
+            identical injection decisions given the same stage
+            sequence.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._fired: list[int] = [0] * len(self.specs)
+        #: ``{(stage, kind): count}`` of faults actually injected.
+        self.injected: dict[tuple[str, str], int] = {}
+
+    def _matches(
+        self, spec: FaultSpec, index: int, stage: str, iteration: int | None
+    ) -> bool:
+        if spec.stage != stage:
+            return False
+        if spec.iteration is not None and spec.iteration != iteration:
+            return False
+        if spec.times is not None and self._fired[index] >= spec.times:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _record(self, spec: FaultSpec, index: int) -> None:
+        self._fired[index] += 1
+        key = (spec.stage, spec.kind)
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    def fire(self, stage: str, iteration: int | None = None) -> None:
+        """Inject any due error/delay fault at a stage boundary.
+
+        Called by the bootstrap loop at the top of every stage body.
+        Delays sleep inline; errors raise
+        :class:`~repro.errors.FaultInjectionError` (the stage-retry
+        machinery then treats the fault like any real stage failure).
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.kind == "corrupt_pages":
+                continue
+            if not self._matches(spec, index, stage, iteration):
+                continue
+            self._record(spec, index)
+            if spec.kind == "delay":
+                time.sleep(spec.delay_seconds)
+            else:
+                raise FaultInjectionError(stage, iteration, spec.message)
+
+    def corrupt_pages(
+        self, pages: Sequence[ProductPage]
+    ) -> list[ProductPage]:
+        """Mangle a deterministic subset of pages per corrupt specs.
+
+        Fires for every ``"corrupt_pages"`` spec whose stage is
+        ``"corpus"`` (the pre-tokenization hook). Corruption truncates
+        the HTML and appends unbalanced tag soup; product ids survive so
+        downstream assertions can still attribute output.
+        """
+        pages = list(pages)
+        victims: set[int] = set()
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "corrupt_pages":
+                continue
+            if not self._matches(spec, index, "corpus", None):
+                continue
+            count = round(len(pages) * spec.corrupt_fraction)
+            if count <= 0:
+                continue
+            self._record(spec, index)
+            victims.update(
+                self._rng.sample(range(len(pages)), min(count, len(pages)))
+            )
+        for index in sorted(victims):
+            page = pages[index]
+            pages[index] = ProductPage(
+                product_id=page.product_id,
+                category=page.category,
+                html=page.html[: len(page.html) // 3] + _GARBAGE,
+                locale=page.locale,
+            )
+        if victims:
+            self.injected[("corpus", "pages")] = len(victims)
+        return pages
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far, across all specs."""
+        return sum(self.injected.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(specs={len(self.specs)}, seed={self.seed}, "
+            f"injected={self.total_injected})"
+        )

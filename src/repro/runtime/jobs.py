@@ -10,16 +10,23 @@ strings cross the process boundary instead of a pickled page corpus.
 into worker processes) that runs one job with bounded retries and
 converts any exception into a structured :class:`JobFailure` instead of
 letting it propagate — a failed category must never crash the sweep.
+Between attempts it backs off exponentially with *deterministic*
+jitter (a CRC of the job name and attempt number, not wall-clock
+entropy), so retry schedules are reproducible run-to-run while distinct
+jobs still decorrelate. An optional in-worker ``timeout`` stops the
+retry loop from starting attempts past the job's wall-clock budget.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
+import zlib
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..config import PipelineConfig
+from ..errors import JobTimeoutError
 from ..types import ProductPage
 from .trace import PipelineTrace
 
@@ -41,6 +48,17 @@ class RunnerJob:
     category: str | None = None
     products: int | None = None
     data_seed: int = 7
+    #: Optional per-job checkpoint directory: the worker snapshots each
+    #: completed bootstrap iteration there, so a retried (or re-run)
+    #: job resumes instead of recomputing finished cycles.
+    checkpoint_dir: str | None = None
+    resume: bool = True
+    #: Optional :class:`~repro.runtime.faults.FaultPlan` injected into
+    #: the worker's pipeline run (chaos testing). The plan's exhaustion
+    #: state is shared across this job's in-worker retry attempts, so a
+    #: ``times``-bounded fault hit on attempt 1 is absent on attempt 2
+    #: — exactly how a transient production fault behaves.
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         has_dataset = self.pages is not None
@@ -85,6 +103,8 @@ class RunnerJob:
         data_seed: int = 7,
         attribute_subset: Sequence[str] | None = None,
         name: str | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
     ) -> "RunnerJob":
         """A job whose dataset the worker generates from a spec."""
         return cls(
@@ -98,6 +118,8 @@ class RunnerJob:
             category=category,
             products=products,
             data_seed=data_seed,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
 
     def materialize(self) -> tuple[tuple[ProductPage, ...], object]:
@@ -153,8 +175,34 @@ class JobOutcome:
         return None if self.result is None else self.result.trace
 
 
+def retry_backoff(
+    job_name: str,
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+) -> float:
+    """Backoff before retry number ``attempt`` (1-based), in seconds.
+
+    Exponential in the attempt number, capped, with deterministic
+    jitter in ``[0.5, 1.0)`` of the raw delay derived from a CRC of
+    ``(job_name, attempt)`` — the schedule is reproducible for a given
+    job yet decorrelated across jobs, so a sweep's retries do not
+    stampede in lockstep.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(cap, base * (2.0 ** (attempt - 1)))
+    seed = zlib.crc32(f"{job_name}:{attempt}".encode("utf-8"))
+    jitter = 0.5 + 0.5 * ((seed % 10_000) / 10_000.0)
+    return raw * jitter
+
+
 def execute_job(
-    index: int, job: RunnerJob, retries: int = 1
+    index: int,
+    job: RunnerJob,
+    retries: int = 1,
+    timeout: float | None = None,
+    backoff_base: float = 0.05,
 ) -> JobOutcome:
     """Run one job, retrying on failure, never raising.
 
@@ -163,6 +211,14 @@ def execute_job(
             ordering).
         job: the job spec.
         retries: extra attempts after the first failure.
+        timeout: in-worker wall-clock budget across all attempts; once
+            elapsed, no further attempt (or backoff sleep) starts and
+            the outcome records a structured ``Timeout`` failure. The
+            budget cannot interrupt a stuck attempt mid-flight — that
+            is the runner's pool-level deadline's job.
+        backoff_base: first-retry backoff in seconds (doubles per
+            retry, deterministic jitter; see :func:`retry_backoff`).
+            ``0`` disables backoff.
 
     Returns:
         A :class:`JobOutcome` carrying either the
@@ -175,12 +231,49 @@ def execute_job(
     start = time.perf_counter()
     last_failure: JobFailure | None = None
     while attempts <= retries:
+        elapsed = time.perf_counter() - start
+        if timeout is not None and attempts > 0 and elapsed >= timeout:
+            error = JobTimeoutError(job.name, timeout)
+            last_failure = JobFailure(
+                job_name=job.name,
+                error_type="Timeout",
+                message=(
+                    f"{error}; gave up after {attempts} attempt(s), "
+                    f"last error: {last_failure.error_type}: "
+                    f"{last_failure.message}"
+                    if last_failure is not None
+                    else str(error)
+                ),
+                traceback=(
+                    last_failure.traceback
+                    if last_failure is not None
+                    else ""
+                ),
+                attempts=attempts,
+            )
+            break
+        if attempts > 0 and backoff_base > 0:
+            delay = retry_backoff(job.name, attempts, base=backoff_base)
+            if timeout is not None:
+                delay = min(delay, max(0.0, timeout - elapsed))
+            if delay > 0:
+                time.sleep(delay)
         attempts += 1
         try:
             pages, query_log = job.materialize()
             pipeline = PAEPipeline(job.config, job.attribute_subset)
             trace = PipelineTrace(label=job.name)
-            result = pipeline.run(pages, query_log, trace=trace)
+            result = pipeline.run(
+                pages,
+                query_log,
+                trace=trace,
+                checkpoint_dir=job.checkpoint_dir,
+                # Only the first attempt honours resume=False: once this
+                # invocation has begun a fresh checkpointed run, its own
+                # retries must resume it, not wipe it again.
+                resume=job.resume or attempts > 1,
+                faults=job.faults,
+            )
             return JobOutcome(
                 index=index,
                 job_name=job.name,

@@ -19,10 +19,15 @@ Three execution modes:
   minus the executor.
 
 Failure semantics: ``execute_job`` converts in-job exceptions into
-:class:`JobFailure` records after bounded retries; the runner
+:class:`JobFailure` records after bounded retries (with exponential,
+deterministically-jittered backoff between attempts); the runner
 additionally catches pool-level faults (a worker killed by the OOM
 killer, unpicklable results) and, rather than crashing the sweep,
-retries the affected job inline before recording a failure.
+retries the affected job inline before recording a failure. A
+``job_timeout`` turns a hung worker into a structured
+``JobFailure(error_type="Timeout")`` instead of a stuck sweep: the
+runner stops waiting for that job's future, records the deadline miss,
+and abandons the pool without blocking on the wedged worker.
 """
 
 from __future__ import annotations
@@ -33,8 +38,10 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Sequence
 
+from ..errors import ConfigError, JobTimeoutError
 from .jobs import JobFailure, JobOutcome, RunnerJob, execute_job
 
 _MODES = ("process", "thread", "serial")
@@ -44,11 +51,23 @@ def default_workers(job_count: int | None = None) -> int:
     """A sensible worker count: CPUs visible to this process, capped.
 
     Honours the ``REPRO_WORKERS`` environment variable when set;
-    ``REPRO_WORKERS=0`` (or 1) forces serial execution.
+    ``REPRO_WORKERS=0`` (or 1) forces serial execution. A value that is
+    not an integer raises :class:`~repro.errors.ConfigError` naming the
+    offending value.
     """
     env = os.environ.get("REPRO_WORKERS")
     if env is not None:
-        workers = max(1, int(env)) if env.strip() else 1
+        text = env.strip()
+        if not text:
+            workers = 1
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+            workers = max(1, value)
     else:
         try:
             cpus = len(os.sched_getaffinity(0))
@@ -66,8 +85,12 @@ def parallel_map(function, items, workers: int | None = None) -> list:
     For fan-outs that are not full pipeline runs (seed-only sweeps,
     dataset generation). ``function`` and every item must be picklable;
     ``workers <= 1`` (the single-CPU default) runs inline. Any
-    pool-level fault degrades to inline execution of the remaining
-    items instead of crashing.
+    pool-level fault degrades to inline execution of the affected items
+    instead of crashing. A *deterministic* per-item error — one the
+    guarded inline retry reproduces — is the item's own failure, not
+    the pool's: it re-raises with its original type and traceback,
+    exactly as the serial path would, never wrapped in (or mistaken
+    for) a pool fault.
     """
     items = list(items)
     if not items:
@@ -80,6 +103,7 @@ def parallel_map(function, items, workers: int | None = None) -> list:
     if workers <= 1:
         return [function(item) for item in items]
     results: list = [None] * len(items)
+    item_error: Exception | None = None
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
@@ -90,9 +114,23 @@ def parallel_map(function, items, workers: int | None = None) -> list:
                 try:
                     results[index] = future.result()
                 except Exception:  # noqa: BLE001 - degrade, don't crash
-                    results[index] = function(items[index])
+                    try:
+                        results[index] = function(items[index])
+                    except Exception as error:  # noqa: BLE001
+                        # The item itself is broken: cancel what has
+                        # not started and surface the item's error
+                        # (consistently with the serial path) below,
+                        # outside the pool shutdown.
+                        item_error = error
+                        for _, pending in futures:
+                            pending.cancel()
+                        break
     except OSError:
-        return [function(item) for item in items]
+        # Pool construction/submission failed: degrade to serial.
+        if item_error is None:
+            return [function(item) for item in items]
+    if item_error is not None:
+        raise item_error
     return results
 
 
@@ -104,6 +142,16 @@ class CategoryRunner:
             at ``run()`` time. ``<= 1`` runs serially inline.
         mode: ``"process"``, ``"thread"`` or ``"serial"``.
         retries: extra in-worker attempts per failed job.
+        job_timeout: per-job wall-clock budget in seconds. The budget
+            is enforced twice: inside the worker (no new attempt starts
+            past it) and at collection (a worker that never answers
+            within the budget is written off as a ``Timeout`` failure
+            and the pool is abandoned without joining the hung worker).
+            None disables deadlines.
+        backoff_base: first-retry backoff in seconds for in-worker
+            retries (exponential growth, deterministic jitter; see
+            :func:`~repro.runtime.jobs.retry_backoff`). ``0`` disables
+            backoff.
     """
 
     def __init__(
@@ -112,14 +160,34 @@ class CategoryRunner:
         *,
         mode: str = "process",
         retries: int = 1,
+        job_timeout: float | None = None,
+        backoff_base: float = 0.05,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0 (or None)")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
         self.workers = workers
         self.mode = mode
         self.retries = retries
+        self.job_timeout = job_timeout
+        self.backoff_base = backoff_base
+
+    def _execute_serial(self, jobs: list[RunnerJob]) -> list[JobOutcome]:
+        return [
+            execute_job(
+                index,
+                job,
+                self.retries,
+                timeout=self.job_timeout,
+                backoff_base=self.backoff_base,
+            )
+            for index, job in enumerate(jobs)
+        ]
 
     def run(self, jobs: Sequence[RunnerJob]) -> list[JobOutcome]:
         """Execute every job; outcomes come back in submission order."""
@@ -132,31 +200,46 @@ class CategoryRunner:
             else min(self.workers, len(jobs))
         )
         if self.mode == "serial" or workers <= 1:
-            return [
-                execute_job(index, job, self.retries)
-                for index, job in enumerate(jobs)
-            ]
+            return self._execute_serial(jobs)
         executor_type = (
             ProcessPoolExecutor
             if self.mode == "process"
             else ThreadPoolExecutor
         )
-        outcomes: list[JobOutcome | None] = [None] * len(jobs)
         try:
-            with executor_type(max_workers=workers) as pool:
-                futures: list[tuple[int, Future]] = [
-                    (index, pool.submit(execute_job, index, job, self.retries))
-                    for index, job in enumerate(jobs)
-                ]
-                for index, future in futures:
-                    outcomes[index] = self._collect(index, jobs[index], future)
+            pool = executor_type(max_workers=workers)
         except OSError:
             # Pool construction itself failed (fork refused, fd
             # exhaustion): degrade to serial rather than crash.
-            return [
-                execute_job(index, job, self.retries)
-                for index, job in enumerate(jobs)
-            ]
+            return self._execute_serial(jobs)
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        futures: list[tuple[int, Future]] = []
+        try:
+            try:
+                futures = [
+                    (
+                        index,
+                        pool.submit(
+                            execute_job,
+                            index,
+                            job,
+                            self.retries,
+                            timeout=self.job_timeout,
+                            backoff_base=self.backoff_base,
+                        ),
+                    )
+                    for index, job in enumerate(jobs)
+                ]
+            except OSError:
+                return self._execute_serial(jobs)
+            for index, future in futures:
+                outcomes[index] = self._collect(index, jobs[index], future)
+        finally:
+            # A worker that blew its deadline may be wedged for good;
+            # joining it would wedge the sweep too, so only wait for
+            # the pool when every future actually completed.
+            completed = all(future.done() for _, future in futures)
+            pool.shutdown(wait=completed, cancel_futures=True)
         return [outcome for outcome in outcomes if outcome is not None]
 
     # -- internals -----------------------------------------------------------
@@ -164,24 +247,64 @@ class CategoryRunner:
     def _collect(
         self, index: int, job: RunnerJob, future: Future
     ) -> JobOutcome:
-        """Resolve one future; pool-level faults fall back inline."""
+        """Resolve one future; pool faults fall back inline.
+
+        With a ``job_timeout``, waits at most that long for the
+        worker's answer; a deadline miss becomes a structured
+        ``Timeout`` failure (no inline retry — the job is presumed
+        hung, and rerunning a hung job inline would hang the sweep).
+        """
         try:
-            return future.result()
-        except Exception as error:  # noqa: BLE001 - degrade, don't crash
-            inline = execute_job(index, job, retries=0)
-            if inline.ok:
-                return inline
+            return future.result(timeout=self.job_timeout)
+        except FutureTimeoutError:
+            assert self.job_timeout is not None
+            error = JobTimeoutError(job.name, self.job_timeout)
             return JobOutcome(
                 index=index,
                 job_name=job.name,
                 result=None,
                 failure=JobFailure(
                     job_name=job.name,
-                    error_type=type(error).__name__,
-                    message=f"worker pool fault: {error}",
+                    error_type="Timeout",
+                    message=str(error),
                     traceback="",
                     attempts=1,
                 ),
-                seconds=inline.seconds,
+                seconds=self.job_timeout,
                 attempts=1,
+            )
+        except Exception as error:  # noqa: BLE001 - degrade, don't crash
+            inline = execute_job(
+                index,
+                job,
+                retries=0,
+                timeout=self.job_timeout,
+                backoff_base=self.backoff_base,
+            )
+            if inline.ok:
+                return inline
+            # Both the pool attempt and the inline retry failed: keep
+            # the inline failure's type and traceback (the pool error
+            # is usually a symptom, the inline error the cause), note
+            # the pool fault in the message, and count every attempt —
+            # the worker's plus the inline one.
+            assert inline.failure is not None
+            merged = JobFailure(
+                job_name=job.name,
+                error_type=inline.failure.error_type,
+                message=(
+                    f"{inline.failure.message} "
+                    f"(after worker pool fault: "
+                    f"{type(error).__name__}: {error})"
+                ),
+                traceback=inline.failure.traceback,
+                attempts=inline.failure.attempts + 1,
+            )
+            return JobOutcome(
+                index=index,
+                job_name=job.name,
+                result=None,
+                failure=merged,
+                seconds=inline.seconds,
+                attempts=merged.attempts,
             )

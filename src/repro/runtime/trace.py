@@ -130,6 +130,22 @@ class PipelineTrace:
             totals[event.stage] = totals.get(event.stage, 0.0) + event.seconds
         return totals
 
+    def counter_totals(self, stage: str) -> dict[str, int]:
+        """Summed counters of every event with the given stage name.
+
+        The resilience machinery records faults/retries/skips as
+        counter-only events (``"fault_injected"``, ``"stage_retry"``,
+        ``"stage_skip"``, ``"pages_corrupted"``); this aggregates them
+        per counter key across the whole run.
+        """
+        totals: dict[str, int] = {}
+        for event in self.events:
+            if event.stage != stage:
+                continue
+            for key, value in event.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def iteration_events(self, iteration: int | None) -> list[StageEvent]:
         """Events of one bootstrap cycle (None = seed phase)."""
         return [

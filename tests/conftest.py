@@ -3,12 +3,45 @@
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
 
 from repro.corpus import Marketplace
 from repro.nlp import get_locale
 from repro.types import Sentence, TaggedSentence
+
+#: Wall-clock budget (seconds) the ``watchdog`` fixture grants a test.
+WATCHDOG_SECONDS = 90
+
+
+@pytest.fixture
+def watchdog():
+    """Fail fast instead of wedging CI when a recovery path hangs.
+
+    The chaos/resilience tests exercise timeout and retry machinery; a
+    regression there can hang rather than fail. This fixture arms a
+    SIGALRM that raises ``TimeoutError`` after ``WATCHDOG_SECONDS``, so
+    a hung test dies loudly. Opt in per-module with
+    ``pytestmark = pytest.mark.usefixtures("watchdog")``. No-op on
+    platforms without SIGALRM.
+    """
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"watchdog: test exceeded {WATCHDOG_SECONDS}s wall-clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

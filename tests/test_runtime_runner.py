@@ -1,8 +1,11 @@
 """Tests for CategoryRunner: parallel sweeps, retries, degradation."""
 
+from concurrent.futures import Future
+
 import pytest
 
 from repro.config import PipelineConfig
+from repro.errors import ConfigError
 from repro.runtime import (
     CategoryRunner,
     JobOutcome,
@@ -10,6 +13,7 @@ from repro.runtime import (
     default_workers,
     execute_job,
     parallel_map,
+    retry_backoff,
 )
 
 SWEEP_CATEGORIES = ("tennis", "kitchen", "garden", "vacuum_cleaner")
@@ -134,3 +138,88 @@ def test_parallel_map_preserves_order():
         "C",
     ]
     assert parallel_map(str.upper, [], workers=2) == []
+
+
+def test_default_workers_rejects_non_integer_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "banana")
+    with pytest.raises(ConfigError, match="banana"):
+        default_workers()
+
+
+def test_runner_validates_deadline_retries_and_backoff():
+    with pytest.raises(ValueError):
+        CategoryRunner(job_timeout=0)
+    with pytest.raises(ValueError):
+        CategoryRunner(job_timeout=-1.0)
+    with pytest.raises(ValueError):
+        CategoryRunner(backoff_base=-0.1)
+    with pytest.raises(ValueError):
+        CategoryRunner(retries=-1)
+
+
+def test_retry_backoff_is_deterministic_and_capped():
+    schedule = [retry_backoff("tennis", n) for n in (1, 2, 3)]
+    assert schedule == [retry_backoff("tennis", n) for n in (1, 2, 3)]
+    assert schedule[0] < schedule[1] < schedule[2]
+    assert retry_backoff("tennis", 50, cap=2.0) <= 2.0
+    assert retry_backoff("tennis", 1, base=0.0) == 0.0
+
+
+def _failed_future(error: Exception) -> Future:
+    future: Future = Future()
+    future.set_exception(error)
+    return future
+
+
+def test_collect_pool_fault_recovers_inline():
+    """A worker that died of a pool-level fault gets one inline retry."""
+    runner = CategoryRunner(workers=2, backoff_base=0.0)
+    job = RunnerJob.generate("tennis", 30, PipelineConfig(iterations=1))
+    outcome = runner._collect(
+        0, job, _failed_future(RuntimeError("pool died"))
+    )
+    assert outcome.ok
+    assert outcome.result is not None
+
+
+def test_collect_merges_pool_and_inline_failures():
+    """When the inline retry fails too, the merged failure keeps the
+    inline root cause, notes the pool fault, and counts both attempts."""
+    runner = CategoryRunner(workers=2, backoff_base=0.0)
+    job = RunnerJob.generate(
+        "no_such_category", 30, PipelineConfig(iterations=1)
+    )
+    outcome = runner._collect(
+        0, job, _failed_future(RuntimeError("pool died"))
+    )
+    assert not outcome.ok
+    failure = outcome.failure
+    assert failure.attempts == 2
+    assert outcome.attempts == 2
+    # The inline error is the root cause; the pool fault is context.
+    assert failure.error_type != "RuntimeError"
+    assert "worker pool fault: RuntimeError: pool died" in failure.message
+    assert failure.traceback
+
+
+def _record_and_maybe_raise(item):
+    path, index = item
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{index}\n")
+    if index == 1:
+        raise OSError("deterministic item failure")
+    return index * 10
+
+
+def test_parallel_map_item_error_raises_without_serial_rerun(tmp_path):
+    """A deterministic per-item failure surfaces with its original type
+    (even an OSError, the pool-degradation trigger) after exactly one
+    guarded inline retry — never a full serial re-run of every item."""
+    path = str(tmp_path / "calls.log")
+    items = [(path, 0), (path, 1), (path, 2)]
+    with pytest.raises(OSError, match="deterministic item failure"):
+        parallel_map(_record_and_maybe_raise, items, workers=2)
+    with open(path, encoding="utf-8") as handle:
+        calls = [int(line) for line in handle.read().split()]
+    assert calls.count(1) == 2  # pool attempt + guarded inline retry
+    assert calls.count(0) == 1  # healthy items never re-run
