@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos bench bench-fast bench-runner examples clean
+.PHONY: install test chaos bench bench-fast bench-runner bench-pipeline examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,13 @@ bench-fast:
 # Serial vs parallel sweep wall-clock -> BENCH_runner.json.
 bench-runner:
 	python benchmarks/bench_runner.py
+
+# Per-stage uncached-vs-optimized pipeline timings -> BENCH_pipeline.json.
+# The committed baseline was measured at this exact config on the commit
+# before the perf layer landed; vs_previous tracks the true before/after.
+bench-pipeline:
+	PYTHONPATH=src python -m repro.perf.bench --out BENCH_pipeline.json \
+		--compare benchmarks/baselines/pre_perf_pipeline.json
 
 examples:
 	python examples/quickstart.py

@@ -118,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock budget in sweeps; a hung category "
         "becomes a structured Timeout failure instead of a stuck sweep",
     )
+    run.add_argument(
+        "--tag-batch-size", type=int, default=None, metavar="N",
+        help="sentences per padded Viterbi batch at tag time "
+        "(output-identical for any N >= 1; default 64)",
+    )
+    run.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="write per-stage wall-clock timings and feature-cache "
+        "hit/miss counters to this JSON file",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -180,16 +190,35 @@ def _print_category_report(
     print(iteration_report(result.bootstrap, truth, len(dataset)))
 
 
+def _write_bench(path: str, payloads: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payloads, handle, indent=2)
+        handle.write("\n")
+    print(f"bench counters written to {path}")
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    from .config import CrfConfig
+
     categories = [
         name.strip() for name in args.category.split(",") if name.strip()
     ]
+    # A bad --tag-batch-size raises ConfigError right here, before any
+    # dataset generation.
+    crf = (
+        CrfConfig(tag_batch_size=args.tag_batch_size)
+        if args.tag_batch_size is not None
+        else CrfConfig()
+    )
     config = PipelineConfig(
         iterations=args.iterations,
         tagger=args.tagger,
         enable_syntactic_cleaning=not args.no_cleaning,
         enable_semantic_cleaning=not args.no_cleaning,
         enable_diversification=not args.no_diversification,
+        crf=crf,
     )
     if len(categories) == 1:
         from .runtime import PipelineTrace
@@ -209,6 +238,10 @@ def _command_run(args: argparse.Namespace) -> int:
         _print_category_report(category, dataset, result)
         if args.trace:
             _write_trace(args.trace, trace.to_dict())
+        if args.bench_out:
+            _write_bench(
+                args.bench_out, {category: result.perf_counters()}
+            )
         return 0
     return _run_sweep(categories, config, args)
 
@@ -243,6 +276,7 @@ def _run_sweep(
     )
     outcomes = runner.run(jobs)
     traces: dict[str, dict] = {}
+    bench: dict[str, dict] = {}
     failures = 0
     for outcome in outcomes:
         if not outcome.ok:
@@ -261,8 +295,11 @@ def _run_sweep(
         print()
         if outcome.trace is not None:
             traces[outcome.job_name] = outcome.trace.to_dict()
+        bench[outcome.job_name] = outcome.result.perf_counters()
     if args.trace:
         _write_trace(args.trace, {"categories": traces})
+    if args.bench_out:
+        _write_bench(args.bench_out, bench)
     return 1 if failures else 0
 
 

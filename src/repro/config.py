@@ -98,6 +98,12 @@ class SemanticConfig:
     embedding_window: int = 3
     embedding_negatives: int = 4
     min_core_attribute_values: int = 3
+    #: Resume each iteration's word2vec training from the previous
+    #: iteration's vectors (deterministic, but a different — usually
+    #: better-converged — optimisation start than cold random init).
+    #: Off by default: a checkpoint-resumed run has no previous model
+    #: in memory, and resume must stay bit-identical to uninterrupted.
+    warm_start_embeddings: bool = False
 
     def __post_init__(self) -> None:
         if self.core_size < 0:
@@ -127,6 +133,11 @@ class CrfConfig:
     l2: float = 0.05
     max_iterations: int = 60
     min_feature_count: int = 1
+    #: Sentences per padded Viterbi batch at tag time. Sentences are
+    #: length-bucketed first, so each batch is nearly rectangular;
+    #: decoding is per-sentence independent, making any batch size
+    #: output-identical to one monolithic batch.
+    tag_batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -135,6 +146,8 @@ class CrfConfig:
             raise ConfigError("regularisation strengths must be >= 0")
         if self.max_iterations < 1:
             raise ConfigError("max_iterations must be >= 1")
+        if self.tag_batch_size < 1:
+            raise ConfigError("tag_batch_size must be >= 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,6 +213,10 @@ class PipelineConfig:
     min_confidence: float = 0.0
     seed: int = 7
     stage_retries: int = 1
+    #: Memoize feature extraction across bootstrap iterations (see
+    #: :mod:`repro.perf.cache`). Output-invisible; off only to measure
+    #: the uncached baseline.
+    enable_feature_cache: bool = True
     seed_config: SeedConfig = field(default_factory=SeedConfig)
     veto: VetoConfig = field(default_factory=VetoConfig)
     semantic: SemanticConfig = field(default_factory=SemanticConfig)

@@ -50,11 +50,13 @@ from .preprocess import (
 from .preprocess.aggregation import AttributeClusters
 from .preprocess.training_set import TrainingMaterial
 from .preprocess.value_cleaning import QueryLogLike
+from ..perf.cache import FeatureCache
 from ..runtime.trace import PipelineTrace
 from .tagger import make_tagger
 from .text import PageText, corpus_token_sentences, tokenize_pages
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..embeddings import Word2Vec
     from ..runtime.checkpoint import CheckpointStore
     from ..runtime.faults import FaultPlan
 
@@ -105,7 +107,8 @@ class BootstrapResult:
 
     Attributes:
         seed: the assembled seed (pre-iteration state).
-        material: initial training material.
+        material: initial training material (None on a slimmed result —
+            see :meth:`slim`).
         seed_triples: triples known before any bootstrap cycle (table
             statements plus seed-tagged text), i.e. "iteration 0".
         iterations: one record per cycle, in order.
@@ -113,10 +116,22 @@ class BootstrapResult:
     """
 
     seed: Seed
-    material: TrainingMaterial
+    material: TrainingMaterial | None
     seed_triples: frozenset[Triple]
     iterations: tuple[IterationResult, ...]
     attributes: tuple[str, ...]
+
+    def slim(self) -> "BootstrapResult":
+        """A copy without the training material.
+
+        The material — every labelled sentence plus the tokenized
+        unlabeled corpus — dwarfs the rest of the result; sweeps that
+        only read triples and metrics should not pay to pickle it
+        across a process boundary.
+        """
+        from dataclasses import replace
+
+        return replace(self, material=None)
 
     @property
     def final_triples(self) -> frozenset[Triple]:
@@ -253,6 +268,22 @@ class Bootstrapper:
         dataset: list[TaggedSentence] = list(material.labeled)
         cumulative: set[Triple] = set(seed_triples)
         iterations: list[IterationResult] = []
+        # Per-run performance state, kept in locals for re-entrancy:
+        # the feature cache makes iterations 2+ reuse iteration 1's
+        # extraction work, and `warm_models` carries the previous
+        # iteration's word2vec model when warm starts are enabled.
+        feature_cache: FeatureCache | bool | None = None
+        if self.config.tagger in ("crf", "ensemble"):
+            # False (not None) when disabled: the tagger then runs the
+            # reference string-feature path with no private cache
+            # either, so enable_feature_cache=False really measures an
+            # uncached run (see perf/bench.py).
+            feature_cache = (
+                FeatureCache(window=self.config.crf.window)
+                if self.config.enable_feature_cache
+                else False
+            )
+        warm_models: list["Word2Vec | None"] = [None]
         start_iteration = 1
         if checkpoint is not None:
             restored = self._open_checkpoint(
@@ -276,6 +307,8 @@ class Bootstrapper:
                 cumulative,
                 trace,
                 faults,
+                feature_cache=feature_cache,
+                warm_models=warm_models,
             )
             iterations.append(result)
             dataset = self._stage(
@@ -289,6 +322,12 @@ class Bootstrapper:
                         stage, checkpoint, result, dataset
                     ),
                 )
+        if isinstance(feature_cache, FeatureCache):
+            trace.count(
+                "feature_cache",
+                hits=feature_cache.hits,
+                misses=feature_cache.misses,
+            )
         return BootstrapResult(
             seed=seed,
             material=material,
@@ -486,6 +525,8 @@ class Bootstrapper:
         cumulative: set[Triple],
         trace: PipelineTrace,
         faults: "FaultPlan | None" = None,
+        feature_cache: FeatureCache | bool | None = None,
+        warm_models: list["Word2Vec | None"] | None = None,
     ) -> tuple[IterationResult, _IterationArtifacts]:
         if not dataset:
             raise TrainingError(
@@ -494,7 +535,9 @@ class Bootstrapper:
             )
         model = self._stage(
             trace, faults, "tagger_train", iteration,
-            lambda stage: self._train(stage, iteration, dataset),
+            lambda stage: self._train(
+                stage, iteration, dataset, feature_cache
+            ),
         )
         tagged, extractions = self._stage(
             trace, faults, "tagger_tag", iteration,
@@ -518,7 +561,7 @@ class Bootstrapper:
             cleaned = self._optional_stage(
                 trace, faults, "semantic_clean", iteration,
                 lambda stage: self._semantic_clean(
-                    stage, iteration, extractions, corpus
+                    stage, iteration, extractions, corpus, warm_models
                 ),
             )
             if cleaned is not None:
@@ -542,10 +585,19 @@ class Bootstrapper:
         )
         return result, artifacts
 
-    def _train(self, stage, iteration: int, dataset: list[TaggedSentence]):
+    def _train(
+        self,
+        stage,
+        iteration: int,
+        dataset: list[TaggedSentence],
+        feature_cache: FeatureCache | bool | None = None,
+    ):
         # The model is built inside the stage body so a retried stage
-        # trains a fresh, identically-seeded tagger.
-        model = make_tagger(self.config, iteration)
+        # trains a fresh, identically-seeded tagger. The shared feature
+        # cache holds only extracted feature strings (pure functions of
+        # the sentences), so reuse across retries and iterations cannot
+        # alter what a fresh model learns.
+        model = make_tagger(self.config, iteration, feature_cache)
         model.train(dataset)
         stage.add(sentences=len(dataset))
         return model
@@ -582,12 +634,27 @@ class Bootstrapper:
         iteration: int,
         extractions: list[Extraction],
         corpus: list[list[str]],
+        warm_models: list["Word2Vec | None"] | None = None,
     ) -> tuple[list[Extraction], SemanticStats]:
         cleaner = SemanticCleaner(
             self.config.semantic,
             seed=self.config.seed + iteration,
         )
-        kept, semantic_stats = cleaner.clean(extractions, corpus)
+        donor = (
+            warm_models[0]
+            if warm_models is not None
+            and self.config.semantic.warm_start_embeddings
+            else None
+        )
+        kept, semantic_stats = cleaner.clean(
+            extractions, corpus, warm_start_from=donor
+        )
+        if (
+            warm_models is not None
+            and self.config.semantic.warm_start_embeddings
+            and cleaner.last_model is not None
+        ):
+            warm_models[0] = cleaner.last_model
         stage.add(kept=len(kept), removed=semantic_stats.values_removed)
         return kept, semantic_stats
 

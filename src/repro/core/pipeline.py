@@ -95,6 +95,41 @@ class PipelineResult:
             ).get("pages", 0),
         }
 
+    def slim(self) -> "PipelineResult":
+        """A copy whose bootstrap record dropped its training material.
+
+        Triples, per-iteration records, the trace and every metric
+        survive; only the bulky intermediate corpus is gone. Used by
+        sweep workers (``RunnerJob.slim_results``) to keep result
+        pickles small.
+        """
+        from dataclasses import replace
+
+        return replace(self, bootstrap=self.bootstrap.slim())
+
+    def perf_counters(self) -> dict:
+        """Performance observables of the run.
+
+        Returns a dict with two keys: ``"feature_cache"`` — the
+        cross-iteration feature cache's ``hits``/``misses`` (both zero
+        when the cache was disabled or the backend has none) — and
+        ``"stage_seconds"`` — cumulative wall-clock per pipeline stage
+        from the trace. Empty/zero without a trace.
+        """
+        if self.trace is None:
+            return {
+                "feature_cache": {"hits": 0, "misses": 0},
+                "stage_seconds": {},
+            }
+        cache = self.trace.counter_totals("feature_cache")
+        return {
+            "feature_cache": {
+                "hits": cache.get("hits", 0),
+                "misses": cache.get("misses", 0),
+            },
+            "stage_seconds": self.trace.stage_totals(),
+        }
+
 
 class PAEPipeline:
     """End-to-end Product Attribute Extraction, as published.

@@ -13,9 +13,14 @@ from ..config import PipelineConfig
 from ..errors import ConfigError
 from ..ml import CrfTagger, LstmTagger
 from ..ml.base import SequenceTagger
+from ..perf.cache import FeatureCache
 
 
-def make_tagger(config: PipelineConfig, iteration: int = 0) -> SequenceTagger:
+def make_tagger(
+    config: PipelineConfig,
+    iteration: int = 0,
+    feature_cache: FeatureCache | bool | None = None,
+) -> SequenceTagger:
     """Build a fresh tagger for one bootstrap iteration.
 
     Args:
@@ -23,9 +28,16 @@ def make_tagger(config: PipelineConfig, iteration: int = 0) -> SequenceTagger:
             backend).
         iteration: iteration number, folded into stochastic backends'
             seeds so runs stay deterministic yet iterations differ.
+        feature_cache: optional shared :class:`FeatureCache` so CRF
+            feature extraction is memoized across iterations (each
+            iteration still gets a *fresh model*; only the extracted
+            feature strings — pure functions of the sentences — are
+            reused). ``False`` disables caching entirely: the CRF runs
+            the reference string-feature path, re-extracting on every
+            call (output-identical, benchmark baseline).
     """
     if config.tagger == "crf":
-        return CrfTagger(config.crf)
+        return CrfTagger(config.crf, feature_cache=feature_cache)
     lstm_config = config.lstm
     seeded = type(lstm_config)(
         epochs=lstm_config.epochs,
@@ -47,5 +59,6 @@ def make_tagger(config: PipelineConfig, iteration: int = 0) -> SequenceTagger:
             policy=config.ensemble_policy,
             crf_config=config.crf,
             lstm_config=seeded,
+            feature_cache=feature_cache,
         )
     raise ConfigError(f"unknown tagger backend: {config.tagger!r}")

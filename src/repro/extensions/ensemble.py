@@ -26,6 +26,7 @@ from ..config import CrfConfig, LstmConfig
 from ..errors import ConfigError
 from ..ml import CrfTagger, LstmTagger
 from ..nlp.bio import decode_bio, encode_bio
+from ..perf.cache import FeatureCache
 from ..types import Sentence, TaggedSentence
 
 
@@ -36,6 +37,8 @@ class EnsembleTagger:
         policy: ``"agreement"`` (intersection) or ``"union"``.
         crf_config: CRF hyperparameters.
         lstm_config: BiLSTM hyperparameters.
+        feature_cache: optional shared :class:`FeatureCache` forwarded
+            to the CRF member.
     """
 
     POLICIES = ("agreement", "union")
@@ -45,6 +48,7 @@ class EnsembleTagger:
         policy: str = "agreement",
         crf_config: CrfConfig | None = None,
         lstm_config: LstmConfig | None = None,
+        feature_cache: FeatureCache | bool | None = None,
     ):
         if policy not in self.POLICIES:
             raise ConfigError(
@@ -52,7 +56,7 @@ class EnsembleTagger:
                 f"choose from {self.POLICIES}"
             )
         self.policy = policy
-        self._crf = CrfTagger(crf_config)
+        self._crf = CrfTagger(crf_config, feature_cache=feature_cache)
         self._lstm = LstmTagger(lstm_config)
 
     def train(self, dataset: Sequence[TaggedSentence]) -> "EnsembleTagger":

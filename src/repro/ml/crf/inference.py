@@ -9,6 +9,15 @@ All routines operate on a padded batch:
 The forward/backward recursions use the carry trick at padded steps
 (alpha is propagated unchanged), so ``alpha[:, -1]`` always holds the
 value at each sequence's last real token.
+
+Hot-path note: every recursion step needs a ``(B, L, L)`` score block;
+allocating one (plus an ``exp`` temporary) per step dominated L-BFGS
+wall-clock. The routines now write into preallocated scratch buffers
+(:class:`InferenceScratch`) shared across steps and across objective
+calls. The *sequence of floating-point operations is unchanged* —
+identical elementwise ops on identically-shaped arrays, identical
+reduction axes — so results are bit-for-bit equal to the allocating
+implementation; only the memory traffic differs.
 """
 
 from __future__ import annotations
@@ -18,13 +27,49 @@ from dataclasses import dataclass
 import numpy as np
 
 
-def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+class InferenceScratch:
+    """Reusable named scratch buffers, keyed by shape.
+
+    One instance per training workspace or tagger; a buffer is
+    reallocated only when the requested shape changes (e.g. a new
+    length bucket). Not thread-safe — share across sequential calls
+    only.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def buffer(
+        self, name: str, shape: tuple, dtype=np.float64
+    ) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+
+def _logsumexp(
+    values: np.ndarray, axis: int, work: np.ndarray | None = None
+) -> np.ndarray:
+    """Stabilized log-sum-exp along ``axis``.
+
+    ``work`` (same shape as ``values``) receives the shifted
+    exponentials, avoiding a fresh temporary per call; passing
+    ``values`` itself is allowed and destroys it.
+    """
     peak = values.max(axis=axis, keepdims=True)
     peak = np.where(np.isfinite(peak), peak, 0.0)
-    return (
-        np.log(np.exp(values - peak).sum(axis=axis))
-        + np.squeeze(peak, axis=axis)
-    )
+    if work is None:
+        work = np.empty_like(values)
+    np.subtract(values, peak, out=work)
+    np.exp(work, out=work)
+    total = work.sum(axis=axis)
+    np.log(total, out=total)
+    total += np.squeeze(peak, axis=axis)
+    return total
 
 
 @dataclass(frozen=True)
@@ -55,31 +100,69 @@ def forward_backward(
     emissions: np.ndarray,
     mask: np.ndarray,
     transitions: np.ndarray,
+    scratch: InferenceScratch | None = None,
 ) -> ForwardBackward:
-    """Run the forward and backward recursions over a padded batch."""
+    """Run the forward and backward recursions over a padded batch.
+
+    Padded steps are pure carries, so each step computes the ``(B_a,
+    L, L)`` score block only for the rows still *active* there (the
+    mask is row-prefix form: the active set shrinks monotonically with
+    ``t``). Every op on an active row — the broadcast add, the per-row
+    log-sum-exp reduction along a label axis — is independent of the
+    other rows, so subsetting changes which rows are computed, never
+    their values.
+    """
     batch, steps, labels = emissions.shape
+    scratch = scratch if scratch is not None else InferenceScratch()
+    work = scratch.buffer("pair", (batch, labels, labels))
+    small = scratch.buffer("unary", (batch, labels))
     log_alpha = np.empty((batch, steps, labels), dtype=np.float64)
     log_alpha[:, 0] = emissions[:, 0]
     for t in range(1, steps):
-        scores = (
-            log_alpha[:, t - 1][:, :, None]
-            + transitions[None, :, :]
+        active = np.flatnonzero(mask[:, t])
+        if active.size == 0:
+            log_alpha[:, t:] = log_alpha[:, t - 1][:, None, :]
+            break
+        if active.size == batch:
+            np.add(
+                log_alpha[:, t - 1][:, :, None],
+                transitions[None, :, :],
+                out=work,
+            )
+            updated = _logsumexp(work, axis=1, work=work)
+            updated += emissions[:, t]
+            log_alpha[:, t] = updated
+            continue
+        sub = work[: active.size]
+        np.add(
+            log_alpha[active, t - 1][:, :, None],
+            transitions[None, :, :],
+            out=sub,
         )
-        updated = _logsumexp(scores, axis=1) + emissions[:, t]
-        step_mask = mask[:, t][:, None]
-        log_alpha[:, t] = np.where(step_mask, updated, log_alpha[:, t - 1])
+        updated = _logsumexp(sub, axis=1, work=sub)
+        updated += emissions[active, t]
+        log_alpha[:, t] = log_alpha[:, t - 1]
+        log_alpha[active, t] = updated
 
     log_beta = np.zeros((batch, steps, labels), dtype=np.float64)
     for t in range(steps - 2, -1, -1):
-        scores = (
-            transitions[None, :, :]
-            + (emissions[:, t + 1] + log_beta[:, t + 1])[:, None, :]
-        )
-        updated = _logsumexp(scores, axis=2)
-        step_mask = mask[:, t + 1][:, None]
-        log_beta[:, t] = np.where(step_mask, updated, log_beta[:, t + 1])
+        active = np.flatnonzero(mask[:, t + 1])
+        if active.size == 0:
+            continue
+        if active.size == batch:
+            np.add(emissions[:, t + 1], log_beta[:, t + 1], out=small)
+            np.add(transitions[None, :, :], small[:, None, :], out=work)
+            updated = _logsumexp(work, axis=2, work=work)
+            log_beta[:, t] = updated
+            continue
+        sub = work[: active.size]
+        gathered = emissions[active, t + 1] + log_beta[active, t + 1]
+        np.add(transitions[None, :, :], gathered[:, None, :], out=sub)
+        updated = _logsumexp(sub, axis=2, work=sub)
+        log_beta[:, t] = log_beta[:, t + 1]
+        log_beta[active, t] = updated
 
-    log_z = _logsumexp(log_alpha[:, -1], axis=1)
+    log_z = _logsumexp(log_alpha[:, -1], axis=1, work=small)
     return ForwardBackward(log_alpha, log_beta, log_z)
 
 
@@ -88,6 +171,7 @@ def pairwise_expected_counts(
     emissions: np.ndarray,
     mask: np.ndarray,
     transitions: np.ndarray,
+    scratch: InferenceScratch | None = None,
 ) -> np.ndarray:
     """Sum of posterior pairwise marginals, an (L, L) matrix.
 
@@ -96,21 +180,48 @@ def pairwise_expected_counts(
     transition gradient.
     """
     labels = transitions.shape[0]
+    batch, steps, _ = emissions.shape
+    scratch = scratch if scratch is not None else InferenceScratch()
+    # `pair` keeps the full (B, L, L) block whose axis-0 sum feeds the
+    # accumulator — the cross-row reduction must keep its exact shape
+    # (and hence summation tree) for bitwise reproducibility. The
+    # per-row probability terms are computed in `pair_sub` for the
+    # valid rows only and scattered in; rows that fall out of the
+    # valid set are zeroed once (the set only shrinks with t) exactly
+    # as the masked assignment zeroed them every step.
+    work = scratch.buffer("pair", (batch, labels, labels))
+    sub_full = scratch.buffer("pair_sub", (batch, labels, labels))
     expected = np.zeros((labels, labels), dtype=np.float64)
-    steps = emissions.shape[1]
+    previously_valid = np.ones(batch, dtype=bool)
     for t in range(1, steps):
         valid = mask[:, t]
-        if not valid.any():
+        active = np.flatnonzero(valid)
+        if active.size == 0:
             break
-        log_pair = (
-            fb.log_alpha[:, t - 1][:, :, None]
-            + transitions[None, :, :]
-            + (emissions[:, t] + fb.log_beta[:, t])[:, None, :]
-            - fb.log_z[:, None, None]
-        )
-        pair = np.exp(np.clip(log_pair, -60.0, 0.0))
-        pair[~valid] = 0.0
-        expected += pair.sum(axis=0)
+        newly_invalid = previously_valid & ~valid
+        if newly_invalid.any():
+            work[newly_invalid] = 0.0
+        previously_valid = valid
+        if active.size == batch:
+            sub = work
+            alpha = fb.log_alpha[:, t - 1]
+            beta_term = emissions[:, t] + fb.log_beta[:, t]
+            log_z = fb.log_z
+        else:
+            sub = sub_full[: active.size]
+            alpha = fb.log_alpha[active, t - 1]
+            beta_term = emissions[active, t] + fb.log_beta[active, t]
+            log_z = fb.log_z[active]
+        # Same left-to-right association as the expression form:
+        # ((alpha + A) + (emit + beta)) - log_z.
+        np.add(alpha[:, :, None], transitions[None, :, :], out=sub)
+        sub += beta_term[:, None, :]
+        sub -= log_z[:, None, None]
+        np.clip(sub, -60.0, 0.0, out=sub)
+        np.exp(sub, out=sub)
+        if sub is not work:
+            work[active] = sub
+        expected += work.sum(axis=0)
     return expected
 
 
@@ -118,6 +229,7 @@ def viterbi(
     emissions: np.ndarray,
     mask: np.ndarray,
     transitions: np.ndarray,
+    scratch: InferenceScratch | None = None,
 ) -> list[list[int]]:
     """Best label sequence per batch element.
 
@@ -126,13 +238,16 @@ def viterbi(
         sequence's real length.
     """
     batch, steps, labels = emissions.shape
+    scratch = scratch if scratch is not None else InferenceScratch()
+    work = scratch.buffer("pair", (batch, labels, labels))
+    argmax = scratch.buffer("argmax", (batch, labels), dtype=np.intp)
     score = emissions[:, 0].copy()
     backpointers = np.zeros((batch, steps, labels), dtype=np.int32)
     for t in range(1, steps):
-        candidate = score[:, :, None] + transitions[None, :, :]
-        best_prev = candidate.argmax(axis=1)
+        np.add(score[:, :, None], transitions[None, :, :], out=work)
+        best_prev = np.argmax(work, axis=1, out=argmax)
         updated = (
-            np.take_along_axis(candidate, best_prev[:, None, :], axis=1)
+            np.take_along_axis(work, best_prev[:, None, :], axis=1)
             .squeeze(1)
             + emissions[:, t]
         )

@@ -20,7 +20,11 @@ import numpy as np
 from scipy import optimize, sparse
 
 from ...errors import TrainingError
-from .inference import forward_backward, pairwise_expected_counts
+from .inference import (
+    InferenceScratch,
+    forward_backward,
+    pairwise_expected_counts,
+)
 
 _L1_EPSILON = 1e-8
 
@@ -91,6 +95,15 @@ class _Workspace:
         # gold-score bookkeeping
         self.gold_rows = np.arange(rows)
         self.design_t = problem.design.T.tocsr()
+        # hot-loop buffers: the recursions' scratch space and the
+        # padded emission block, allocated once per training problem.
+        # Non-slot (padding) rows of `padded` are zero and never
+        # written; slot rows are fully overwritten each objective call,
+        # so reuse is invisible in the values.
+        self.scratch = InferenceScratch()
+        self.padded = np.zeros(
+            (batch * max_len, problem.n_labels), dtype=np.float64
+        )
 
 
 def _unpack(
@@ -115,13 +128,13 @@ def _objective(
     unary, transitions = _unpack(weights, n_features, n_labels)
 
     scores_flat = problem.design @ unary  # (rows, L)
-    padded = np.zeros(
-        (workspace.batch * workspace.max_len, n_labels), dtype=np.float64
-    )
+    padded = workspace.padded
     padded[workspace.flat_slots] = scores_flat
     emissions = padded.reshape(workspace.batch, workspace.max_len, n_labels)
 
-    fb = forward_backward(emissions, workspace.mask, transitions)
+    fb = forward_backward(
+        emissions, workspace.mask, transitions, scratch=workspace.scratch
+    )
 
     gold_unary = scores_flat[workspace.gold_rows, problem.labels].sum()
     gold_trans = (workspace.empirical_trans * transitions).sum()
@@ -133,7 +146,8 @@ def _objective(
         workspace.design_t @ expected_flat - workspace.empirical_unary
     )
     expected_trans = pairwise_expected_counts(
-        fb, emissions, workspace.mask, transitions
+        fb, emissions, workspace.mask, transitions,
+        scratch=workspace.scratch,
     )
     grad_trans = expected_trans - workspace.empirical_trans
 

@@ -14,12 +14,15 @@ no learned weight).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from ..types import Sentence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..perf.cache import FeatureInterner, InternedRows
 
 #: Sentence numbers are bucketed so the feature stays generic.
 _MAX_SENTENCE_BUCKET = 9
@@ -81,6 +84,9 @@ class FeatureIndexer:
             raise ValueError("min_count must be >= 1")
         self._min_count = min_count
         self._index: dict[str, int] = {}
+        # interner-id -> column (-1 = dropped); only on the interned path
+        self._interner: "FeatureInterner | None" = None
+        self._lookup: np.ndarray | None = None
 
     def fit(
         self, feature_rows: Iterable[Sequence[Sequence[str]]]
@@ -123,5 +129,113 @@ class FeatureIndexer:
         return sparse.csr_matrix(
             (data, np.asarray(indices, dtype=np.int64),
              np.asarray(indptr, dtype=np.int64)),
+            shape=(n_rows, len(self._index)),
+        )
+
+    # -- interned (vectorized) path -------------------------------------
+
+    def fit_interned(
+        self,
+        interned_rows: Sequence["InternedRows"],
+        interner: "FeatureInterner",
+    ) -> "FeatureIndexer":
+        """Build the index from pre-interned feature rows.
+
+        Produces exactly the mapping :meth:`fit` would for the same
+        sentences: occurrences are counted per feature id in one
+        ``bincount``, and the surviving features are column-numbered in
+        lexicographic *string* order.
+        """
+        if interned_rows:
+            flat = np.concatenate([rows.ids for rows in interned_rows])
+            counts = np.bincount(flat, minlength=len(interner))
+        else:
+            counts = np.zeros(len(interner), dtype=np.int64)
+        kept = sorted(
+            interner.token_of(int(feature_id))
+            for feature_id in np.nonzero(counts >= self._min_count)[0]
+        )
+        self._index = {feature: column for column, feature in enumerate(kept)}
+        self._interner = interner
+        lookup = np.full(len(interner), -1, dtype=np.int64)
+        for feature, column in self._index.items():
+            lookup[interner.intern(feature)] = column
+        self._lookup = lookup
+        return self
+
+    def attach_interner(
+        self, interner: "FeatureInterner"
+    ) -> "FeatureIndexer":
+        """Enable the interned path for an index built from strings.
+
+        Used when a model is restored from disk: the saved
+        feature → column map is interned into ``interner`` (normally
+        the loaded tagger's fresh cache) and the id → column lookup
+        rebuilt, so ``design_matrix_interned`` works after a load
+        exactly as after :meth:`fit_interned`.
+        """
+        for feature in self._index:
+            interner.intern(feature)
+        lookup = np.full(len(interner), -1, dtype=np.int64)
+        for feature, column in self._index.items():
+            lookup[interner.intern(feature)] = column
+        self._interner = interner
+        self._lookup = lookup
+        return self
+
+    def _refreshed_lookup(self) -> np.ndarray:
+        """The id → column array, padded as the interner has grown.
+
+        Features interned after :meth:`fit_interned` (unseen at train
+        time) have no learned column and map to -1, mirroring the
+        string path's "unseen features are dropped" rule.
+        """
+        assert self._lookup is not None and self._interner is not None
+        grown = len(self._interner) - len(self._lookup)
+        if grown > 0:
+            self._lookup = np.concatenate(
+                [self._lookup, np.full(grown, -1, dtype=np.int64)]
+            )
+        return self._lookup
+
+    def design_matrix_interned(
+        self, interned_rows: Sequence["InternedRows"]
+    ) -> sparse.csr_matrix:
+        """Vectorized :meth:`design_matrix` over pre-interned rows.
+
+        Builds the CSR arrays by mapping the flat id array through the
+        id → column lookup — no per-feature dict probing. Requires a
+        prior :meth:`fit_interned`; produces a matrix equal to the
+        string path's for the same sentences.
+        """
+        if self._lookup is None:
+            raise ValueError(
+                "design_matrix_interned needs fit_interned first"
+            )
+        row_sizes = (
+            np.concatenate([rows.row_sizes for rows in interned_rows])
+            if interned_rows
+            else np.zeros(0, dtype=np.int64)
+        )
+        n_rows = int(row_sizes.shape[0])
+        if n_rows == 0:
+            return sparse.csr_matrix((0, len(self._index)))
+        flat = np.concatenate([rows.ids for rows in interned_rows])
+        columns = self._refreshed_lookup()[flat]
+        keep = columns >= 0
+        starts = np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(row_sizes[:-1], out=starts[1:])
+        kept_per_row = np.add.reduceat(keep.astype(np.int64), starts)
+        # reduceat misreads zero-length rows (it sums from the next
+        # start); positions always carry >= 4 features, but guard the
+        # invariant rather than silently corrupting the matrix.
+        if (row_sizes == 0).any():
+            raise ValueError("interned rows contain an empty position")
+        indices = columns[keep]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        data = np.ones(indices.shape[0], dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, indices, indptr),
             shape=(n_rows, len(self._index)),
         )

@@ -24,6 +24,7 @@ from ...config import LstmConfig
 from ...errors import NotFittedError, TrainingError
 from ...nlp.bio import OUTSIDE, repair_bio
 from ...nlp.vocab import Vocabulary
+from ...perf.bucketing import length_buckets
 from ...types import Sentence, TaggedSentence
 from . import layers
 
@@ -64,22 +65,44 @@ class LstmTagger:
                 self._train_sentence(usable[int(index)], learning_rate)
         return self
 
+    #: Sentences per length bucket at tag time (see ``_tag_one``).
+    TAG_BUCKET_SIZE = 64
+
     def tag(self, sentences: Sequence[Sentence]) -> list[TaggedSentence]:
-        """Predict BIO labels (argmax per token, scheme-repaired)."""
+        """Predict BIO labels (argmax per token, scheme-repaired).
+
+        Sentences are visited in length-bucketed order so the padded
+        char batches of neighbouring sentences share shapes (fewer
+        allocator misses); evaluation consumes no RNG (dropout is
+        inactive), so the traversal order cannot affect the output,
+        which is restored to input order.
+        """
         if self._word_embedding is None:
             raise NotFittedError("LstmTagger")
-        results: list[TaggedSentence] = []
-        for sentence in sentences:
+        results: list[TaggedSentence | None] = [None] * len(sentences)
+        nonempty: list[int] = []
+        for index, sentence in enumerate(sentences):
             if len(sentence) == 0:
-                results.append(TaggedSentence(sentence, ()))
-                continue
-            logits = self._forward(sentence, train=False)[0]
-            indices = logits.argmax(axis=1)
-            labels = repair_bio(
-                [self._labels[int(i)] for i in indices]
-            )
-            results.append(TaggedSentence(sentence, tuple(labels)))
-        return results
+                results[index] = TaggedSentence(sentence, ())
+            else:
+                nonempty.append(index)
+        buckets = length_buckets(
+            [len(sentences[index]) for index in nonempty],
+            self.TAG_BUCKET_SIZE,
+        )
+        for bucket in buckets:
+            for position in bucket:
+                index = nonempty[position]
+                results[index] = self._tag_one(sentences[index])
+        return [result for result in results if result is not None]
+
+    def _tag_one(self, sentence: Sentence) -> TaggedSentence:
+        logits = self._forward(sentence, train=False)[0]
+        indices = logits.argmax(axis=1)
+        labels = repair_bio(
+            [self._labels[int(i)] for i in indices]
+        )
+        return TaggedSentence(sentence, tuple(labels))
 
     # -- setup --------------------------------------------------------------
 

@@ -94,6 +94,9 @@ def load_crf(directory: str | pathlib.Path) -> CrfTagger:
         feature: column
         for column, feature in enumerate(meta["features"])
     }
+    # Re-intern the restored features into the fresh tagger's cache so
+    # the interned decode path works post-load.
+    indexer.attach_interner(tagger._cache.interner)
     tagger._indexer = indexer
     tagger._unary = arrays["unary"]
     tagger._transitions = arrays["transitions"]

@@ -1,0 +1,19 @@
+"""Hot-path performance layer: caching, batching, benchmarking.
+
+Everything in this package is determinism-preserving: the feature
+cache memoizes a pure function, length-bucketed tagging decodes each
+sentence independently of its batch, and the benchmark harness only
+measures. Pipeline output with these optimisations enabled is
+bit-identical to the unoptimised path (asserted in
+``tests/test_perf_cache.py``).
+"""
+
+from .bucketing import length_buckets
+from .cache import FeatureCache, FeatureInterner, InternedRows
+
+__all__ = [
+    "FeatureCache",
+    "FeatureInterner",
+    "InternedRows",
+    "length_buckets",
+]

@@ -1,0 +1,255 @@
+"""Per-stage pipeline benchmark harness (``make bench-pipeline``).
+
+Runs the full pipeline over a fixed category set twice — once with
+the hot-path optimisations disabled (no feature cache, one monolithic
+tag batch) and once with the optimised defaults — and writes a JSON
+artifact with per-stage wall-clock,
+per-iteration seconds, feature-cache hit/miss counters and the
+uncached→optimised speedup. Because the optimisations are
+determinism-preserving, the harness also asserts both modes produced
+identical triples and records the verdict in the artifact.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench --out BENCH_pipeline.json
+    # compare against a previously saved artifact:
+    PYTHONPATH=src python -m repro.perf.bench --out BENCH_pipeline.json \
+        --compare old_BENCH_pipeline.json
+
+The headline number is ``speedup.iter2plus`` — iterations 2+ are where
+cross-iteration caching pays (iteration 1 must fill the cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import replace
+
+from ..config import PipelineConfig
+from ..core.pipeline import PAEPipeline
+from ..corpus import Marketplace
+from ..runtime.trace import PipelineTrace
+
+#: One monolithic batch — effectively disables length bucketing.
+_UNBUCKETED = 10**9
+
+
+def _mode_config(base: PipelineConfig, optimized: bool) -> PipelineConfig:
+    # "optimized" is exactly the shipped defaults (shared feature
+    # cache, bucketed tagging); warm-start embeddings stay off in both
+    # modes because that opt-in flag may change the (still
+    # deterministic) output, and the bench asserts bit-identity.
+    if optimized:
+        return replace(base, enable_feature_cache=True)
+    return replace(
+        base,
+        enable_feature_cache=False,
+        crf=replace(base.crf, tag_batch_size=_UNBUCKETED),
+    )
+
+
+def _iteration_seconds(trace: PipelineTrace) -> dict[int, float]:
+    seconds: dict[int, float] = {}
+    for event in trace.events:
+        if event.iteration is not None:
+            seconds[event.iteration] = (
+                seconds.get(event.iteration, 0.0) + event.seconds
+            )
+    return seconds
+
+
+def run_mode(
+    categories: list[str],
+    products: int,
+    iterations: int,
+    seed: int,
+    optimized: bool,
+) -> dict:
+    """Run every category in one mode; return timings and triples."""
+    config = _mode_config(
+        PipelineConfig(iterations=iterations, seed=seed), optimized
+    )
+    stage_totals: dict[str, float] = {}
+    per_iteration: dict[int, float] = {}
+    cache = {"hits": 0, "misses": 0}
+    triples = []
+    start = time.perf_counter()
+    for category in categories:
+        dataset = Marketplace(seed=seed).generate(category, products)
+        trace = PipelineTrace(label=category)
+        result = PAEPipeline(config).run(
+            dataset.product_pages, dataset.query_log, trace=trace
+        )
+        for stage, seconds in trace.stage_totals().items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
+        for iteration, seconds in _iteration_seconds(trace).items():
+            per_iteration[iteration] = (
+                per_iteration.get(iteration, 0.0) + seconds
+            )
+        counters = result.perf_counters()["feature_cache"]
+        cache["hits"] += counters["hits"]
+        cache["misses"] += counters["misses"]
+        triples.append(
+            sorted(
+                (t.product_id, t.attribute, t.value)
+                for t in result.triples
+            )
+        )
+    total = time.perf_counter() - start
+    return {
+        "total_seconds": total,
+        "stage_totals": stage_totals,
+        "per_iteration_seconds": {
+            str(iteration): seconds
+            for iteration, seconds in sorted(per_iteration.items())
+        },
+        "iter2plus_seconds": sum(
+            seconds
+            for iteration, seconds in per_iteration.items()
+            if iteration >= 2
+        ),
+        "cache": cache,
+        "triples": triples,
+    }
+
+
+def run_bench(
+    categories: list[str],
+    products: int,
+    iterations: int,
+    seed: int,
+    compare_path: str | None = None,
+    repeats: int = 1,
+) -> dict:
+    """The full before/after benchmark; returns the JSON payload.
+
+    Modes are interleaved and each keeps its best-of-``repeats``
+    timing: on a shared box, back-to-back runs drift (allocator and
+    frequency warm-up), so a single uncached-then-optimized pass
+    systematically flatters whichever mode runs second.
+    """
+    import os
+
+    modes: dict[str, dict] = {}
+    for repeat in range(max(1, repeats)):
+        for name, optimized in (("uncached", False), ("optimized", True)):
+            print(
+                f"running mode {name} (pass {repeat + 1}) ...", flush=True
+            )
+            candidate = run_mode(
+                categories, products, iterations, seed, optimized
+            )
+            best = modes.get(name)
+            if best is None or (
+                candidate["iter2plus_seconds"]
+                < best["iter2plus_seconds"]
+            ):
+                modes[name] = candidate
+            print(
+                f"  {name}: {candidate['total_seconds']:.2f}s total, "
+                f"{candidate['iter2plus_seconds']:.2f}s iterations 2+",
+                flush=True,
+            )
+    identical = modes["uncached"]["triples"] == modes["optimized"]["triples"]
+    for mode in modes.values():
+        del mode["triples"]
+    payload = {
+        "schema": 1,
+        "config": {
+            "categories": categories,
+            "products": products,
+            "iterations": iterations,
+            "seed": seed,
+            "repeats": max(1, repeats),
+        },
+        "cpu_count": os.cpu_count(),
+        "modes": modes,
+        "speedup": {
+            "total": (
+                modes["uncached"]["total_seconds"]
+                / max(modes["optimized"]["total_seconds"], 1e-9)
+            ),
+            "iter2plus": (
+                modes["uncached"]["iter2plus_seconds"]
+                / max(modes["optimized"]["iter2plus_seconds"], 1e-9)
+            ),
+        },
+        "identical_results": identical,
+    }
+    if compare_path:
+        with open(compare_path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+        previous_iter2plus = (
+            previous.get("modes", {})
+            .get("optimized", previous.get("modes", {}).get("uncached", {}))
+            .get("iter2plus_seconds")
+            or previous.get("iter2plus_seconds")
+        )
+        if previous_iter2plus:
+            payload["vs_previous"] = {
+                "path": compare_path,
+                "previous_iter2plus_seconds": previous_iter2plus,
+                "iter2plus_speedup": (
+                    previous_iter2plus
+                    / max(
+                        modes["optimized"]["iter2plus_seconds"], 1e-9
+                    )
+                ),
+            }
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the pipeline's hot paths per stage."
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="PATH",
+        help="a previous artifact; records the old-vs-new iteration-2+ "
+        "speedup under 'vs_previous'",
+    )
+    parser.add_argument(
+        "--categories", default="vacuum_cleaner,tennis",
+        help="comma-separated category list",
+    )
+    parser.add_argument("--products", type=int, default=120)
+    parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="interleaved passes per mode; each mode keeps its best "
+        "timing (default 3)",
+    )
+    args = parser.parse_args(argv)
+    categories = [
+        name.strip()
+        for name in args.categories.split(",")
+        if name.strip()
+    ]
+    payload = run_bench(
+        categories,
+        args.products,
+        args.iterations,
+        args.seed,
+        compare_path=args.compare,
+        repeats=args.repeats,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"speedup: {payload['speedup']['total']:.2f}x total, "
+        f"{payload['speedup']['iter2plus']:.2f}x iterations 2+; "
+        f"identical_results={payload['identical_results']}"
+    )
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Length bucketing for batched sequence inference.
+
+Padding a batch to its longest member costs ``B * (T_max - T_i)``
+wasted positions; sorting by length first makes every bucket nearly
+rectangular. The traversal is a pure reordering — each sentence is
+decoded independently of its batch peers — so bucketed tagging is
+bit-identical to one monolithic batch (see ``docs/architecture.md``,
+Performance).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def length_buckets(
+    lengths: Sequence[int], batch_size: int
+) -> list[list[int]]:
+    """Partition indices into length-sorted buckets of bounded size.
+
+    Args:
+        lengths: per-item sequence lengths, in original order.
+        batch_size: maximum items per bucket (>= 1).
+
+    Returns:
+        A list of index buckets. Concatenated, the buckets visit every
+        index exactly once, ordered by ``(length, original index)`` —
+        a *stable* sort, so equal-length items keep their relative
+        order and the traversal is deterministic.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = sorted(range(len(lengths)), key=lambda index: lengths[index])
+    return [
+        order[start:start + batch_size]
+        for start in range(0, len(order), batch_size)
+    ]

@@ -11,10 +11,14 @@ load).
 
 Layout of a checkpoint directory::
 
-    meta.json            # format version, run fingerprint, seed digest
-    iteration_0001.json  # IterationResult + folded dataset, checksummed
-    iteration_0002.json
+    meta.json               # format version, run fingerprint, seed digest
+    iteration_0001.json.gz  # IterationResult + folded dataset, checksummed
+    iteration_0002.json.gz
     ...
+
+Snapshots are gzip-compressed (the folded dataset is highly repetitive
+JSON — compression is ~10×); plain ``.json`` snapshots written by older
+versions are still read transparently.
 
 Guarantees:
 
@@ -38,6 +42,7 @@ page fingerprint alone cannot see.
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import json
 import os
@@ -54,7 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.bootstrap import IterationResult
 
 _FORMAT_VERSION = 1
-_SNAPSHOT_PATTERN = re.compile(r"^iteration_(\d{4})\.json$")
+_SNAPSHOT_PATTERN = re.compile(r"^iteration_(\d{4})\.json(\.gz)?$")
 
 
 # -- fingerprints -------------------------------------------------------
@@ -233,14 +238,23 @@ class CheckpointStore:
     # -- writing --------------------------------------------------------
 
     def _write_json(self, name: str, payload: dict) -> None:
-        """Atomically write one JSON document into the directory."""
+        """Atomically write one JSON document into the directory.
+
+        Names ending ``.gz`` are gzip-compressed (``mtime=0`` keeps the
+        compressed bytes deterministic for identical payloads).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.directory / name
         temp = self.directory / f".{name}.tmp"
-        temp.write_text(
-            json.dumps(payload, ensure_ascii=False, indent=1),
-            encoding="utf-8",
-        )
+        text = json.dumps(payload, ensure_ascii=False, indent=1)
+        if name.endswith(".gz"):
+            with open(temp, "wb") as handle:
+                with gzip.GzipFile(
+                    fileobj=handle, mode="wb", mtime=0
+                ) as compressed:
+                    compressed.write(text.encode("utf-8"))
+        else:
+            temp.write_text(text, encoding="utf-8")
         os.replace(temp, final)
 
     def begin(
@@ -279,7 +293,9 @@ class CheckpointStore:
             format_version=_FORMAT_VERSION,
             checksum=_checksum(body),
         )
-        self._write_json(f"iteration_{result.iteration:04d}.json", payload)
+        self._write_json(
+            f"iteration_{result.iteration:04d}.json.gz", payload
+        )
 
     # -- reading --------------------------------------------------------
 
@@ -297,9 +313,15 @@ class CheckpointStore:
         )
 
     def _load_json(self, path: pathlib.Path) -> dict:
+        # gzip.BadGzipFile is an OSError subclass; a *truncated* gzip
+        # stream surfaces as EOFError instead. Both mean corruption.
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError) as error:
+            if path.name.endswith(".gz"):
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            else:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, EOFError) as error:
             raise CheckpointError(
                 f"corrupt checkpoint file {path}: {error}"
             ) from error

@@ -47,6 +47,14 @@ from .jobs import JobFailure, JobOutcome, RunnerJob, execute_job
 _MODES = ("process", "thread", "serial")
 
 
+def visible_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
 def default_workers(job_count: int | None = None) -> int:
     """A sensible worker count: CPUs visible to this process, capped.
 
@@ -69,14 +77,15 @@ def default_workers(job_count: int | None = None) -> int:
                 ) from None
             workers = max(1, value)
     else:
-        try:
-            cpus = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux
-            cpus = os.cpu_count() or 1
-        workers = max(1, cpus)
+        workers = visible_cpus()
     if job_count is not None:
         workers = min(workers, max(1, job_count))
     return workers
+
+
+def _chunk_apply(function, chunk: list) -> list:
+    """Apply ``function`` to every item of one chunk (worker side)."""
+    return [function(item) for item in chunk]
 
 
 def parallel_map(function, items, workers: int | None = None) -> list:
@@ -84,13 +93,15 @@ def parallel_map(function, items, workers: int | None = None) -> list:
 
     For fan-outs that are not full pipeline runs (seed-only sweeps,
     dataset generation). ``function`` and every item must be picklable;
-    ``workers <= 1`` (the single-CPU default) runs inline. Any
-    pool-level fault degrades to inline execution of the affected items
-    instead of crashing. A *deterministic* per-item error — one the
-    guarded inline retry reproduces — is the item's own failure, not
-    the pool's: it re-raises with its original type and traceback,
-    exactly as the serial path would, never wrapped in (or mistaken
-    for) a pool fault.
+    ``workers <= 1`` (the single-CPU default) runs inline. Items are
+    submitted in contiguous chunks (roughly four chunks per worker) so
+    per-task pickling and scheduling overhead amortises over many
+    items. Any pool-level fault degrades to inline execution of the
+    affected items instead of crashing. A *deterministic* per-item
+    error — one the guarded inline retry reproduces — is the item's own
+    failure, not the pool's: it re-raises with its original type and
+    traceback, exactly as the serial path would, never wrapped in (or
+    mistaken for) a pool fault.
     """
     items = list(items)
     if not items:
@@ -102,27 +113,36 @@ def parallel_map(function, items, workers: int | None = None) -> list:
     )
     if workers <= 1:
         return [function(item) for item in items]
+    chunksize = max(1, len(items) // (workers * 4))
+    chunks = [
+        (start, items[start:start + chunksize])
+        for start in range(0, len(items), chunksize)
+    ]
     results: list = [None] * len(items)
     item_error: Exception | None = None
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (index, pool.submit(function, item))
-                for index, item in enumerate(items)
+                (start, chunk, pool.submit(_chunk_apply, function, chunk))
+                for start, chunk in chunks
             ]
-            for index, future in futures:
+            for start, chunk, future in futures:
                 try:
-                    results[index] = future.result()
+                    results[start:start + len(chunk)] = future.result()
                 except Exception:  # noqa: BLE001 - degrade, don't crash
+                    # The whole chunk failed in the worker; retry its
+                    # items inline, one by one, so only the genuinely
+                    # broken item surfaces an error.
                     try:
-                        results[index] = function(items[index])
+                        for offset, item in enumerate(chunk):
+                            results[start + offset] = function(item)
                     except Exception as error:  # noqa: BLE001
                         # The item itself is broken: cancel what has
                         # not started and surface the item's error
                         # (consistently with the serial path) below,
                         # outside the pool shutdown.
                         item_error = error
-                        for _, pending in futures:
+                        for _, _, pending in futures:
                             pending.cancel()
                         break
     except OSError:
@@ -199,6 +219,13 @@ class CategoryRunner:
             if self.workers is None
             else min(self.workers, len(jobs))
         )
+        if self.mode == "process" and self.job_timeout is None:
+            # CPU-bound pipeline workers beyond the visible CPUs only
+            # oversubscribe the machine (context-switch thrash made a
+            # 2-worker sweep *slower* than serial on a 1-CPU box).
+            # Deadline-bearing runs keep the requested pool: a real
+            # pool is what lets the runner abandon a hung worker.
+            workers = min(workers, visible_cpus())
         if self.mode == "serial" or workers <= 1:
             return self._execute_serial(jobs)
         executor_type = (

@@ -109,3 +109,33 @@ def test_unknown_experiment_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_command_rejects_bad_tag_batch_size():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(
+            [
+                "run", "--category", "tennis", "--products", "40",
+                "--iterations", "1", "--tag-batch-size", "0",
+            ]
+        )
+
+
+def test_run_command_writes_bench_counters(capsys, tmp_path):
+    bench_path = tmp_path / "bench.json"
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "40",
+            "--iterations", "1", "--tag-batch-size", "8",
+            "--bench-out", str(bench_path),
+        ]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(bench_path.read_text())
+    counters = payload["tennis"]
+    assert counters["feature_cache"]["hits"] > 0
+    assert "tagger_train" in counters["stage_seconds"]

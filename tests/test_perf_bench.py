@@ -1,0 +1,51 @@
+"""Smoke tests for the per-stage benchmark harness."""
+
+import json
+
+from repro.perf import bench
+
+
+def test_run_bench_schema_and_identity(tmp_path):
+    payload = bench.run_bench(
+        ["vacuum_cleaner"], products=20, iterations=2, seed=7
+    )
+    assert payload["schema"] == 1
+    assert payload["config"]["categories"] == ["vacuum_cleaner"]
+    assert set(payload["modes"]) == {"uncached", "optimized"}
+    for mode in payload["modes"].values():
+        assert mode["total_seconds"] > 0
+        assert "tagger_train" in mode["stage_totals"]
+        assert "1" in mode["per_iteration_seconds"]
+        assert "2" in mode["per_iteration_seconds"]
+        assert "triples" not in mode  # stripped from the artifact
+    assert payload["modes"]["optimized"]["cache"]["hits"] > 0
+    assert payload["modes"]["uncached"]["cache"] == {
+        "hits": 0,
+        "misses": 0,
+    }
+    assert payload["identical_results"] is True
+    assert payload["speedup"]["iter2plus"] > 0
+
+
+def test_bench_main_writes_artifact_and_compares(tmp_path, capsys):
+    previous = tmp_path / "previous.json"
+    previous.write_text(
+        json.dumps(
+            {"modes": {"optimized": {"iter2plus_seconds": 100.0}}}
+        )
+    )
+    out = tmp_path / "bench.json"
+    code = bench.main(
+        [
+            "--out", str(out),
+            "--compare", str(previous),
+            "--categories", "vacuum_cleaner",
+            "--products", "20",
+            "--iterations", "2",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["vs_previous"]["previous_iter2plus_seconds"] == 100.0
+    assert payload["vs_previous"]["iter2plus_speedup"] > 1.0
+    assert "speedup:" in capsys.readouterr().out

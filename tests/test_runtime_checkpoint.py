@@ -9,6 +9,7 @@ retry path absorbs. Corrupt, truncated or foreign checkpoints raise
 garbage.
 """
 
+import gzip
 import json
 
 import pytest
@@ -82,9 +83,9 @@ def test_snapshots_written_per_iteration(tennis, tmp_path):
     result = _run(tennis, tmp_path)
     names = sorted(path.name for path in tmp_path.iterdir())
     assert names == [
-        "iteration_0001.json",
-        "iteration_0002.json",
-        "iteration_0003.json",
+        "iteration_0001.json.gz",
+        "iteration_0002.json.gz",
+        "iteration_0003.json.gz",
         "meta.json",
     ]
     assert len(result.bootstrap.iterations) == 3
@@ -95,7 +96,7 @@ def test_kill_and_resume_bit_identical(tennis, baseline, tmp_path, completed):
     """The acceptance contract, for a crash after every iteration."""
     _kill_after(tennis, tmp_path, completed)
     snapshots = sorted(
-        path.name for path in tmp_path.glob("iteration_*.json")
+        path.name for path in tmp_path.glob("iteration_*.json.gz")
     )
     assert len(snapshots) == completed
 
@@ -152,23 +153,25 @@ def test_resume_false_restarts_from_scratch(tennis, baseline, tmp_path):
     fresh = _run(tennis, tmp_path, resume=False)
     assert fresh.bootstrap == baseline.bootstrap
     # All three snapshots were rewritten by the fresh run.
-    assert len(list(tmp_path.glob("iteration_*.json"))) == 3
+    assert len(list(tmp_path.glob("iteration_*.json.gz"))) == 3
 
 
 def test_truncated_snapshot_raises_checkpoint_error(tennis, tmp_path):
     _kill_after(tennis, tmp_path, 2)
-    snapshot = tmp_path / "iteration_0002.json"
-    snapshot.write_text(snapshot.read_text()[: 200])
+    snapshot = tmp_path / "iteration_0002.json.gz"
+    snapshot.write_bytes(snapshot.read_bytes()[: 200])
     with pytest.raises(CheckpointError, match="corrupt"):
         _run(tennis, tmp_path)
 
 
 def test_tampered_snapshot_fails_checksum(tennis, tmp_path):
     _kill_after(tennis, tmp_path, 1)
-    snapshot = tmp_path / "iteration_0001.json"
-    payload = json.loads(snapshot.read_text())
+    snapshot = tmp_path / "iteration_0001.json.gz"
+    with gzip.open(snapshot, "rt", encoding="utf-8") as handle:
+        payload = json.load(handle)
     payload["iteration"] = 7
-    snapshot.write_text(json.dumps(payload))
+    with gzip.open(snapshot, "wt", encoding="utf-8") as handle:
+        json.dump(payload, handle)
     with pytest.raises(CheckpointError, match="checksum"):
         _run(tennis, tmp_path)
 
@@ -182,7 +185,7 @@ def test_corrupt_meta_raises_checkpoint_error(tennis, tmp_path):
 
 def test_missing_iteration_gap_raises(tennis, tmp_path):
     _kill_after(tennis, tmp_path, 2)
-    (tmp_path / "iteration_0001.json").unlink()
+    (tmp_path / "iteration_0001.json.gz").unlink()
     with pytest.raises(CheckpointError, match="missing"):
         _run(tennis, tmp_path)
 
@@ -205,7 +208,7 @@ def test_crash_during_checkpoint_write_is_atomic(tennis, baseline, tmp_path):
     # Iteration 1's snapshot is intact; iteration 2's was never
     # published under its final name.
     names = sorted(path.name for path in tmp_path.glob("iteration_*"))
-    assert names == ["iteration_0001.json"]
+    assert names == ["iteration_0001.json.gz"]
     resumed = _run(tennis, tmp_path)
     assert resumed.bootstrap == baseline.bootstrap
 
@@ -222,6 +225,22 @@ def test_load_resume_state_roundtrip(tennis, tmp_path):
         len(tagged.labels) == len(tagged.sentence.tokens)
         for tagged in state.dataset
     )
+
+
+def test_legacy_uncompressed_snapshots_still_resume(
+    tennis, baseline, tmp_path
+):
+    """Plain ``.json`` snapshots from pre-compression stores resume
+    transparently (the checksum covers the payload, not the encoding)."""
+    _kill_after(tennis, tmp_path, 2)
+    for snapshot in sorted(tmp_path.glob("iteration_*.json.gz")):
+        with gzip.open(snapshot, "rt", encoding="utf-8") as handle:
+            text = handle.read()
+        legacy = tmp_path / snapshot.name.removesuffix(".gz")
+        legacy.write_text(text, encoding="utf-8")
+        snapshot.unlink()
+    resumed = _run(tennis, tmp_path)
+    assert resumed.bootstrap == baseline.bootstrap
 
 
 def test_empty_store_has_no_resume_state(tmp_path):

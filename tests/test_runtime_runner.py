@@ -223,3 +223,43 @@ def test_parallel_map_item_error_raises_without_serial_rerun(tmp_path):
         calls = [int(line) for line in handle.read().split()]
     assert calls.count(1) == 2  # pool attempt + guarded inline retry
     assert calls.count(0) == 1  # healthy items never re-run
+
+
+def test_process_pool_capped_at_visible_cpus(monkeypatch):
+    """Requesting more workers than CPUs must not oversubscribe."""
+    from repro.runtime import runner as runner_module
+
+    monkeypatch.setattr(runner_module, "visible_cpus", lambda: 1)
+
+    def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("pool built despite 1 visible CPU")
+
+    monkeypatch.setattr(
+        runner_module, "ProcessPoolExecutor", _no_pool
+    )
+    outcomes = CategoryRunner(workers=4, mode="process").run(
+        _sweep_jobs(products=30)[:2]
+    )
+    assert [outcome.ok for outcome in outcomes] == [True, True]
+
+
+def test_deadline_runs_keep_requested_pool(monkeypatch):
+    """A job_timeout needs a real pool even on a 1-CPU box."""
+    from repro.runtime import runner as runner_module
+
+    monkeypatch.setattr(runner_module, "visible_cpus", lambda: 1)
+    outcomes = CategoryRunner(
+        workers=2, mode="process", job_timeout=120.0
+    ).run(_sweep_jobs(products=30)[:2])
+    assert [outcome.ok for outcome in outcomes] == [True, True]
+
+
+def test_slim_results_drop_training_material():
+    job = RunnerJob.generate(
+        "tennis", 30, PipelineConfig(iterations=1),
+        data_seed=7, slim_results=True,
+    )
+    outcome = execute_job(0, job, retries=0)
+    assert outcome.ok
+    assert outcome.result.bootstrap.material is None
+    assert len(outcome.result.triples) > 0
