@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos bench bench-fast bench-runner bench-pipeline examples clean
+.PHONY: install test chaos dirty bench bench-fast bench-runner bench-pipeline examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,12 @@ test:
 # PYTHONPATH makes the target work from a bare checkout too.
 chaos:
 	PYTHONPATH=src pytest tests/test_chaos.py tests/test_runtime_checkpoint.py -q
+
+# Dirty-input suite: ingest-gate fuzzing plus the seeded 20%-dirt
+# end-to-end bootstrap runs (same files `make test` already includes).
+dirty:
+	PYTHONPATH=src pytest tests/test_ingest_fuzz.py tests/test_dirt_chaos.py \
+		tests/test_ingest_gate.py tests/test_corpus_dirt.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -22,6 +22,8 @@ Quickstart::
 
 from .config import (
     CrfConfig,
+    HealthConfig,
+    IngestConfig,
     LstmConfig,
     PipelineConfig,
     SeedConfig,
@@ -36,6 +38,7 @@ from .core import (
     PipelineResult,
 )
 from .errors import ReproError
+from .ingest import IngestGate, Quarantine, QuarantineEntry
 from .runtime import PipelineTrace
 from .types import AttributeValuePair, Extraction, ProductPage, Triple
 
@@ -47,6 +50,9 @@ __all__ = [
     "Bootstrapper",
     "CrfConfig",
     "Extraction",
+    "HealthConfig",
+    "IngestConfig",
+    "IngestGate",
     "IterationResult",
     "LstmConfig",
     "PAEPipeline",
@@ -54,6 +60,8 @@ __all__ = [
     "PipelineResult",
     "PipelineTrace",
     "ProductPage",
+    "Quarantine",
+    "QuarantineEntry",
     "ReproError",
     "SeedConfig",
     "SemanticConfig",

@@ -128,6 +128,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write per-stage wall-clock timings and feature-cache "
         "hit/miss counters to this JSON file",
     )
+    run.add_argument(
+        "--ingest-policy", choices=("strict", "repair", "drop"),
+        default=None,
+        help="how the ingest gate treats pages that fail validation: "
+        "strict raises, repair fixes fixable damage in place, drop "
+        "quarantines them (default: repair)",
+    )
+    run.add_argument(
+        "--max-page-bytes", type=int, default=None, metavar="N",
+        help="ingest-gate page size bound; larger pages are "
+        "quarantined (default: 1000000)",
+    )
+    run.add_argument(
+        "--dirt-rate", type=float, default=0.0, metavar="FRACTION",
+        help="corrupt this fraction of generated pages (truncation, "
+        "unclosed tags, entity garbage, mojibake, duplicate ids, "
+        "megapages) before the run — a seeded end-to-end exercise of "
+        "the ingest gate; the containment summary is printed after "
+        "the report",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -199,8 +219,55 @@ def _write_bench(path: str, payloads: dict) -> None:
     print(f"bench counters written to {path}")
 
 
+def _dirt_plan(args: argparse.Namespace):
+    """A fresh per-run FaultPlan for --dirt-rate, or None."""
+    if not args.dirt_rate:
+        return None
+    from .runtime.faults import FaultPlan, FaultSpec
+
+    return FaultPlan(
+        [
+            FaultSpec(
+                stage="corpus",
+                kind="dirt",
+                corrupt_fraction=args.dirt_rate,
+            )
+        ],
+        seed=args.seed,
+    )
+
+
+def _print_containment(result) -> None:
+    """Print the gate/breaker summary when a run contained anything."""
+    counters = result.resilience_counters()
+    quarantined = counters.get("quarantined", {})
+    repaired = counters.get("repaired", {})
+    breaker = counters.get("circuit_breaker", {})
+    if not (quarantined or repaired or breaker):
+        return
+    print("containment:")
+    if quarantined:
+        total = sum(quarantined.values())
+        checks = ", ".join(
+            f"{check}={count}"
+            for check, count in sorted(quarantined.items())
+        )
+        print(f"  quarantined: {total} page(s) ({checks})")
+    if repaired:
+        total = sum(repaired.values())
+        checks = ", ".join(
+            f"{check}={count}"
+            for check, count in sorted(repaired.items())
+        )
+        print(f"  repaired:    {total} page(s) ({checks})")
+    if breaker:
+        reasons = ", ".join(sorted(breaker))
+        print(f"  circuit breaker tripped: {reasons}")
+    print()
+
+
 def _command_run(args: argparse.Namespace) -> int:
-    from .config import CrfConfig
+    from .config import CrfConfig, IngestConfig
 
     categories = [
         name.strip() for name in args.category.split(",") if name.strip()
@@ -212,6 +279,11 @@ def _command_run(args: argparse.Namespace) -> int:
         if args.tag_batch_size is not None
         else CrfConfig()
     )
+    ingest_kwargs = {}
+    if args.ingest_policy is not None:
+        ingest_kwargs["policy"] = args.ingest_policy
+    if args.max_page_bytes is not None:
+        ingest_kwargs["max_page_bytes"] = args.max_page_bytes
     config = PipelineConfig(
         iterations=args.iterations,
         tagger=args.tagger,
@@ -219,6 +291,7 @@ def _command_run(args: argparse.Namespace) -> int:
         enable_semantic_cleaning=not args.no_cleaning,
         enable_diversification=not args.no_diversification,
         crf=crf,
+        ingest=IngestConfig(**ingest_kwargs),
     )
     if len(categories) == 1:
         from .runtime import PipelineTrace
@@ -234,8 +307,10 @@ def _command_run(args: argparse.Namespace) -> int:
             trace=trace,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            faults=_dirt_plan(args),
         )
         _print_category_report(category, dataset, result)
+        _print_containment(result)
         if args.trace:
             _write_trace(args.trace, trace.to_dict())
         if args.bench_out:
@@ -253,8 +328,9 @@ def _run_sweep(
 ) -> int:
     """Fan a multi-category sweep out over a CategoryRunner."""
     import os
+    from dataclasses import replace
 
-    from .runtime import CategoryRunner, RunnerJob
+    from .runtime import CategoryRunner, RunnerJob, summarize_outcomes
 
     jobs = [
         RunnerJob.generate(
@@ -271,6 +347,11 @@ def _run_sweep(
         )
         for category in categories
     ]
+    if args.dirt_rate:
+        # Each job gets its own plan: FaultPlan state mutates as it
+        # fires, and every worker must make independent, seeded
+        # corruption decisions.
+        jobs = [replace(job, faults=_dirt_plan(args)) for job in jobs]
     runner = CategoryRunner(
         workers=args.workers, job_timeout=args.job_timeout
     )
@@ -291,11 +372,29 @@ def _run_sweep(
         _print_category_report(
             outcome.job_name, dataset, outcome.result
         )
+        _print_containment(outcome.result)
         print(f"wall-clock: {outcome.seconds:.2f}s")
         print()
         if outcome.trace is not None:
             traces[outcome.job_name] = outcome.trace.to_dict()
         bench[outcome.job_name] = outcome.result.perf_counters()
+    summary = summarize_outcomes(outcomes)
+    print(
+        f"sweep:      {summary['succeeded']}/{summary['jobs']} jobs "
+        "succeeded"
+    )
+    if summary["quarantined"]:
+        total = sum(summary["quarantined"].values())
+        print(f"  quarantined across jobs: {total} page(s)")
+    if summary["halted_jobs"]:
+        for halted in summary["halted_jobs"]:
+            print(
+                f"  {halted['job']}: circuit breaker halted at "
+                f"iteration {halted['iteration']} "
+                f"({halted['reason']})"
+            )
+    for line in summary["failures"]:
+        print(f"  FAILED {line}")
     if args.trace:
         _write_trace(args.trace, {"categories": traces})
     if args.bench_out:

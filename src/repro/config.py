@@ -120,6 +120,112 @@ class SemanticConfig:
             raise ConfigError("embedding_negatives must be >= 1")
 
 
+#: Ingest policies: fail fast, fix what is fixable, or contain and go on.
+INGEST_POLICIES = ("strict", "repair", "drop")
+
+
+@dataclass(frozen=True, slots=True)
+class IngestConfig:
+    """Dirty-input gate settings (:mod:`repro.ingest`).
+
+    Merchant pages arrive truncated, mojibake-ridden and occasionally
+    hostile (megabyte blobs, pathological nesting). The gate validates
+    every page before the pipeline sees it, under one of three policies:
+
+    * ``"strict"`` — the first failing page raises
+      :class:`~repro.errors.PageQuarantinedError` (CI / trusted data).
+    * ``"repair"`` — fixable damage (truncation, unclosed tags, entity
+      garbage, mojibake) is normalized in place; unfixable pages are
+      quarantined and the run continues. The default.
+    * ``"drop"`` — any failing page is quarantined, no repairs.
+
+    Attributes:
+        policy: one of :data:`INGEST_POLICIES`.
+        enabled: False bypasses the gate entirely (measurement only).
+        max_page_bytes: UTF-8 size above which a page is a "megapage"
+            and unconditionally quarantined.
+        max_dom_depth: maximum open-element nesting the parser accepts.
+        max_table_rows: maximum ``<tr>`` rows in any one table.
+        parse_budget_seconds: wall-clock budget for parsing one page
+            (enforced via SIGALRM on the main thread; no-op elsewhere).
+            0 disables the budget.
+        max_unclosed_tags: unclosed non-void elements tolerated at end
+            of input before the page counts as structurally damaged.
+        max_bad_entities: malformed entity references tolerated before
+            the page counts as entity garbage.
+    """
+
+    policy: str = "repair"
+    enabled: bool = True
+    max_page_bytes: int = 1_000_000
+    max_dom_depth: int = 100
+    max_table_rows: int = 500
+    parse_budget_seconds: float = 5.0
+    max_unclosed_tags: int = 12
+    max_bad_entities: int = 16
+
+    def __post_init__(self) -> None:
+        if self.policy not in INGEST_POLICIES:
+            raise ConfigError(
+                f"ingest policy must be one of {INGEST_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.max_page_bytes < 1:
+            raise ConfigError("max_page_bytes must be >= 1")
+        if self.max_dom_depth < 1:
+            raise ConfigError("max_dom_depth must be >= 1")
+        if self.max_table_rows < 1:
+            raise ConfigError("max_table_rows must be >= 1")
+        if self.parse_budget_seconds < 0:
+            raise ConfigError("parse_budget_seconds must be >= 0")
+        if self.max_unclosed_tags < 0:
+            raise ConfigError("max_unclosed_tags must be >= 0")
+        if self.max_bad_entities < 0:
+            raise ConfigError("max_bad_entities must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class HealthConfig:
+    """Bootstrap iteration-health guardrails (circuit breaker).
+
+    A poisoned corpus can make an iteration produce garbage that the
+    next iteration trains on — drift compounding instead of converging.
+    The breaker inspects every completed iteration and, when it looks
+    pathological, halts the loop with the *last healthy* iteration's
+    results instead of folding the bad cycle into the dataset.
+
+    Attributes:
+        enable_circuit_breaker: False disables the guardrail.
+        max_rejection_rate: trip when the cleaning stages reject more
+            than this share of an iteration's candidate extractions
+            (semantic-drift explosion). Lax by default — healthy runs
+            reject well under half.
+        min_rejection_sample: rejection-rate checks need at least this
+            many candidates (tiny iterations are noise, not signal).
+        yield_collapse_ratio: trip when an iteration's candidate count
+            falls below this fraction of the previous iteration's
+            (yield collapse).
+        min_yield_sample: collapse checks require the previous
+            iteration to have produced at least this many candidates.
+    """
+
+    enable_circuit_breaker: bool = True
+    max_rejection_rate: float = 0.95
+    min_rejection_sample: int = 20
+    yield_collapse_ratio: float = 0.02
+    min_yield_sample: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_rejection_rate <= 1.0:
+            raise ConfigError("max_rejection_rate must be in (0, 1]")
+        if self.min_rejection_sample < 1:
+            raise ConfigError("min_rejection_sample must be >= 1")
+        if not 0.0 <= self.yield_collapse_ratio < 1.0:
+            raise ConfigError("yield_collapse_ratio must be in [0, 1)")
+        if self.min_yield_sample < 1:
+            raise ConfigError("min_yield_sample must be >= 1")
+
+
 @dataclass(frozen=True, slots=True)
 class CrfConfig:
     """CRF tagger settings (Section VI-D).
@@ -222,6 +328,8 @@ class PipelineConfig:
     semantic: SemanticConfig = field(default_factory=SemanticConfig)
     crf: CrfConfig = field(default_factory=CrfConfig)
     lstm: LstmConfig = field(default_factory=LstmConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

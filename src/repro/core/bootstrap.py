@@ -50,6 +50,7 @@ from .preprocess import (
 from .preprocess.aggregation import AttributeClusters
 from .preprocess.training_set import TrainingMaterial
 from .preprocess.value_cleaning import QueryLogLike
+from ..ingest import IngestGate, IngestResult, Quarantine
 from ..perf.cache import FeatureCache
 from ..runtime.trace import PipelineTrace
 from .tagger import make_tagger
@@ -113,6 +114,13 @@ class BootstrapResult:
             statements plus seed-tagged text), i.e. "iteration 0".
         iterations: one record per cycle, in order.
         attributes: canonical attribute names the run tagged.
+        quarantine: the ingest gate's containment ledger (None when
+            the gate was disabled).
+        halted_reason: why the iteration-health circuit breaker
+            stopped the run early (``"rejection_rate"`` or
+            ``"yield_collapse"``), or None for a run that completed.
+        halted_at_iteration: 1-based cycle the breaker tripped on; the
+            run's output is the *previous* (last healthy) cycle's.
     """
 
     seed: Seed
@@ -120,6 +128,9 @@ class BootstrapResult:
     seed_triples: frozenset[Triple]
     iterations: tuple[IterationResult, ...]
     attributes: tuple[str, ...]
+    quarantine: Quarantine | None = None
+    halted_reason: str | None = None
+    halted_at_iteration: int | None = None
 
     def slim(self) -> "BootstrapResult":
         """A copy without the training material.
@@ -237,6 +248,13 @@ class Bootstrapper:
         pages = list(pages)
         if faults is not None:
             pages = self._apply_page_faults(pages, faults, trace)
+        ingest_result: IngestResult | None = None
+        if self.config.ingest.enabled:
+            ingest_result = self._stage(
+                trace, faults, "ingest", None,
+                lambda stage: self._ingest(stage, pages, trace),
+            )
+            pages = ingest_result.pages
         page_texts = self._stage(
             trace, faults, "tokenize", None,
             lambda stage: self._tokenize(stage, pages),
@@ -298,6 +316,15 @@ class Bootstrapper:
                     "checkpoint_resume",
                     iterations=restored.completed_iterations,
                 )
+            if ingest_result is not None:
+                # The gate is deterministic, so a resumed run must
+                # reproduce the stored ledger bit-for-bit; divergence
+                # raises instead of splicing two different corpora.
+                checkpoint.record_quarantine(
+                    ingest_result.quarantine.to_payload()
+                )
+        halted_reason: str | None = None
+        halted_at: int | None = None
         for iteration in range(start_iteration, self.config.iterations + 1):
             result, artifacts = self._iterate(
                 iteration,
@@ -310,6 +337,17 @@ class Bootstrapper:
                 feature_cache=feature_cache,
                 warm_models=warm_models,
             )
+            # Iteration-health circuit breaker: a collapsed yield or an
+            # exploding cleaning-rejection rate means the model is
+            # drifting into garbage; halt *before* folding this cycle
+            # in, so the run's output is the last healthy iteration's.
+            halted_reason = self._health_trip(result, artifacts, iterations)
+            if halted_reason is not None:
+                halted_at = iteration
+                trace.count(
+                    "circuit_breaker", iteration, **{halted_reason: 1}
+                )
+                break
             iterations.append(result)
             dataset = self._stage(
                 trace, faults, "fold_dataset", iteration,
@@ -334,6 +372,13 @@ class Bootstrapper:
             seed_triples=seed_triples,
             iterations=tuple(iterations),
             attributes=attributes,
+            quarantine=(
+                ingest_result.quarantine
+                if ingest_result is not None
+                else None
+            ),
+            halted_reason=halted_reason,
+            halted_at_iteration=halted_at,
         )
 
     # -- resilience machinery ------------------------------------------------
@@ -401,9 +446,50 @@ class Bootstrapper:
             for before, after in zip(pages, corrupted_pages)
             if before.html != after.html
         )
+        # "dirt" faults can *grow* the corpus (duplicate-id injection);
+        # appended pages are corruption too, beyond what zip() sees.
+        corrupted += max(len(corrupted_pages) - len(pages), 0)
         if corrupted:
             trace.count("pages_corrupted", pages=corrupted)
         return corrupted_pages
+
+    def _health_trip(
+        self,
+        result: IterationResult,
+        artifacts: _IterationArtifacts,
+        previous: list[IterationResult],
+    ) -> str | None:
+        """Decide whether this cycle trips the health circuit breaker.
+
+        A pure function of the cycle's observables and the previous
+        records, so a checkpoint-resumed run re-derives the identical
+        verdict. Two trip conditions (:class:`~repro.config.
+        HealthConfig`):
+
+        * ``"rejection_rate"`` — the cleaning stages rejected more than
+          ``max_rejection_rate`` of a meaningful candidate sample: the
+          tagger is emitting garbage faster than cleaning can absorb.
+        * ``"yield_collapse"`` — candidate yield fell below
+          ``yield_collapse_ratio`` of the previous cycle's meaningful
+          sample: the model has collapsed.
+        """
+        health = self.config.health
+        if not health.enable_circuit_breaker:
+            return None
+        candidates = result.candidate_extractions
+        kept = len(artifacts.kept_extractions)
+        if candidates >= health.min_rejection_sample:
+            rejection = 1.0 - kept / candidates
+            if rejection > health.max_rejection_rate:
+                return "rejection_rate"
+        if previous:
+            prior = previous[-1].candidate_extractions
+            if (
+                prior >= health.min_yield_sample
+                and candidates < prior * health.yield_collapse_ratio
+            ):
+                return "yield_collapse"
+        return None
 
     def _open_checkpoint(
         self,
@@ -427,6 +513,24 @@ class Bootstrapper:
         return None
 
     # -- stage bodies --------------------------------------------------------
+
+    def _ingest(
+        self, stage, pages: list[ProductPage], trace: PipelineTrace
+    ) -> IngestResult:
+        gate = IngestGate(self.config.ingest)
+        result = gate.process(pages)
+        counts = result.quarantine.counts_by_check()
+        if counts:
+            trace.count("quarantine", **counts)
+        if result.repaired:
+            trace.count("ingest_repair", **result.repaired)
+        stage.add(
+            pages_in=result.pages_in,
+            pages_kept=len(result.pages),
+            quarantined=len(result.quarantine),
+            repaired=result.repaired_total,
+        )
+        return result
 
     def _tokenize(self, stage, pages: list[ProductPage]) -> list[PageText]:
         page_texts = tokenize_pages(pages)

@@ -70,13 +70,21 @@ class PipelineResult:
             return 0.0
         return len(self.triples) / len(covered)
 
+    @property
+    def quarantine(self):
+        """The ingest gate's containment ledger (None when disabled)."""
+        return self.bootstrap.quarantine
+
     def resilience_counters(self) -> dict:
         """Per-stage fault/retry/skip counters observed during the run.
 
-        Returns a dict with four keys: ``"faults"`` (injected faults
+        Returns a dict with seven keys: ``"faults"`` (injected faults
         per stage), ``"retries"`` (stage retries per stage),
-        ``"skips"`` (optional stages degraded to a skip, per stage)
-        and ``"pages_corrupted"`` (pages mangled by a fault plan).
+        ``"skips"`` (optional stages degraded to a skip, per stage),
+        ``"pages_corrupted"`` (pages mangled by a fault plan),
+        ``"quarantined"`` (ingest-gate rejections per check),
+        ``"repaired"`` (ingest-gate normalizations per check) and
+        ``"circuit_breaker"`` (iteration-health trips per reason).
         All empty/zero for an untroubled run.
         """
         if self.trace is None:
@@ -85,6 +93,9 @@ class PipelineResult:
                 "retries": {},
                 "skips": {},
                 "pages_corrupted": 0,
+                "quarantined": {},
+                "repaired": {},
+                "circuit_breaker": {},
             }
         return {
             "faults": self.trace.counter_totals("fault_injected"),
@@ -93,6 +104,11 @@ class PipelineResult:
             "pages_corrupted": self.trace.counter_totals(
                 "pages_corrupted"
             ).get("pages", 0),
+            "quarantined": self.trace.counter_totals("quarantine"),
+            "repaired": self.trace.counter_totals("ingest_repair"),
+            "circuit_breaker": self.trace.counter_totals(
+                "circuit_breaker"
+            ),
         }
 
     def slim(self) -> "PipelineResult":

@@ -17,6 +17,7 @@ Entry points:
 """
 
 from .categories import category_names, get_schema, schemas_for_locale
+from .dirt import DIRT_CHECKS, DIRT_KINDS, DirtReport, dirty_pages
 from .marketplace import CategoryDataset, GeneratedPage, Marketplace
 from .querylog import QueryLog
 from .schema import (
@@ -34,7 +35,11 @@ __all__ = [
     "CategoryDataset",
     "CategorySchema",
     "CompositeValues",
+    "DIRT_CHECKS",
+    "DIRT_KINDS",
+    "DirtReport",
     "GeneratedPage",
+    "dirty_pages",
     "Marketplace",
     "NumericValues",
     "QueryLog",

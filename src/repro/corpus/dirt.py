@@ -1,0 +1,269 @@
+"""Seeded corruption of generated pages — the dirty-corpus generator.
+
+The marketplace generator produces *plausible* noise (merchant markup
+quirks the pipeline must extract through). This module produces
+*damage*: the pathologies of real crawled corpora that the ingest gate
+must contain. Each dirt kind is engineered to trip exactly one gate
+check, so chaos tests can assert the quarantine/repair ledger matches
+the injection ledger entry-for-entry:
+
+=================  ====================  =========================
+dirt kind          gate check            gate disposition
+=================  ====================  =========================
+``truncate``       ``truncated_markup``  repairable (cut the scar)
+``unclosed_tags``  ``unclosed_tags``     repairable (close them)
+``entity_garbage`` ``entity_garbage``    repairable (strip them)
+``mojibake``       ``mojibake``          repairable (strip U+FFFD)
+``duplicate_id``   ``duplicate_id``      quarantined always
+``megapage``       ``page_bytes``        quarantined always
+=================  ====================  =========================
+
+Everything flows from one ``random.Random(seed)``: the same pages,
+rate and seed produce the same dirty corpus and the same
+:class:`DirtReport`, which is what makes a 20 %-dirt bootstrap run
+checkpoint/resume bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..types import ProductPage
+
+#: All corruption kinds, in round-robin assignment order.
+DIRT_KINDS = (
+    "truncate",
+    "unclosed_tags",
+    "entity_garbage",
+    "mojibake",
+    "duplicate_id",
+    "megapage",
+)
+
+#: Which ingest-gate check each dirt kind trips.
+DIRT_CHECKS = {
+    "truncate": "truncated_markup",
+    "unclosed_tags": "unclosed_tags",
+    "entity_garbage": "entity_garbage",
+    "mojibake": "mojibake",
+    "duplicate_id": "duplicate_id",
+    "megapage": "page_bytes",
+}
+
+#: Dirt kinds whose damage the ``repair`` policy can normalize away.
+REPAIRABLE_KINDS = frozenset(
+    {"truncate", "unclosed_tags", "entity_garbage", "mojibake"}
+)
+
+#: Nested opens appended by ``unclosed_tags`` — over the gate's default
+#: unclosed threshold (12), under its DOM depth bound (100).
+_UNCLOSED_BURST = 24
+
+#: Malformed entity soup appended by ``entity_garbage`` — ~3 bad
+#: references per unit, 8 units: safely over the default threshold (16).
+_ENTITY_SOUP = "&#zz;&;&&" * 8
+
+#: Alphanumeric bytes smashed to 0xFF by ``mojibake``.
+_MOJIBAKE_BYTES = 24
+
+#: Default size ``megapage`` inflates to — over the gate's default
+#: ``max_page_bytes`` (1 MB).
+_MEGAPAGE_BYTES = 1_500_000
+
+_TAG_OPEN_RE = re.compile(r"<[a-zA-Z/]")
+
+
+@dataclass(frozen=True)
+class DirtReport:
+    """Ledger of injected corruption — the test oracle.
+
+    Attributes:
+        applied: ``{kind: (page ids...)}`` of every corruption applied.
+            For ``duplicate_id`` the id is the duplicated product's.
+        rate: requested dirty fraction.
+        seed: RNG seed the corruption flowed from.
+    """
+
+    applied: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    rate: float = 0.0
+    seed: int = 0
+
+    def counts(self) -> dict[str, int]:
+        """``{dirt kind: pages corrupted}``."""
+        return {
+            kind: len(ids) for kind, ids in self.applied.items() if ids
+        }
+
+    def expected_checks(self) -> dict[str, int]:
+        """``{gate check: count}`` the ingest gate must report.
+
+        Under ``drop`` this is the expected quarantine census; under
+        ``repair`` the repairable rows move to the repaired census and
+        the rest stay quarantined.
+        """
+        expected: dict[str, int] = {}
+        for kind, ids in self.applied.items():
+            if not ids:
+                continue
+            check = DIRT_CHECKS[kind]
+            expected[check] = expected.get(check, 0) + len(ids)
+        return expected
+
+    @property
+    def total(self) -> int:
+        return sum(len(ids) for ids in self.applied.values())
+
+
+def dirty_pages(
+    pages: Sequence[ProductPage],
+    rate: float,
+    seed: int = 0,
+    kinds: Sequence[str] = DIRT_KINDS,
+    megapage_bytes: int = _MEGAPAGE_BYTES,
+) -> tuple[list[ProductPage], DirtReport]:
+    """Corrupt a deterministic fraction of ``pages``.
+
+    Victims are sampled without replacement from the seeded RNG and
+    kinds are assigned round-robin (shuffled once per call), so every
+    requested kind appears as soon as the victim count allows.
+    ``duplicate_id`` *appends* a copy rather than replacing a page, so
+    the returned corpus can be longer than the input.
+
+    Args:
+        pages: the clean corpus.
+        rate: fraction of pages to corrupt, in [0, 1].
+        seed: RNG seed; same inputs + seed → same dirty corpus.
+        kinds: subset of :data:`DIRT_KINDS` to draw from.
+        megapage_bytes: size the ``megapage`` kind inflates to.
+
+    Returns:
+        ``(dirty_pages, report)`` — the corrupted corpus (input order
+        preserved, duplicates appended at the end) and the injection
+        ledger.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"dirt rate must be in [0, 1], got {rate!r}")
+    unknown = [kind for kind in kinds if kind not in DIRT_KINDS]
+    if unknown:
+        raise ConfigError(
+            f"unknown dirt kinds {unknown!r}; known: {DIRT_KINDS}"
+        )
+    if not kinds:
+        raise ConfigError("at least one dirt kind is required")
+
+    rng = random.Random(seed)
+    result = list(pages)
+    applied: dict[str, list[str]] = {kind: [] for kind in kinds}
+    count = round(len(result) * rate)
+    if count > 0:
+        victims = rng.sample(range(len(result)), min(count, len(result)))
+        cycle = list(kinds)
+        rng.shuffle(cycle)
+        duplicates: list[ProductPage] = []
+        for slot, index in enumerate(victims):
+            kind = cycle[slot % len(cycle)]
+            page = result[index]
+            if kind == "duplicate_id":
+                duplicates.append(page)
+            else:
+                result[index] = ProductPage(
+                    product_id=page.product_id,
+                    category=page.category,
+                    html=_corrupt(
+                        page.html, kind, rng, megapage_bytes
+                    ),
+                    locale=page.locale,
+                )
+            applied[kind].append(page.product_id)
+        result.extend(duplicates)
+    report = DirtReport(
+        applied={kind: tuple(ids) for kind, ids in applied.items()},
+        rate=rate,
+        seed=seed,
+    )
+    return result, report
+
+
+def _corrupt(
+    html: str, kind: str, rng: random.Random, megapage_bytes: int
+) -> str:
+    if kind == "truncate":
+        return _truncate(html, rng)
+    if kind == "unclosed_tags":
+        return html + "<div>" * _UNCLOSED_BURST
+    if kind == "entity_garbage":
+        return html + _ENTITY_SOUP
+    if kind == "mojibake":
+        return _mangle_encoding(html, rng)
+    if kind == "megapage":
+        deficit = megapage_bytes - len(html.encode("utf-8"))
+        return html + "<div>" + "x" * max(deficit, 1) + "</div>"
+    raise ConfigError(f"unhandled dirt kind {kind!r}")
+
+
+def _truncate(html: str, rng: random.Random) -> str:
+    """Cut the document mid-tag, leaving an unterminated-tag scar."""
+    starts = [
+        match.start()
+        for match in _TAG_OPEN_RE.finditer(html)
+        if match.start() > len(html) // 2
+    ]
+    if not starts:
+        starts = [
+            match.start() for match in _TAG_OPEN_RE.finditer(html)
+        ]
+    if not starts:
+        # No tags at all: append a scar instead of cutting.
+        return html + "<di"
+    pick = rng.choice(starts)
+    # Keep at least one letter of the tag name so the scar is
+    # recognizably a tag start, never just "<" or "</".
+    cut = pick + (3 if html[pick + 1] == "/" else 2)
+    return html[:cut]
+
+
+def _mangle_encoding(html: str, rng: random.Random) -> str:
+    """Smash text-content bytes to 0xFF and decode with replacement.
+
+    Only alphanumeric bytes *outside* tags and entity references are
+    smashed, so the damage decodes to U+FFFD replacement characters
+    without breaking markup structure — the page trips the gate's
+    ``mojibake`` check and nothing else, even after repair strips the
+    replacement characters back out.
+    """
+    raw = bytearray(html.encode("utf-8"))
+    candidates: list[int] = []
+    in_tag = False
+    entity_left = 0
+    for index, value in enumerate(raw):
+        if value == 0x3C:  # <
+            in_tag = True
+            continue
+        if value == 0x3E:  # >
+            in_tag = False
+            continue
+        if value == 0x26:  # & — skip a potential entity reference
+            entity_left = 10
+            continue
+        if entity_left:
+            entity_left = 0 if value == 0x3B else entity_left - 1  # ;
+            continue
+        if in_tag:
+            continue
+        if (
+            0x30 <= value <= 0x39
+            or 0x41 <= value <= 0x5A
+            or 0x61 <= value <= 0x7A
+        ):
+            candidates.append(index)
+    if not candidates:
+        return html + "�"
+    for index in rng.sample(
+        candidates, min(_MOJIBAKE_BYTES, len(candidates))
+    ):
+        raw[index] = 0xFF
+    return raw.decode("utf-8", errors="replace")

@@ -13,6 +13,14 @@ pages into ``pages.jsonl`` (ground-truth fields optional), and
 :func:`load_pages` returns what :class:`~repro.PAEPipeline.run` needs.
 Schemas are resolved by name from the registry, so loaded synthetic
 datasets keep their validators; real-data directories simply omit them.
+
+Real crawl dumps contain garbage rows — truncated JSON, non-object
+lines, missing keys. Both loaders route them through the same policy
+vocabulary as the ingest gate: ``strict`` (default) raises a
+:class:`~repro.errors.DatasetError` naming the file and 1-based line
+number; ``repair``/``drop`` skip the row and, when a
+:class:`~repro.ingest.Quarantine` ledger is passed, record it there
+with ``check="jsonl"`` diagnostics.
 """
 
 from __future__ import annotations
@@ -20,13 +28,17 @@ from __future__ import annotations
 import json
 import pathlib
 from collections import Counter
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from ..errors import ReproError
+from ..config import INGEST_POLICIES
+from ..errors import ConfigError, DatasetError, ReproError
 from ..types import ProductPage, Triple
 from .categories import get_schema
 from .marketplace import CategoryDataset, GeneratedPage
 from .querylog import QueryLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ingest import Quarantine
 
 _FORMAT_VERSION = 1
 
@@ -78,13 +90,100 @@ def save_dataset(
     )
 
 
-def load_dataset(directory: str | pathlib.Path) -> CategoryDataset:
+def _parse_row(
+    line: str,
+    number: int,
+    path: pathlib.Path,
+    required: tuple[str, ...],
+) -> dict:
+    """Decode one JSONL row, raising a located :class:`DatasetError`."""
+    try:
+        record = json.loads(line)
+    except ValueError as error:
+        raise DatasetError(
+            f"malformed JSONL row: {error}", str(path), number
+        ) from error
+    if not isinstance(record, dict):
+        raise DatasetError(
+            f"JSONL row is not an object "
+            f"(got {type(record).__name__})",
+            str(path),
+            number,
+        )
+    missing = [key for key in required if key not in record]
+    if missing:
+        raise DatasetError(
+            f"JSONL row is missing required keys {missing}",
+            str(path),
+            number,
+        )
+    for key in required:
+        if not isinstance(record[key], str):
+            raise DatasetError(
+                f"JSONL field {key!r} must be a string "
+                f"(got {type(record[key]).__name__})",
+                str(path),
+                number,
+            )
+    return record
+
+
+def _row_policy_skip(
+    error: DatasetError,
+    policy: str,
+    quarantine: "Quarantine | None",
+) -> None:
+    """Handle one bad row under the ingest policy vocabulary.
+
+    ``strict`` re-raises; ``repair``/``drop`` (a serialized row has
+    nothing to repair, so they behave identically here) record the row
+    in the ledger, when one was passed, and skip it.
+    """
+    if policy == "strict":
+        raise error
+    if quarantine is not None:
+        from ..ingest import QuarantineEntry
+
+        quarantine.add(
+            QuarantineEntry(
+                page_id=f"line-{error.line}",
+                check="jsonl",
+                error=type(error).__name__,
+                detail=str(error),
+                source=error.path,
+                line=error.line,
+            )
+        )
+
+
+def _check_policy(policy: str) -> None:
+    if policy not in INGEST_POLICIES:
+        raise ConfigError(
+            f"policy must be one of {INGEST_POLICIES}, got {policy!r}"
+        )
+
+
+def load_dataset(
+    directory: str | pathlib.Path,
+    policy: str = "strict",
+    quarantine: "Quarantine | None" = None,
+) -> CategoryDataset:
     """Load a dataset saved by :func:`save_dataset`.
+
+    Args:
+        directory: the saved dataset directory.
+        policy: bad-row handling — ``strict`` raises, ``repair``/
+            ``drop`` skip the row (see the module docstring).
+        quarantine: optional ledger skipped rows are recorded in.
 
     Raises:
         ReproError: when the directory is missing files or carries an
             unsupported format version.
+        DatasetError: under ``strict``, for a row that is not valid
+            JSON, not an object, or missing required keys — the error
+            names the file and 1-based line number.
     """
+    _check_policy(policy)
     directory = pathlib.Path(directory)
     meta_path = directory / "meta.json"
     pages_path = directory / "pages.jsonl"
@@ -96,9 +195,14 @@ def load_dataset(directory: str | pathlib.Path) -> CategoryDataset:
             f"unsupported dataset format {meta.get('format_version')!r}"
         )
     pages = []
+    required = ("product_id", "category", "html", "locale")
     with open(pages_path, encoding="utf-8") as lines:
-        for line in lines:
-            record = json.loads(line)
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = _parse_row(line, number, pages_path, required)
+            except DatasetError as error:
+                _row_policy_skip(error, policy, quarantine)
+                continue
             page = ProductPage(
                 record["product_id"],
                 record["category"],
@@ -140,18 +244,28 @@ def load_dataset(directory: str | pathlib.Path) -> CategoryDataset:
 
 def load_pages(
     path: str | pathlib.Path,
+    policy: str = "strict",
+    quarantine: "Quarantine | None" = None,
 ) -> tuple[list[ProductPage], QueryLog]:
     """Schema-free loader for real page collections.
 
     Args:
         path: a ``pages.jsonl`` file, or a directory containing one
             (plus an optional ``querylog.json``).
+        policy: bad-row handling — ``strict`` raises, ``repair``/
+            ``drop`` skip the row (see the module docstring).
+        quarantine: optional ledger skipped rows are recorded in.
 
     Returns:
         ``(pages, query_log)`` ready for
         :meth:`~repro.PAEPipeline.run`. Ground-truth fields in the
         records, if any, are ignored.
+
+    Raises:
+        DatasetError: under ``strict``, for a malformed row — the
+            error names the file and 1-based line number.
     """
+    _check_policy(policy)
     path = pathlib.Path(path)
     directory = path if path.is_dir() else path.parent
     pages_path = path / "pages.jsonl" if path.is_dir() else path
@@ -159,8 +273,14 @@ def load_pages(
         raise ReproError(f"no pages.jsonl at {path}")
     pages: list[ProductPage] = []
     with open(pages_path, encoding="utf-8") as lines:
-        for line in lines:
-            record = json.loads(line)
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = _parse_row(
+                    line, number, pages_path, ("product_id", "html")
+                )
+            except DatasetError as error:
+                _row_policy_skip(error, policy, quarantine)
+                continue
             pages.append(
                 ProductPage(
                     record["product_id"],

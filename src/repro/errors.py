@@ -26,6 +26,58 @@ class HtmlParseError(ReproError):
     """
 
 
+class HtmlLimitError(HtmlParseError):
+    """A document blew one of the parser's hard resource bounds.
+
+    Attributes:
+        limit: the bound that was exceeded (``"input_chars"``,
+            ``"open_depth"`` or ``"parse_seconds"``).
+        value: the observed size/depth/duration.
+        maximum: the configured bound.
+    """
+
+    def __init__(self, limit: str, value: float, maximum: float):
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum
+        super().__init__(
+            f"document exceeds {limit} bound: {value:g} > {maximum:g}"
+        )
+
+
+class DatasetError(ReproError):
+    """A serialized dataset row could not be decoded.
+
+    Attributes:
+        path: the file the row came from.
+        line: 1-based line number of the offending row (None for
+            file-level problems).
+    """
+
+    def __init__(self, message: str, path: str, line: int | None = None):
+        self.path = path
+        self.line = line
+        where = path if line is None else f"{path}:{line}"
+        super().__init__(f"{message} [{where}]")
+
+
+class PageQuarantinedError(ReproError):
+    """A page failed the ingest gate under the ``strict`` policy.
+
+    Attributes:
+        page_id: product id of the failing page.
+        check: the gate check that rejected it.
+    """
+
+    def __init__(self, page_id: str, check: str, detail: str):
+        self.page_id = page_id
+        self.check = check
+        self.detail = detail
+        super().__init__(
+            f"page {page_id!r} failed ingest check {check!r}: {detail}"
+        )
+
+
 class TokenizationError(ReproError):
     """A locale tokenizer was asked to process unsupported input."""
 

@@ -9,13 +9,27 @@ merchant markup):
 * ``<tr>``/``<td>``/``<th>``/``<li>``/``<p>`` implicitly close a
   same-tag sibling;
 * at end of input all remaining open tags are closed.
+
+Recovery is bounded, not unconditional: a document larger than
+``max_length`` characters or nesting open elements deeper than
+``max_depth`` raises :class:`~repro.errors.HtmlLimitError` instead of
+grinding through it. Real merchant pages sit orders of magnitude below
+the defaults; only hostile or corrupted input hits them. Pass ``None``
+to disable either bound.
 """
 
 from __future__ import annotations
 
+from ..errors import HtmlLimitError
 from .dom import Element, Text
 from .entities import decode_entities
 from .lexer import tokenize_html
+
+#: Default maximum document size, in characters (~5 MB of markup).
+DEFAULT_MAX_LENGTH = 5_000_000
+
+#: Default maximum open-element nesting depth.
+DEFAULT_MAX_DEPTH = 150
 
 #: Tags that implicitly close an open sibling of the same tag.
 _SELF_NESTING = frozenset({"tr", "td", "th", "li", "p", "option"})
@@ -27,12 +41,28 @@ _IMPLIED_CLOSERS = {
 }
 
 
-def parse_html(markup: str) -> Element:
+def parse_html(
+    markup: str,
+    *,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+) -> Element:
     """Parse ``markup`` into a DOM tree rooted at a synthetic ``#root``.
 
-    Never raises on malformed markup; see the module docstring for the
-    recovery rules applied.
+    Never raises on *malformed* markup (see the module docstring for
+    the recovery rules applied), but *oversized* markup is rejected:
+
+    Args:
+        markup: the document.
+        max_length: maximum input size in characters; None disables.
+        max_depth: maximum open-element nesting depth; None disables.
+
+    Raises:
+        HtmlLimitError: when the input exceeds ``max_length`` or the
+            open-element stack exceeds ``max_depth``.
     """
+    if max_length is not None and len(markup) > max_length:
+        raise HtmlLimitError("input_chars", len(markup), max_length)
     root = Element("#root")
     stack: list[Element] = [root]
     for token in tokenize_html(markup):
@@ -48,6 +78,10 @@ def parse_html(markup: str) -> Element:
             element = Element(token.value, dict(token.attrs))
             stack[-1].append(element)
             if not token.self_closing:
+                if max_depth is not None and len(stack) > max_depth:
+                    raise HtmlLimitError(
+                        "open_depth", len(stack), max_depth
+                    )
                 stack.append(element)
             continue
         # End tag: find the nearest matching open tag; drop if absent.

@@ -1,0 +1,21 @@
+"""Dirty-input hardening: the ingest gate and page quarantine.
+
+Public surface:
+
+* :class:`IngestGate` — validates/normalizes pages under a policy
+  (``strict`` / ``repair`` / ``drop``) with resource guards.
+* :class:`IngestResult` — gated pages plus diagnostics.
+* :class:`Quarantine` / :class:`QuarantineEntry` — the containment
+  ledger that round-trips through checkpoints.
+"""
+
+from .gate import FIXABLE_CHECKS, IngestGate, IngestResult
+from .quarantine import Quarantine, QuarantineEntry
+
+__all__ = [
+    "FIXABLE_CHECKS",
+    "IngestGate",
+    "IngestResult",
+    "Quarantine",
+    "QuarantineEntry",
+]

@@ -1,0 +1,358 @@
+"""The ingest gate: validate and normalize pages before the pipeline.
+
+The pipeline downstream of this gate may assume every page is sane:
+bounded in size, parseable within a wall-clock budget, nested within
+reason, free of mojibake and entity garbage, and unique by product id.
+The gate enforces those invariants under one of three policies
+(:class:`~repro.config.IngestConfig`):
+
+* ``strict`` — the first failing page raises
+  :class:`~repro.errors.PageQuarantinedError`;
+* ``repair`` — fixable damage is normalized in place (truncated tag
+  tails cut, unclosed elements closed, entity garbage and replacement
+  characters stripped) and only unfixable pages are quarantined;
+* ``drop`` — any failing page is quarantined untouched.
+
+Checks, in evaluation order:
+
+``page_bytes``        UTF-8 size over ``max_page_bytes`` (unfixable)
+``duplicate_id``      product id already seen in this collection
+                      (unfixable — the duplicate occurrence goes)
+``mojibake``          U+FFFD replacement characters (fixable)
+``entity_garbage``    malformed entity references over
+                      ``max_bad_entities`` (fixable)
+``truncated_markup``  document ends inside an unterminated tag
+                      (fixable)
+``unclosed_tags``     open elements at end of input over
+                      ``max_unclosed_tags`` (fixable)
+``parse_seconds``     parse exceeded ``parse_budget_seconds``
+                      (unfixable; SIGALRM, main thread only)
+``open_depth``        DOM nesting over ``max_dom_depth`` (unfixable)
+``table_rows``        a table over ``max_table_rows`` rows (unfixable)
+
+Every rejection lands in a :class:`~repro.ingest.quarantine.Quarantine`
+ledger with structured diagnostics; the gate itself never raises except
+under ``strict``.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..config import IngestConfig
+from ..errors import HtmlLimitError, PageQuarantinedError
+from ..html.lexer import tokenize_html
+from ..html.parser import _IMPLIED_CLOSERS, _SELF_NESTING, parse_html
+from ..types import ProductPage
+from .quarantine import Quarantine, QuarantineEntry
+
+#: Checks whose damage the ``repair`` policy can normalize away.
+FIXABLE_CHECKS = (
+    "mojibake",
+    "entity_garbage",
+    "truncated_markup",
+    "unclosed_tags",
+)
+
+#: Malformed entity references: ``&;``, ``&&``, ``&#`` or ``&#x``
+#: followed by nothing numeric. Valid references (``&nbsp;``,
+#: ``&#1234;``) and prose ampersands ("A & B") never match.
+_BAD_ENTITY_RE = re.compile(
+    r"&(?:#[xX](?![0-9a-fA-F])|#(?![0-9xX])|;|(?=&))"
+)
+
+#: A trailing ``<`` that opens a tag but never closes: truncation scar.
+_TAG_START_RE = re.compile(r"</?[a-zA-Z]")
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What the gate produced from one page collection.
+
+    Attributes:
+        pages: pages that passed (possibly repaired), input order kept.
+        quarantine: ledger of rejected pages with diagnostics.
+        repaired: ``{check: page count}`` of normalizations applied
+            (empty under ``strict``/``drop``).
+        pages_in: size of the input collection.
+    """
+
+    pages: list[ProductPage]
+    quarantine: Quarantine
+    repaired: dict[str, int] = field(default_factory=dict)
+    pages_in: int = 0
+
+    @property
+    def repaired_total(self) -> int:
+        return sum(self.repaired.values())
+
+
+@contextmanager
+def _parse_budget(seconds: float) -> Iterator[None]:
+    """Bound a parse with SIGALRM, preserving any outer timer.
+
+    The pipeline's test watchdog and this budget share the one ITIMER_REAL
+    slot, so the previous handler *and* remaining time are restored on
+    exit. Off the main thread (or without SIGALRM) the budget is a
+    no-op — the runner's job deadline is the containment there.
+    """
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise HtmlLimitError("parse_seconds", seconds, seconds)
+
+    previous_handler = signal.getsignal(signal.SIGALRM)
+    outer_remaining = signal.getitimer(signal.ITIMER_REAL)[0]
+    started = time.monotonic()
+    budget = (
+        min(seconds, outer_remaining) if outer_remaining > 0 else seconds
+    )
+    signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if outer_remaining > 0:
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(0.001, outer_remaining - elapsed),
+            )
+
+
+def _mojibake_offset(html: str) -> int | None:
+    """Offset of the first U+FFFD replacement character, if any."""
+    offset = html.find("�")
+    return None if offset == -1 else offset
+
+
+def _bad_entities(html: str) -> list[int]:
+    """Offsets of malformed entity references."""
+    return [match.start() for match in _BAD_ENTITY_RE.finditer(html)]
+
+
+def _truncation_offset(html: str) -> int | None:
+    """Offset of a trailing unterminated tag, if the document has one."""
+    lt = html.rfind("<")
+    if lt == -1 or ">" in html[lt:]:
+        return None
+    if _TAG_START_RE.match(html, lt) is None:
+        return None
+    return lt
+
+
+def _unclosed_elements(html: str) -> list[str]:
+    """Open (non-void, non-self-closing) elements left at end of input.
+
+    Mirrors the parser's stack discipline — implied closers and
+    auto-closing end tags included — so the count matches exactly what
+    :func:`parse_html` would force-close at EOF.
+    """
+    stack: list[str] = []
+    for token in tokenize_html(html):
+        if token.kind == "start":
+            closers = _IMPLIED_CLOSERS.get(token.value, frozenset())
+            while stack and stack[-1] in closers:
+                stack.pop()
+            if (
+                token.value in _SELF_NESTING
+                and stack
+                and stack[-1] == token.value
+            ):
+                stack.pop()
+            if not token.self_closing:
+                stack.append(token.value)
+        elif token.kind == "end":
+            for depth in range(len(stack) - 1, -1, -1):
+                if stack[depth] == token.value:
+                    del stack[depth:]
+                    break
+    return stack
+
+
+class IngestGate:
+    """Validates and normalizes a page collection under a policy.
+
+    Args:
+        config: gate configuration; defaults reproduce the shipped
+            ``repair`` policy with generous resource bounds.
+    """
+
+    def __init__(self, config: IngestConfig | None = None):
+        self.config = config or IngestConfig()
+
+    def process(self, pages: Sequence[ProductPage]) -> IngestResult:
+        """Gate every page; never raises except under ``strict``.
+
+        Returns:
+            An :class:`IngestResult` whose ``pages`` preserve input
+            order (minus quarantined pages) and whose ``quarantine``
+            records every rejection with diagnostics.
+        """
+        kept: list[ProductPage] = []
+        quarantine = Quarantine()
+        repaired: dict[str, int] = {}
+        seen_ids: set[str] = set()
+        for index, page in enumerate(pages):
+            entry, result_page, page_repairs = self._gate_page(
+                page, seen_ids
+            )
+            if entry is not None:
+                if self.config.policy == "strict":
+                    raise PageQuarantinedError(
+                        entry.page_id, entry.check, entry.detail
+                    )
+                quarantine.add(entry)
+                continue
+            assert result_page is not None
+            seen_ids.add(result_page.product_id)
+            kept.append(result_page)
+            for check in page_repairs:
+                repaired[check] = repaired.get(check, 0) + 1
+        return IngestResult(
+            pages=kept,
+            quarantine=quarantine,
+            repaired=repaired,
+            pages_in=len(pages),
+        )
+
+    # -- per-page machinery --------------------------------------------
+
+    def _gate_page(
+        self, page: ProductPage, seen_ids: set[str]
+    ) -> tuple[QuarantineEntry | None, ProductPage | None, list[str]]:
+        """Gate one page.
+
+        Returns ``(quarantine_entry, kept_page, repairs)`` where
+        exactly one of the first two is non-None.
+        """
+        config = self.config
+        html = page.html
+        repairs: list[str] = []
+
+        # Unfixable pre-checks on the untouched page.
+        size = len(html.encode("utf-8", errors="surrogatepass"))
+        if size > config.max_page_bytes:
+            return self._reject(
+                page, "page_bytes",
+                f"page is {size} bytes (max {config.max_page_bytes})",
+            ), None, repairs
+        if page.product_id in seen_ids:
+            return self._reject(
+                page, "duplicate_id",
+                f"product id {page.product_id!r} already seen "
+                "in this collection",
+            ), None, repairs
+
+        # Fixable structural damage.
+        allow_repair = config.policy == "repair"
+        offset = _mojibake_offset(html)
+        if offset is not None:
+            if not allow_repair:
+                return self._reject(
+                    page, "mojibake",
+                    "page contains U+FFFD replacement characters "
+                    "(byte-level encoding damage)",
+                    byte_offset=offset,
+                ), None, repairs
+            html = html.replace("�", "")
+            repairs.append("mojibake")
+        bad_entities = _bad_entities(html)
+        if len(bad_entities) > config.max_bad_entities:
+            if not allow_repair:
+                return self._reject(
+                    page, "entity_garbage",
+                    f"{len(bad_entities)} malformed entity references "
+                    f"(max {config.max_bad_entities})",
+                    byte_offset=bad_entities[0],
+                ), None, repairs
+            html = _BAD_ENTITY_RE.sub("", html)
+            repairs.append("entity_garbage")
+        offset = _truncation_offset(html)
+        if offset is not None:
+            if not allow_repair:
+                return self._reject(
+                    page, "truncated_markup",
+                    "document ends inside an unterminated tag",
+                    byte_offset=offset,
+                ), None, repairs
+            html = html[:offset]
+            repairs.append("truncated_markup")
+        unclosed = _unclosed_elements(html)
+        if len(unclosed) > config.max_unclosed_tags:
+            if not allow_repair:
+                return self._reject(
+                    page, "unclosed_tags",
+                    f"{len(unclosed)} unclosed elements at end of "
+                    f"input (max {config.max_unclosed_tags})",
+                ), None, repairs
+            html = html + "".join(
+                f"</{tag}>" for tag in reversed(unclosed)
+            )
+            repairs.append("unclosed_tags")
+
+        # Unfixable parse-level guards, on the (possibly repaired) html.
+        try:
+            with _parse_budget(config.parse_budget_seconds):
+                root = parse_html(
+                    html,
+                    max_length=None,
+                    max_depth=config.max_dom_depth,
+                )
+        except HtmlLimitError as error:
+            return self._reject(
+                page, error.limit, str(error), error=error
+            ), None, repairs
+        except Exception as error:  # noqa: BLE001 - contain, never crash
+            # The parser promises not to raise on malformed markup; if
+            # it ever does, that page is exactly what quarantine is for.
+            return self._reject(
+                page, "parse_error", str(error), error=error
+            ), None, repairs
+        for table in root.find_all("table"):
+            rows = len(table.find_all("tr"))
+            if rows > config.max_table_rows:
+                return self._reject(
+                    page, "table_rows",
+                    f"table has {rows} rows "
+                    f"(max {config.max_table_rows})",
+                ), None, repairs
+
+        if html is not page.html:
+            page = ProductPage(
+                product_id=page.product_id,
+                category=page.category,
+                html=html,
+                locale=page.locale,
+            )
+        return None, page, repairs
+
+    def _reject(
+        self,
+        page: ProductPage,
+        check: str,
+        detail: str,
+        byte_offset: int | None = None,
+        error: Exception | None = None,
+    ) -> QuarantineEntry:
+        return QuarantineEntry(
+            page_id=page.product_id,
+            check=check,
+            error=type(error).__name__ if error is not None else check,
+            detail=detail,
+            byte_offset=byte_offset,
+        )

@@ -1,0 +1,124 @@
+"""Structured containment for pages the ingest gate rejects.
+
+A quarantined page is evidence, not garbage: every rejection is kept as
+a :class:`QuarantineEntry` with enough diagnostics (page id, failing
+check, exception type, byte offset) to reproduce and triage the
+failure offline. The :class:`Quarantine` ledger is plain data — JSON
+round-trippable (so it survives checkpoints), order-preserving and
+comparable — which is what lets the chaos suite assert "exactly the
+injected corruption was contained, nothing else".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantineEntry:
+    """One contained page (or serialized row) with its diagnostics.
+
+    Attributes:
+        page_id: product id of the page (or a synthetic ``line-N`` id
+            for rows that failed before an id could be read).
+        check: the gate check that failed (``"page_bytes"``,
+            ``"truncated_markup"``, ``"jsonl"``, …).
+        error: exception type name, or the check name for checks that
+            reject without raising.
+        detail: human-readable failure description.
+        byte_offset: position of the offending content within the
+            page, when the check can localize it.
+        source: where the page came from (``"ingest"`` for in-memory
+            gating, a file path for loader rejects).
+        line: 1-based line number for loader rejects.
+    """
+
+    page_id: str
+    check: str
+    error: str
+    detail: str
+    byte_offset: int | None = None
+    source: str = "ingest"
+    line: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "QuarantineEntry":
+        return cls(
+            page_id=record["page_id"],
+            check=record["check"],
+            error=record["error"],
+            detail=record["detail"],
+            byte_offset=record.get("byte_offset"),
+            source=record.get("source", "ingest"),
+            line=record.get("line"),
+        )
+
+
+class Quarantine:
+    """An append-only ledger of contained pages.
+
+    Picklable, JSON round-trippable and order-preserving; two ledgers
+    compare equal iff their entries match exactly, which is the
+    property the checkpoint/resume contract asserts.
+    """
+
+    def __init__(self, entries: list[QuarantineEntry] | None = None):
+        self.entries: list[QuarantineEntry] = list(entries or [])
+
+    def add(self, entry: QuarantineEntry) -> None:
+        self.entries.append(entry)
+
+    def counts_by_check(self) -> dict[str, int]:
+        """``{check: rejected page count}`` across the ledger."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.check] = counts.get(entry.check, 0) + 1
+        return counts
+
+    def page_ids(self) -> set[str]:
+        return {entry.page_id for entry in self.entries}
+
+    # -- serialisation -------------------------------------------------
+
+    def to_payload(self) -> list[dict]:
+        """A JSON-ready view (checkpoints, traces, reports)."""
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_payload(cls, payload: list[dict]) -> "Quarantine":
+        return cls([QuarantineEntry.from_dict(rec) for rec in payload])
+
+    def digest(self) -> str:
+        """Stable SHA-256 of the ledger contents (checkpoint identity)."""
+        text = json.dumps(
+            self.to_payload(), sort_keys=True, ensure_ascii=False
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- dunder plumbing ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[QuarantineEntry]:
+        return iter(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Quarantine):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Quarantine(entries={len(self.entries)}, "
+            f"checks={self.counts_by_check()})"
+        )

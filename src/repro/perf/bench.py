@@ -74,6 +74,11 @@ def run_mode(
     stage_totals: dict[str, float] = {}
     per_iteration: dict[int, float] = {}
     cache = {"hits": 0, "misses": 0}
+    containment: dict[str, dict[str, int]] = {
+        "quarantined": {},
+        "repaired": {},
+        "circuit_breaker": {},
+    }
     triples = []
     start = time.perf_counter()
     for category in categories:
@@ -91,6 +96,10 @@ def run_mode(
         counters = result.perf_counters()["feature_cache"]
         cache["hits"] += counters["hits"]
         cache["misses"] += counters["misses"]
+        resilience = result.resilience_counters()
+        for key, bucket in containment.items():
+            for name, count in resilience.get(key, {}).items():
+                bucket[name] = bucket.get(name, 0) + count
         triples.append(
             sorted(
                 (t.product_id, t.attribute, t.value)
@@ -111,6 +120,11 @@ def run_mode(
             if iteration >= 2
         ),
         "cache": cache,
+        # Dirty-input containment counters (all empty on the clean
+        # bench corpus — their presence is the regression guard: a
+        # default-config bench that quarantines pages or trips the
+        # circuit breaker is measuring a different pipeline).
+        "containment": containment,
         "triples": triples,
     }
 

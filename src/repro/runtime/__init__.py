@@ -33,6 +33,7 @@ _LAZY = {
     "CategoryRunner": "runner",
     "parallel_map": "runner",
     "default_workers": "runner",
+    "summarize_outcomes": "runner",
     "CheckpointStore": "checkpoint",
     "ResumeState": "checkpoint",
     "run_fingerprint": "checkpoint",
@@ -52,6 +53,7 @@ __all__ = [
     "CategoryRunner",
     "parallel_map",
     "default_workers",
+    "summarize_outcomes",
     "CheckpointStore",
     "ResumeState",
     "run_fingerprint",

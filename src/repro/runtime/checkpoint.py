@@ -269,6 +269,9 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         for path in self._snapshot_paths():
             path.unlink()
+        stale_quarantine = self.directory / "quarantine.json"
+        if stale_quarantine.exists():
+            stale_quarantine.unlink()
         self._write_json(
             "meta.json",
             {
@@ -296,6 +299,58 @@ class CheckpointStore:
         self._write_json(
             f"iteration_{result.iteration:04d}.json.gz", payload
         )
+
+    def record_quarantine(self, entries: list[dict]) -> None:
+        """Persist — or, on resume, verify — the run's quarantine ledger.
+
+        The ingest gate is deterministic, so a resumed run regates the
+        same pages and must reproduce the ledger bit-for-bit. First
+        call writes ``quarantine.json``; later calls verify the stored
+        digest and raise :class:`CheckpointError` on divergence (which
+        means the pages or gate config changed under the checkpoint).
+        An empty ledger writes nothing — a clean run's checkpoint
+        directory stays byte-identical to one from before the gate
+        existed — but still verifies against any existing file.
+        """
+        path = self.directory / "quarantine.json"
+        if not entries and not path.exists():
+            return
+        digest = hashlib.sha256(
+            json.dumps(
+                entries, sort_keys=True, ensure_ascii=False
+            ).encode("utf-8")
+        ).hexdigest()
+        if path.exists():
+            stored = self._load_json(path)
+            if stored.get("digest") != digest:
+                raise CheckpointError(
+                    f"checkpoint at {self.directory} holds a different "
+                    "quarantine ledger; the pages or ingest config "
+                    "changed under the checkpoint — pass resume=False "
+                    "to restart"
+                )
+            return
+        self._write_json(
+            "quarantine.json",
+            {
+                "format_version": _FORMAT_VERSION,
+                "digest": digest,
+                "entries": entries,
+            },
+        )
+
+    def load_quarantine(self) -> list[dict] | None:
+        """The stored quarantine ledger entries, or None if absent."""
+        path = self.directory / "quarantine.json"
+        if not path.exists():
+            return None
+        payload = self._load_json(path)
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: missing entries"
+            )
+        return entries
 
     # -- reading --------------------------------------------------------
 

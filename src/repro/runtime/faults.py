@@ -33,6 +33,13 @@ Fault kinds:
 * ``"corrupt_pages"`` — mangle a deterministic fraction of page HTML
   before tokenization (truncated markup plus tag soup), exercising the
   hostile-input tolerance of the HTML substrate.
+* ``"dirt"`` — run a deterministic fraction of pages through the
+  :mod:`repro.corpus.dirt` corruption generator (truncation, unclosed
+  tags, entity garbage, mojibake, duplicate ids, megapages). Unlike
+  ``corrupt_pages`` the damage is calibrated to trip the ingest gate,
+  and the plan keeps each :class:`~repro.corpus.dirt.DirtReport` in
+  :attr:`FaultPlan.dirt_reports` so tests can assert the quarantine
+  ledger matches the injection ledger exactly.
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ from typing import Sequence
 from ..errors import ConfigError, FaultInjectionError
 from ..types import ProductPage
 
-_KINDS = ("error", "delay", "corrupt_pages")
+_KINDS = ("error", "delay", "corrupt_pages", "dirt")
 
 #: Appended to a corrupted page's truncated HTML — the same tag soup
 #: the failure-injection tests use for hostile-input coverage.
@@ -58,15 +65,20 @@ class FaultSpec:
 
     Attributes:
         stage: pipeline stage name the fault targets (``"corpus"`` for
-            ``corrupt_pages``, which fires before tokenization).
-        kind: ``"error"``, ``"delay"`` or ``"corrupt_pages"``.
+            ``corrupt_pages`` and ``dirt``, which fire before
+            tokenization).
+        kind: ``"error"``, ``"delay"``, ``"corrupt_pages"`` or
+            ``"dirt"``.
         iteration: restrict to one bootstrap cycle (None matches every
             occurrence of the stage, including the seed phase).
         times: maximum number of injections; None means unlimited.
         probability: per-opportunity injection chance, drawn from the
             plan's seeded RNG (1.0 fires every time).
         delay_seconds: sleep length for ``"delay"`` faults.
-        corrupt_fraction: share of pages mangled by ``"corrupt_pages"``.
+        corrupt_fraction: share of pages mangled by ``"corrupt_pages"``
+            or ``"dirt"``.
+        dirt_kinds: corruption kinds a ``"dirt"`` fault draws from;
+            empty means all of :data:`repro.corpus.dirt.DIRT_KINDS`.
         message: carried into the raised :class:`FaultInjectionError`.
     """
 
@@ -77,6 +89,7 @@ class FaultSpec:
     probability: float = 1.0
     delay_seconds: float = 0.0
     corrupt_fraction: float = 0.25
+    dirt_kinds: tuple[str, ...] = ()
     message: str = "injected fault"
 
     def __post_init__(self) -> None:
@@ -111,6 +124,10 @@ class FaultPlan:
         self._fired: list[int] = [0] * len(self.specs)
         #: ``{(stage, kind): count}`` of faults actually injected.
         self.injected: dict[tuple[str, str], int] = {}
+        #: One :class:`~repro.corpus.dirt.DirtReport` per fired
+        #: ``"dirt"`` spec, in firing order — the test oracle for
+        #: quarantine assertions.
+        self.dirt_reports: list = []
 
     def _matches(
         self, spec: FaultSpec, index: int, stage: str, iteration: int | None
@@ -139,7 +156,7 @@ class FaultPlan:
         machinery then treats the fault like any real stage failure).
         """
         for index, spec in enumerate(self.specs):
-            if spec.kind == "corrupt_pages":
+            if spec.kind in ("corrupt_pages", "dirt"):
                 continue
             if not self._matches(spec, index, stage, iteration):
                 continue
@@ -154,14 +171,36 @@ class FaultPlan:
     ) -> list[ProductPage]:
         """Mangle a deterministic subset of pages per corrupt specs.
 
-        Fires for every ``"corrupt_pages"`` spec whose stage is
-        ``"corpus"`` (the pre-tokenization hook). Corruption truncates
-        the HTML and appends unbalanced tag soup; product ids survive so
+        Fires for every ``"corrupt_pages"`` or ``"dirt"`` spec whose
+        stage is ``"corpus"`` (the pre-tokenization hook).
+        ``corrupt_pages`` truncates the HTML and appends unbalanced tag
+        soup; ``dirt`` delegates to the calibrated
+        :func:`repro.corpus.dirt.dirty_pages` generator (which may grow
+        the corpus via duplicate-id injection). Product ids survive so
         downstream assertions can still attribute output.
         """
         pages = list(pages)
         victims: set[int] = set()
         for index, spec in enumerate(self.specs):
+            if spec.kind == "dirt":
+                if not self._matches(spec, index, "corpus", None):
+                    continue
+                from ..corpus.dirt import DIRT_KINDS, dirty_pages
+
+                self._record(spec, index)
+                pages, report = dirty_pages(
+                    pages,
+                    rate=spec.corrupt_fraction,
+                    seed=self._rng.randrange(2**32),
+                    kinds=spec.dirt_kinds or DIRT_KINDS,
+                )
+                self.dirt_reports.append(report)
+                if report.total:
+                    key = ("corpus", "dirt_pages")
+                    self.injected[key] = (
+                        self.injected.get(key, 0) + report.total
+                    )
+                continue
             if spec.kind != "corrupt_pages":
                 continue
             if not self._matches(spec, index, "corpus", None):

@@ -154,6 +154,54 @@ def parallel_map(function, items, workers: int | None = None) -> list:
     return results
 
 
+def summarize_outcomes(outcomes: Sequence[JobOutcome]) -> dict:
+    """Aggregate sweep health across a runner's outcomes.
+
+    One dict a sweep driver can print or log: job success/failure
+    census, every structured failure line, and the dirty-input
+    containment totals merged across jobs — pages quarantined per gate
+    check, pages repaired per check, circuit-breaker trips per reason,
+    and which jobs a breaker halted early. Failed jobs contribute their
+    failure line only; nothing here ever raises on a partial sweep.
+    """
+    summary: dict = {
+        "jobs": len(outcomes),
+        "succeeded": sum(1 for outcome in outcomes if outcome.ok),
+        "failed": sum(1 for outcome in outcomes if not outcome.ok),
+        "failures": [
+            str(outcome.failure)
+            for outcome in outcomes
+            if outcome.failure is not None
+        ],
+        "quarantined": {},
+        "repaired": {},
+        "circuit_breaker": {},
+        "halted_jobs": [],
+    }
+    for outcome in outcomes:
+        result = outcome.result
+        if result is None:
+            continue
+        counters = (
+            result.resilience_counters()
+            if hasattr(result, "resilience_counters")
+            else {}
+        )
+        for key in ("quarantined", "repaired", "circuit_breaker"):
+            for name, count in counters.get(key, {}).items():
+                summary[key][name] = summary[key].get(name, 0) + count
+        bootstrap = getattr(result, "bootstrap", None)
+        if bootstrap is not None and bootstrap.halted_reason is not None:
+            summary["halted_jobs"].append(
+                {
+                    "job": outcome.job_name,
+                    "reason": bootstrap.halted_reason,
+                    "iteration": bootstrap.halted_at_iteration,
+                }
+            )
+    return summary
+
+
 class CategoryRunner:
     """Run many category pipelines with bounded parallelism.
 

@@ -1,0 +1,125 @@
+"""Tests for the seeded dirty-corpus generator (``repro.corpus.dirt``)."""
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.corpus import (
+    DIRT_CHECKS,
+    DIRT_KINDS,
+    Marketplace,
+    dirty_pages,
+)
+from repro.corpus.dirt import REPAIRABLE_KINDS
+from repro.errors import ConfigError
+from repro.ingest import FIXABLE_CHECKS, IngestGate
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return [
+        g.page for g in Marketplace(seed=7).generate("tennis", 40).pages
+    ]
+
+
+def test_same_seed_same_corpus(clean):
+    first, first_report = dirty_pages(clean, rate=0.3, seed=11)
+    second, second_report = dirty_pages(clean, rate=0.3, seed=11)
+    assert first == second
+    assert first_report == second_report
+    other, other_report = dirty_pages(clean, rate=0.3, seed=12)
+    assert other != first or other_report != first_report
+
+
+def test_rate_zero_is_a_noop(clean):
+    dirty, report = dirty_pages(clean, rate=0.0, seed=5)
+    assert dirty == clean
+    assert report.total == 0
+    assert report.counts() == {}
+    assert report.expected_checks() == {}
+
+
+def test_rate_one_corrupts_every_page(clean):
+    dirty, report = dirty_pages(clean, rate=1.0, seed=5)
+    assert report.total == len(clean)
+    # duplicate_id appends copies, so the corpus grows by that count.
+    duplicated = len(report.applied.get("duplicate_id", ()))
+    assert len(dirty) == len(clean) + duplicated
+
+
+def test_round_robin_covers_every_kind(clean):
+    _, report = dirty_pages(clean, rate=0.5, seed=3)
+    assert report.counts().keys() == set(DIRT_KINDS)
+    # 20 victims over 6 kinds: every kind gets 3 or 4.
+    assert all(count in (3, 4) for count in report.counts().values())
+
+
+def test_kind_subset_respected(clean):
+    _, report = dirty_pages(
+        clean, rate=0.5, seed=3, kinds=("truncate", "mojibake")
+    )
+    assert set(report.counts()) == {"truncate", "mojibake"}
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        dirty_pages([], rate=1.5)
+    with pytest.raises(ConfigError):
+        dirty_pages([], rate=-0.1)
+    with pytest.raises(ConfigError):
+        dirty_pages([], rate=0.5, kinds=("truncate", "bitrot"))
+    with pytest.raises(ConfigError):
+        dirty_pages([], rate=0.5, kinds=())
+
+
+def test_dirt_checks_mapping_is_total():
+    assert set(DIRT_CHECKS) == set(DIRT_KINDS)
+    assert REPAIRABLE_KINDS < set(DIRT_KINDS)
+    assert {DIRT_CHECKS[kind] for kind in REPAIRABLE_KINDS} == set(
+        FIXABLE_CHECKS
+    )
+
+
+@pytest.mark.parametrize("kind", [k for k in DIRT_KINDS])
+def test_each_kind_trips_exactly_its_check(clean, kind):
+    """The core dirt↔gate contract, one kind at a time."""
+    dirty, report = dirty_pages(clean, rate=0.2, seed=9, kinds=(kind,))
+    assert report.counts() == {kind: 8}
+    result = IngestGate(IngestConfig(policy="drop")).process(dirty)
+    assert (
+        result.quarantine.counts_by_check() == report.expected_checks()
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_full_ledger_contract_under_both_policies(clean, seed):
+    """Injection ledger == gate ledger, for drop and for repair."""
+    dirty, report = dirty_pages(clean, rate=0.3, seed=seed)
+    expected = report.expected_checks()
+
+    dropped = IngestGate(IngestConfig(policy="drop")).process(dirty)
+    assert dropped.quarantine.counts_by_check() == expected
+    assert len(dropped.pages) == len(dirty) - report.total
+
+    repaired = IngestGate(IngestConfig(policy="repair")).process(dirty)
+    observed = dict(repaired.quarantine.counts_by_check())
+    for check, count in repaired.repaired.items():
+        observed[check] = observed.get(check, 0) + count
+    assert observed == expected
+    assert set(repaired.repaired) <= set(FIXABLE_CHECKS)
+    unfixable = {
+        DIRT_CHECKS[kind]
+        for kind in report.counts()
+        if kind not in REPAIRABLE_KINDS
+    }
+    assert set(repaired.quarantine.counts_by_check()) == unfixable
+
+
+def test_quarantined_ids_match_injected_ids(clean):
+    dirty, report = dirty_pages(
+        clean, rate=0.2, seed=4, kinds=("megapage", "duplicate_id")
+    )
+    result = IngestGate(IngestConfig(policy="drop")).process(dirty)
+    injected = {
+        pid for ids in report.applied.values() for pid in ids
+    }
+    assert set(result.quarantine.page_ids()) == injected

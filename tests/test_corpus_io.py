@@ -95,3 +95,87 @@ def test_loaded_pages_run_through_pipeline(dataset, tmp_path):
     )
     result = PAEPipeline(config).run(pages, query_log)
     assert len(result.triples) > 0
+
+
+# -- malformed rows under the ingest-policy vocabulary -------------------
+
+
+def _write_jsonl(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+@pytest.fixture()
+def dirty_jsonl(tmp_path):
+    path = tmp_path / "pages.jsonl"
+    _write_jsonl(
+        path,
+        [
+            json.dumps({"product_id": "ok1", "html": "<p>a</p>"}),
+            '{"product_id": "broken",',  # truncated JSON
+            json.dumps(["not", "an", "object"]),
+            json.dumps({"html": "<p>no id</p>"}),  # missing key
+            json.dumps({"product_id": 7, "html": "<p>x</p>"}),  # non-str
+            json.dumps({"product_id": "ok2", "html": "<p>b</p>"}),
+        ],
+    )
+    return path
+
+
+def test_strict_raises_located_dataset_error(dirty_jsonl):
+    from repro.errors import DatasetError
+
+    with pytest.raises(DatasetError) as excinfo:
+        load_pages(dirty_jsonl)
+    assert excinfo.value.path == str(dirty_jsonl)
+    assert excinfo.value.line == 2
+    assert f"{dirty_jsonl}:2" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("policy", ["repair", "drop"])
+def test_skip_policies_drop_bad_rows_into_quarantine(dirty_jsonl, policy):
+    from repro.ingest import Quarantine
+
+    ledger = Quarantine()
+    pages, _ = load_pages(dirty_jsonl, policy=policy, quarantine=ledger)
+    assert [page.product_id for page in pages] == ["ok1", "ok2"]
+    assert len(ledger) == 4
+    assert ledger.counts_by_check() == {"jsonl": 4}
+    assert [entry.line for entry in ledger] == [2, 3, 4, 5]
+    assert all(entry.source == str(dirty_jsonl) for entry in ledger)
+    assert all(entry.error == "DatasetError" for entry in ledger)
+    assert ledger.page_ids() == {
+        "line-2", "line-3", "line-4", "line-5",
+    }
+
+
+def test_skip_policy_works_without_a_ledger(dirty_jsonl):
+    pages, _ = load_pages(dirty_jsonl, policy="drop")
+    assert len(pages) == 2
+
+
+def test_load_dataset_honors_policy(dataset, tmp_path):
+    from repro.errors import DatasetError
+    from repro.ingest import Quarantine
+
+    save_dataset(dataset, tmp_path / "ds")
+    jsonl = tmp_path / "ds" / "pages.jsonl"
+    jsonl.write_text(
+        "not json at all\n" + jsonl.read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    with pytest.raises(DatasetError) as excinfo:
+        load_dataset(tmp_path / "ds")
+    assert excinfo.value.line == 1
+    ledger = Quarantine()
+    loaded = load_dataset(
+        tmp_path / "ds", policy="drop", quarantine=ledger
+    )
+    assert len(loaded.pages) == len(dataset.pages)
+    assert len(ledger) == 1
+
+
+def test_unknown_policy_rejected(dirty_jsonl):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        load_pages(dirty_jsonl, policy="lenient")

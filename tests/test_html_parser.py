@@ -1,5 +1,6 @@
 """Unit tests for the lenient DOM parser."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -84,3 +85,46 @@ def test_parser_never_raises_on_arbitrary_input(markup):
     assert isinstance(root, Element)
     # Traversal also terminates and visits a finite set of nodes.
     assert sum(1 for _ in root.iter()) >= 1
+
+
+# -- hard resource bounds ------------------------------------------------
+
+
+def test_input_length_bound():
+    from repro.errors import HtmlLimitError
+
+    with pytest.raises(HtmlLimitError) as excinfo:
+        parse_html("<p>" + "x" * 100 + "</p>", max_length=50)
+    assert excinfo.value.limit == "input_chars"
+    assert excinfo.value.maximum == 50
+    # None disables the bound entirely.
+    root = parse_html("<p>" + "x" * 100 + "</p>", max_length=None)
+    assert root.find("p") is not None
+
+
+def test_open_depth_bound():
+    from repro.errors import HtmlLimitError
+
+    deep = "<div>" * 60 + "x"
+    with pytest.raises(HtmlLimitError) as excinfo:
+        parse_html(deep, max_depth=50)
+    assert excinfo.value.limit == "open_depth"
+    assert excinfo.value.maximum == 50
+    root = parse_html(deep, max_depth=None)
+    assert sum(1 for _ in root.iter()) > 60
+
+
+def test_limit_error_is_a_parse_error():
+    from repro.errors import HtmlLimitError, HtmlParseError
+
+    assert issubclass(HtmlLimitError, HtmlParseError)
+
+
+def test_default_bounds_admit_real_pages():
+    # The defaults are containment bounds, not correctness bounds: an
+    # ordinary page parses identically with and without them.
+    markup = "<table>" + "<tr><td>k</td><td>v</td></tr>" * 50 + "</table>"
+    bounded = parse_html(markup)
+    unbounded = parse_html(markup, max_length=None, max_depth=None)
+    assert len(bounded.find("table").find_all("tr")) == 50
+    assert len(unbounded.find("table").find_all("tr")) == 50

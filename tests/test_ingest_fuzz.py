@@ -1,0 +1,137 @@
+"""Fuzz the ingest path with seeded byte-mutants of real pages.
+
+Every mutant must either pass the gate, be quarantined, or raise one of
+the *typed* containment errors — never an arbitrary exception and never
+a hang (the watchdog fixture converts a hang into a hard failure).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.config import IngestConfig
+from repro.corpus import Marketplace
+from repro.errors import HtmlParseError, PageQuarantinedError
+from repro.html import extract_dictionary_tables, parse_html
+from repro.ingest import IngestGate
+from repro.types import ProductPage
+
+pytestmark = pytest.mark.usefixtures("watchdog")
+
+#: HtmlLimitError subclasses HtmlParseError, so two types cover the
+#: whole html layer; PageQuarantinedError covers the strict gate.
+ALLOWED = (HtmlParseError, PageQuarantinedError)
+
+N_MUTANTS = 200
+
+_MUTATIONS = ("delete", "insert", "smash", "splice", "repeat")
+_NASTY = "<>&;\"'\x00�="
+
+
+def _seed_pages() -> list[str]:
+    dataset = Marketplace(seed=13).generate("digital_cameras", 8)
+    return [generated.page.html for generated in dataset.pages]
+
+
+def _mutate(html: str, rng: random.Random) -> str:
+    """Apply 1-4 random byte/string-level mutations."""
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.choice(_MUTATIONS)
+        if not html:
+            return "<" * rng.randint(1, 50)
+        pos = rng.randrange(len(html))
+        if kind == "delete":
+            length = rng.randint(1, min(200, len(html) - pos))
+            html = html[:pos] + html[pos + length:]
+        elif kind == "insert":
+            junk = "".join(
+                rng.choice(_NASTY) for _ in range(rng.randint(1, 40))
+            )
+            html = html[:pos] + junk + html[pos:]
+        elif kind == "smash":
+            raw = bytearray(html.encode("utf-8"))
+            for _ in range(rng.randint(1, 64)):
+                raw[rng.randrange(len(raw))] = rng.randrange(256)
+            html = raw.decode("utf-8", errors="replace")
+        elif kind == "splice":
+            other_pos = rng.randrange(len(html))
+            lo, hi = sorted((pos, other_pos))
+            html = html[:lo] + html[hi:] + html[lo:hi]
+        elif kind == "repeat":
+            chunk = html[pos : pos + rng.randint(1, 30)]
+            html = html[:pos] + chunk * rng.randint(2, 20) + html[pos:]
+    return html
+
+
+def _mutants(count: int) -> list[tuple[int, str]]:
+    pages = _seed_pages()
+    out = []
+    for index in range(count):
+        rng = random.Random(1000 + index)
+        out.append((index, _mutate(rng.choice(pages), rng)))
+    return out
+
+
+MUTANTS = _mutants(N_MUTANTS)
+
+
+@pytest.mark.parametrize("policy", ["strict", "repair", "drop"])
+def test_gate_contains_all_mutants(policy):
+    """No mutant escapes the typed-exception contract, any policy."""
+    gate = IngestGate(IngestConfig(policy=policy))
+    for index, html in MUTANTS:
+        page = ProductPage(f"fuzz-{index}", "digital_cameras", html, "ja")
+        try:
+            result = gate.process([page])
+        except ALLOWED:
+            assert policy == "strict"
+            continue
+        assert len(result.pages) + len(result.quarantine) == 1
+
+
+def test_parser_contains_all_mutants():
+    """parse_html + table extraction on raw mutants: typed errors only."""
+    for _, html in MUTANTS:
+        try:
+            root = parse_html(html, max_depth=100)
+        except ALLOWED:
+            continue
+        extract_dictionary_tables(root)
+
+
+def test_gated_mutants_parse_within_budget():
+    """Whatever the repair gate lets through must parse fast."""
+    gate = IngestGate(IngestConfig(policy="repair"))
+    pages = [
+        ProductPage(f"fuzz-{index}", "digital_cameras", html, "ja")
+        for index, html in MUTANTS
+    ]
+    result = gate.process(pages)
+    assert result.pages, "gate rejected every mutant — fuzzer too hot"
+    for page in result.pages:
+        start = time.perf_counter()
+        parse_html(page.html, max_depth=100)
+        assert time.perf_counter() - start < 5.0
+
+
+def test_hostile_specials_never_hang():
+    """Handcrafted adversarial pages, beyond random mutation."""
+    specials = [
+        "<" * 10_000,
+        "</" + "a" * 10_000,
+        "<div " + "a=b " * 5_000 + ">",
+        "&" * 10_000,
+        "&#" * 5_000,
+        "<table>" * 200,
+        "<!--" + "x" * 10_000,
+        "\x00" * 1_000 + "<p>x</p>",
+        "<p>" + "�" * 1_000 + "</p>",
+        "<![CDATA[" + "<div>" * 1_000,
+    ]
+    gate = IngestGate(IngestConfig(policy="drop"))
+    for index, html in enumerate(specials):
+        result = gate.process(
+            [ProductPage(f"special-{index}", "digital_cameras", html, "ja")]
+        )
+        assert len(result.pages) + len(result.quarantine) == 1
