@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos dirty bench bench-fast bench-runner bench-pipeline examples clean
+.PHONY: install test chaos dirty bench bench-fast bench-runner bench-pipeline bench-train verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,10 +32,24 @@ bench-runner:
 
 # Per-stage uncached-vs-optimized pipeline timings -> BENCH_pipeline.json.
 # The committed baseline was measured at this exact config on the commit
-# before the perf layer landed; vs_previous tracks the true before/after.
+# before the bucketed trainer landed; vs_previous tracks the true
+# before/after (per-stage speedups included).
 bench-pipeline:
 	PYTHONPATH=src python -m repro.perf.bench --out BENCH_pipeline.json \
-		--compare benchmarks/baselines/pre_perf_pipeline.json
+		--compare benchmarks/baselines/pre_trainer_pipeline.json
+
+# Trainer-mode micro-bench on captured real problems -> BENCH_train.json
+# (monolithic vs bucketed vs 2-worker E-step vs SGD, plus the
+# exact-path bit-identity verdict).
+bench-train:
+	PYTHONPATH=src python -m repro.perf.bench_train --out BENCH_train.json
+
+# Tier-1 suite plus a one-pass small-corpus bench smoke: the quick
+# pre-merge gate.
+verify:
+	PYTHONPATH=src pytest tests/ -x -q
+	PYTHONPATH=src python -m repro.perf.bench --out /tmp/BENCH_smoke.json \
+		--products 40 --iterations 2 --repeats 1
 
 examples:
 	python examples/quickstart.py

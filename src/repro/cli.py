@@ -124,6 +124,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "(output-identical for any N >= 1; default 64)",
     )
     run.add_argument(
+        "--trainer", choices=("lbfgs", "sgd"), default=None,
+        help="CRF trainer: lbfgs (exact, the paper's crfsuite "
+        "setting; default) or sgd (opt-in minibatch Adagrad fast "
+        "mode — deterministic but approximate)",
+    )
+    run.add_argument(
+        "--estep-workers", type=int, default=None, metavar="N",
+        help="worker processes for the CRF training E-step fan-out "
+        "(output-identical for any N >= 1; default 1)",
+    )
+    run.add_argument(
         "--bench-out", metavar="PATH", default=None,
         help="write per-stage wall-clock timings and feature-cache "
         "hit/miss counters to this JSON file",
@@ -272,13 +283,16 @@ def _command_run(args: argparse.Namespace) -> int:
     categories = [
         name.strip() for name in args.category.split(",") if name.strip()
     ]
-    # A bad --tag-batch-size raises ConfigError right here, before any
-    # dataset generation.
-    crf = (
-        CrfConfig(tag_batch_size=args.tag_batch_size)
-        if args.tag_batch_size is not None
-        else CrfConfig()
-    )
+    # Bad CRF knobs (--tag-batch-size, --trainer, --estep-workers)
+    # raise ConfigError right here, before any dataset generation.
+    crf_kwargs = {}
+    if args.tag_batch_size is not None:
+        crf_kwargs["tag_batch_size"] = args.tag_batch_size
+    if args.trainer is not None:
+        crf_kwargs["trainer"] = args.trainer
+    if args.estep_workers is not None:
+        crf_kwargs["estep_workers"] = args.estep_workers
+    crf = CrfConfig(**crf_kwargs)
     ingest_kwargs = {}
     if args.ingest_policy is not None:
         ingest_kwargs["policy"] = args.ingest_policy

@@ -244,6 +244,21 @@ class CrfConfig:
     #: decoding is per-sentence independent, making any batch size
     #: output-identical to one monolithic batch.
     tag_batch_size: int = 64
+    #: ``"lbfgs"`` (exact, the paper's crfsuite setting) or ``"sgd"``
+    #: (opt-in minibatch Adagrad fast mode — deterministic but
+    #: approximate; see repro.ml.crf.train).
+    trainer: str = "lbfgs"
+    #: Unique sentences per training E-step bucket. Output-identical
+    #: for the exact trainer at any value (canonical reductions);
+    #: smaller buckets only matter for parallel E-step fan-out.
+    train_batch_size: int = 512
+    #: Worker processes for the per-bucket E-step (1 = serial; any
+    #: count is output-identical — the merge is deterministic).
+    estep_workers: int = 1
+    #: Bucket size (= minibatch size) for ``trainer="sgd"``.
+    sgd_batch_size: int = 32
+    #: Adagrad step size for ``trainer="sgd"``.
+    sgd_learning_rate: float = 0.5
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -254,6 +269,16 @@ class CrfConfig:
             raise ConfigError("max_iterations must be >= 1")
         if self.tag_batch_size < 1:
             raise ConfigError("tag_batch_size must be >= 1")
+        if self.trainer not in ("lbfgs", "sgd"):
+            raise ConfigError("trainer must be 'lbfgs' or 'sgd'")
+        if self.train_batch_size < 1:
+            raise ConfigError("train_batch_size must be >= 1")
+        if self.estep_workers < 1:
+            raise ConfigError("estep_workers must be >= 1")
+        if self.sgd_batch_size < 1:
+            raise ConfigError("sgd_batch_size must be >= 1")
+        if self.sgd_learning_rate <= 0:
+            raise ConfigError("sgd_learning_rate must be > 0")
 
 
 @dataclass(frozen=True, slots=True)

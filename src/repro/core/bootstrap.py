@@ -643,6 +643,13 @@ class Bootstrapper:
                 stage, iteration, dataset, feature_cache
             ),
         )
+        # Non-fatal trainer warnings (e.g. an L-BFGS line-search abort
+        # degraded to best-so-far weights) become counters so a run
+        # that limped through training is auditable via
+        # resilience_counters().
+        warnings = getattr(model, "training_diagnostics", None)
+        if warnings:
+            trace.count("trainer_warning", iteration, **warnings)
         tagged, extractions = self._stage(
             trace, faults, "tagger_tag", iteration,
             lambda stage: self._tag(stage, model, unlabeled_sentences),

@@ -78,14 +78,16 @@ class PipelineResult:
     def resilience_counters(self) -> dict:
         """Per-stage fault/retry/skip counters observed during the run.
 
-        Returns a dict with seven keys: ``"faults"`` (injected faults
+        Returns a dict with eight keys: ``"faults"`` (injected faults
         per stage), ``"retries"`` (stage retries per stage),
         ``"skips"`` (optional stages degraded to a skip, per stage),
         ``"pages_corrupted"`` (pages mangled by a fault plan),
         ``"quarantined"`` (ingest-gate rejections per check),
-        ``"repaired"`` (ingest-gate normalizations per check) and
-        ``"circuit_breaker"`` (iteration-health trips per reason).
-        All empty/zero for an untroubled run.
+        ``"repaired"`` (ingest-gate normalizations per check),
+        ``"circuit_breaker"`` (iteration-health trips per reason) and
+        ``"trainer_warnings"`` (non-fatal tagger-training degradations
+        per kind, e.g. an L-BFGS line-search abort that kept
+        best-so-far weights). All empty/zero for an untroubled run.
         """
         if self.trace is None:
             return {
@@ -96,6 +98,7 @@ class PipelineResult:
                 "quarantined": {},
                 "repaired": {},
                 "circuit_breaker": {},
+                "trainer_warnings": {},
             }
         return {
             "faults": self.trace.counter_totals("fault_injected"),
@@ -108,6 +111,9 @@ class PipelineResult:
             "repaired": self.trace.counter_totals("ingest_repair"),
             "circuit_breaker": self.trace.counter_totals(
                 "circuit_breaker"
+            ),
+            "trainer_warnings": self.trace.counter_totals(
+                "trainer_warning"
             ),
         }
 

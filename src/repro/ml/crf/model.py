@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from ...config import CrfConfig
-from ...errors import NotFittedError, TrainingError
+from ...errors import ModelError, NotFittedError, TrainingError
 from ...nlp.bio import OUTSIDE, repair_bio
 from ...perf.bucketing import length_buckets
 from ...perf.cache import FeatureCache
@@ -67,6 +67,10 @@ class CrfTagger:
         self._label_index: dict[str, int] = {}
         self._unary: np.ndarray | None = None
         self._transitions: np.ndarray | None = None
+        #: Counted, non-fatal training warnings from the last
+        #: ``train()`` call (e.g. a degraded L-BFGS line-search abort);
+        #: surfaced through ``PipelineResult.resilience_counters()``.
+        self.training_diagnostics: dict[str, int] = {}
 
     # -- protocol ---------------------------------------------------------
 
@@ -115,9 +119,16 @@ class CrfTagger:
             [len(tagged) for tagged in dataset], dtype=np.int64
         )
         problem = CrfProblem(design, labels, lengths, len(self._labels))
+        self.training_diagnostics = {}
         self._unary, self._transitions = train_crf(
             problem, self.config.l1, self.config.l2,
             self.config.max_iterations,
+            trainer=self.config.trainer,
+            batch_size=self.config.train_batch_size,
+            estep_workers=self.config.estep_workers,
+            sgd_batch_size=self.config.sgd_batch_size,
+            sgd_learning_rate=self.config.sgd_learning_rate,
+            diagnostics=self.training_diagnostics,
         )
         return self
 
@@ -137,7 +148,19 @@ class CrfTagger:
                 decoded[id(sentence)] = path
         results: list[TaggedSentence] = []
         for sentence in sentences:
-            labels = decoded.get(id(sentence), [])
+            if len(sentence) == 0:
+                results.append(TaggedSentence(sentence, ()))
+                continue
+            # Strict lookup: a batching/decoding bug that dropped a
+            # sentence must surface as an error here, not as silently
+            # vanished extractions downstream.
+            try:
+                labels = decoded[id(sentence)]
+            except KeyError:
+                raise ModelError(
+                    "CrfTagger.tag decoded no labels for non-empty "
+                    f"sentence {sentence.product_id!r}"
+                ) from None
             results.append(
                 TaggedSentence(sentence, tuple(repair_bio(labels)))
             )
@@ -187,7 +210,16 @@ class CrfTagger:
                 )
                 scored[id(sentence)] = (labels, confidences)
         for sentence in sentences:
-            labels, confidences = scored.get(id(sentence), ([], []))
+            if len(sentence) == 0:
+                results.append((TaggedSentence(sentence, ()), []))
+                continue
+            try:
+                labels, confidences = scored[id(sentence)]
+            except KeyError:
+                raise ModelError(
+                    "CrfTagger.tag_with_confidence decoded no labels "
+                    f"for non-empty sentence {sentence.product_id!r}"
+                ) from None
             results.append(
                 (TaggedSentence(sentence, tuple(labels)), confidences)
             )

@@ -1,0 +1,181 @@
+"""Trainer-only micro-benchmark (``make bench-train``).
+
+Captures the *real* CRF training problems a small pipeline run
+produces (by recording every ``train_crf`` call), then times each
+trainer mode on those problems in isolation:
+
+* ``lbfgs_monolithic`` — exact L-BFGS, one pad-free packed bucket;
+* ``lbfgs_bucketed``   — exact L-BFGS over default length buckets;
+* ``lbfgs_workers2``   — the bucketed E-step fanned over 2 worker
+  processes (deterministic merge);
+* ``sgd``              — the opt-in minibatch Adagrad-SGD mode.
+
+Because the three exact modes are bit-identical by construction, the
+harness trains each once, asserts the weight arrays are equal, and
+records the verdict — a fast regression trip-wire for the
+bucket-invariance guarantee that doesn't need the full pipeline bench.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench_train --out BENCH_train.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+#: One monolithic batch — effectively disables length bucketing.
+_UNBUCKETED = 10**9
+
+
+def capture_problems(
+    categories: list[str], products: int, iterations: int, seed: int
+) -> list:
+    """Run a small pipeline per category, recording every CrfProblem.
+
+    The recording wrapper is installed on the *model module's*
+    reference (the name ``CrfTagger.train`` actually calls) and always
+    restored, so capture cannot leak into later timing runs.
+    """
+    from ..config import PipelineConfig
+    from ..core.pipeline import PAEPipeline
+    from ..corpus import Marketplace
+    from ..ml.crf import model as model_mod
+
+    captured: list = []
+    original = model_mod.train_crf
+
+    def recording(problem, *args, **kwargs):
+        captured.append(problem)
+        return original(problem, *args, **kwargs)
+
+    model_mod.train_crf = recording
+    try:
+        for category in categories:
+            dataset = Marketplace(seed=seed).generate(category, products)
+            PAEPipeline(
+                PipelineConfig(iterations=iterations, seed=seed)
+            ).run(dataset.product_pages, dataset.query_log)
+    finally:
+        model_mod.train_crf = original
+    return captured
+
+
+def _time_mode(problems, repeats: int, **train_kwargs) -> float:
+    """Best-of-``repeats`` seconds to train every captured problem."""
+    from ..ml.crf.train import train_crf
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for problem in problems:
+            train_crf(problem, 0.05, 0.05, 60, **train_kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(
+    categories: list[str],
+    products: int,
+    iterations: int,
+    seed: int,
+    repeats: int = 2,
+) -> dict:
+    """Capture problems, time every trainer mode, verify bit-identity."""
+    from ..ml.crf.train import train_crf
+
+    print("capturing training problems ...", flush=True)
+    problems = capture_problems(categories, products, iterations, seed)
+    if not problems:
+        raise RuntimeError("pipeline produced no training problems")
+
+    modes = {
+        "lbfgs_monolithic": {"batch_size": _UNBUCKETED},
+        "lbfgs_bucketed": {},
+        "lbfgs_workers2": {"estep_workers": 2},
+        "sgd": {"trainer": "sgd"},
+    }
+    seconds: dict[str, float] = {}
+    for name, kwargs in modes.items():
+        print(f"timing {name} ...", flush=True)
+        seconds[name] = _time_mode(problems, repeats, **kwargs)
+
+    # Exact-path invariance: identical weights however the E-step is
+    # partitioned or fanned out.
+    largest = max(problems, key=lambda p: p.design.shape[0])
+    reference = train_crf(largest, 0.05, 0.05, 60, batch_size=_UNBUCKETED)
+    bit_identical = True
+    for kwargs in ({}, {"estep_workers": 2}):
+        unary, trans = train_crf(largest, 0.05, 0.05, 60, **kwargs)
+        if not (
+            np.array_equal(unary, reference[0])
+            and np.array_equal(trans, reference[1])
+        ):
+            bit_identical = False
+    return {
+        "schema": 1,
+        "config": {
+            "categories": categories,
+            "products": products,
+            "iterations": iterations,
+            "seed": seed,
+            "repeats": max(1, repeats),
+        },
+        "problems": [
+            {
+                "rows": int(p.design.shape[0]),
+                "features": int(p.design.shape[1]),
+                "sentences": int(len(p.lengths)),
+                "labels": int(p.n_labels),
+            }
+            for p in problems
+        ],
+        "seconds": seconds,
+        "speedup_vs_monolithic": {
+            name: seconds["lbfgs_monolithic"] / max(value, 1e-9)
+            for name, value in seconds.items()
+        },
+        "exact_modes_bit_identical": bit_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the CRF trainer modes on captured problems."
+    )
+    parser.add_argument("--out", default="BENCH_train.json", metavar="PATH")
+    parser.add_argument(
+        "--categories", default="vacuum_cleaner,tennis",
+        help="comma-separated category list",
+    )
+    parser.add_argument("--products", type=int, default=80)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+    categories = [
+        name.strip() for name in args.categories.split(",") if name.strip()
+    ]
+    payload = run_bench(
+        categories, args.products, args.iterations, args.seed,
+        repeats=args.repeats,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for name, value in payload["seconds"].items():
+        print(f"  {name}: {value:.3f}s")
+    print(
+        "exact_modes_bit_identical="
+        f"{payload['exact_modes_bit_identical']}"
+    )
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Length bucketing for batched sequence inference.
+"""Length bucketing and packed layouts for batched sequence inference.
 
 Padding a batch to its longest member costs ``B * (T_max - T_i)``
 wasted positions; sorting by length first makes every bucket nearly
@@ -6,11 +6,20 @@ rectangular. The traversal is a pure reordering — each sentence is
 decoded independently of its batch peers — so bucketed tagging is
 bit-identical to one monolithic batch (see ``docs/architecture.md``,
 Performance).
+
+:class:`PackedLayout` goes one step further for training: instead of
+padding at all, the rows of a bucket are laid out *time-major* — all
+t=0 positions first, then all t=1 positions, and so on. Sentences are
+rank-ordered by descending length (stable), so the rows at step ``t``
+are exactly the first ``n_t`` ranks and each recursion step operates
+on one contiguous prefix slice with zero padding and zero gathers.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+import numpy as np
 
 
 def length_buckets(
@@ -35,3 +44,109 @@ def length_buckets(
         order[start:start + batch_size]
         for start in range(0, len(order), batch_size)
     ]
+
+
+class PackedLayout:
+    """Packed time-major layout for one bucket of sentences.
+
+    Sentences are rank-ordered by ``(-length, position)`` (stable), so
+    the number of sentences still alive at step ``t`` — ``counts[t]``
+    — shrinks monotonically and the rows of step ``t`` occupy the
+    contiguous slice ``[offsets[t], offsets[t] + counts[t])``. The
+    predecessor of packed row ``(t, rank)`` is ``(t - 1, rank)``,
+    itself a prefix of the previous step's slice, so the forward and
+    backward recursions never gather.
+
+    Attributes:
+        sent_ids: original sentence index per rank.
+        lens: sentence lengths per rank (descending).
+        n_sent: sentences in the bucket.
+        max_len: longest sentence (the number of steps ``T``).
+        counts: per-step live-sentence counts (plain ints).
+        offsets: per-step slice starts, with ``offsets[T] == rows``.
+        rows: total packed rows (``sum(lens)`` — no padding).
+        last: packed row of each rank's final token.
+        rank_of_row: rank of every packed row (for per-sentence
+            lookups such as ``log_z[rank_of_row]``).
+        tmask: 1.0 at rows with ``t >= 1``, else 0.0 (the transition
+            count per row, used for max-shift bookkeeping).
+        o1: first row of step 1 (``rows`` when ``max_len == 1``).
+        prev: for every row at ``t >= 1``, the packed row of the same
+            rank at ``t - 1``.
+        groups: ``(rank_start, rank_end, length)`` runs of exactly
+            equal length — contiguous because ranks sort by length.
+    """
+
+    __slots__ = (
+        "sent_ids", "lens", "n_sent", "max_len", "counts", "offsets",
+        "rows", "last", "rank_of_row", "tmask", "o1", "prev", "groups",
+    )
+
+    def __init__(
+        self,
+        lengths: Sequence[int] | np.ndarray,
+        indices: Sequence[int] | np.ndarray | None = None,
+    ):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if indices is None:
+            indices = np.arange(len(lengths), dtype=np.int64)
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) == 0:
+            raise ValueError("a packed layout needs at least one sentence")
+        member = lengths[indices]
+        if (member < 1).any():
+            raise ValueError("packed layouts require non-empty sentences")
+        order = np.argsort(-member, kind="stable")
+        self.sent_ids = indices[order]
+        self.lens = member[order]
+        self.n_sent = int(len(order))
+        self.max_len = int(self.lens[0])
+        steps = self.max_len
+        counts = [int((self.lens > t).sum()) for t in range(steps)]
+        offsets = [0]
+        for count in counts:
+            offsets.append(offsets[-1] + count)
+        self.counts = counts
+        self.offsets = offsets
+        self.rows = offsets[-1]
+        offs = np.asarray(offsets, dtype=np.int64)
+        self.last = offs[self.lens - 1] + np.arange(self.n_sent)
+        self.rank_of_row = np.concatenate(
+            [np.arange(count) for count in counts]
+        )
+        tmask = np.zeros(self.rows, dtype=np.float64)
+        if steps > 1:
+            tmask[offsets[1]:] = 1.0
+        self.tmask = tmask
+        self.o1 = offsets[1] if steps > 1 else self.rows
+        self.prev = (
+            np.concatenate(
+                [
+                    offsets[t - 1] + np.arange(counts[t])
+                    for t in range(1, steps)
+                ]
+            )
+            if steps > 1
+            else np.empty(0, dtype=np.int64)
+        )
+        groups = []
+        start = 0
+        for rank in range(1, self.n_sent + 1):
+            if rank == self.n_sent or self.lens[rank] != self.lens[start]:
+                groups.append((start, rank, int(self.lens[start])))
+                start = rank
+        self.groups = groups
+
+    def flat_rows(self, starts: np.ndarray) -> np.ndarray:
+        """Sentence-major flat row index of every packed row.
+
+        Args:
+            starts: first flat row of every *original* sentence index
+                (i.e. indexed by ``sent_ids`` values).
+        """
+        flat = np.empty(self.rows, dtype=np.int64)
+        for t in range(self.max_len):
+            count, offset = self.counts[t], self.offsets[t]
+            flat[offset:offset + count] = starts[self.sent_ids[:count]] + t
+        return flat

@@ -99,3 +99,30 @@ def test_quality_against_truth(pipeline_result, small_vacuum_dataset):
     breakdown = precision(pipeline_result.triples, truth)
     assert breakdown.correct > 0
     assert breakdown.precision > 0.6
+
+
+def test_resilience_counters_include_trainer_warnings(pipeline_result):
+    counters = pipeline_result.resilience_counters()
+    # Clean run: the key exists and is empty.
+    assert counters["trainer_warnings"] == {}
+
+
+def test_trainer_warnings_flow_through_trace():
+    from repro.core.pipeline import PipelineResult
+    from repro.runtime.trace import PipelineTrace
+
+    trace = PipelineTrace()
+    trace.count("trainer_warning", 2, lbfgs_abnormal=1)
+    trace.count("trainer_warning", 3, lbfgs_abnormal=2)
+    result = PipelineResult(
+        bootstrap=None, product_count=0, trace=trace
+    )
+    counters = result.resilience_counters()
+    assert counters["trainer_warnings"] == {"lbfgs_abnormal": 3}
+
+
+def test_resilience_counters_without_trace_have_trainer_key():
+    from repro.core.pipeline import PipelineResult
+
+    result = PipelineResult(bootstrap=None, product_count=0, trace=None)
+    assert result.resilience_counters()["trainer_warnings"] == {}

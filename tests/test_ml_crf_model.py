@@ -107,3 +107,33 @@ def test_tag_empty_list(trained):
 def test_feature_count_positive(trained):
     tagger, _, _ = trained
     assert tagger.feature_count > 10
+
+
+def test_dropped_sentence_raises_instead_of_empty_labels(trained):
+    """A batching bug that loses a sentence must surface as ModelError."""
+    from repro.errors import ModelError
+
+    tagger, data, _ = trained
+    sentences = [tagged.sentence for tagged in data[:4]]
+    original = tagger._tag_batches
+
+    def dropping(nonempty):
+        for chunk in original(nonempty):
+            trimmed = [s for s in chunk if s is not sentences[2]]
+            if trimmed:
+                yield trimmed
+
+    tagger._tag_batches = dropping
+    try:
+        with pytest.raises(ModelError):
+            tagger.tag(sentences)
+        with pytest.raises(ModelError):
+            tagger.tag_with_confidence(sentences)
+    finally:
+        tagger._tag_batches = original
+
+
+def test_training_diagnostics_reset_per_train(trained):
+    tagger, _, _ = trained
+    # An untroubled training run leaves no warnings behind.
+    assert tagger.training_diagnostics == {}
