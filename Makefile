@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos dirty bench bench-fast bench-runner bench-pipeline bench-train verify examples clean
+.PHONY: install test chaos dirty serve-chaos bench bench-fast bench-runner bench-pipeline bench-train bench-serve verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,13 @@ chaos:
 dirty:
 	PYTHONPATH=src pytest tests/test_ingest_fuzz.py tests/test_dirt_chaos.py \
 		tests/test_ingest_gate.py tests/test_corpus_dirt.py -q
+
+# Serving chaos acceptance: a seeded fault plan (worker death, corrupt
+# payloads, slow models, dirty HTML) against a live daemon — every
+# request must get a structured response and the breaker must walk the
+# degradation ladder down and back up.
+serve-chaos:
+	PYTHONPATH=src pytest tests/test_serve_chaos.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -44,10 +51,17 @@ bench-pipeline:
 bench-train:
 	PYTHONPATH=src python -m repro.perf.bench_train --out BENCH_train.json
 
-# Tier-1 suite plus a one-pass small-corpus bench smoke: the quick
-# pre-merge gate.
+# Serve-path bench over real HTTP: p50/p99 latency + throughput at 8
+# concurrent clients, plus shed/quarantine/breaker counters under an
+# overload burst and a seeded chaos phase -> BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src python -m repro.perf.bench_serve --out BENCH_serve.json
+
+# Tier-1 suite plus the serve chaos acceptance and a one-pass
+# small-corpus bench smoke: the quick pre-merge gate.
 verify:
 	PYTHONPATH=src pytest tests/ -x -q
+	$(MAKE) serve-chaos
 	PYTHONPATH=src python -m repro.perf.bench --out /tmp/BENCH_smoke.json \
 		--products 40 --iterations 2 --repeats 1
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro-pae categories
         List the shipped category schemas.
@@ -158,6 +158,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "megapages) before the run — a seeded end-to-end exercise of "
         "the ingest gate; the containment summary is printed after "
         "the report",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the online extraction daemon against a model registry",
+    )
+    serve.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="registry directory of published model bundles "
+        "(one subdirectory per version)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--bootstrap", metavar="CATEGORY[:PRODUCTS]", default=None,
+        help="when the registry is empty, train a CRF on this "
+        "synthetic category and publish it as v1 before serving",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="concurrent requests admitted before load shedding "
+        "(default: 32)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline (default: 5.0)",
+    )
+    serve.add_argument(
+        "--quarantine-log", metavar="PATH", default=None,
+        help="JSONL ledger for ingest-gate rejections "
+        "(default: <registry>/quarantine.jsonl)",
     )
 
     experiment = commands.add_parser(
@@ -416,6 +447,66 @@ def _run_sweep(
     return 1 if failures else 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .config import ServeConfig
+    from .serve import (
+        ExtractionService,
+        ModelRegistry,
+        start_server,
+        train_and_publish,
+    )
+
+    serve_kwargs = {"host": args.host, "port": args.port}
+    if args.queue_capacity is not None:
+        serve_kwargs["queue_capacity"] = args.queue_capacity
+    if args.deadline is not None:
+        serve_kwargs["deadline_seconds"] = args.deadline
+    config = ServeConfig(**serve_kwargs)
+
+    registry = ModelRegistry(
+        args.registry,
+        drain_timeout_seconds=config.drain_timeout_seconds,
+    )
+    if not registry.versions():
+        if args.bootstrap is None:
+            print(
+                f"registry {args.registry} has no published versions; "
+                "use --bootstrap CATEGORY to train one",
+                file=sys.stderr,
+            )
+            return 1
+        category, _, products = args.bootstrap.partition(":")
+        print(f"bootstrapping registry from category {category!r} ...")
+        train_and_publish(
+            args.registry,
+            category,
+            int(products) if products else 120,
+        )
+    version = registry.activate_latest().version
+    quarantine_path = args.quarantine_log or os.path.join(
+        args.registry, "quarantine.jsonl"
+    )
+    service = ExtractionService(
+        registry, config, quarantine_path=quarantine_path
+    )
+    server, thread = start_server(service, config.host, config.port)
+    host, port = server.server_address[:2]
+    print(f"serving version {version} on http://{host}:{port}")
+    print(f"  POST /extract     {{'product_id', 'text'|'html', ...}}")
+    print(f"  GET  /healthz     liveness + degradation level")
+    print(f"  GET  /stats       full pipeline counters")
+    print(f"  POST /admin/swap  hot-swap to a new version")
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+        server.shutdown()
+        service.close()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     import importlib
     import os
@@ -477,6 +568,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_categories()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "profile":
         return _command_profile(args)
     return _command_experiment(args)

@@ -146,8 +146,10 @@ class IngestConfig:
             and unconditionally quarantined.
         max_dom_depth: maximum open-element nesting the parser accepts.
         max_table_rows: maximum ``<tr>`` rows in any one table.
-        parse_budget_seconds: wall-clock budget for parsing one page
-            (enforced via SIGALRM on the main thread; no-op elsewhere).
+        parse_budget_seconds: wall-clock budget for parsing one page.
+            Enforced via SIGALRM on the main thread; worker threads
+            (where ``signal`` raises ``ValueError``) degrade to a
+            post-hoc wall-clock check counted as ``parse_budget_soft``.
             0 disables the budget.
         max_unclosed_tags: unclosed non-void elements tolerated at end
             of input before the page counts as structurally damaged.
@@ -182,6 +184,82 @@ class IngestConfig:
             raise ConfigError("max_unclosed_tags must be >= 0")
         if self.max_bad_entities < 0:
             raise ConfigError("max_bad_entities must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Online extraction service settings (:mod:`repro.serve`).
+
+    The serve daemon routes every request through a robustness
+    pipeline: admission control with load shedding, a strict ingest
+    gate, per-request deadlines, micro-batched tagging, and a
+    per-model circuit breaker with a graceful degradation ladder
+    (active model → previous registry version → dictionary-only →
+    fast-fail).
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 picks an ephemeral port).
+        queue_capacity: maximum requests admitted concurrently
+            (queued + in flight); excess is shed with a structured
+            429 and a deterministic ``Retry-After``.
+        deadline_seconds: default per-request wall-clock budget; a
+            blown deadline returns a structured timeout, never a hung
+            socket.
+        max_deadline_seconds: cap on client-requested deadlines.
+        batch_max_size: requests merged into one micro-batched tag
+            call.
+        batch_max_wait_seconds: how long the batcher waits for
+            co-travellers after the first request arrives.
+        breaker_threshold: consecutive model failures that trip the
+            breaker one rung down the degradation ladder.
+        breaker_cooldown_seconds: wait before a half-open probe tries
+            the rung above again.
+        drain_timeout_seconds: how long a hot-swap waits for the old
+            version's in-flight requests to finish.
+        default_locale: locale assumed for requests that omit one.
+        ingest: gate settings for request payloads (strict policy —
+            rejects are quarantined with a structured 4xx).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    queue_capacity: int = 32
+    deadline_seconds: float = 5.0
+    max_deadline_seconds: float = 30.0
+    batch_max_size: int = 16
+    batch_max_wait_seconds: float = 0.005
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 2.0
+    drain_timeout_seconds: float = 10.0
+    default_locale: str = "ja"
+    ingest: IngestConfig = field(
+        default_factory=lambda: IngestConfig(
+            policy="strict", parse_budget_seconds=2.0
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError("port must be in [0, 65535]")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise ConfigError("deadline_seconds must be > 0")
+        if self.max_deadline_seconds < self.deadline_seconds:
+            raise ConfigError(
+                "max_deadline_seconds must be >= deadline_seconds"
+            )
+        if self.batch_max_size < 1:
+            raise ConfigError("batch_max_size must be >= 1")
+        if self.batch_max_wait_seconds < 0:
+            raise ConfigError("batch_max_wait_seconds must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_seconds < 0:
+            raise ConfigError("breaker_cooldown_seconds must be >= 0")
+        if self.drain_timeout_seconds < 0:
+            raise ConfigError("drain_timeout_seconds must be >= 0")
 
 
 @dataclass(frozen=True, slots=True)

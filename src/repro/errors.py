@@ -143,6 +143,22 @@ class JobTimeoutError(ReproError):
         )
 
 
+class WorkerDeathError(ReproError):
+    """A serving worker died mid-request (real or injected).
+
+    The serve path converts this into a structured per-request error
+    and a circuit-breaker failure — never a hung socket or a crashed
+    daemon.
+
+    Attributes:
+        stage: serve stage the worker died in (``"serve_tag"``, …).
+    """
+
+    def __init__(self, stage: str, message: str = "worker died"):
+        self.stage = stage
+        super().__init__(f"{message} [{stage}]")
+
+
 class FaultInjectionError(ReproError):
     """An exception deliberately raised by the fault-injection harness.
 

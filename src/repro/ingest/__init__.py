@@ -7,10 +7,12 @@ Public surface:
 * :class:`IngestResult` — gated pages plus diagnostics.
 * :class:`Quarantine` / :class:`QuarantineEntry` — the containment
   ledger that round-trips through checkpoints.
+* :class:`QuarantineLog` — concurrent-writer-safe on-disk JSONL
+  ledger (the serve daemon's persistent quarantine).
 """
 
 from .gate import FIXABLE_CHECKS, IngestGate, IngestResult
-from .quarantine import Quarantine, QuarantineEntry
+from .quarantine import Quarantine, QuarantineEntry, QuarantineLog
 
 __all__ = [
     "FIXABLE_CHECKS",
@@ -18,4 +20,5 @@ __all__ = [
     "IngestResult",
     "Quarantine",
     "QuarantineEntry",
+    "QuarantineLog",
 ]

@@ -26,7 +26,9 @@ Checks, in evaluation order:
 ``unclosed_tags``     open elements at end of input over
                       ``max_unclosed_tags`` (fixable)
 ``parse_seconds``     parse exceeded ``parse_budget_seconds``
-                      (unfixable; SIGALRM, main thread only)
+                      (unfixable; SIGALRM on the main thread, a
+                      post-hoc wall-clock check — counted under
+                      ``parse_budget_soft`` — on worker threads)
 ``open_depth``        DOM nesting over ``max_dom_depth`` (unfixable)
 ``table_rows``        a table over ``max_table_rows`` rows (unfixable)
 
@@ -81,33 +83,64 @@ class IngestResult:
         repaired: ``{check: page count}`` of normalizations applied
             (empty under ``strict``/``drop``).
         pages_in: size of the input collection.
+        warnings: counted degradations that rejected pages without the
+            full check running (currently ``parse_budget_soft``: the
+            wall-clock fallback tripping where SIGALRM is unavailable).
     """
 
     pages: list[ProductPage]
     quarantine: Quarantine
     repaired: dict[str, int] = field(default_factory=dict)
     pages_in: int = 0
+    warnings: dict[str, int] = field(default_factory=dict)
 
     @property
     def repaired_total(self) -> int:
         return sum(self.repaired.values())
 
 
+def _soft_budget(
+    seconds: float, warnings: dict[str, int] | None
+) -> Iterator[None]:
+    """Post-hoc wall-clock budget for threads SIGALRM cannot reach.
+
+    A worker thread cannot interrupt a runaway parse, but it can still
+    refuse its output: the parse is timed, and an overrun raises the
+    same :class:`HtmlLimitError` the hard budget would — after the
+    fact — so the page is quarantined instead of admitted. Each soft
+    trip is counted under ``parse_budget_soft`` (the serve daemon
+    surfaces the counter through its health endpoint).
+    """
+    started = time.monotonic()
+    yield
+    elapsed = time.monotonic() - started
+    if elapsed > seconds:
+        if warnings is not None:
+            warnings["parse_budget_soft"] = (
+                warnings.get("parse_budget_soft", 0) + 1
+            )
+        raise HtmlLimitError("parse_seconds", elapsed, seconds)
+
+
 @contextmanager
-def _parse_budget(seconds: float) -> Iterator[None]:
+def _parse_budget(
+    seconds: float, warnings: dict[str, int] | None = None
+) -> Iterator[None]:
     """Bound a parse with SIGALRM, preserving any outer timer.
 
     The pipeline's test watchdog and this budget share the one ITIMER_REAL
     slot, so the previous handler *and* remaining time are restored on
-    exit. Off the main thread (or without SIGALRM) the budget is a
-    no-op — the runner's job deadline is the containment there.
+    exit. Off the main thread — where ``signal.signal`` raises
+    ``ValueError`` — the budget degrades to the post-hoc wall-clock
+    check of :func:`_soft_budget` instead of crashing the request:
+    server worker threads still reject budget-blowing pages, they just
+    cannot interrupt the parse mid-flight.
     """
-    if (
-        seconds <= 0
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
         yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        yield from _soft_budget(seconds, warnings)
         return
 
     def _expired(signum, frame):
@@ -119,7 +152,13 @@ def _parse_budget(seconds: float) -> Iterator[None]:
     budget = (
         min(seconds, outer_remaining) if outer_remaining > 0 else seconds
     )
-    signal.signal(signal.SIGALRM, _expired)
+    try:
+        signal.signal(signal.SIGALRM, _expired)
+    except ValueError:
+        # Raced the main-thread check (e.g. a non-main interpreter):
+        # degrade to the soft budget rather than crash the request.
+        yield from _soft_budget(seconds, warnings)
+        return
     signal.setitimer(signal.ITIMER_REAL, budget)
     try:
         yield
@@ -206,10 +245,11 @@ class IngestGate:
         kept: list[ProductPage] = []
         quarantine = Quarantine()
         repaired: dict[str, int] = {}
+        warnings: dict[str, int] = {}
         seen_ids: set[str] = set()
         for index, page in enumerate(pages):
             entry, result_page, page_repairs = self._gate_page(
-                page, seen_ids
+                page, seen_ids, warnings
             )
             if entry is not None:
                 if self.config.policy == "strict":
@@ -228,12 +268,16 @@ class IngestGate:
             quarantine=quarantine,
             repaired=repaired,
             pages_in=len(pages),
+            warnings=warnings,
         )
 
     # -- per-page machinery --------------------------------------------
 
     def _gate_page(
-        self, page: ProductPage, seen_ids: set[str]
+        self,
+        page: ProductPage,
+        seen_ids: set[str],
+        warnings: dict[str, int] | None = None,
     ) -> tuple[QuarantineEntry | None, ProductPage | None, list[str]]:
         """Gate one page.
 
@@ -307,7 +351,7 @@ class IngestGate:
 
         # Unfixable parse-level guards, on the (possibly repaired) html.
         try:
-            with _parse_budget(config.parse_budget_seconds):
+            with _parse_budget(config.parse_budget_seconds, warnings):
                 root = parse_html(
                     html,
                     max_length=None,

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+import os
+import pathlib
+import threading
+from dataclasses import asdict, dataclass, replace
 from typing import Iterator
 
 
@@ -44,6 +47,15 @@ class QuarantineEntry:
     source: str = "ingest"
     line: int | None = None
 
+    def with_source(self, source: str) -> "QuarantineEntry":
+        """A copy attributed to a different origin (e.g. ``"serve"``).
+
+        The serve daemon re-stamps gate rejections with
+        ``source="serve"`` before they hit the shared on-disk ledger,
+        so batch and online rejections stay distinguishable.
+        """
+        return replace(self, source=source)
+
     def to_dict(self) -> dict:
         return asdict(self)
 
@@ -65,14 +77,18 @@ class Quarantine:
 
     Picklable, JSON round-trippable and order-preserving; two ledgers
     compare equal iff their entries match exactly, which is the
-    property the checkpoint/resume contract asserts.
+    property the checkpoint/resume contract asserts. Appends are
+    lock-guarded so concurrent server workers can share one ledger;
+    the lock is per-process state and is rebuilt on unpickle.
     """
 
     def __init__(self, entries: list[QuarantineEntry] | None = None):
         self.entries: list[QuarantineEntry] = list(entries or [])
+        self._lock = threading.Lock()
 
     def add(self, entry: QuarantineEntry) -> None:
-        self.entries.append(entry)
+        with self._lock:
+            self.entries.append(entry)
 
     def counts_by_check(self) -> dict[str, int]:
         """``{check: rejected page count}`` across the ledger."""
@@ -122,3 +138,92 @@ class Quarantine:
             f"Quarantine(entries={len(self.entries)}, "
             f"checks={self.counts_by_check()})"
         )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class QuarantineLog:
+    """A concurrent-writer-safe on-disk quarantine ledger (JSONL).
+
+    The in-memory :class:`Quarantine` dies with its run; the serve
+    daemon needs rejections to survive the process and to interleave
+    safely from many worker threads. Each entry is serialized to one
+    JSON line and appended with a *single* ``os.write`` on an
+    ``O_APPEND`` descriptor under a lock — lines can never interleave
+    mid-record, so a reader (or a second process tailing the file)
+    always sees whole entries.
+
+    Args:
+        path: ledger file; created (with parents) on first append.
+        source: stamped onto every appended entry (``"serve"`` for the
+            daemon), overriding the entry's own source so batch and
+            serve rejections are distinguishable in one shared file.
+    """
+
+    def __init__(self, path: str | os.PathLike, source: str | None = None):
+        self.path = pathlib.Path(path)
+        self.source = source
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+        self.appended = 0
+
+    def append(self, entry: QuarantineEntry) -> QuarantineEntry:
+        """Atomically append one entry; returns the stamped entry."""
+        if self.source is not None and entry.source != self.source:
+            entry = entry.with_source(self.source)
+        line = (
+            json.dumps(entry.to_dict(), ensure_ascii=False, sort_keys=True)
+            + "\n"
+        ).encode("utf-8")
+        with self._lock:
+            if self._fd is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                    0o644,
+                )
+            os.write(self._fd, line)
+            self.appended += 1
+        return entry
+
+    def extend(self, entries: "Quarantine | list[QuarantineEntry]") -> int:
+        """Append every entry of a ledger; returns the count written."""
+        count = 0
+        for entry in entries:
+            self.append(entry)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> Quarantine:
+        """Read a ledger file back into an in-memory :class:`Quarantine`."""
+        ledger = Quarantine()
+        file_path = pathlib.Path(path)
+        if not file_path.exists():
+            return ledger
+        with open(file_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    ledger.add(QuarantineEntry.from_dict(json.loads(line)))
+        return ledger
+
+    def __enter__(self) -> "QuarantineLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,6 +13,7 @@ Supported: :class:`~repro.ml.crf.CrfTagger`,
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import asdict
@@ -26,6 +27,11 @@ from .crf import CrfTagger
 from .lstm import LstmTagger
 
 _FORMAT_VERSION = 1
+
+#: Files every saved model consists of (manifest-covered by default).
+MODEL_FILES = ("meta.json", "weights.npz")
+
+MANIFEST_NAME = "MANIFEST.json"
 
 
 def _write(directory: pathlib.Path, meta: dict, arrays: dict) -> None:
@@ -50,6 +56,125 @@ def _read(directory: pathlib.Path) -> tuple[dict, dict]:
         )
     arrays = dict(np.load(weights_path, allow_pickle=False))
     return meta, arrays
+
+
+# -- checksummed manifests ---------------------------------------------
+
+
+def _file_digest(path: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _combined_digest(files: dict[str, str]) -> str:
+    text = "".join(
+        f"{name}:{files[name]}\n" for name in sorted(files)
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_manifest(
+    directory: str | pathlib.Path,
+    extra_files: tuple[str, ...] = (),
+) -> str:
+    """Write a checksum manifest next to a saved model.
+
+    Covers :data:`MODEL_FILES` plus ``extra_files`` with per-file
+    SHA-256 digests and one combined digest — the identity a registry
+    pins so a corrupted or half-written bundle can never be marked
+    live.
+
+    Returns:
+        The combined digest.
+    """
+    directory = pathlib.Path(directory)
+    files: dict[str, str] = {}
+    for name in (*MODEL_FILES, *extra_files):
+        path = directory / name
+        if not path.exists():
+            raise ModelError(f"cannot manifest missing file {path}")
+        files[name] = _file_digest(path)
+    digest = _combined_digest(files)
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "files": files,
+                "digest": digest,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    )
+    return digest
+
+
+def verify_manifest(directory: str | pathlib.Path) -> str:
+    """Re-hash a saved model against its manifest.
+
+    Raises:
+        ModelError: when the manifest is missing/garbled or any
+            covered file is missing or fails its checksum.
+
+    Returns:
+        The verified combined digest.
+    """
+    directory = pathlib.Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ModelError(f"no manifest at {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        files = dict(manifest["files"])
+        recorded = manifest["digest"]
+    except (ValueError, KeyError, TypeError) as error:
+        raise ModelError(
+            f"garbled manifest at {manifest_path}: {error}"
+        ) from error
+    observed: dict[str, str] = {}
+    for name, expected in files.items():
+        path = directory / name
+        if not path.exists():
+            raise ModelError(f"manifested file missing: {path}")
+        actual = _file_digest(path)
+        if actual != expected:
+            raise ModelError(
+                f"checksum mismatch for {path}: "
+                f"expected {expected[:12]}…, got {actual[:12]}…"
+            )
+        observed[name] = actual
+    digest = _combined_digest(observed)
+    if digest != recorded:
+        raise ModelError(
+            f"manifest digest mismatch at {directory}"
+        )
+    return digest
+
+
+def model_kind(directory: str | pathlib.Path) -> str:
+    """The saved model's kind (``"crf"`` or ``"lstm"``) without loading."""
+    meta_path = pathlib.Path(directory) / "meta.json"
+    if not meta_path.exists():
+        raise ModelError(f"no saved model at {directory}")
+    try:
+        return str(json.loads(meta_path.read_text()).get("kind"))
+    except ValueError as error:
+        raise ModelError(
+            f"garbled meta.json at {directory}: {error}"
+        ) from error
+
+
+def load_tagger(directory: str | pathlib.Path) -> CrfTagger | LstmTagger:
+    """Load a saved tagger of either kind (dispatch on ``meta.json``)."""
+    kind = model_kind(directory)
+    if kind == "crf":
+        return load_crf(directory)
+    if kind == "lstm":
+        return load_lstm(directory)
+    raise ModelError(f"unknown saved model kind {kind!r} at {directory}")
 
 
 # -- CRF ---------------------------------------------------------------

@@ -1,0 +1,293 @@
+"""Serve-path benchmark (``make bench-serve``).
+
+Stands up a real daemon — trained CRF bundle, warm registry, full
+robustness pipeline, stdlib HTTP — and measures it from the outside
+with concurrent HTTP clients:
+
+* ``throughput`` — N concurrent clients (default 8) hammering
+  ``POST /extract`` with clean text requests: p50/p90/p99 latency and
+  requests/second;
+* ``overload`` — the same burst against a deliberately tiny admission
+  capacity, counting shed (429) responses and verifying load-shedding
+  latency stays flat;
+* ``chaos`` — a seeded fault plan (worker deaths, corrupt payloads,
+  dirty HTML) driven concurrently, recording the shed/quarantine/
+  breaker counters the daemon accumulated.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench_serve --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import tempfile
+import threading
+import time
+
+
+def _train_bundle(root: str) -> None:
+    """Publish a small trained bundle on the synthetic ja task."""
+    import random
+
+    from ..config import CrfConfig
+    from ..ml.crf import CrfTagger
+    from ..nlp import get_locale
+    from ..serve import publish_bundle
+    from ..types import Sentence, TaggedSentence
+
+    ja = get_locale("ja")
+    colors = ["aka", "ao", "shiro", "kuro", "midori"]
+    weights = ["2 kg", "3 kg", "5 kg", "1 . 5 kg"]
+    rng = random.Random(0)
+    data = []
+    for index in range(150):
+        color = rng.choice(colors)
+        weight = rng.choice(weights)
+        tokens = ja.tokens(
+            f"iro wa {color} desu soshite juryo wa {weight} desu"
+        )
+        texts = [token.text for token in tokens]
+        labels = ["O"] * len(tokens)
+        labels[texts.index(color)] = "B-iro"
+        weight_tokens = weight.split()
+        for start in range(len(texts)):
+            if texts[start:start + len(weight_tokens)] == weight_tokens:
+                labels[start] = "B-juryo"
+                for offset in range(1, len(weight_tokens)):
+                    labels[start + offset] = "I-juryo"
+                break
+        data.append(
+            TaggedSentence(Sentence(f"p{index}", 0, tokens), tuple(labels))
+        )
+    tagger = CrfTagger(CrfConfig(max_iterations=40)).train(data)
+    dictionary = {"iro": colors, "juryo": weights}
+    publish_bundle(root, "v1", tagger, dictionary, "ja")
+
+
+def _drive(
+    server, bodies: list[bytes], clients: int
+) -> tuple[list[float], dict[int, int]]:
+    """Fan ``bodies`` over ``clients`` threads; return latencies + statuses."""
+    host, port = server.server_address[:2]
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    lock = threading.Lock()
+    start = threading.Barrier(clients)
+
+    def client(chunk: list[bytes]) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        start.wait()
+        try:
+            for body in chunk:
+                began = time.perf_counter()
+                connection.request(
+                    "POST", "/extract", body,
+                    {"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                elapsed = time.perf_counter() - began
+                with lock:
+                    latencies.append(elapsed)
+                    statuses[response.status] = (
+                        statuses.get(response.status, 0) + 1
+                    )
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(bodies[i::clients],))
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, statuses
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "p50_ms": round(1000 * statistics.median(ordered), 3),
+        "p90_ms": round(1000 * pct(0.90), 3),
+        "p99_ms": round(1000 * pct(0.99), 3),
+        "max_ms": round(1000 * ordered[-1], 3),
+    }
+
+
+def _clean_bodies(count: int) -> list[bytes]:
+    return [
+        json.dumps(
+            {
+                "product_id": f"bench{index}",
+                "text": "iro wa aka desu soshite juryo wa 3 kg desu",
+            }
+        ).encode()
+        for index in range(count)
+    ]
+
+
+def run_bench(clients: int, requests: int) -> dict:
+    from ..config import ServeConfig
+    from ..runtime.faults import FaultPlan, FaultSpec
+    from ..serve import ExtractionService, ModelRegistry, start_server
+
+    result: dict = {
+        "config": {"clients": clients, "requests": requests},
+    }
+    with tempfile.TemporaryDirectory() as root:
+        train_started = time.perf_counter()
+        _train_bundle(root)
+        registry = ModelRegistry(root)
+        registry.activate_latest()
+        result["setup"] = {
+            "train_and_publish_seconds": round(
+                time.perf_counter() - train_started, 3
+            ),
+            "warmup_seconds": round(registry.last_warmup_seconds, 6),
+        }
+
+        # Phase 1: clean throughput at N concurrent clients.
+        service = ExtractionService(
+            registry, ServeConfig(queue_capacity=max(64, 2 * clients))
+        )
+        server, thread = start_server(service)
+        began = time.perf_counter()
+        latencies, statuses = _drive(
+            server, _clean_bodies(requests), clients
+        )
+        wall = time.perf_counter() - began
+        server.shutdown()
+        thread.join(timeout=5)
+        service.close()
+        assert statuses.get(200, 0) == requests, statuses
+        result["throughput"] = {
+            "latency": _latency_summary(latencies),
+            "wall_seconds": round(wall, 3),
+            "requests_per_second": round(requests / wall, 1),
+            "statuses": statuses,
+            "batches": service.batcher.batches,
+            "batched_jobs": service.batcher.batched_jobs,
+        }
+
+        # Phase 2: overload a tiny admission capacity; shed must be
+        # fast and structured, never queued.
+        service = ExtractionService(registry, ServeConfig(queue_capacity=2))
+        server, thread = start_server(service)
+        began = time.perf_counter()
+        latencies, statuses = _drive(
+            server, _clean_bodies(requests), clients
+        )
+        wall = time.perf_counter() - began
+        server.shutdown()
+        thread.join(timeout=5)
+        service.close()
+        admission = service.admission.stats()
+        result["overload"] = {
+            "latency": _latency_summary(latencies),
+            "statuses": statuses,
+            "shed": admission["shed"],
+            "admitted": admission["admitted"],
+            "wall_seconds": round(wall, 3),
+        }
+
+        # Phase 3: seeded chaos — the counters the ISSUE asks for.
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    stage="serve_tag", kind="worker_death", times=6
+                ),
+                FaultSpec(
+                    stage="serve_payload", kind="corrupt_payload",
+                    times=5,
+                ),
+            ],
+            seed=29,
+        )
+        service = ExtractionService(
+            registry,
+            ServeConfig(
+                queue_capacity=max(64, 2 * clients),
+                breaker_threshold=3,
+                breaker_cooldown_seconds=0.2,
+            ),
+            faults=plan,
+        )
+        server, thread = start_server(service)
+        bodies = _clean_bodies(requests)
+        for index in range(0, len(bodies), 10):
+            bodies[index] = json.dumps(
+                {
+                    "product_id": f"dirty{index}",
+                    "html": "<p>iro wa ao desu�</p>",
+                }
+            ).encode()
+        latencies, statuses = _drive(server, bodies, clients)
+        server.shutdown()
+        thread.join(timeout=5)
+        stats = service.stats()
+        service.close()
+        result["chaos"] = {
+            "latency": _latency_summary(latencies),
+            "statuses": statuses,
+            "injected": {
+                f"{stage}:{kind}": count
+                for (stage, kind), count in plan.injected.items()
+            },
+            "counters": stats["counters"],
+            "ladder": stats["ladder"],
+            "quarantined_by_check": stats["quarantined_by_check"],
+        }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the serve daemon over real HTTP."
+    )
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent HTTP clients (default 8)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=400,
+        help="total requests per phase (default 400)",
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(args.clients, args.requests)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    throughput = result["throughput"]
+    print(
+        f"throughput: {throughput['requests_per_second']} req/s "
+        f"p50={throughput['latency']['p50_ms']}ms "
+        f"p99={throughput['latency']['p99_ms']}ms "
+        f"({args.clients} clients)"
+    )
+    print(
+        f"overload:   shed={result['overload']['shed']} "
+        f"statuses={result['overload']['statuses']}"
+    )
+    print(
+        f"chaos:      statuses={result['chaos']['statuses']} "
+        f"counters={result['chaos']['counters']}"
+    )
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ _LAZY = {
     "seed_digest": "checkpoint",
     "FaultPlan": "faults",
     "FaultSpec": "faults",
+    "Deadline": "jobs",
 }
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "seed_digest",
     "FaultPlan",
     "FaultSpec",
+    "Deadline",
 ]
 
 

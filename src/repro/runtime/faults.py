@@ -40,19 +40,45 @@ Fault kinds:
   and the plan keeps each :class:`~repro.corpus.dirt.DirtReport` in
   :attr:`FaultPlan.dirt_reports` so tests can assert the quarantine
   ledger matches the injection ledger exactly.
+* ``"worker_death"`` — raise :class:`~repro.errors.WorkerDeathError`
+  at the stage, simulating a worker process/thread dying mid-request.
+  The serve path converts it into a structured per-request error and
+  a circuit-breaker failure.
+* ``"corrupt_payload"`` — consumed by :meth:`FaultPlan.mangle_payload`
+  (the serve path's pre-parse hook): deterministically truncates a
+  request body and splices in binary garbage, exercising the
+  protocol-level containment (structured 400, never a crash).
+
+The serve chaos harness drives plans from many worker threads at once,
+so all mutable plan state (fire counters, the seeded RNG, injection
+tallies) is guarded by an internal lock; injection *counts* stay
+deterministic even though thread scheduling decides which concurrent
+request absorbs which fault.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import ConfigError, FaultInjectionError
+from ..errors import ConfigError, FaultInjectionError, WorkerDeathError
 from ..types import ProductPage
 
-_KINDS = ("error", "delay", "corrupt_pages", "dirt")
+_KINDS = (
+    "error",
+    "delay",
+    "corrupt_pages",
+    "dirt",
+    "worker_death",
+    "corrupt_payload",
+)
+
+#: Spliced into request bodies by ``corrupt_payload`` faults: an
+#: unterminated JSON prefix plus bytes that are not valid UTF-8.
+_PAYLOAD_GARBAGE = b'{"truncated": \xff\xfe\x00'
 
 #: Appended to a corrupted page's truncated HTML — the same tag soup
 #: the failure-injection tests use for hostile-input coverage.
@@ -122,6 +148,9 @@ class FaultPlan:
         self.seed = seed
         self._rng = random.Random(seed)
         self._fired: list[int] = [0] * len(self.specs)
+        # The serve path fires plans from concurrent worker threads;
+        # every read-modify-write of plan state happens under this.
+        self._lock = threading.Lock()
         #: ``{(stage, kind): count}`` of faults actually injected.
         self.injected: dict[tuple[str, str], int] = {}
         #: One :class:`~repro.corpus.dirt.DirtReport` per fired
@@ -148,23 +177,53 @@ class FaultPlan:
         self.injected[key] = self.injected.get(key, 0) + 1
 
     def fire(self, stage: str, iteration: int | None = None) -> None:
-        """Inject any due error/delay fault at a stage boundary.
+        """Inject any due error/delay/worker-death fault at a stage.
 
-        Called by the bootstrap loop at the top of every stage body.
-        Delays sleep inline; errors raise
-        :class:`~repro.errors.FaultInjectionError` (the stage-retry
-        machinery then treats the fault like any real stage failure).
+        Called by the bootstrap loop at the top of every stage body
+        and by the serve path inside its tag engine. Delays sleep
+        inline (outside the plan lock); errors raise
+        :class:`~repro.errors.FaultInjectionError` and worker deaths
+        :class:`~repro.errors.WorkerDeathError` (retry/breaker
+        machinery then treats the fault like a real failure).
         """
-        for index, spec in enumerate(self.specs):
-            if spec.kind in ("corrupt_pages", "dirt"):
-                continue
-            if not self._matches(spec, index, stage, iteration):
-                continue
-            self._record(spec, index)
+        due: list[FaultSpec] = []
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind in ("corrupt_pages", "dirt", "corrupt_payload"):
+                    continue
+                if not self._matches(spec, index, stage, iteration):
+                    continue
+                self._record(spec, index)
+                due.append(spec)
+        for spec in due:
             if spec.kind == "delay":
                 time.sleep(spec.delay_seconds)
+            elif spec.kind == "worker_death":
+                raise WorkerDeathError(stage, spec.message)
             else:
                 raise FaultInjectionError(stage, iteration, spec.message)
+
+    def mangle_payload(self, stage: str, payload: bytes) -> bytes:
+        """Corrupt a request body per any due ``corrupt_payload`` spec.
+
+        The serve path calls this on every request body before JSON
+        parsing. Damage is deterministic in shape: the body is cut to
+        two thirds and an unterminated-JSON/non-UTF-8 garbage tail is
+        spliced on, so the protocol layer must produce a structured
+        ``bad_request`` — never an unhandled decode crash.
+        """
+        mangle = False
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind != "corrupt_payload":
+                    continue
+                if not self._matches(spec, index, stage, None):
+                    continue
+                self._record(spec, index)
+                mangle = True
+        if not mangle:
+            return payload
+        return payload[: (2 * len(payload)) // 3] + _PAYLOAD_GARBAGE
 
     def corrupt_pages(
         self, pages: Sequence[ProductPage]
@@ -181,6 +240,12 @@ class FaultPlan:
         """
         pages = list(pages)
         victims: set[int] = set()
+        with self._lock:
+            return self._corrupt_pages_locked(pages, victims)
+
+    def _corrupt_pages_locked(
+        self, pages: list[ProductPage], victims: set[int]
+    ) -> list[ProductPage]:
         for index, spec in enumerate(self.specs):
             if spec.kind == "dirt":
                 if not self._matches(spec, index, "corpus", None):
@@ -228,6 +293,17 @@ class FaultPlan:
     def total_injected(self) -> int:
         """Total faults injected so far, across all specs."""
         return sum(self.injected.values())
+
+    # Plans ride RunnerJobs across process boundaries; the lock is
+    # per-process state and is rebuilt on unpickle.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

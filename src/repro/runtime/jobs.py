@@ -182,6 +182,40 @@ class JobOutcome:
         return None if self.result is None else self.result.trace
 
 
+@dataclass(frozen=True)
+class Deadline:
+    """A monotonic wall-clock budget shared across pipeline stages.
+
+    The serve path threads one :class:`Deadline` through admission,
+    batching and tagging so every stage can cheaply ask "is there time
+    left?" — a blown deadline becomes a structured
+    :class:`~repro.errors.JobTimeoutError`, never a hung socket.
+    """
+
+    expires_at: float
+    budget_seconds: float
+
+    @classmethod
+    def after(cls, budget_seconds: float) -> "Deadline":
+        """A deadline ``budget_seconds`` from now."""
+        return cls(
+            expires_at=time.monotonic() + budget_seconds,
+            budget_seconds=budget_seconds,
+        )
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def error(self, job_name: str) -> JobTimeoutError:
+        """The structured timeout this deadline produces when blown."""
+        return JobTimeoutError(job_name, self.budget_seconds)
+
+
 def retry_backoff(
     job_name: str,
     attempt: int,
@@ -194,7 +228,9 @@ def retry_backoff(
     jitter in ``[0.5, 1.0)`` of the raw delay derived from a CRC of
     ``(job_name, attempt)`` — the schedule is reproducible for a given
     job yet decorrelated across jobs, so a sweep's retries do not
-    stampede in lockstep.
+    stampede in lockstep. Pure and lock-free: concurrent callers (the
+    serve daemon computes shed ``Retry-After`` hints from worker
+    threads) always observe identical values for identical inputs.
     """
     if base <= 0:
         return 0.0

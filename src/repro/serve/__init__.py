@@ -1,0 +1,59 @@
+"""The online extraction service (``repro-pae serve``).
+
+A long-lived daemon that serves ``<product, attribute, value>``
+extraction over HTTP from a **versioned warm model registry**, routing
+every request through a robustness pipeline: admission control with
+load shedding, per-request deadlines, strict ingest gating with a
+persistent quarantine ledger, micro-batched inference, and a
+per-model circuit breaker driving a four-rung graceful-degradation
+ladder (active model → previous model → dictionary-only → fail-fast).
+
+Public surface:
+
+* :class:`ExtractionService` / :class:`ExtractionServer` /
+  :func:`start_server` — the daemon (transport-independent core +
+  stdlib HTTP wrapper).
+* :class:`ModelRegistry` / :class:`ModelBundle` /
+  :func:`publish_bundle` — the versioned registry.
+* :class:`AdmissionController`, :class:`DegradationLadder`,
+  :class:`CircuitBreaker`, :class:`MicroBatcher` — the pipeline parts.
+* :func:`train_and_publish` — bootstrap a registry from a synthetic
+  category.
+"""
+
+from .admission import AdmissionController
+from .batcher import BatchJob, MicroBatcher
+from .bootstrap import train_and_publish
+from .breaker import CircuitBreaker, DegradationLadder
+from .dictionary import dictionary_extract
+from .protocol import (
+    ERROR_STATUS,
+    LEVEL_NAMES,
+    ExtractRequest,
+    ProtocolError,
+    parse_extract_request,
+)
+from .registry import ModelBundle, ModelRegistry, load_bundle, publish_bundle
+from .server import ExtractionServer, ExtractionService, start_server
+
+__all__ = [
+    "AdmissionController",
+    "BatchJob",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "ERROR_STATUS",
+    "ExtractRequest",
+    "ExtractionServer",
+    "ExtractionService",
+    "LEVEL_NAMES",
+    "MicroBatcher",
+    "ModelBundle",
+    "ModelRegistry",
+    "ProtocolError",
+    "dictionary_extract",
+    "load_bundle",
+    "parse_extract_request",
+    "publish_bundle",
+    "start_server",
+    "train_and_publish",
+]

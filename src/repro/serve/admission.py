@@ -1,0 +1,95 @@
+"""Admission control: bounded concurrency with deterministic shedding.
+
+The daemon never queues unbounded work. A fixed number of requests may
+be *admitted* (in the handler, waiting on the batcher, or running
+inference); anything beyond that is **shed immediately** with a
+structured 429 carrying a ``Retry-After`` hint. The hint comes from
+:func:`repro.runtime.jobs.retry_backoff`, whose jitter is pure and
+deterministic — identical shed streaks produce identical hints, which
+keeps the chaos suite and the bench reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..runtime.jobs import retry_backoff
+
+
+class AdmissionController:
+    """A bounded admission counter with load-shedding backoff hints.
+
+    Args:
+        capacity: maximum concurrently admitted requests. Arrivals
+            past capacity are shed instantly — no queueing, no
+            blocking — so an overloaded daemon degrades to fast,
+            honest 429s instead of a growing backlog of doomed work.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"admission capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._admitted = 0
+        #: Consecutive sheds since the last successful admission;
+        #: drives the escalating Retry-After hint.
+        self._shed_streak = 0
+        self.total_admitted = 0
+        self.total_shed = 0
+
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse without blocking."""
+        with self._lock:
+            if self._admitted >= self.capacity:
+                self._shed_streak += 1
+                self.total_shed += 1
+                return False
+            self._admitted += 1
+            self._shed_streak = 0
+            self.total_admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._admitted = max(0, self._admitted - 1)
+
+    @contextmanager
+    def admit(self) -> Iterator[bool]:
+        """``with controller.admit() as ok:`` — releases iff admitted."""
+        admitted = self.try_admit()
+        try:
+            yield admitted
+        finally:
+            if admitted:
+                self.release()
+
+    def retry_after(self) -> float:
+        """Deterministic Retry-After for the current shed streak.
+
+        Escalates with consecutive sheds (a persistently saturated
+        server pushes clients further out) and resets once a request
+        gets through. Pure function of the streak, so concurrent
+        shed responses at the same streak carry the same hint.
+        """
+        with self._lock:
+            streak = self._shed_streak
+        attempt = min(max(streak, 1), 6)
+        return retry_backoff("serve-shed", attempt)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._admitted,
+                "admitted": self.total_admitted,
+                "shed": self.total_shed,
+                "shed_streak": self._shed_streak,
+            }

@@ -1,0 +1,61 @@
+"""Training and publishing bundles for the serve registry.
+
+``repro-pae serve --bootstrap CATEGORY`` uses this to stand up a
+registry from nothing: generate a synthetic category corpus, run the
+paper's preprocessing (seed assembly + distant-supervision labelling),
+train a CRF tagger on the labelled sentences, and publish the result —
+model weights, the seed dictionary (the ladder's rung-2 fallback) and
+a checksum manifest — as one registry version.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..config import CrfConfig
+from ..core.preprocess.candidate_discovery import discover_candidates
+from ..core.preprocess.seed import build_seed
+from ..core.preprocess.training_set import build_training_material
+from ..core.text import tokenize_pages
+from ..errors import ModelError
+from ..ml.crf import CrfTagger
+from .registry import publish_bundle
+
+
+def train_and_publish(
+    root: str | pathlib.Path,
+    category: str,
+    products: int = 120,
+    *,
+    version: str = "v1",
+    data_seed: int = 7,
+    max_iterations: int = 60,
+) -> pathlib.Path:
+    """Train a tagger on one synthetic category and publish it.
+
+    Returns the published bundle directory. Raises
+    :class:`~repro.errors.ModelError` when the category yields no
+    labelled training sentences (no seed → nothing to serve).
+    """
+    from ..corpus import Marketplace
+
+    dataset = Marketplace(seed=data_seed).generate(category, products)
+    pages = list(dataset.product_pages)
+    candidates = discover_candidates(pages)
+    seed = build_seed(pages, dataset.query_log, candidates=candidates)
+    page_texts = tokenize_pages(pages)
+    material = build_training_material(page_texts, seed, candidates)
+    if not material.labeled:
+        raise ModelError(
+            f"category {category!r} produced no labelled sentences; "
+            "cannot bootstrap a serve bundle from it"
+        )
+    tagger = CrfTagger(CrfConfig(max_iterations=max_iterations))
+    tagger.train(list(material.labeled))
+    dictionary = {
+        attribute: sorted(counter)
+        for attribute, counter in seed.values.items()
+    }
+    return publish_bundle(
+        root, version, tagger, dictionary, dataset.locale
+    )

@@ -1,0 +1,242 @@
+"""Per-model circuit breaker driving the graceful-degradation ladder.
+
+The ladder has four rungs (:data:`~repro.serve.protocol.LEVEL_NAMES`):
+
+====  ============  ====================================================
+rung  name          what serves the request
+====  ============  ====================================================
+0     full          the active registry version
+1     previous      the version that was live before the last hot-swap
+2     dictionary    seed-dictionary matching only (no model inference)
+3     fail_fast     structured 503 immediately, no work attempted
+====  ============  ====================================================
+
+Each model rung (0 and 1) has its own :class:`CircuitBreaker`:
+``threshold`` consecutive failures (ModelError / timeout / worker
+death) trip it open and route traffic one rung down. After a cooldown
+the breaker goes *half-open* and admits exactly one probe request; a
+probe success closes the breaker and recovers the rung, a probe
+failure re-opens it for another cooldown. Rung 2 never trips — the
+dictionary matcher has no model to fail — so the ladder always has a
+working floor above ``fail_fast``.
+
+The clock is injectable so tests step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .protocol import LEVEL_NAMES
+
+#: Ladder rungs guarded by breakers (model-backed rungs only).
+MODEL_LEVELS = (0, 1)
+DICTIONARY_LEVEL = 2
+FAIL_FAST_LEVEL = 3
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open single-probe recovery.
+
+    Not thread-safe on its own — :class:`DegradationLadder` serializes
+    all access under one lock.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_seconds: float,
+        clock: Callable[[], float],
+    ):
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+        self.trips = 0
+
+    def admit(self) -> tuple[bool, bool]:
+        """``(admitted, is_probe)`` for one arriving request.
+
+        Closed rungs admit freely. Open rungs refuse until the
+        cooldown elapses, then turn half-open; a half-open rung admits
+        exactly one concurrent probe — the claim happens here, so
+        racing callers cannot both become the probe.
+        """
+        if self.state == CLOSED:
+            return True, False
+        if self.state == OPEN:
+            if self._clock() - self.opened_at >= self.cooldown_seconds:
+                self.state = HALF_OPEN
+                self.probe_in_flight = False
+            else:
+                return False, False
+        if self.state == HALF_OPEN and not self.probe_in_flight:
+            self.probe_in_flight = True
+            return True, True
+        return False, False
+
+    def would_admit(self) -> bool:
+        """Read-only view of :meth:`admit` (no state transitions)."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            return self._clock() - self.opened_at >= self.cooldown_seconds
+        return not self.probe_in_flight
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when the breaker (re)opens."""
+        if self.state == HALF_OPEN:
+            # Failed probe: straight back to open for a fresh cooldown.
+            self.state = OPEN
+            self.opened_at = self._clock()
+            self.probe_in_flight = False
+            self.failures = self.threshold
+            return True
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = self._clock()
+            self.trips += 1
+            return True
+        return False
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "trips": self.trips,
+        }
+
+
+class Route:
+    """The rung a request was routed to (plus probe bookkeeping)."""
+
+    __slots__ = ("level", "probe")
+
+    def __init__(self, level: int, probe: bool = False):
+        self.level = level
+        self.probe = probe
+
+
+class DegradationLadder:
+    """Thread-safe router from requests to the best available rung.
+
+    Usage per request::
+
+        route = ladder.acquire()            # rung to try first
+        ...serve at route.level, or fall further down in-request...
+        ladder.success(route, achieved)     # where it finally landed
+        # each model-rung failure along the way:
+        ladder.failure(route, failed_level)
+
+    ``acquire`` returns the highest rung whose breaker admits traffic;
+    half-open rungs admit exactly one concurrent probe. In-request
+    fallback (a level-0 attempt failing over to level 1 inside one
+    request) reports each model-rung failure via :meth:`failure` so
+    breakers trip on real evidence, then reports the landing level via
+    :meth:`success`. A rung that is merely *unavailable* (no previous
+    version published yet) is skipped by the caller without a failure
+    report — absence is not a fault.
+
+    Args:
+        threshold: consecutive failures that trip one rung's breaker.
+        cooldown_seconds: open time before a half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_seconds: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._lock = threading.Lock()
+        self._breakers = {
+            level: CircuitBreaker(threshold, cooldown_seconds, clock)
+            for level in MODEL_LEVELS
+        }
+        self.recoveries = 0
+        #: Requests that finished at each ladder level.
+        self.served_at_level = {name: 0 for name in LEVEL_NAMES}
+
+    def acquire(self) -> Route:
+        """Pick the best rung currently admitting traffic."""
+        with self._lock:
+            for level in MODEL_LEVELS:
+                admitted, is_probe = self._breakers[level].admit()
+                if admitted:
+                    return Route(level, is_probe)
+            return Route(DICTIONARY_LEVEL)
+
+    def failure(self, route: Route, level: int) -> None:
+        """Record a model failure (ModelError / timeout / worker death).
+
+        ``level`` is the model rung that actually failed — during
+        in-request fallback one request may report failures at several
+        rungs before landing.
+        """
+        if level not in MODEL_LEVELS:
+            return
+        with self._lock:
+            self._breakers[level].record_failure()
+
+    def success(self, route: Route, achieved_level: int) -> None:
+        """Record where the request finally landed."""
+        with self._lock:
+            if achieved_level in MODEL_LEVELS:
+                breaker = self._breakers[achieved_level]
+                was_recovering = breaker.state != CLOSED
+                breaker.record_success()
+                if was_recovering:
+                    self.recoveries += 1
+            elif route.probe and route.level in MODEL_LEVELS:
+                # The probe never produced a model verdict (e.g. it
+                # fell through on an unavailable rung); release the
+                # slot so the next arrival can probe.
+                breaker = self._breakers[route.level]
+                if breaker.state == HALF_OPEN:
+                    breaker.probe_in_flight = False
+            if 0 <= achieved_level < len(LEVEL_NAMES):
+                self.served_at_level[LEVEL_NAMES[achieved_level]] += 1
+
+    def abandon(self, route: Route) -> None:
+        """Release a probe slot for a request that produced no verdict
+        (shed after routing, non-model 4xx, timeout attributed to the
+        client's own deadline)."""
+        if not route.probe or route.level not in MODEL_LEVELS:
+            return
+        with self._lock:
+            breaker = self._breakers[route.level]
+            if breaker.state == HALF_OPEN:
+                breaker.probe_in_flight = False
+
+    def current_level(self) -> int:
+        """The rung a fresh request would be routed to (read-only)."""
+        with self._lock:
+            for level in MODEL_LEVELS:
+                if self._breakers[level].would_admit():
+                    return level
+            return DICTIONARY_LEVEL
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "breakers": {
+                    LEVEL_NAMES[level]: breaker.snapshot()
+                    for level, breaker in self._breakers.items()
+                },
+                "recoveries": self.recoveries,
+                "served_at_level": dict(self.served_at_level),
+            }

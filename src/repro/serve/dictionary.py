@@ -1,0 +1,46 @@
+"""The dictionary-only fallback extractor (ladder rung 2).
+
+When both model rungs are tripped or unavailable, requests are still
+answered from the seed dictionary shipped inside every bundle:
+:class:`~repro.core.preprocess.matcher.ValueMatcher` scans each
+sentence greedily (longest value first) and every resolved span
+becomes a triple. No model inference runs at all — this rung cannot
+fail the way a model can, so it is the ladder's working floor. Recall
+is whatever the dictionary covers; the point is an honest, useful
+answer instead of an error while the breakers cool down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..types import Sentence, Triple
+
+
+def dictionary_extract(
+    matcher, sentences: Sequence[Sentence]
+) -> list[Triple]:
+    """Extract triples by pure dictionary matching (no model).
+
+    Args:
+        matcher: a :class:`ValueMatcher` built from a bundle's
+            dictionary (see ``ModelBundle.matcher``).
+        sentences: the request's tokenized sentences.
+
+    Returns:
+        Deduplicated triples in first-occurrence order.
+    """
+    triples: list[Triple] = []
+    seen: set[Triple] = set()
+    for sentence in sentences:
+        texts = sentence.texts()
+        for start, end, attribute in matcher.find_spans(texts):
+            triple = Triple(
+                sentence.product_id,
+                attribute,
+                " ".join(texts[start:end]),
+            )
+            if triple not in seen:
+                seen.add(triple)
+                triples.append(triple)
+    return triples

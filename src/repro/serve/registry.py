@@ -1,0 +1,348 @@
+"""The versioned warm model registry behind the serve daemon.
+
+A *bundle* is one published model version on disk::
+
+    <registry root>/<version>/
+        meta.json          model structure (ml/persistence format)
+        weights.npz        model arrays
+        dictionary.json    {"locale": ..., "values": {attr: [value, ...]}}
+        MANIFEST.json      per-file SHA-256 checksums + combined digest
+
+Loading is paranoid by design: the manifest is re-hashed before any
+file is parsed (a corrupted or half-written bundle raises
+:class:`~repro.errors.ModelError` and is never admitted), and a loaded
+model must survive a **warm-up inference** before the registry marks
+it live — cold-start latency and load-time crashes land here, at
+activation, not on the first unlucky production request.
+
+Activation is an **atomic hot-swap with draining**: requests lease the
+active bundle (a refcount), the swap publishes the new bundle in one
+lock-protected assignment, and the old version then *drains* — the
+swap waits until its in-flight leases release. A request started
+before the swap completes on the version it started on; no request
+ever observes a half-swapped model. The previous version stays
+resident as the first rung of the degradation ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Iterator, Mapping, Sequence
+
+from contextlib import contextmanager
+
+from ..errors import ModelError
+from ..ml.persistence import (
+    load_tagger,
+    save_crf,
+    save_lstm,
+    verify_manifest,
+    write_manifest,
+)
+from ..nlp import get_locale
+from ..types import Sentence
+
+DICTIONARY_NAME = "dictionary.json"
+
+
+class ModelBundle:
+    """One loaded model version with lease-counted in-flight tracking."""
+
+    def __init__(
+        self,
+        version: str,
+        tagger,
+        dictionary: dict[str, tuple[str, ...]],
+        locale: str,
+        digest: str,
+    ):
+        self.version = version
+        self.tagger = tagger
+        self.dictionary = dictionary
+        self.locale = locale
+        self.digest = digest
+        self.warmed = False
+        self._leases = 0
+        self._cond = threading.Condition()
+        self._matcher = None
+        self._matcher_lock = threading.Lock()
+
+    # -- leases --------------------------------------------------------
+
+    def acquire(self) -> None:
+        with self._cond:
+            self._leases += 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._leases -= 1
+            if self._leases <= 0:
+                self._cond.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._leases
+
+    def drain(self, timeout: float) -> bool:
+        """Wait for in-flight leases to finish; True when drained."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._leases > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    # -- extraction helpers -------------------------------------------
+
+    @property
+    def matcher(self):
+        """Lazily built dictionary matcher (the level-2 fallback)."""
+        with self._matcher_lock:
+            if self._matcher is None:
+                from ..core.preprocess.matcher import ValueMatcher
+
+                self._matcher = ValueMatcher(
+                    {
+                        attribute: list(values)
+                        for attribute, values in self.dictionary.items()
+                    }
+                )
+            return self._matcher
+
+    def warm_up(self) -> float:
+        """Run one inference so the first real request pays no cold start.
+
+        Returns the warm-up latency in seconds. Raises
+        :class:`ModelError` when inference fails — a bundle that
+        cannot tag its own warm-up sentence must never be marked live.
+        """
+        nlp = get_locale(self.locale)
+        sample_values = [
+            value
+            for values in self.dictionary.values()
+            for value in list(values)[:1]
+        ]
+        text = " ".join(sample_values[:3]) or "warm up"
+        tokens = nlp.tokens(text)
+        if not tokens:
+            tokens = nlp.tokens("warm up")
+        sentence = Sentence("__warmup__", 0, tokens)
+        started = time.perf_counter()
+        try:
+            tagged = self.tagger.tag([sentence])
+        except Exception as error:
+            raise ModelError(
+                f"warm-up inference failed for version "
+                f"{self.version!r}: {error}"
+            ) from error
+        if len(tagged) != 1 or len(tagged[0].labels) != len(sentence):
+            raise ModelError(
+                f"warm-up inference for version {self.version!r} "
+                "returned malformed output"
+            )
+        self.warmed = True
+        return time.perf_counter() - started
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelBundle({self.version!r}, in_flight={self.in_flight}, "
+            f"warmed={self.warmed})"
+        )
+
+
+def publish_bundle(
+    root: str | pathlib.Path,
+    version: str,
+    tagger,
+    dictionary: Mapping[str, Sequence[str]],
+    locale: str,
+) -> pathlib.Path:
+    """Write one model version into a registry directory.
+
+    Persists the tagger (CRF or LSTM) via :mod:`repro.ml.persistence`,
+    the fallback dictionary, and a checksum manifest covering all of
+    it. Returns the bundle directory.
+    """
+    directory = pathlib.Path(root) / version
+    kind = type(tagger).__name__
+    if kind == "CrfTagger":
+        save_crf(tagger, directory)
+    elif kind == "LstmTagger":
+        save_lstm(tagger, directory)
+    else:
+        raise ModelError(
+            f"cannot publish tagger of type {kind} (CRF/LSTM only)"
+        )
+    (directory / DICTIONARY_NAME).write_text(
+        json.dumps(
+            {
+                "locale": locale,
+                "values": {
+                    attribute: sorted(set(values))
+                    for attribute, values in dictionary.items()
+                },
+            },
+            ensure_ascii=False,
+            indent=1,
+            sort_keys=True,
+        )
+    )
+    write_manifest(directory, extra_files=(DICTIONARY_NAME,))
+    return directory
+
+
+def load_bundle(
+    root: str | pathlib.Path, version: str
+) -> ModelBundle:
+    """Load and checksum-verify one published version (not yet warm)."""
+    directory = pathlib.Path(root) / version
+    if not directory.is_dir():
+        raise ModelError(f"no published version {version!r} at {root}")
+    digest = verify_manifest(directory)
+    tagger = load_tagger(directory)
+    try:
+        payload = json.loads((directory / DICTIONARY_NAME).read_text())
+        locale = str(payload["locale"])
+        values = {
+            str(attribute): tuple(str(v) for v in value_list)
+            for attribute, value_list in dict(payload["values"]).items()
+        }
+    except (ValueError, KeyError, TypeError) as error:
+        raise ModelError(
+            f"garbled {DICTIONARY_NAME} in version {version!r}: {error}"
+        ) from error
+    return ModelBundle(version, tagger, values, locale, digest)
+
+
+class ModelRegistry:
+    """Versioned in-memory registry with warm activation and hot-swap.
+
+    Args:
+        root: directory of published bundles (one subdirectory per
+            version; see :func:`publish_bundle`).
+        drain_timeout_seconds: how long :meth:`activate` waits for the
+            outgoing version's in-flight requests before giving up on
+            a clean drain (the swap itself has already happened).
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        drain_timeout_seconds: float = 10.0,
+    ):
+        self.root = pathlib.Path(root)
+        self.drain_timeout_seconds = drain_timeout_seconds
+        self._lock = threading.Lock()
+        self._active: ModelBundle | None = None
+        self._previous: ModelBundle | None = None
+        #: Swap bookkeeping surfaced through the health endpoint.
+        self.swaps = 0
+        self.clean_drains = 0
+        self.drain_timeouts = 0
+        self.last_warmup_seconds: float | None = None
+
+    # -- introspection -------------------------------------------------
+
+    def versions(self) -> list[str]:
+        """Published version names, sorted (the activation order)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / "MANIFEST.json").exists()
+        )
+
+    @property
+    def active(self) -> ModelBundle | None:
+        with self._lock:
+            return self._active
+
+    @property
+    def previous(self) -> ModelBundle | None:
+        with self._lock:
+            return self._previous
+
+    # -- activation ----------------------------------------------------
+
+    def activate(self, version: str) -> ModelBundle:
+        """Load, verify, warm up and hot-swap one version live.
+
+        The load + warm-up happen entirely off the serving path; only
+        the final publish is a lock-protected pointer swap. The
+        outgoing version is then drained (bounded wait) and kept as
+        the degradation ladder's ``previous`` rung.
+        """
+        bundle = load_bundle(self.root, version)
+        self.last_warmup_seconds = bundle.warm_up()
+        with self._lock:
+            if (
+                self._active is not None
+                and self._active.version == version
+            ):
+                # Re-activating the live version is a refresh, not a
+                # swap; the previous rung keeps its occupant.
+                outgoing, self._active = self._active, bundle
+            else:
+                outgoing = self._active
+                self._previous, self._active = outgoing, bundle
+            self.swaps += 1
+        if outgoing is not None:
+            if outgoing.drain(self.drain_timeout_seconds):
+                self.clean_drains += 1
+            else:
+                self.drain_timeouts += 1
+        return bundle
+
+    def activate_latest(self) -> ModelBundle:
+        """Activate the lexicographically newest published version."""
+        versions = self.versions()
+        if not versions:
+            raise ModelError(f"registry {self.root} has no versions")
+        return self.activate(versions[-1])
+
+    # -- leasing -------------------------------------------------------
+
+    @contextmanager
+    def lease(self, level: int = 0) -> Iterator[ModelBundle | None]:
+        """Borrow the bundle serving a ladder level (0=active, 1=previous).
+
+        Yields None when the rung is unoccupied. The lease pins the
+        bundle's refcount for its whole scope, so a concurrent
+        hot-swap drains *after* this request finishes — the request
+        observes one consistent (tagger, dictionary, version) triple
+        throughout.
+        """
+        with self._lock:
+            bundle = self._active if level == 0 else self._previous
+            if bundle is not None:
+                bundle.acquire()
+        try:
+            yield bundle
+        finally:
+            if bundle is not None:
+                bundle.release()
+
+    def health(self) -> dict:
+        """Registry view for the health endpoint."""
+        active = self.active
+        previous = self.previous
+        return {
+            "active_version": active.version if active else None,
+            "active_digest": active.digest[:12] if active else None,
+            "previous_version": previous.version if previous else None,
+            "in_flight": {
+                "active": active.in_flight if active else 0,
+                "previous": previous.in_flight if previous else 0,
+            },
+            "swaps": self.swaps,
+            "clean_drains": self.clean_drains,
+            "drain_timeouts": self.drain_timeouts,
+            "last_warmup_seconds": self.last_warmup_seconds,
+        }

@@ -112,3 +112,50 @@ def small_garden_dataset():
 @pytest.fixture
 def rng():
     return random.Random(1234)
+
+
+#: The serve suite's dictionary: attribute -> value keys.
+SERVE_DICTIONARY = {
+    "iro": ("aka", "ao", "shiro", "kuro", "midori"),
+    "juryo": ("2 kg", "3 kg", "5 kg", "1 . 5 kg"),
+}
+
+
+@pytest.fixture(scope="session")
+def serve_model(ja):
+    """A trained CRF + its dictionary for serve tests (cached per session).
+
+    Same tiny ja labelling task as the CRF model tests; returns
+    ``(tagger, dictionary)`` ready for ``publish_bundle``.
+    """
+    from repro.config import CrfConfig
+    from repro.ml import CrfTagger
+
+    generator = random.Random(0)
+    colors = list(SERVE_DICTIONARY["iro"])
+    weights = list(SERVE_DICTIONARY["juryo"])
+    data = []
+    for index in range(150):
+        color = generator.choice(colors)
+        weight = generator.choice(weights)
+        tokens = ja.tokens(
+            f"iro wa {color} desu soshite juryo wa {weight} desu"
+        )
+        texts = [token.text for token in tokens]
+        labels = ["O"] * len(tokens)
+        labels[texts.index(color)] = "B-iro"
+        weight_tokens = weight.split()
+        for start in range(len(texts)):
+            if texts[start:start + len(weight_tokens)] == weight_tokens:
+                labels[start] = "B-juryo"
+                for offset in range(1, len(weight_tokens)):
+                    labels[start + offset] = "I-juryo"
+                break
+        data.append(
+            TaggedSentence(Sentence(f"p{index}", 0, tokens), tuple(labels))
+        )
+    tagger = CrfTagger(CrfConfig(max_iterations=40)).train(data)
+    return tagger, {
+        attribute: list(values)
+        for attribute, values in SERVE_DICTIONARY.items()
+    }

@@ -1,0 +1,144 @@
+"""Tests for the circuit breaker and degradation ladder (stepped clock)."""
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    DICTIONARY_LEVEL,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    DegradationLadder,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def test_breaker_trips_after_threshold(clock):
+    breaker = CircuitBreaker(3, 5.0, clock)
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+    assert breaker.record_failure()  # third strike
+    assert breaker.state == OPEN
+    assert breaker.admit() == (False, False)
+
+
+def test_success_resets_the_failure_streak(clock):
+    breaker = CircuitBreaker(3, 5.0, clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # streak restarted, not cumulative
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = CircuitBreaker(1, 5.0, clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(5.0)
+    assert breaker.admit() == (True, True)  # the probe
+    assert breaker.admit() == (False, False)  # racing arrival refused
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.admit() == (True, False)
+
+
+def test_failed_probe_reopens_for_a_fresh_cooldown(clock):
+    breaker = CircuitBreaker(1, 5.0, clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+    admitted, probe = breaker.admit()
+    assert admitted and probe
+    breaker.record_failure()  # probe failed
+    assert breaker.state == OPEN
+    clock.advance(4.9)
+    assert breaker.admit() == (False, False)
+    clock.advance(0.2)
+    assert breaker.admit() == (True, True)
+
+
+def test_ladder_routes_down_and_recovers(clock):
+    ladder = DegradationLadder(
+        threshold=2, cooldown_seconds=3.0, clock=clock
+    )
+    # Healthy: everything at level 0.
+    route = ladder.acquire()
+    assert route.level == 0
+    ladder.success(route, 0)
+
+    # Two failures trip level 0; next requests route to level 1.
+    for _ in range(2):
+        route = ladder.acquire()
+        ladder.failure(route, route.level)
+        ladder.success(route, DICTIONARY_LEVEL)
+    assert ladder.acquire().level == 1
+
+    # Level 1 trips too; requests land on the dictionary rung.
+    for _ in range(2):
+        route = ladder.acquire()
+        ladder.failure(route, route.level)
+        ladder.success(route, DICTIONARY_LEVEL)
+    assert ladder.acquire().level == DICTIONARY_LEVEL
+    assert ladder.current_level() == DICTIONARY_LEVEL
+
+    # After cooldown a single probe goes to the best rung...
+    clock.advance(3.1)
+    probe_route = ladder.acquire()
+    assert probe_route.level == 0
+    assert probe_route.probe
+    # ...and concurrent arrivals do not pile onto the probing rung.
+    assert ladder.acquire().level == 1  # level 1 also past cooldown
+    # Probe succeeds: level 0 closes, traffic is back to full.
+    ladder.success(probe_route, 0)
+    assert ladder.current_level() == 0
+    assert ladder.recoveries == 1
+
+
+def test_ladder_counts_served_levels(clock):
+    ladder = DegradationLadder(threshold=2, cooldown_seconds=1, clock=clock)
+    route = ladder.acquire()
+    ladder.success(route, 0)
+    route = ladder.acquire()
+    ladder.success(route, DICTIONARY_LEVEL)
+    stats = ladder.stats()
+    assert stats["served_at_level"]["full"] == 1
+    assert stats["served_at_level"]["dictionary"] == 1
+
+
+def test_abandon_releases_the_probe_slot(clock):
+    ladder = DegradationLadder(threshold=1, cooldown_seconds=1, clock=clock)
+    route = ladder.acquire()
+    ladder.failure(route, 0)
+    ladder.success(route, DICTIONARY_LEVEL)
+    clock.advance(1.1)
+    probe = ladder.acquire()
+    assert probe.level == 0 and probe.probe
+    # Probe produced no model verdict (e.g. request was a 400).
+    ladder.abandon(probe)
+    again = ladder.acquire()
+    assert again.level == 0 and again.probe
+
+
+def test_half_open_state_is_visible_in_stats(clock):
+    ladder = DegradationLadder(threshold=1, cooldown_seconds=1, clock=clock)
+    route = ladder.acquire()
+    ladder.failure(route, 0)
+    clock.advance(1.1)
+    ladder.acquire()
+    assert ladder.stats()["breakers"]["full"]["state"] == HALF_OPEN
