@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos dirty serve-chaos bench bench-fast bench-runner bench-pipeline bench-train bench-serve verify examples clean
+.PHONY: install test chaos dirty serve-chaos bench bench-fast bench-runner bench-pipeline bench-train bench-serve bench-scale verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,13 +57,21 @@ bench-train:
 bench-serve:
 	PYTHONPATH=src python -m repro.perf.bench_serve --out BENCH_serve.json
 
-# Tier-1 suite plus the serve chaos acceptance and a one-pass
-# small-corpus bench smoke: the quick pre-merge gate.
+# Streamed-bootstrap scale bench: pages/sec, peak RSS, shard counts
+# and per-stage shares at 1k/10k/100k pages -> BENCH_scale.json (each
+# scale in a fresh child process so VmHWM is per-scale).
+bench-scale:
+	PYTHONPATH=src python -m repro.perf.bench_scale --out BENCH_scale.json
+
+# Tier-1 suite plus the serve chaos acceptance, a one-pass
+# small-corpus bench smoke and the sharded-vs-monolithic bit-identity
+# gate (two shard-size/worker-count combos): the quick pre-merge gate.
 verify:
 	PYTHONPATH=src pytest tests/ -x -q
 	$(MAKE) serve-chaos
 	PYTHONPATH=src python -m repro.perf.bench --out /tmp/BENCH_smoke.json \
 		--products 40 --iterations 2 --repeats 1
+	PYTHONPATH=src python -m repro.perf.bench_scale --smoke
 
 examples:
 	python examples/quickstart.py

@@ -16,6 +16,12 @@ Subcommands::
         ``--job-timeout`` bounds each sweep job's wall-clock so a hung
         category degrades to a structured Timeout failure.
 
+    repro-pae run --category tennis --products 100000 --stream
+        Bounded-memory scale mode: the category streams through the
+        sharded bootstrap shard by shard (``--shard-size``,
+        ``--shard-workers``) instead of materializing every page; the
+        report adds throughput and peak RSS.
+
     repro-pae experiment --name table1
         Regenerate one of the paper's tables/figures (same runners the
         benchmarks use).
@@ -150,6 +156,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-page-bytes", type=int, default=None, metavar="N",
         help="ingest-gate page size bound; larger pages are "
         "quarantined (default: 1000000)",
+    )
+    run.add_argument(
+        "--stream", action="store_true",
+        help="bounded-memory scale mode: generate and process the "
+        "category shard by shard through the sharded bootstrap "
+        "instead of materializing every page (single category only; "
+        "pages come from per-page RNG substreams, so the corpus "
+        "differs from the materialized one and the report skips the "
+        "ground-truth precision sample)",
+    )
+    run.add_argument(
+        "--shard-size", type=int, default=1000, metavar="N",
+        help="pages per shard in --stream mode (default: 1000)",
+    )
+    run.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="worker processes per shard fan-out in --stream mode "
+        "(output-identical for any N >= 1; default: CPUs visible "
+        "to the process)",
     )
     run.add_argument(
         "--dirt-rate", type=float, default=0.0, metavar="FRACTION",
@@ -338,6 +363,8 @@ def _command_run(args: argparse.Namespace) -> int:
         crf=crf,
         ingest=IngestConfig(**ingest_kwargs),
     )
+    if args.stream:
+        return _run_streamed(categories, config, args)
     if len(categories) == 1:
         from .runtime import PipelineTrace
 
@@ -364,6 +391,72 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         return 0
     return _run_sweep(categories, config, args)
+
+
+def _run_streamed(
+    categories: list[str],
+    config: PipelineConfig,
+    args: argparse.Namespace,
+) -> int:
+    """The bounded-memory single-category path (``run --stream``)."""
+    import time
+
+    from .corpus import GeneratedPageSource
+    from .runtime import PipelineTrace
+
+    if len(categories) != 1:
+        print(
+            "--stream runs one category at a time; use a plain sweep "
+            "for multi-category runs",
+            file=sys.stderr,
+        )
+        return 1
+    if args.dirt_rate:
+        print(
+            "--dirt-rate needs a materialized corpus (page-corruption "
+            "hooks do not fire on streamed runs); drop --stream or "
+            "--dirt-rate",
+            file=sys.stderr,
+        )
+        return 1
+    category = categories[0]
+    source = GeneratedPageSource(
+        category,
+        args.products,
+        shard_size=args.shard_size,
+        seed=args.seed,
+    )
+    query_log = source.build_query_log()
+    trace = PipelineTrace(label=category)
+    start = time.perf_counter()
+    result = PAEPipeline(config).run_streamed(
+        source,
+        query_log,
+        trace=trace,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        shard_workers=args.shard_workers,
+    )
+    wall = time.perf_counter() - start
+    peak = result.resilience_counters()["peak_rss_bytes"]
+    print(f"category:   {category} ({source.locale}, streamed)")
+    print(f"attributes: {', '.join(result.attributes)}")
+    print(f"triples:    {len(result.triples)}")
+    print(f"coverage:   {100 * result.coverage():.2f}%")
+    print(
+        f"throughput: {args.products / max(wall, 1e-9):.1f} pages/s "
+        f"({args.products} pages, {source.shard_count} shard(s), "
+        f"{wall:.1f}s)"
+    )
+    if peak:
+        print(f"peak rss:   {peak / (1024 * 1024):.0f} MB")
+    print()
+    _print_containment(result)
+    if args.trace:
+        _write_trace(args.trace, trace.to_dict())
+    if args.bench_out:
+        _write_bench(args.bench_out, {category: result.perf_counters()})
+    return 0
 
 
 def _run_sweep(

@@ -422,6 +422,12 @@ class PipelineConfig:
     min_confidence: float = 0.0
     seed: int = 7
     stage_retries: int = 1
+    #: Cap on seed-labelled sentences kept in the training dataset
+    #: (first N in corpus order; None = unbounded). At paper scale the
+    #: folded dataset is the last unbounded per-iteration structure —
+    #: this knob bounds it deterministically, applied identically by
+    #: the monolithic and sharded paths so they stay bit-identical.
+    max_labeled_sentences: int | None = None
     #: Memoize feature extraction across bootstrap iterations (see
     #: :mod:`repro.perf.cache`). Output-invisible; off only to measure
     #: the uncached baseline.
@@ -449,6 +455,13 @@ class PipelineConfig:
             raise ConfigError("min_confidence must be in [0, 1)")
         if self.stage_retries < 0:
             raise ConfigError("stage_retries must be >= 0")
+        if (
+            self.max_labeled_sentences is not None
+            and self.max_labeled_sentences < 1
+        ):
+            raise ConfigError(
+                "max_labeled_sentences must be >= 1 (or None)"
+            )
 
     def without_cleaning(self) -> "PipelineConfig":
         """A copy with both cleaning stages disabled."""

@@ -17,6 +17,7 @@ from .bootstrap import BootstrapResult, Bootstrapper, IterationResult
 from .catalog import Catalog, CatalogRecord, build_catalog
 from .pipeline import PAEPipeline, PipelineResult
 from .preprocess import Seed, build_seed
+from .sharded import ShardedBootstrapper
 from .text import PageText, tokenize_page, tokenize_pages
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "PageText",
     "PipelineResult",
     "Seed",
+    "ShardedBootstrapper",
     "build_catalog",
     "build_seed",
     "tokenize_page",

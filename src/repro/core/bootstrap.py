@@ -172,6 +172,40 @@ class BootstrapResult:
         return {triple.product_id for triple in triples}
 
 
+def confidence_filtered_tag(
+    model,
+    unlabeled_sentences: Sequence[Sentence],
+    threshold: float,
+) -> tuple[list[TaggedSentence], list[Extraction]]:
+    """Tag with posterior confidences, dropping low-scoring spans.
+
+    Per-sentence independent (the model's confidence is a pure function
+    of one sentence), so the sharded tag workers
+    (:mod:`repro.core.sharded`) run it per shard and concatenation
+    reproduces the monolithic output exactly.
+    """
+    tagged_out: list[TaggedSentence] = []
+    extractions: list[Extraction] = []
+    for tagged, confidences in model.tag_with_confidence(
+        unlabeled_sentences
+    ):
+        sentence_extractions = extractions_from_tagged([tagged])
+        kept = [
+            extraction
+            for extraction, confidence in zip(
+                sentence_extractions, confidences
+            )
+            if confidence >= threshold
+        ]
+        if len(kept) != len(sentence_extractions):
+            (tagged,) = rebuild_tagged(
+                [tagged], kept, drop_unlabelled=False
+            )
+        tagged_out.append(tagged)
+        extractions.extend(kept)
+    return tagged_out, extractions
+
+
 def restrict_to_attributes(
     tagged: Sequence[TaggedSentence], allowed: frozenset[str]
 ) -> list[TaggedSentence]:
@@ -283,7 +317,8 @@ class Bootstrapper:
             for sentence in page_text.sentences
         ]
 
-        dataset: list[TaggedSentence] = list(material.labeled)
+        seed_labeled = self._seed_labeled(material.labeled)
+        dataset: list[TaggedSentence] = list(seed_labeled)
         cumulative: set[Triple] = set(seed_triples)
         iterations: list[IterationResult] = []
         # Per-run performance state, kept in locals for re-entrancy:
@@ -351,7 +386,7 @@ class Bootstrapper:
             iterations.append(result)
             dataset = self._stage(
                 trace, faults, "fold_dataset", iteration,
-                lambda stage: self._fold(stage, material, artifacts),
+                lambda stage: self._fold(stage, seed_labeled, artifacts),
             )
             if checkpoint is not None:
                 self._stage(
@@ -366,6 +401,7 @@ class Bootstrapper:
                 hits=feature_cache.hits,
                 misses=feature_cache.misses,
             )
+        self._record_peak_rss(trace)
         return BootstrapResult(
             seed=seed,
             material=material,
@@ -570,10 +606,10 @@ class Bootstrapper:
         return material
 
     def _fold(
-        self, stage, material: TrainingMaterial,
+        self, stage, seed_labeled: Sequence[TaggedSentence],
         artifacts: _IterationArtifacts,
     ) -> list[TaggedSentence]:
-        dataset = self._next_dataset(material, artifacts)
+        dataset = self._next_dataset(seed_labeled, artifacts)
         stage.add(dataset_sentences=len(dataset))
         return dataset
 
@@ -643,6 +679,26 @@ class Bootstrapper:
                 stage, iteration, dataset, feature_cache
             ),
         )
+        self._count_trainer_warnings(model, iteration, trace)
+        tagged, extractions = self._stage(
+            trace, faults, "tagger_tag", iteration,
+            lambda stage: self._tag(stage, model, unlabeled_sentences),
+        )
+        return self._finish_iteration(
+            iteration,
+            dataset,
+            tagged,
+            extractions,
+            corpus,
+            cumulative,
+            trace,
+            faults,
+            warm_models=warm_models,
+        )
+
+    def _count_trainer_warnings(
+        self, model, iteration: int, trace: PipelineTrace
+    ) -> None:
         # Non-fatal trainer warnings (e.g. an L-BFGS line-search abort
         # degraded to best-so-far weights) become counters so a run
         # that limped through training is auditable via
@@ -650,10 +706,26 @@ class Bootstrapper:
         warnings = getattr(model, "training_diagnostics", None)
         if warnings:
             trace.count("trainer_warning", iteration, **warnings)
-        tagged, extractions = self._stage(
-            trace, faults, "tagger_tag", iteration,
-            lambda stage: self._tag(stage, model, unlabeled_sentences),
-        )
+
+    def _finish_iteration(
+        self,
+        iteration: int,
+        dataset: list[TaggedSentence],
+        tagged: list[TaggedSentence],
+        extractions: list[Extraction],
+        corpus: list[list[str]],
+        cumulative: set[Triple],
+        trace: PipelineTrace,
+        faults: "FaultPlan | None" = None,
+        warm_models: list["Word2Vec | None"] | None = None,
+    ) -> tuple[IterationResult, _IterationArtifacts]:
+        """Everything after tagging: cleaning, accumulation, records.
+
+        Shared by the monolithic path and the sharded one
+        (:mod:`repro.core.sharded`), which reaches this point with
+        ``tagged`` merged from shard workers — identical inputs here
+        guarantee identical iteration output.
+        """
         candidate_count = len(extractions)
 
         veto_stats: VetoStats | None = None
@@ -780,35 +852,40 @@ class Bootstrapper:
         confidence is below ``config.min_confidence`` never become
         candidates (so they also never reach the training set).
         """
-        threshold = self.config.min_confidence
-        tagged_out: list[TaggedSentence] = []
-        extractions: list[Extraction] = []
-        for tagged, confidences in model.tag_with_confidence(
-            unlabeled_sentences
-        ):
-            sentence_extractions = extractions_from_tagged([tagged])
-            kept = [
-                extraction
-                for extraction, confidence in zip(
-                    sentence_extractions, confidences
-                )
-                if confidence >= threshold
-            ]
-            if len(kept) != len(sentence_extractions):
-                (tagged,) = rebuild_tagged(
-                    [tagged], kept, drop_unlabelled=False
-                )
-            tagged_out.append(tagged)
-            extractions.extend(kept)
-        return tagged_out, extractions
+        return confidence_filtered_tag(
+            model, unlabeled_sentences, self.config.min_confidence
+        )
 
     def _next_dataset(
         self,
-        material: TrainingMaterial,
+        seed_labeled: Sequence[TaggedSentence],
         artifacts: _IterationArtifacts,
     ) -> list[TaggedSentence]:
         """Seed-labelled sentences plus this cycle's cleaned evidence."""
         cleaned = rebuild_tagged(
             artifacts.tagged, artifacts.kept_extractions
         )
-        return list(material.labeled) + cleaned
+        return list(seed_labeled) + cleaned
+
+    def _seed_labeled(
+        self, labeled: Sequence[TaggedSentence]
+    ) -> list[TaggedSentence]:
+        """The seed-labelled dataset slice, bounded by configuration.
+
+        ``config.max_labeled_sentences`` keeps the first N sentences in
+        corpus order — a deterministic prefix, so the monolithic and
+        sharded paths (which both build ``labeled`` in global page
+        order) cap to the identical dataset.
+        """
+        cap = self.config.max_labeled_sentences
+        if cap is None or len(labeled) <= cap:
+            return list(labeled)
+        return list(labeled[:cap])
+
+    def _record_peak_rss(self, trace: PipelineTrace) -> None:
+        """Record the run-wide peak RSS (self + reaped workers)."""
+        from ..runtime.memory import run_peak_rss_bytes
+
+        peak = run_peak_rss_bytes()
+        if peak:
+            trace.count("peak_rss", bytes=peak)

@@ -99,6 +99,7 @@ class PipelineResult:
                 "repaired": {},
                 "circuit_breaker": {},
                 "trainer_warnings": {},
+                "peak_rss_bytes": 0,
             }
         return {
             "faults": self.trace.counter_totals("fault_injected"),
@@ -115,6 +116,9 @@ class PipelineResult:
             "trainer_warnings": self.trace.counter_totals(
                 "trainer_warning"
             ),
+            "peak_rss_bytes": self.trace.counter_totals(
+                "peak_rss"
+            ).get("bytes", 0),
         }
 
     def slim(self) -> "PipelineResult":
@@ -233,5 +237,78 @@ class PAEPipeline:
         return PipelineResult(
             bootstrap=bootstrap,
             product_count=len(pages),
+            trace=trace,
+        )
+
+    def run_streamed(
+        self,
+        source,
+        query_log: QueryLogLike,
+        *,
+        trace: PipelineTrace | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        faults: "FaultPlan | None" = None,
+        shard_workers: int | None = None,
+        cache_dir: str | None = None,
+    ) -> PipelineResult:
+        """Extract triples from a streamed, sharded page source.
+
+        The bounded-memory twin of :meth:`run`: pages come from a
+        :class:`~repro.corpus.stream.PageSource` shard by shard, the
+        per-iteration tagging fans out across worker processes, and the
+        result is bit-identical to :meth:`run` on the materialized page
+        list of the same source — for any shard size and worker count
+        (see :mod:`repro.core.sharded` for the two documented edge-case
+        divergences). Peak RSS is recorded on the trace and surfaced
+        via ``resilience_counters()["peak_rss_bytes"]``.
+
+        Args:
+            source: the category's page shards
+                (:class:`~repro.corpus.stream.GeneratedPageSource`,
+                :class:`~repro.corpus.stream.JsonlPageSource`, or
+                :class:`~repro.corpus.stream.MaterializedPageSource`).
+            query_log: search-log membership filter.
+            trace: optional stage-timing sink.
+            checkpoint_dir: optional crash-safe snapshot directory;
+                adds per-shard tag snapshots on top of the
+                per-iteration ones, so a killed run resumes
+                mid-iteration without re-tagging completed shards.
+            resume: with ``checkpoint_dir``, False restarts.
+            faults: optional fault plan (stage hooks only — page
+                corruption hooks need a materialized corpus).
+            shard_workers: worker processes per shard fan-out (None =
+                visible CPUs).
+            cache_dir: override for the shard cache directory.
+
+        Returns:
+            A :class:`PipelineResult` whose ``product_count`` is the
+            source's page count.
+        """
+        trace = trace if trace is not None else PipelineTrace()
+        checkpoint = None
+        if checkpoint_dir is not None:
+            from ..runtime.checkpoint import CheckpointStore
+
+            checkpoint = CheckpointStore(checkpoint_dir)
+        from .sharded import ShardedBootstrapper
+
+        bootstrapper = ShardedBootstrapper(
+            self.config,
+            self.attribute_subset,
+            shard_workers=shard_workers,
+        )
+        bootstrap = bootstrapper.run_source(
+            source,
+            query_log,
+            trace=trace,
+            checkpoint=checkpoint,
+            resume=resume,
+            faults=faults,
+            cache_dir=cache_dir,
+        )
+        return PipelineResult(
+            bootstrap=bootstrap,
+            product_count=source.page_count,
             trace=trace,
         )

@@ -54,6 +54,42 @@ def page_table_preferences(
     return preferences
 
 
+def seed_matcher(seed: Seed) -> ValueMatcher:
+    """The deterministic seed-value matcher used for initial tagging."""
+    return ValueMatcher(
+        {
+            attribute: sorted(counter)
+            for attribute, counter in seed.values.items()
+        }
+    )
+
+
+def label_page(
+    page_text: PageText,
+    matcher: ValueMatcher,
+    prefer: dict[str, str],
+) -> tuple[list[TaggedSentence], set[Triple]]:
+    """Seed-tag one table-bearing page's sentences.
+
+    The per-page unit of :func:`build_training_material`, factored out
+    so the sharded bootstrap can label shard-resident pages without
+    holding the whole corpus (:mod:`repro.core.sharded`). Deterministic
+    per page, so page order alone fixes the global labelled dataset.
+    """
+    labeled: list[TaggedSentence] = []
+    text_triples: set[Triple] = set()
+    for sentence in page_text.sentences:
+        spans = matcher.find_spans(sentence.texts(), prefer)
+        labels = encode_bio(len(sentence), spans)
+        labeled.append(TaggedSentence(sentence, tuple(labels)))
+        for start, end, attribute in spans:
+            value_key = " ".join(sentence.texts()[start:end])
+            text_triples.add(
+                Triple(page_text.product_id, attribute, value_key)
+            )
+    return labeled, text_triples
+
+
 def build_training_material(
     page_texts: Sequence[PageText],
     seed: Seed,
@@ -67,12 +103,7 @@ def build_training_material(
         candidates: raw table rows (identify table pages and provide
             page-local disambiguation evidence).
     """
-    matcher = ValueMatcher(
-        {
-            attribute: sorted(counter)
-            for attribute, counter in seed.values.items()
-        }
-    )
+    matcher = seed_matcher(seed)
     preferences = page_table_preferences(candidates, seed)
     table_page_ids = {candidate.product_id for candidate in candidates}
 
@@ -85,16 +116,13 @@ def build_training_material(
             unlabeled_pages.append(page_text)
             continue
         labeled_pages.append(page_text)
-        prefer = preferences.get(page_text.product_id, {})
-        for sentence in page_text.sentences:
-            spans = matcher.find_spans(sentence.texts(), prefer)
-            labels = encode_bio(len(sentence), spans)
-            labeled.append(TaggedSentence(sentence, tuple(labels)))
-            for start, end, attribute in spans:
-                value_key = " ".join(sentence.texts()[start:end])
-                text_triples.add(
-                    Triple(page_text.product_id, attribute, value_key)
-                )
+        page_labeled, page_triples = label_page(
+            page_text,
+            matcher,
+            preferences.get(page_text.product_id, {}),
+        )
+        labeled.extend(page_labeled)
+        text_triples.update(page_triples)
     return TrainingMaterial(
         labeled_pages=tuple(labeled_pages),
         labeled=tuple(labeled),

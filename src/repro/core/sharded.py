@@ -1,0 +1,909 @@
+"""Sharded bootstrap: one category, bounded memory, many processes.
+
+:class:`ShardedBootstrapper` runs the Figure-1 loop over a
+:class:`~repro.corpus.stream.PageSource` instead of a page list. The
+full page set is never resident; the run is organized around three
+facts about the monolithic pipeline:
+
+1. **Page preparation is per-page.** Gating (minus cross-page dedup),
+   tokenization and candidate discovery are pure functions of one
+   page. Prep therefore fans shards out to worker processes, each
+   writing its shard's tokenized sentences and table candidates to a
+   compact gzip cache file, and returning lightweight per-page
+   *outcomes*. The parent replays the outcomes **in shard order**
+   against a global seen-id set, which reproduces exactly the ledger,
+   repair counts and page drops the monolithic
+   :class:`~repro.ingest.IngestGate` would have produced — a worker's
+   shard-local decisions are always confirmed or overridden the same
+   way the sequential gate would have decided (a worker only keeps a
+   page its own prefix hasn't claimed; the parent re-checks against
+   the global prefix).
+2. **Tagging is per-sentence.** The trained model tags each shard's
+   unlabeled sentences in a worker process; only span-bearing tagged
+   sentences come back (every downstream consumer — candidate
+   extraction, cleaning, folding — is a pure function of those), and
+   concatenation in shard-index order reproduces the monolithic
+   sentence order. Sharded output is therefore **bit-identical** to
+   the monolithic path for any shard size and worker count.
+3. **Reduction is cheap.** Seed building, cleaning and folding run in
+   the parent on merged, already-small structures.
+
+Resumability: with a checkpoint attached, each tag worker snapshots
+its own shard (``shard_tag_IIII_SSSS.json.gz``, atomic, checksummed)
+before returning; a killed run re-fans only the shards with no
+snapshot. The per-iteration snapshot and resume semantics of the base
+class are unchanged.
+
+Known (documented) divergences from the monolithic path:
+
+* Shard workers gate with the counted wall-clock soft parse budget
+  (``force_soft_budget``) instead of SIGALRM — a page that *exceeds*
+  the budget is still rejected, but its ledger detail records the
+  measured elapsed time rather than the budget, so a corpus containing
+  budget-blowing pages is not bit-ledger-identical. Corpora that stay
+  inside the budget (all shipped ones) are unaffected.
+* Page-corruption fault hooks (``corrupt_pages``/``dirt``) require a
+  materialized page list and do not fire on streamed runs; stage-level
+  fault hooks (including the per-shard ``shard_tag`` /
+  ``shard_tag:NNNN`` hooks) all work.
+"""
+
+from __future__ import annotations
+
+import functools
+import gzip
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..config import IngestConfig
+from ..errors import PageQuarantinedError
+from ..ingest import IngestGate, Quarantine, QuarantineEntry
+from ..perf.cache import FeatureCache
+from ..runtime.trace import PipelineTrace
+from ..types import ProductPage, Sentence, TaggedSentence, Token, Triple
+from .bootstrap import (
+    BootstrapResult,
+    Bootstrapper,
+    IterationResult,
+    _IterationArtifacts,
+    confidence_filtered_tag,
+)
+from .cleaning import extractions_from_tagged
+from .preprocess import Seed
+from .preprocess.candidate_discovery import RawCandidate
+from .preprocess.training_set import (
+    label_page,
+    page_table_preferences,
+    seed_matcher,
+)
+from .preprocess.value_cleaning import QueryLogLike
+from .text import PageText, tokenize_page
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..corpus.stream import PageSource
+    from ..embeddings import Word2Vec
+    from ..runtime.checkpoint import CheckpointStore
+    from ..runtime.faults import FaultPlan
+
+
+# -- shard cache files ---------------------------------------------------
+#
+# One gzip-JSONL file per shard, one line per *kept* (possibly
+# repaired) page:
+#
+#   {"pid": ..., "locale": ...,
+#    "sents": [[index, [[text, pos], ...]], ...],
+#    "cands": [[attribute, value_key], ...]}
+#
+# The cache holds everything every later stage needs — tokenized
+# sentences for tagging/labeling/embeddings, candidates for the
+# table-page split — so raw HTML is parsed exactly once per page.
+
+
+def _cache_path(cache_dir: str, index: int) -> pathlib.Path:
+    return pathlib.Path(cache_dir) / f"shard_{index:04d}.jsonl.gz"
+
+
+def _sentences_from_record(record: dict) -> list[Sentence]:
+    return [
+        Sentence(
+            product_id=record["pid"],
+            index=index,
+            tokens=tuple(Token(text, pos) for text, pos in tokens),
+        )
+        for index, tokens in record["sents"]
+    ]
+
+
+def _page_text_from_record(record: dict) -> PageText:
+    return PageText(
+        record["pid"],
+        record["locale"],
+        tuple(_sentences_from_record(record)),
+    )
+
+
+def _iter_cache(
+    cache_dir: str, index: int, dropped: frozenset[str]
+) -> Iterator[dict]:
+    """One shard's cached page records, minus globally-dropped pages."""
+    path = _cache_path(cache_dir, index)
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record["pid"] not in dropped:
+                yield record
+
+
+# -- prep workers --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PrepContext:
+    """Everything a prep worker needs (pickled once per chunk)."""
+
+    source: "PageSource"
+    ingest: IngestConfig | None
+    cache_dir: str
+
+
+def _discover_page_candidates(page: ProductPage) -> list[list[str]]:
+    """One page's dictionary-table rows as ``[attribute, value]``."""
+    from .preprocess.candidate_discovery import discover_candidates
+
+    return [
+        [candidate.attribute, candidate.value_key]
+        for candidate in discover_candidates([page])
+    ]
+
+
+def _prep_shard(context: _PrepContext, index: int):
+    """Gate + tokenize + mine one shard (worker process).
+
+    Writes the shard cache file atomically and returns
+    ``(index, outcomes, warnings)`` where each outcome is, in shard
+    page order, one of::
+
+        ("row", entry_dict)                     # malformed JSONL row
+        ("q",   entry_dict)                     # quarantined page
+        ("k",   pid, locale, repairs, cands)    # kept page
+
+    The gate runs with a shard-local seen-id set and the wall-clock
+    soft parse budget; the parent's merge replays the outcomes against
+    the *global* seen-id set (see :meth:`ShardedBootstrapper._prep`).
+    """
+    gate = (
+        IngestGate(context.ingest, force_soft_budget=True)
+        if context.ingest is not None
+        else None
+    )
+    seen_ids: set[str] = set()
+    warnings: dict[str, int] = {}
+    outcomes: list[tuple] = []
+    final = _cache_path(context.cache_dir, index)
+    temp = final.parent / f".{final.name}.tmp"
+    final.parent.mkdir(parents=True, exist_ok=True)
+    with gzip.open(temp, "wt", encoding="utf-8") as cache:
+        for record in context.source.shard(index):
+            if isinstance(record, QuarantineEntry):
+                outcomes.append(("row", record.to_dict()))
+                continue
+            page = record
+            repairs: list[str] = []
+            if gate is not None:
+                entry, kept, repairs = gate.gate_page(
+                    page, seen_ids, warnings
+                )
+                if entry is not None:
+                    outcomes.append(("q", entry.to_dict()))
+                    continue
+                assert kept is not None
+                seen_ids.add(kept.product_id)
+                page = kept
+            page_text = tokenize_page(page)
+            candidates = _discover_page_candidates(page)
+            outcomes.append(
+                ("k", page.product_id, page.locale, repairs, candidates)
+            )
+            cache.write(
+                json.dumps(
+                    {
+                        "pid": page.product_id,
+                        "locale": page.locale,
+                        "sents": [
+                            [
+                                sentence.index,
+                                [[t.text, t.pos] for t in sentence.tokens],
+                            ]
+                            for sentence in page_text.sentences
+                        ],
+                        "cands": candidates,
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    os.replace(temp, final)
+    return index, outcomes, warnings
+
+
+# -- tag workers ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TagContext:
+    """Everything a tag worker needs (pickled once per chunk)."""
+
+    cache_dir: str
+    checkpoint_dir: str | None
+    iteration: int
+    model: object
+    min_confidence: float
+    dropped: dict[int, frozenset[str]]
+    faults: "FaultPlan | None"
+
+
+def _span_bearing(tagged: Sequence[TaggedSentence]) -> list[TaggedSentence]:
+    return [
+        sentence
+        for sentence in tagged
+        if any(label != "O" for label in sentence.labels)
+    ]
+
+
+def _tag_shard(context: _TagContext, index: int):
+    """Tag one shard's unlabeled sentences (worker process).
+
+    Returns ``(index, span_bearing_tagged, sentence_count)``. With a
+    checkpoint attached, a shard snapshot is loaded if present (so a
+    retried chunk never re-tags a shard that completed before a pool
+    fault) and written before returning otherwise.
+    """
+    if context.faults is not None:
+        context.faults.fire("shard_tag", context.iteration)
+        context.faults.fire(f"shard_tag:{index:04d}", context.iteration)
+    store: "CheckpointStore | None" = None
+    if context.checkpoint_dir is not None:
+        from ..runtime.checkpoint import CheckpointStore
+
+        store = CheckpointStore(context.checkpoint_dir)
+        cached = store.load_shard_tags(context.iteration, index)
+        if cached is not None:
+            return index, cached[0], cached[1]
+    dropped = context.dropped.get(index, frozenset())
+    sentences: list[Sentence] = []
+    for record in _iter_cache(context.cache_dir, index, dropped):
+        if record["cands"]:
+            continue  # table-bearing page: labelled, not tagged
+        sentences.extend(_sentences_from_record(record))
+    model = context.model
+    if context.min_confidence > 0.0 and hasattr(
+        model, "tag_with_confidence"
+    ):
+        tagged, _ = confidence_filtered_tag(
+            model, sentences, context.min_confidence
+        )
+    else:
+        tagged = model.tag(sentences)
+    spans = _span_bearing(tagged)
+    if store is not None:
+        store.write_shard_tags(
+            context.iteration, index, spans, len(sentences)
+        )
+    return index, spans, len(sentences)
+
+
+# -- merge structures ----------------------------------------------------
+
+
+@dataclass
+class _PrepSummary:
+    """The parent-side reduction of every shard's prep outcomes."""
+
+    candidates: list[RawCandidate]
+    quarantine: Quarantine
+    repaired: dict[str, int]
+    dropped: dict[int, frozenset[str]]
+    pages_kept: int
+    locale: str | None
+    soft_budget_trips: int
+    row_errors: int
+
+
+@dataclass(frozen=True)
+class _StreamedMaterial:
+    """Streamed stand-in for :class:`TrainingMaterial`."""
+
+    seed_labeled: list[TaggedSentence]
+    labeled_total: int
+    text_triples: frozenset[Triple]
+    unlabeled_pages: int
+
+
+def _duplicate_entry(product_id: str) -> QuarantineEntry:
+    """The exact entry the monolithic gate writes for a duplicate."""
+    return QuarantineEntry(
+        page_id=product_id,
+        check="duplicate_id",
+        error="duplicate_id",
+        detail=(
+            f"product id {product_id!r} already seen in this collection"
+        ),
+    )
+
+
+# -- the sharded bootstrapper -------------------------------------------
+
+
+class ShardedBootstrapper(Bootstrapper):
+    """Figure-1 bootstrap over a streamed, sharded corpus.
+
+    Args:
+        config: pipeline configuration (as :class:`Bootstrapper`).
+        attribute_subset: specialized-model restriction (as base).
+        shard_workers: worker processes per fan-out. None picks
+            :func:`~repro.runtime.runner.default_workers` (visible
+            CPUs, ``REPRO_WORKERS``-aware); an explicit value is used
+            as-is, so tests can force a real pool on a 1-CPU box.
+            ``1`` runs shards inline (serial path = parallel path
+            minus the pool).
+    """
+
+    def __init__(
+        self,
+        config=None,
+        attribute_subset=None,
+        *,
+        shard_workers: int | None = None,
+    ):
+        super().__init__(config, attribute_subset)
+        self.shard_workers = shard_workers
+
+    def _workers(self, count: int) -> int:
+        from ..runtime.runner import default_workers
+
+        if self.shard_workers is None:
+            return default_workers(count)
+        return max(1, self.shard_workers)
+
+    def run_source(
+        self,
+        source: "PageSource",
+        query_log: QueryLogLike,
+        trace: PipelineTrace | None = None,
+        *,
+        checkpoint: "CheckpointStore | None" = None,
+        resume: bool = True,
+        faults: "FaultPlan | None" = None,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> BootstrapResult:
+        """Execute the bootstrap over a shard source.
+
+        Bit-identical to :meth:`Bootstrapper.run` on the materialized
+        page list of the same source, for any shard size and worker
+        count (see the module docstring for the two documented
+        divergences). The returned result carries ``material=None`` —
+        the training material is never materialized.
+
+        Args:
+            source: the category's page shards.
+            query_log: search-log membership filter.
+            trace: optional stage-timing sink.
+            checkpoint: optional store; iteration snapshots work as in
+                the base class, plus per-shard tag snapshots let a
+                killed run resume mid-iteration without re-tagging
+                completed shards.
+            resume: with ``checkpoint``, False restarts from scratch.
+            faults: optional fault plan (stage hooks only).
+            cache_dir: directory for the shard cache files. Defaults
+                to ``<checkpoint>/shard_cache`` with a checkpoint, or
+                a self-cleaning temporary directory without one.
+        """
+        trace = trace if trace is not None else PipelineTrace()
+        owned_tmp: tempfile.TemporaryDirectory | None = None
+        if cache_dir is not None:
+            cache = pathlib.Path(cache_dir)
+            cache.mkdir(parents=True, exist_ok=True)
+        elif checkpoint is not None:
+            cache = checkpoint.directory / "shard_cache"
+            cache.mkdir(parents=True, exist_ok=True)
+        else:
+            owned_tmp = tempfile.TemporaryDirectory(
+                prefix="repro_shard_cache_"
+            )
+            cache = pathlib.Path(owned_tmp.name)
+        try:
+            return self._run_source(
+                source,
+                query_log,
+                trace,
+                str(cache),
+                checkpoint,
+                resume,
+                faults,
+            )
+        finally:
+            if owned_tmp is not None:
+                owned_tmp.cleanup()
+            elif cache_dir is None:
+                # Checkpoint-owned cache: scaffolding only — prep
+                # rebuilds it deterministically on resume.
+                shutil.rmtree(cache, ignore_errors=True)
+
+    def _run_source(
+        self,
+        source: "PageSource",
+        query_log: QueryLogLike,
+        trace: PipelineTrace,
+        cache: str,
+        checkpoint: "CheckpointStore | None",
+        resume: bool,
+        faults: "FaultPlan | None",
+    ) -> BootstrapResult:
+        prep = self._stage(
+            trace, faults, "shard_prep", None,
+            lambda stage: self._prep(stage, source, cache, trace),
+        )
+        stub_pages = (
+            [ProductPage("", source.category, "", prep.locale)]
+            if prep.locale is not None
+            else []
+        )
+        seed = self._stage(
+            trace, faults, "seed_build", None,
+            lambda stage: self._build_seed(
+                stage, stub_pages, query_log, prep.candidates
+            ),
+        )
+        material = self._stage(
+            trace, faults, "training_material", None,
+            lambda stage: self._stream_material(
+                stage, cache, source.shard_count, prep, seed
+            ),
+        )
+
+        attributes = seed.attributes
+        seed_triples = frozenset(seed.table_triples | material.text_triples)
+        corpus = (
+            self._collect_corpus(cache, source.shard_count, prep)
+            if self.config.enable_semantic_cleaning
+            else []
+        )
+
+        seed_labeled = material.seed_labeled
+        dataset: list[TaggedSentence] = list(seed_labeled)
+        cumulative: set[Triple] = set(seed_triples)
+        iterations: list[IterationResult] = []
+        feature_cache: FeatureCache | bool | None = None
+        if self.config.tagger in ("crf", "ensemble"):
+            feature_cache = (
+                FeatureCache(window=self.config.crf.window)
+                if self.config.enable_feature_cache
+                else False
+            )
+        warm_models: list["Word2Vec | None"] = [None]
+        start_iteration = 1
+        if checkpoint is not None:
+            restored = self._open_source_checkpoint(
+                checkpoint, resume, source, seed_triples, attributes
+            )
+            if restored is not None:
+                iterations = list(restored.results)
+                dataset = restored.dataset
+                cumulative = set(iterations[-1].triples)
+                start_iteration = len(iterations) + 1
+                trace.count(
+                    "checkpoint_resume",
+                    iterations=restored.completed_iterations,
+                )
+            if self.config.ingest.enabled:
+                checkpoint.record_quarantine(
+                    prep.quarantine.to_payload()
+                )
+        halted_reason: str | None = None
+        halted_at: int | None = None
+        for iteration in range(
+            start_iteration, self.config.iterations + 1
+        ):
+            result, artifacts = self._iterate_sharded(
+                iteration,
+                dataset,
+                cache,
+                source.shard_count,
+                prep,
+                corpus,
+                cumulative,
+                trace,
+                faults,
+                feature_cache=feature_cache,
+                warm_models=warm_models,
+                checkpoint=checkpoint,
+            )
+            halted_reason = self._health_trip(result, artifacts, iterations)
+            if halted_reason is not None:
+                halted_at = iteration
+                trace.count(
+                    "circuit_breaker", iteration, **{halted_reason: 1}
+                )
+                break
+            iterations.append(result)
+            dataset = self._stage(
+                trace, faults, "fold_dataset", iteration,
+                lambda stage: self._fold(stage, seed_labeled, artifacts),
+            )
+            if checkpoint is not None:
+                self._stage(
+                    trace, faults, "checkpoint_write", iteration,
+                    lambda stage: self._snapshot(
+                        stage, checkpoint, result, dataset
+                    ),
+                )
+                # The iteration snapshot supersedes its shard files.
+                checkpoint.clear_shard_tags(iteration)
+        if isinstance(feature_cache, FeatureCache):
+            trace.count(
+                "feature_cache",
+                hits=feature_cache.hits,
+                misses=feature_cache.misses,
+            )
+        self._record_peak_rss(trace)
+        return BootstrapResult(
+            seed=seed,
+            material=None,
+            seed_triples=seed_triples,
+            iterations=tuple(iterations),
+            attributes=attributes,
+            quarantine=(
+                prep.quarantine
+                if self.config.ingest.enabled or len(prep.quarantine)
+                else None
+            ),
+            halted_reason=halted_reason,
+            halted_at_iteration=halted_at,
+        )
+
+    # -- prep + deterministic merge -------------------------------------
+
+    def _prep(
+        self,
+        stage,
+        source: "PageSource",
+        cache: str,
+        trace: PipelineTrace,
+    ) -> _PrepSummary:
+        """Fan prep out per shard, then replay outcomes sequentially.
+
+        The replay is the determinism keystone: outcomes are walked in
+        shard order (= corpus order) against a global seen-id set, so
+        cross-shard duplicates are quarantined exactly where the
+        monolithic gate would have quarantined them, and the merged
+        ledger/repair counts/page drops match bit-for-bit.
+        """
+        context = _PrepContext(
+            source=source,
+            ingest=(
+                self.config.ingest if self.config.ingest.enabled else None
+            ),
+            cache_dir=cache,
+        )
+        from ..runtime.runner import parallel_map
+
+        indices = list(range(source.shard_count))
+        results = parallel_map(
+            functools.partial(_prep_shard, context),
+            indices,
+            workers=self._workers(len(indices)),
+        )
+        dedup = self.config.ingest.enabled
+        strict = dedup and self.config.ingest.policy == "strict"
+        seen: set[str] = set()
+        ledger = Quarantine()
+        repaired: dict[str, int] = {}
+        dropped: dict[int, frozenset[str]] = {}
+        candidates: list[RawCandidate] = []
+        kept = 0
+        locale: str | None = None
+        soft_trips = 0
+        row_errors = 0
+        for index, outcomes, warnings in results:
+            soft_trips += warnings.get("parse_budget_soft", 0)
+            shard_drops: set[str] = set()
+            for outcome in outcomes:
+                kind = outcome[0]
+                if kind == "row":
+                    ledger.add(QuarantineEntry.from_dict(outcome[1]))
+                    row_errors += 1
+                    continue
+                if kind == "q":
+                    entry = QuarantineEntry.from_dict(outcome[1])
+                    if (
+                        dedup
+                        and entry.check != "page_bytes"
+                        and entry.page_id in seen
+                    ):
+                        # The sequential gate checks duplicate_id
+                        # before every check but page_bytes; a worker
+                        # can't see ids kept by earlier shards.
+                        entry = _duplicate_entry(entry.page_id)
+                    if strict:
+                        raise PageQuarantinedError(
+                            entry.page_id, entry.check, entry.detail
+                        )
+                    ledger.add(entry)
+                    continue
+                _, pid, page_locale, repairs, page_cands = outcome
+                if dedup and pid in seen:
+                    entry = _duplicate_entry(pid)
+                    if strict:
+                        raise PageQuarantinedError(
+                            entry.page_id, entry.check, entry.detail
+                        )
+                    ledger.add(entry)
+                    shard_drops.add(pid)
+                    continue
+                seen.add(pid)
+                kept += 1
+                if locale is None:
+                    locale = page_locale
+                for check in repairs:
+                    repaired[check] = repaired.get(check, 0) + 1
+                candidates.extend(
+                    RawCandidate(pid, attribute, value)
+                    for attribute, value in page_cands
+                )
+            if shard_drops:
+                dropped[index] = frozenset(shard_drops)
+        counts = ledger.counts_by_check()
+        if counts:
+            trace.count("quarantine", **counts)
+        if repaired:
+            trace.count("ingest_repair", **repaired)
+        if soft_trips:
+            trace.count("parse_budget_soft", trips=soft_trips)
+        stage.add(
+            pages_in=source.page_count,
+            pages_kept=kept,
+            quarantined=len(ledger),
+            repaired=sum(repaired.values()),
+            shards=source.shard_count,
+            candidates=len(candidates),
+        )
+        return _PrepSummary(
+            candidates=candidates,
+            quarantine=ledger,
+            repaired=repaired,
+            dropped=dropped,
+            pages_kept=kept,
+            locale=locale,
+            soft_budget_trips=soft_trips,
+            row_errors=row_errors,
+        )
+
+    # -- streamed material + corpus -------------------------------------
+
+    def _stream_material(
+        self,
+        stage,
+        cache: str,
+        shard_count: int,
+        prep: _PrepSummary,
+        seed: Seed,
+    ) -> _StreamedMaterial:
+        """Seed-label table pages shard-by-shard; count the rest.
+
+        Reproduces :func:`~repro.core.preprocess.training_set.
+        build_training_material` over the cached corpus without holding
+        it: pages stream through one shard at a time, labelled
+        sentences accumulate only up to ``max_labeled_sentences``
+        (text triples — the seed's "iteration 0" output — are always
+        collected in full, exactly as the monolithic path does before
+        the cap is applied).
+        """
+        matcher = seed_matcher(seed)
+        preferences = page_table_preferences(prep.candidates, seed)
+        cap = self.config.max_labeled_sentences
+        labeled: list[TaggedSentence] = []
+        labeled_total = 0
+        unlabeled_pages = 0
+        text_triples: set[Triple] = set()
+        for index in range(shard_count):
+            for record in _iter_cache(
+                cache, index, prep.dropped.get(index, frozenset())
+            ):
+                if not record["cands"]:
+                    unlabeled_pages += 1
+                    continue
+                page_text = _page_text_from_record(record)
+                page_labeled, page_triples = label_page(
+                    page_text,
+                    matcher,
+                    preferences.get(page_text.product_id, {}),
+                )
+                text_triples.update(page_triples)
+                labeled_total += len(page_labeled)
+                if cap is None:
+                    labeled.extend(page_labeled)
+                elif len(labeled) < cap:
+                    labeled.extend(page_labeled[: cap - len(labeled)])
+        stage.add(
+            labeled_sentences=labeled_total,
+            unlabeled_pages=unlabeled_pages,
+        )
+        return _StreamedMaterial(
+            seed_labeled=self._seed_labeled(labeled),
+            labeled_total=labeled_total,
+            text_triples=frozenset(text_triples),
+            unlabeled_pages=unlabeled_pages,
+        )
+
+    def _collect_corpus(
+        self, cache: str, shard_count: int, prep: _PrepSummary
+    ) -> list[list[str]]:
+        """All pages' token sentences (word2vec input), corpus order.
+
+        Only built when semantic cleaning is enabled — it is the one
+        remaining corpus-sized in-memory structure, so paper-scale runs
+        should disable semantic cleaning or budget for it (see
+        ``docs/architecture.md`` §12).
+        """
+        corpus: list[list[str]] = []
+        for index in range(shard_count):
+            for record in _iter_cache(
+                cache, index, prep.dropped.get(index, frozenset())
+            ):
+                for _, tokens in record["sents"]:
+                    corpus.append([text for text, _ in tokens])
+        return corpus
+
+    # -- sharded iteration ----------------------------------------------
+
+    def _iterate_sharded(
+        self,
+        iteration: int,
+        dataset: list[TaggedSentence],
+        cache: str,
+        shard_count: int,
+        prep: _PrepSummary,
+        corpus: list[list[str]],
+        cumulative: set[Triple],
+        trace: PipelineTrace,
+        faults: "FaultPlan | None",
+        feature_cache: FeatureCache | bool | None = None,
+        warm_models: list["Word2Vec | None"] | None = None,
+        checkpoint: "CheckpointStore | None" = None,
+    ) -> tuple[IterationResult, _IterationArtifacts]:
+        if not dataset:
+            from ..errors import TrainingError
+
+            raise TrainingError(
+                "seed produced no labelled sentences; the category has "
+                "no usable dictionary tables"
+            )
+        model = self._stage(
+            trace, faults, "tagger_train", iteration,
+            lambda stage: self._train(
+                stage, iteration, dataset, feature_cache
+            ),
+        )
+        self._count_trainer_warnings(model, iteration, trace)
+        tagged, extractions = self._stage(
+            trace, faults, "tagger_tag", iteration,
+            lambda stage: self._tag_sharded(
+                stage,
+                model,
+                iteration,
+                cache,
+                shard_count,
+                prep,
+                checkpoint,
+                faults,
+                trace,
+            ),
+        )
+        return self._finish_iteration(
+            iteration,
+            dataset,
+            tagged,
+            extractions,
+            corpus,
+            cumulative,
+            trace,
+            faults,
+            warm_models=warm_models,
+        )
+
+    def _tag_sharded(
+        self,
+        stage,
+        model,
+        iteration: int,
+        cache: str,
+        shard_count: int,
+        prep: _PrepSummary,
+        checkpoint: "CheckpointStore | None",
+        faults: "FaultPlan | None",
+        trace: PipelineTrace,
+    ) -> tuple[list[TaggedSentence], list]:
+        """Fan tagging out per shard; merge in shard-index order."""
+        from ..runtime.runner import parallel_map
+
+        shard_results: list[tuple[list[TaggedSentence], int] | None] = [
+            None
+        ] * shard_count
+        pending: list[int] = []
+        resumed = 0
+        for index in range(shard_count):
+            if checkpoint is not None:
+                cached = checkpoint.load_shard_tags(iteration, index)
+                if cached is not None:
+                    shard_results[index] = cached
+                    resumed += 1
+                    continue
+            pending.append(index)
+        if pending:
+            context = _TagContext(
+                cache_dir=cache,
+                checkpoint_dir=(
+                    str(checkpoint.directory)
+                    if checkpoint is not None
+                    else None
+                ),
+                iteration=iteration,
+                model=model,
+                min_confidence=self.config.min_confidence,
+                dropped=prep.dropped,
+                faults=faults,
+            )
+            for index, spans, count in parallel_map(
+                functools.partial(_tag_shard, context),
+                pending,
+                workers=self._workers(len(pending)),
+            ):
+                shard_results[index] = (spans, count)
+        if resumed:
+            trace.count("shard_resume", iteration, shards=resumed)
+        merged: list[TaggedSentence] = []
+        total_sentences = 0
+        for entry in shard_results:
+            assert entry is not None
+            spans, count = entry
+            merged.extend(spans)
+            total_sentences += count
+        extractions = extractions_from_tagged(merged)
+        stage.add(
+            sentences=total_sentences,
+            extractions=len(extractions),
+            shards=shard_count,
+        )
+        return merged, extractions
+
+    # -- checkpoint identity --------------------------------------------
+
+    def _open_source_checkpoint(
+        self,
+        checkpoint: "CheckpointStore",
+        resume: bool,
+        source: "PageSource",
+        seed_triples: frozenset[Triple],
+        attributes: tuple[str, ...],
+    ):
+        """Validate/create the store against the *source* identity."""
+        from ..runtime.checkpoint import (
+            seed_digest,
+            source_run_fingerprint,
+        )
+
+        fingerprint = source_run_fingerprint(
+            source.fingerprint(), self.config, self.attribute_subset
+        )
+        digest = seed_digest(seed_triples, attributes)
+        if resume and checkpoint.has_run():
+            checkpoint.validate(fingerprint, digest)
+            return checkpoint.load_resume_state()
+        checkpoint.begin(fingerprint, digest, self.config.iterations)
+        return None

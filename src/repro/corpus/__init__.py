@@ -14,12 +14,22 @@ Entry points:
   (18 ``ja``, 3 ``de``) plus the heterogeneous Baby Goods study.
 * :class:`Marketplace` — generate a :class:`CategoryDataset` (pages with
   exact ground truth, plus a query log) for a category.
+* :class:`GeneratedPageSource` / :class:`JsonlPageSource` /
+  :class:`MaterializedPageSource` — lazy shard-by-shard page streams
+  for bounded-memory runs (``stream.py``).
 """
 
 from .categories import category_names, get_schema, schemas_for_locale
 from .dirt import DIRT_CHECKS, DIRT_KINDS, DirtReport, dirty_pages
+from .io import iter_page_rows
 from .marketplace import CategoryDataset, GeneratedPage, Marketplace
 from .querylog import QueryLog
+from .stream import (
+    GeneratedPageSource,
+    JsonlPageSource,
+    MaterializedPageSource,
+    PageSource,
+)
 from .schema import (
     AttributeSpec,
     CategoricalValues,
@@ -39,7 +49,12 @@ __all__ = [
     "DIRT_KINDS",
     "DirtReport",
     "GeneratedPage",
+    "GeneratedPageSource",
+    "JsonlPageSource",
+    "MaterializedPageSource",
+    "PageSource",
     "dirty_pages",
+    "iter_page_rows",
     "Marketplace",
     "NumericValues",
     "QueryLog",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import pathlib
 from collections import Counter
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..config import INGEST_POLICIES
 from ..errors import ConfigError, DatasetError, ReproError
@@ -163,6 +163,30 @@ def _check_policy(policy: str) -> None:
         )
 
 
+def iter_page_rows(
+    pages_path: str | pathlib.Path,
+    required: tuple[str, ...],
+    policy: str = "strict",
+    quarantine: "Quarantine | None" = None,
+) -> Iterator[dict]:
+    """Stream validated JSONL records one line at a time.
+
+    The file is consumed lazily — one line resident at a time — so
+    callers (the loaders below, :class:`~repro.corpus.stream.\
+JsonlPageSource`) never re-materialize the file behind the streaming
+    layer's back. Bad rows follow the ingest policy vocabulary via
+    :func:`_row_policy_skip`.
+    """
+    _check_policy(policy)
+    pages_path = pathlib.Path(pages_path)
+    with open(pages_path, encoding="utf-8") as lines:
+        for number, line in enumerate(lines, start=1):
+            try:
+                yield _parse_row(line, number, pages_path, required)
+            except DatasetError as error:
+                _row_policy_skip(error, policy, quarantine)
+
+
 def load_dataset(
     directory: str | pathlib.Path,
     policy: str = "strict",
@@ -196,31 +220,27 @@ def load_dataset(
         )
     pages = []
     required = ("product_id", "category", "html", "locale")
-    with open(pages_path, encoding="utf-8") as lines:
-        for number, line in enumerate(lines, start=1):
-            try:
-                record = _parse_row(line, number, pages_path, required)
-            except DatasetError as error:
-                _row_policy_skip(error, policy, quarantine)
-                continue
-            page = ProductPage(
-                record["product_id"],
-                record["category"],
-                record["html"],
-                record["locale"],
+    for record in iter_page_rows(
+        pages_path, required, policy, quarantine
+    ):
+        page = ProductPage(
+            record["product_id"],
+            record["category"],
+            record["html"],
+            record["locale"],
+        )
+        pages.append(
+            GeneratedPage(
+                page=page,
+                correct_triples=_triples_from_json(
+                    record.get("correct_triples", [])
+                ),
+                incorrect_triples=_triples_from_json(
+                    record.get("incorrect_triples", [])
+                ),
+                assignment=dict(record.get("assignment", {})),
             )
-            pages.append(
-                GeneratedPage(
-                    page=page,
-                    correct_triples=_triples_from_json(
-                        record.get("correct_triples", [])
-                    ),
-                    incorrect_triples=_triples_from_json(
-                        record.get("incorrect_triples", [])
-                    ),
-                    assignment=dict(record.get("assignment", {})),
-                )
-            )
+        )
     query_path = directory / "querylog.json"
     counts = Counter(
         json.loads(query_path.read_text()) if query_path.exists() else {}
@@ -272,23 +292,17 @@ def load_pages(
     if not pages_path.exists():
         raise ReproError(f"no pages.jsonl at {path}")
     pages: list[ProductPage] = []
-    with open(pages_path, encoding="utf-8") as lines:
-        for number, line in enumerate(lines, start=1):
-            try:
-                record = _parse_row(
-                    line, number, pages_path, ("product_id", "html")
-                )
-            except DatasetError as error:
-                _row_policy_skip(error, policy, quarantine)
-                continue
-            pages.append(
-                ProductPage(
-                    record["product_id"],
-                    record.get("category", "unknown"),
-                    record["html"],
-                    record.get("locale", "ja"),
-                )
+    for record in iter_page_rows(
+        pages_path, ("product_id", "html"), policy, quarantine
+    ):
+        pages.append(
+            ProductPage(
+                record["product_id"],
+                record.get("category", "unknown"),
+                record["html"],
+                record.get("locale", "ja"),
             )
+        )
     query_path = directory / "querylog.json"
     counts = Counter(
         json.loads(query_path.read_text()) if query_path.exists() else {}

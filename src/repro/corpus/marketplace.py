@@ -123,6 +123,33 @@ class Marketplace:
         )
         return self._finalize(category, schema.locale, (schema,), pages, rng)
 
+    def stream(
+        self, category: str, n_products: int, shard_size: int = 1000
+    ):
+        """A lazy, shard-by-shard page source under this seed.
+
+        The bounded-memory counterpart of :meth:`generate` for
+        paper-scale corpora: pages are produced on demand, one shard
+        at a time, from per-page RNG substreams (see
+        :class:`~repro.corpus.stream.GeneratedPageSource` — a
+        *different* deterministic corpus than :meth:`generate`, whose
+        single sequential RNG cannot be entered mid-stream). Union
+        categories cannot stream.
+
+        Args:
+            category: a registered (non-union) schema name.
+            n_products: total pages across all shards.
+            shard_size: pages per shard.
+
+        Returns:
+            A :class:`~repro.corpus.stream.GeneratedPageSource`.
+        """
+        from .stream import GeneratedPageSource
+
+        return GeneratedPageSource(
+            category, n_products, shard_size=shard_size, seed=self._seed
+        )
+
     def _generate_union(
         self,
         name: str,

@@ -124,7 +124,9 @@ def _soft_budget(
 
 @contextmanager
 def _parse_budget(
-    seconds: float, warnings: dict[str, int] | None = None
+    seconds: float,
+    warnings: dict[str, int] | None = None,
+    force_soft: bool = False,
 ) -> Iterator[None]:
     """Bound a parse with SIGALRM, preserving any outer timer.
 
@@ -134,12 +136,18 @@ def _parse_budget(
     ``ValueError`` — the budget degrades to the post-hoc wall-clock
     check of :func:`_soft_budget` instead of crashing the request:
     server worker threads still reject budget-blowing pages, they just
-    cannot interrupt the parse mid-flight.
+    cannot interrupt the parse mid-flight. ``force_soft`` selects the
+    same degradation unconditionally: shard worker *processes* own
+    their main thread, but hijacking SIGALRM inside a pool child races
+    the pool's own lifecycle signals, so the sharded bootstrap gates
+    with the counted wall-clock budget instead of running unbudgeted.
     """
     if seconds <= 0 or not hasattr(signal, "SIGALRM"):
         yield
         return
-    if threading.current_thread() is not threading.main_thread():
+    if force_soft or (
+        threading.current_thread() is not threading.main_thread()
+    ):
         yield from _soft_budget(seconds, warnings)
         return
 
@@ -229,10 +237,19 @@ class IngestGate:
     Args:
         config: gate configuration; defaults reproduce the shipped
             ``repair`` policy with generous resource bounds.
+        force_soft_budget: always use the counted wall-clock parse
+            budget instead of SIGALRM — set by shard worker processes,
+            where installing signal handlers would race the process
+            pool's lifecycle management.
     """
 
-    def __init__(self, config: IngestConfig | None = None):
+    def __init__(
+        self,
+        config: IngestConfig | None = None,
+        force_soft_budget: bool = False,
+    ):
         self.config = config or IngestConfig()
+        self.force_soft_budget = force_soft_budget
 
     def process(self, pages: Sequence[ProductPage]) -> IngestResult:
         """Gate every page; never raises except under ``strict``.
@@ -272,6 +289,23 @@ class IngestGate:
         )
 
     # -- per-page machinery --------------------------------------------
+
+    def gate_page(
+        self,
+        page: ProductPage,
+        seen_ids: set[str],
+        warnings: dict[str, int] | None = None,
+    ) -> tuple[QuarantineEntry | None, ProductPage | None, list[str]]:
+        """Gate one page against an externally-owned seen-id set.
+
+        The per-page unit of :meth:`process`, exposed for callers that
+        stream pages instead of holding a collection (shard workers in
+        :mod:`repro.core.sharded`). Never raises — policy escalation
+        (``strict``) is the caller's job, since only the caller knows
+        the global page order. The caller must add kept pages'
+        product ids to ``seen_ids`` itself.
+        """
+        return self._gate_page(page, seen_ids, warnings)
 
     def _gate_page(
         self,
@@ -351,7 +385,11 @@ class IngestGate:
 
         # Unfixable parse-level guards, on the (possibly repaired) html.
         try:
-            with _parse_budget(config.parse_budget_seconds, warnings):
+            with _parse_budget(
+                config.parse_budget_seconds,
+                warnings,
+                force_soft=self.force_soft_budget,
+            ):
                 root = parse_html(
                     html,
                     max_length=None,

@@ -1,0 +1,311 @@
+"""Streamed-bootstrap scale benchmark (``make bench-scale``).
+
+Measures the sharded, bounded-memory pipeline
+(:meth:`~repro.core.pipeline.PAEPipeline.run_streamed`) at increasing
+corpus sizes — 1k / 10k / 100k pages by default — and writes a JSON
+artifact recording pages/sec, peak RSS, shard counts and per-stage
+wall-clock shares at every scale. Each scale runs in a **fresh child
+process**: Linux's ``VmHWM`` is a lifetime high-water mark, so sharing
+one process across scales would report the largest scale's peak for
+all of them.
+
+Two auxiliary modes:
+
+* ``--one N`` — the child entry point: run a single scale in this
+  process and write its JSON record to ``--out``.
+* ``--smoke`` — the pre-merge gate (wired into ``make verify``): run
+  the 120-product bench corpus monolithically and through the sharded
+  path at two shard-size/worker-count combinations and exit non-zero
+  unless all three produced bit-identical triples and per-iteration
+  records.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench_scale --out BENCH_scale.json
+    PYTHONPATH=src python -m repro.perf.bench_scale --smoke
+
+The headline numbers are ``pages_per_second`` (throughput) and
+``peak_rss_mb`` (memory boundedness) per scale; ``stage_share`` makes
+the next optimisation target auditable from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Scales above this run without the word2vec semantic-drift filter:
+#: its training corpus is O(pages) token sentences held at once, which
+#: is exactly the unbounded-memory pattern this bench exists to avoid.
+SEMANTIC_CUTOFF = 10_000
+
+#: Labeled-sentence cap for scale runs: keeps CRF training cost flat
+#: as the corpus grows, so the measured scaling is the per-page work
+#: (ingest, tokenize, tag) rather than a quadratically fattening
+#: training set. Recorded in the artifact.
+SCALE_LABEL_CAP = 2_000
+
+
+def run_one(
+    pages: int,
+    shard_size: int,
+    iterations: int,
+    seed: int,
+    category: str,
+    semantic: bool,
+    label_cap: int | None,
+) -> dict:
+    """Run one streamed bootstrap at ``pages`` scale; return its record."""
+    from ..config import PipelineConfig
+    from ..core.pipeline import PAEPipeline
+    from ..corpus.stream import GeneratedPageSource
+    from ..runtime.trace import PipelineTrace
+
+    config = PipelineConfig(
+        iterations=iterations,
+        seed=seed,
+        enable_semantic_cleaning=semantic,
+        max_labeled_sentences=label_cap,
+    )
+    source = GeneratedPageSource(
+        category, pages, shard_size=shard_size, seed=seed
+    )
+    build_start = time.perf_counter()
+    query_log = source.build_query_log()
+    querylog_seconds = time.perf_counter() - build_start
+    trace = PipelineTrace(label=f"scale-{pages}")
+    start = time.perf_counter()
+    result = PAEPipeline(config).run_streamed(
+        source, query_log, trace=trace
+    )
+    wall = time.perf_counter() - start
+    stage_totals = trace.stage_totals()
+    stage_sum = sum(stage_totals.values()) or 1e-9
+    peak = result.resilience_counters()["peak_rss_bytes"]
+    return {
+        "pages": pages,
+        "shard_size": shard_size,
+        "shard_count": source.shard_count,
+        "iterations": iterations,
+        "semantic_cleaning": semantic,
+        "max_labeled_sentences": label_cap,
+        "wall_seconds": wall,
+        "querylog_seconds": querylog_seconds,
+        "pages_per_second": pages / max(wall, 1e-9),
+        "peak_rss_bytes": peak,
+        "peak_rss_mb": peak / (1024 * 1024),
+        "stage_seconds": {
+            stage: seconds
+            for stage, seconds in sorted(stage_totals.items())
+        },
+        "stage_share": {
+            stage: seconds / stage_sum
+            for stage, seconds in sorted(stage_totals.items())
+        },
+        "triples": len(result.triples),
+        "coverage": result.coverage(),
+    }
+
+
+def run_scales(
+    scales: list[int],
+    shard_size: int,
+    iterations: int,
+    seed: int,
+    category: str,
+) -> dict:
+    """Run every scale in a fresh child process; return the payload."""
+    import os
+
+    records: dict[str, dict] = {}
+    for pages in scales:
+        semantic = pages <= SEMANTIC_CUTOFF
+        print(
+            f"running scale {pages} "
+            f"(semantic={'on' if semantic else 'off'}) ...",
+            flush=True,
+        )
+        with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", delete=False
+        ) as handle:
+            child_out = handle.name
+        command = [
+            sys.executable, "-m", "repro.perf.bench_scale",
+            "--one", str(pages),
+            "--out", child_out,
+            "--shard-size", str(shard_size),
+            "--iterations", str(iterations),
+            "--seed", str(seed),
+            "--category", category,
+        ]
+        if not semantic:
+            command.append("--no-semantic")
+        subprocess.run(command, check=True)
+        with open(child_out, encoding="utf-8") as handle:
+            record = json.load(handle)
+        os.unlink(child_out)
+        records[str(pages)] = record
+        print(
+            f"  {pages} pages: {record['wall_seconds']:.1f}s, "
+            f"{record['pages_per_second']:.1f} pages/s, "
+            f"peak {record['peak_rss_mb']:.0f} MB, "
+            f"{record['shard_count']} shards",
+            flush=True,
+        )
+    largest = records[str(max(scales))]
+    top_stage = max(
+        largest["stage_share"].items(), key=lambda item: item[1]
+    )
+    return {
+        "schema": 1,
+        "config": {
+            "scales": scales,
+            "shard_size": shard_size,
+            "iterations": iterations,
+            "seed": seed,
+            "category": category,
+            "semantic_cutoff": SEMANTIC_CUTOFF,
+            "max_labeled_sentences": SCALE_LABEL_CAP,
+        },
+        "cpu_count": os.cpu_count(),
+        "scales": records,
+        # The next perf target, read off the largest scale: the stage
+        # holding the biggest share of traced wall clock.
+        "next_target": {
+            "stage": top_stage[0],
+            "share": top_stage[1],
+        },
+    }
+
+
+def run_smoke(products: int = 120, iterations: int = 2) -> int:
+    """Assert sharded == monolithic on the bench corpus; 0 on success."""
+    from ..config import PipelineConfig
+    from ..core.pipeline import PAEPipeline
+    from ..corpus import Marketplace
+    from ..corpus.stream import MaterializedPageSource
+
+    category, seed = "vacuum_cleaner", 7
+    dataset = Marketplace(seed=seed).generate(category, products)
+    pipeline = PAEPipeline(
+        PipelineConfig(iterations=iterations, seed=seed)
+    )
+    monolithic = pipeline.run(dataset.product_pages, dataset.query_log)
+    combos = [(60, 1), (25, 2)]
+    for shard_size, workers in combos:
+        source = MaterializedPageSource(
+            dataset.product_pages,
+            shard_size=shard_size,
+            category=category,
+        )
+        streamed = pipeline.run_streamed(
+            source, dataset.query_log, shard_workers=workers
+        )
+        label = f"shard_size={shard_size} workers={workers}"
+        if streamed.triples != monolithic.triples:
+            print(f"SMOKE FAIL ({label}): final triples differ")
+            return 1
+        if streamed.seed_triples != monolithic.seed_triples:
+            print(f"SMOKE FAIL ({label}): seed triples differ")
+            return 1
+        for mono_it, stream_it in zip(
+            monolithic.bootstrap.iterations,
+            streamed.bootstrap.iterations,
+        ):
+            if (
+                mono_it.new_triples != stream_it.new_triples
+                or mono_it.candidate_extractions
+                != stream_it.candidate_extractions
+                or mono_it.veto_stats != stream_it.veto_stats
+                or mono_it.semantic_stats != stream_it.semantic_stats
+                or mono_it.dataset_sentences
+                != stream_it.dataset_sentences
+            ):
+                print(
+                    f"SMOKE FAIL ({label}): iteration "
+                    f"{mono_it.iteration} records differ"
+                )
+                return 1
+        print(
+            f"smoke ok ({label}): {len(streamed.triples)} triples "
+            f"bit-identical to monolithic"
+        )
+    print(f"SMOKE OK: {len(combos)} combos bit-identical")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the streamed bootstrap at paper scale."
+    )
+    parser.add_argument("--out", default="BENCH_scale.json", metavar="PATH")
+    parser.add_argument(
+        "--scales", default="1000,10000,100000",
+        help="comma-separated page counts (default 1000,10000,100000)",
+    )
+    parser.add_argument("--shard-size", type=int, default=1000)
+    parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--category", default="vacuum_cleaner")
+    parser.add_argument(
+        "--one", type=int, default=None, metavar="PAGES",
+        help="child mode: run a single scale in this process",
+    )
+    parser.add_argument(
+        "--no-semantic", action="store_true",
+        help="child mode: disable the semantic-drift filter",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the sharded-vs-monolithic bit-identity gate and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    if args.one is not None:
+        record = run_one(
+            args.one,
+            args.shard_size,
+            args.iterations,
+            args.seed,
+            args.category,
+            semantic=not args.no_semantic,
+            label_cap=SCALE_LABEL_CAP,
+        )
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        return 0
+    scales = [
+        int(value.strip())
+        for value in args.scales.split(",")
+        if value.strip()
+    ]
+    payload = run_scales(
+        scales,
+        args.shard_size,
+        args.iterations,
+        args.seed,
+        args.category,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    largest = payload["scales"][str(max(scales))]
+    print(
+        f"largest scale: {largest['pages']} pages at "
+        f"{largest['pages_per_second']:.1f} pages/s, "
+        f"peak {largest['peak_rss_mb']:.0f} MB; next target: "
+        f"{payload['next_target']['stage']} "
+        f"({payload['next_target']['share']:.0%})"
+    )
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

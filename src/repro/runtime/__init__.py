@@ -41,6 +41,11 @@ _LAZY = {
     "FaultPlan": "faults",
     "FaultSpec": "faults",
     "Deadline": "jobs",
+    "source_run_fingerprint": "checkpoint",
+    "current_rss_bytes": "memory",
+    "peak_rss_bytes": "memory",
+    "children_peak_rss_bytes": "memory",
+    "run_peak_rss_bytes": "memory",
 }
 
 __all__ = [
@@ -62,6 +67,11 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "Deadline",
+    "source_run_fingerprint",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "children_peak_rss_bytes",
+    "run_peak_rss_bytes",
 ]
 
 

@@ -60,6 +60,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _FORMAT_VERSION = 1
 _SNAPSHOT_PATTERN = re.compile(r"^iteration_(\d{4})\.json(\.gz)?$")
+_SHARD_TAG_PATTERN = re.compile(
+    r"^shard_tag_(\d{4})_(\d{4})\.json\.gz$"
+)
 
 
 # -- fingerprints -------------------------------------------------------
@@ -89,6 +92,32 @@ def run_fingerprint(
         for part in (page.product_id, page.category, page.locale, page.html):
             digest.update(part.encode("utf-8"))
             digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def source_run_fingerprint(
+    source_fingerprint: str,
+    config: PipelineConfig,
+    attribute_subset: Sequence[str] | None = None,
+) -> str:
+    """Run fingerprint for a streamed (:class:`~repro.corpus.stream.
+    PageSource`-fed) run.
+
+    The streamed corpus is never fully resident, so instead of hashing
+    every page (what :func:`run_fingerprint` does) this folds in the
+    source's own stable fingerprint — which covers the generator seed
+    and shape, or the backing file's identity — alongside the full
+    configuration and attribute subset.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(asdict(config), sort_keys=True).encode("utf-8")
+    )
+    subset = (
+        sorted(attribute_subset) if attribute_subset is not None else None
+    )
+    digest.update(json.dumps(subset).encode("utf-8"))
+    digest.update(source_fingerprint.encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -269,6 +298,8 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         for path in self._snapshot_paths():
             path.unlink()
+        for path in self._shard_tag_paths():
+            path.unlink()
         stale_quarantine = self.directory / "quarantine.json"
         if stale_quarantine.exists():
             stale_quarantine.unlink()
@@ -351,6 +382,104 @@ class CheckpointStore:
                 f"corrupt checkpoint file {path}: missing entries"
             )
         return entries
+
+    # -- per-shard tag snapshots (sharded bootstrap) --------------------
+
+    def write_shard_tags(
+        self,
+        iteration: int,
+        shard: int,
+        tagged: Sequence[TaggedSentence],
+        sentence_count: int,
+    ) -> None:
+        """Snapshot one shard's tagging output for one iteration.
+
+        Written by shard *worker processes* — each shard owns a
+        distinct file name, so concurrent writers never collide, and
+        the atomic replace in :meth:`_write_json` means a worker killed
+        mid-write leaves no partial snapshot. ``tagged`` holds only the
+        span-bearing sentences (everything downstream of tagging is a
+        pure function of those), ``sentence_count`` the full number of
+        unlabeled sentences the shard tagged.
+        """
+        body = {
+            "iteration": iteration,
+            "shard": shard,
+            "sentence_count": sentence_count,
+            "tagged": [_tagged_to_json(item) for item in tagged],
+        }
+        payload = dict(
+            body,
+            format_version=_FORMAT_VERSION,
+            checksum=_checksum(body),
+        )
+        self._write_json(
+            f"shard_tag_{iteration:04d}_{shard:04d}.json.gz", payload
+        )
+
+    def load_shard_tags(
+        self, iteration: int, shard: int
+    ) -> tuple[list[TaggedSentence], int] | None:
+        """One shard's snapshotted tagging output, or None if absent.
+
+        A resumed sharded run calls this per (iteration, shard) and
+        fans out only the shards with no snapshot — completed shards
+        are never re-tagged. Corruption raises
+        :class:`~repro.errors.CheckpointError` (a snapshot is either
+        whole or absent; a damaged one means tampering, not a crash).
+        """
+        path = (
+            self.directory
+            / f"shard_tag_{iteration:04d}_{shard:04d}.json.gz"
+        )
+        if not path.exists():
+            return None
+        payload = self._load_json(path)
+        try:
+            body = {
+                "iteration": payload["iteration"],
+                "shard": payload["shard"],
+                "sentence_count": payload["sentence_count"],
+                "tagged": payload["tagged"],
+            }
+            stored = payload["checksum"]
+        except KeyError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: missing {error}"
+            ) from error
+        if _checksum(body) != stored:
+            raise CheckpointError(
+                f"corrupt checkpoint file {path}: checksum mismatch"
+            )
+        tagged = [
+            _tagged_from_json(record) for record in body["tagged"]
+        ]
+        return tagged, body["sentence_count"]
+
+    def clear_shard_tags(self, iteration: int | None = None) -> int:
+        """Delete shard tag snapshots (one iteration's, or all).
+
+        Called once an iteration's own ``iteration_NNNN.json.gz``
+        snapshot has landed — the shard files are scaffolding for the
+        in-flight iteration only. Returns the number removed.
+        """
+        removed = 0
+        for path in self._shard_tag_paths():
+            match = _SHARD_TAG_PATTERN.match(path.name)
+            assert match is not None
+            if iteration is None or int(match.group(1)) == iteration:
+                path.unlink()
+                removed += 1
+        return removed
+
+    def _shard_tag_paths(self) -> list[pathlib.Path]:
+        if not self.directory.exists():
+            return []
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if _SHARD_TAG_PATTERN.match(path.name)
+        )
 
     # -- reading --------------------------------------------------------
 

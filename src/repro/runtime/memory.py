@@ -1,0 +1,82 @@
+"""Process-memory observability: current and peak RSS.
+
+The streamed/sharded bootstrap exists to keep peak resident memory
+bounded while the corpus grows unbounded; a claim like that is only
+worth anything if the run *reports* its peak. This module reads the
+numbers the kernel already keeps:
+
+* ``/proc/self/status`` — ``VmRSS`` (current resident set) and
+  ``VmHWM`` (the lifetime high-water mark of the process);
+* ``resource.getrusage`` — ``ru_maxrss`` for this process (fallback
+  where procfs is unavailable) and, separately, for reaped *child*
+  processes, which is how shard workers show up in the accounting.
+
+All functions return bytes and never raise: on a platform with neither
+source they return 0, so callers can record the counter unconditionally.
+
+``VmHWM``/``ru_maxrss`` are lifetime maxima — they never decrease. A
+benchmark comparing peaks across scales must therefore run each scale
+in a fresh process (see :mod:`repro.perf.bench_scale`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_STATUS_PATH = pathlib.Path("/proc/self/status")
+
+
+def _status_kb(field: str) -> int | None:
+    """Read one kB-denominated field from ``/proc/self/status``."""
+    try:
+        text = _STATUS_PATH.read_text()
+    except OSError:
+        return None
+    for line in text.splitlines():
+        if line.startswith(field + ":"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1].isdigit():
+                return int(parts[1])
+    return None
+
+
+def _rusage_kb(who_children: bool = False) -> int | None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    who = (
+        resource.RUSAGE_CHILDREN if who_children else resource.RUSAGE_SELF
+    )
+    # Linux reports ru_maxrss in kilobytes.
+    return resource.getrusage(who).ru_maxrss
+
+
+def current_rss_bytes() -> int:
+    """This process's current resident set size, in bytes (0 unknown)."""
+    kb = _status_kb("VmRSS")
+    return (kb or 0) * 1024
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak RSS, in bytes (0 if unknown)."""
+    kb = _status_kb("VmHWM")
+    if kb is None:
+        kb = _rusage_kb(who_children=False)
+    return (kb or 0) * 1024
+
+
+def children_peak_rss_bytes() -> int:
+    """Peak RSS among reaped child processes, in bytes (0 if none).
+
+    This is the maximum over *individual* children (shard workers),
+    not their sum — exactly the number that answers "did any worker
+    blow the budget".
+    """
+    kb = _rusage_kb(who_children=True)
+    return (kb or 0) * 1024
+
+
+def run_peak_rss_bytes() -> int:
+    """Peak RSS across this process and any of its reaped children."""
+    return max(peak_rss_bytes(), children_peak_rss_bytes())

@@ -139,3 +139,47 @@ def test_run_command_writes_bench_counters(capsys, tmp_path):
     counters = payload["tennis"]
     assert counters["feature_cache"]["hits"] > 0
     assert "tagger_train" in counters["stage_seconds"]
+
+
+def test_run_command_streamed(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "40",
+            "--iterations", "1", "--stream", "--shard-size", "15",
+            "--trace", str(trace_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "streamed" in out
+    assert "throughput:" in out
+    assert "3 shard(s)" in out
+    assert "coverage:" in out
+    import json
+
+    payload = json.loads(trace_path.read_text())
+    stages = {event["stage"] for event in payload["events"]}
+    assert "shard_prep" in stages
+
+
+def test_run_command_stream_rejects_sweeps(capsys):
+    code = main(
+        [
+            "run", "--category", "tennis,running_shoes",
+            "--products", "10", "--stream",
+        ]
+    )
+    assert code == 1
+    assert "one category at a time" in capsys.readouterr().err
+
+
+def test_run_command_stream_rejects_dirt(capsys):
+    code = main(
+        [
+            "run", "--category", "tennis", "--products", "10",
+            "--stream", "--dirt-rate", "0.2",
+        ]
+    )
+    assert code == 1
+    assert "materialized corpus" in capsys.readouterr().err

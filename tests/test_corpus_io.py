@@ -179,3 +179,50 @@ def test_unknown_policy_rejected(dirty_jsonl):
 
     with pytest.raises(ConfigError):
         load_pages(dirty_jsonl, policy="lenient")
+
+
+# -- the streaming row iterator -----------------------------------------
+
+
+def test_iter_page_rows_is_lazy(tmp_path):
+    from repro.corpus.io import iter_page_rows
+
+    path = tmp_path / "pages.jsonl"
+    rows = [
+        {"product_id": f"p{number}", "html": "<p>x</p>"}
+        for number in range(4)
+    ]
+    path.write_text(
+        "".join(json.dumps(row) + "\n" for row in rows), encoding="utf-8"
+    )
+    iterator = iter_page_rows(path, ("product_id", "html"))
+    first = next(iterator)
+    assert first["product_id"] == "p0"
+    # Nothing beyond the consumed prefix has been parsed yet; the rest
+    # still arrives on demand.
+    assert [row["product_id"] for row in iterator] == ["p1", "p2", "p3"]
+
+
+def test_iter_page_rows_honours_policy(tmp_path):
+    from repro.corpus.io import iter_page_rows
+    from repro.errors import DatasetError
+    from repro.ingest import Quarantine
+
+    path = tmp_path / "pages.jsonl"
+    path.write_text(
+        json.dumps({"product_id": "a", "html": "<p/>"})
+        + "\n{broken\n"
+        + json.dumps({"product_id": "b", "html": "<p/>"})
+        + "\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(DatasetError):
+        list(iter_page_rows(path, ("product_id", "html")))
+    ledger = Quarantine()
+    kept = list(
+        iter_page_rows(
+            path, ("product_id", "html"), policy="drop", quarantine=ledger
+        )
+    )
+    assert [row["product_id"] for row in kept] == ["a", "b"]
+    assert len(ledger) == 1

@@ -248,3 +248,62 @@ def test_empty_store_has_no_resume_state(tmp_path):
     assert not CheckpointStore(tmp_path).has_run()
     with pytest.raises(CheckpointError, match="no checkpoint run"):
         CheckpointStore(tmp_path).load_meta()
+
+
+# -- per-shard tag snapshots (sharded bootstrap) -------------------------
+
+
+def test_shard_tags_roundtrip(tmp_path, make_tagged):
+    store = CheckpointStore(tmp_path)
+    tagged = [
+        make_tagged("重さ は 500 g です", "500 g", "weight"),
+        make_tagged("高さ は 30 cm です", "30 cm", "height", "p1", 2),
+    ]
+    store.write_shard_tags(2, 5, tagged, sentence_count=40)
+    loaded = store.load_shard_tags(2, 5)
+    assert loaded is not None
+    assert loaded[0] == tagged
+    assert loaded[1] == 40
+    # Other (iteration, shard) slots stay empty.
+    assert store.load_shard_tags(2, 4) is None
+    assert store.load_shard_tags(1, 5) is None
+
+
+def test_shard_tags_corruption_raises(tmp_path, make_tagged):
+    store = CheckpointStore(tmp_path)
+    store.write_shard_tags(
+        1, 0, [make_tagged("重さ は 500 g", "500 g", "weight")], 3
+    )
+    path = tmp_path / "shard_tag_0001_0000.json.gz"
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["sentence_count"] = 999
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(CheckpointError, match="checksum"):
+        store.load_shard_tags(1, 0)
+
+
+def test_clear_shard_tags_by_iteration_and_wholesale(
+    tmp_path, make_tagged
+):
+    store = CheckpointStore(tmp_path)
+    tagged = [make_tagged("重さ は 500 g", "500 g", "weight")]
+    for iteration in (1, 2):
+        for shard in (0, 1):
+            store.write_shard_tags(iteration, shard, tagged, 1)
+    assert store.clear_shard_tags(1) == 2
+    assert store.load_shard_tags(1, 0) is None
+    assert store.load_shard_tags(2, 0) is not None
+    assert store.clear_shard_tags() == 2
+    assert store.load_shard_tags(2, 0) is None
+    assert store.clear_shard_tags() == 0
+
+
+def test_begin_wipes_stale_shard_tags(tmp_path, make_tagged):
+    store = CheckpointStore(tmp_path)
+    store.write_shard_tags(
+        1, 0, [make_tagged("重さ は 500 g", "500 g", "weight")], 1
+    )
+    store.begin("fingerprint", "digest", iterations=2)
+    assert store.load_shard_tags(1, 0) is None

@@ -1,0 +1,43 @@
+"""Peak-RSS observability helpers (``repro.runtime.memory``)."""
+
+import subprocess
+import sys
+
+from repro.runtime import (
+    children_peak_rss_bytes,
+    current_rss_bytes,
+    peak_rss_bytes,
+    run_peak_rss_bytes,
+)
+
+
+def test_current_rss_is_positive_and_plausible():
+    current = current_rss_bytes()
+    # A running CPython interpreter needs at least a few MB and (on
+    # any test box) fits in a TB.
+    assert 1024 * 1024 < current < 1024**4
+
+
+def test_peak_is_at_least_current():
+    assert peak_rss_bytes() >= current_rss_bytes()
+
+
+def test_children_counter_is_nonnegative_int():
+    value = children_peak_rss_bytes()
+    assert isinstance(value, int)
+    assert value >= 0
+
+
+def test_run_peak_covers_self_and_children():
+    assert run_peak_rss_bytes() >= peak_rss_bytes()
+    assert run_peak_rss_bytes() >= children_peak_rss_bytes()
+
+
+def test_children_peak_observes_a_subprocess():
+    # Spawn a child that allocates ~64 MB, then check the parent's
+    # children counter reflects a child at least that large.
+    subprocess.run(
+        [sys.executable, "-c", "x = bytearray(64 * 1024 * 1024)"],
+        check=True,
+    )
+    assert children_peak_rss_bytes() >= 64 * 1024 * 1024
