@@ -57,15 +57,17 @@ bench-train:
 bench-serve:
 	PYTHONPATH=src python -m repro.perf.bench_serve --out BENCH_serve.json
 
-# Streamed-bootstrap scale bench: pages/sec, peak RSS, shard counts
-# and per-stage shares at 1k/10k/100k pages -> BENCH_scale.json (each
-# scale in a fresh child process so VmHWM is per-scale).
+# Streamed-bootstrap scale bench: cold vs prep-cache-warm pages/sec,
+# peak RSS, shard counts and per-stage shares at 1k/10k/100k pages ->
+# BENCH_scale.json (each scale in a fresh child process so VmHWM is
+# per-scale). Add --profile to fold cProfile tops into the record.
 bench-scale:
 	PYTHONPATH=src python -m repro.perf.bench_scale --out BENCH_scale.json
 
 # Tier-1 suite plus the serve chaos acceptance, a one-pass
 # small-corpus bench smoke and the sharded-vs-monolithic bit-identity
-# gate (two shard-size/worker-count combos): the quick pre-merge gate.
+# gate (streamed runs with the prep cache cold, warm and disabled):
+# the quick pre-merge gate.
 verify:
 	PYTHONPATH=src pytest tests/ -x -q
 	$(MAKE) serve-chaos

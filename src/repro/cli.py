@@ -177,6 +177,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "to the process)",
     )
     run.add_argument(
+        "--no-prep-cache", action="store_true",
+        help="disable the cross-run shard-prep artifact cache in "
+        "--stream mode (output-identical either way; prep is "
+        "recomputed from scratch)",
+    )
+    run.add_argument(
         "--dirt-rate", type=float, default=0.0, metavar="FRACTION",
         help="corrupt this fraction of generated pages (truncation, "
         "unclosed tags, entity garbage, mojibake, duplicate ids, "
@@ -360,6 +366,7 @@ def _command_run(args: argparse.Namespace) -> int:
         enable_syntactic_cleaning=not args.no_cleaning,
         enable_semantic_cleaning=not args.no_cleaning,
         enable_diversification=not args.no_diversification,
+        enable_prep_cache=not args.no_prep_cache,
         crf=crf,
         ingest=IngestConfig(**ingest_kwargs),
     )
@@ -411,14 +418,6 @@ def _run_streamed(
             file=sys.stderr,
         )
         return 1
-    if args.dirt_rate:
-        print(
-            "--dirt-rate needs a materialized corpus (page-corruption "
-            "hooks do not fire on streamed runs); drop --stream or "
-            "--dirt-rate",
-            file=sys.stderr,
-        )
-        return 1
     category = categories[0]
     source = GeneratedPageSource(
         category,
@@ -435,6 +434,7 @@ def _run_streamed(
         trace=trace,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        faults=_dirt_plan(args),
         shard_workers=args.shard_workers,
     )
     wall = time.perf_counter() - start

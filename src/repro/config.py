@@ -432,6 +432,12 @@ class PipelineConfig:
     #: :mod:`repro.perf.cache`). Output-invisible; off only to measure
     #: the uncached baseline.
     enable_feature_cache: bool = True
+    #: Reuse shard-prep artifacts (gate + tokenize + candidate mining)
+    #: across runs of the same source and gate/tokenizer config (see
+    #: :mod:`repro.perf.prep_cache`). Output-invisible — a cache hit
+    #: replays the recorded per-page outcomes through the same
+    #: deterministic merge; off only to measure the uncached baseline.
+    enable_prep_cache: bool = True
     seed_config: SeedConfig = field(default_factory=SeedConfig)
     veto: VetoConfig = field(default_factory=VetoConfig)
     semantic: SemanticConfig = field(default_factory=SemanticConfig)

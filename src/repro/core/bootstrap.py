@@ -283,20 +283,30 @@ class Bootstrapper:
         if faults is not None:
             pages = self._apply_page_faults(pages, faults, trace)
         ingest_result: IngestResult | None = None
+        # The gate parses every admitted page while validating it;
+        # keeping those DOM roots lets tokenization and candidate
+        # discovery skip their own parse passes (single-pass prep —
+        # output-identical, the root is the tree of the kept html).
+        roots = None
         if self.config.ingest.enabled:
             ingest_result = self._stage(
                 trace, faults, "ingest", None,
                 lambda stage: self._ingest(stage, pages, trace),
             )
             pages = ingest_result.pages
+            roots = ingest_result.roots
+            # Detach the trees from the (long-lived) result so they
+            # can be freed once discovery is done.
+            object.__setattr__(ingest_result, "roots", None)
         page_texts = self._stage(
             trace, faults, "tokenize", None,
-            lambda stage: self._tokenize(stage, pages),
+            lambda stage: self._tokenize(stage, pages, roots),
         )
         candidates = self._stage(
             trace, faults, "candidate_discovery", None,
-            lambda stage: self._discover(stage, pages),
+            lambda stage: self._discover(stage, pages, roots),
         )
+        roots = None  # free the trees before the long training phase
         seed = self._stage(
             trace, faults, "seed_build", None,
             lambda stage: self._build_seed(stage, pages, query_log,
@@ -554,7 +564,7 @@ class Bootstrapper:
         self, stage, pages: list[ProductPage], trace: PipelineTrace
     ) -> IngestResult:
         gate = IngestGate(self.config.ingest)
-        result = gate.process(pages)
+        result = gate.process(pages, keep_roots=True)
         counts = result.quarantine.counts_by_check()
         if counts:
             trace.count("quarantine", **counts)
@@ -568,13 +578,15 @@ class Bootstrapper:
         )
         return result
 
-    def _tokenize(self, stage, pages: list[ProductPage]) -> list[PageText]:
-        page_texts = tokenize_pages(pages)
+    def _tokenize(
+        self, stage, pages: list[ProductPage], roots=None
+    ) -> list[PageText]:
+        page_texts = tokenize_pages(pages, roots)
         stage.add(pages=len(pages))
         return page_texts
 
-    def _discover(self, stage, pages: list[ProductPage]):
-        candidates = discover_candidates(pages)
+    def _discover(self, stage, pages: list[ProductPage], roots=None):
+        candidates = discover_candidates(pages, roots)
         stage.add(candidates=len(candidates))
         return candidates
 

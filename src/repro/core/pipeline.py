@@ -136,22 +136,31 @@ class PipelineResult:
     def perf_counters(self) -> dict:
         """Performance observables of the run.
 
-        Returns a dict with two keys: ``"feature_cache"`` — the
+        Returns a dict with three keys: ``"feature_cache"`` — the
         cross-iteration feature cache's ``hits``/``misses`` (both zero
-        when the cache was disabled or the backend has none) — and
-        ``"stage_seconds"`` — cumulative wall-clock per pipeline stage
-        from the trace. Empty/zero without a trace.
+        when the cache was disabled or the backend has none) —
+        ``"prep_cache"`` — shard-prep artifact cache ``hits``/
+        ``misses`` in cached shards (both zero on monolithic runs or
+        with the cache disabled/bypassed) — and ``"stage_seconds"`` —
+        cumulative wall-clock per pipeline stage from the trace.
+        Empty/zero without a trace.
         """
         if self.trace is None:
             return {
                 "feature_cache": {"hits": 0, "misses": 0},
+                "prep_cache": {"hits": 0, "misses": 0},
                 "stage_seconds": {},
             }
         cache = self.trace.counter_totals("feature_cache")
+        prep = self.trace.counter_totals("prep_cache")
         return {
             "feature_cache": {
                 "hits": cache.get("hits", 0),
                 "misses": cache.get("misses", 0),
+            },
+            "prep_cache": {
+                "hits": prep.get("hits", 0),
+                "misses": prep.get("misses", 0),
             },
             "stage_seconds": self.trace.stage_totals(),
         }
@@ -275,11 +284,14 @@ class PAEPipeline:
                 per-iteration ones, so a killed run resumes
                 mid-iteration without re-tagging completed shards.
             resume: with ``checkpoint_dir``, False restarts.
-            faults: optional fault plan (stage hooks only — page
-                corruption hooks need a materialized corpus).
+            faults: optional fault plan; page-corruption hooks fire
+                inside shard prep workers with shard-deterministic
+                decisions (and disable the prep cache for the run).
             shard_workers: worker processes per shard fan-out (None =
                 visible CPUs).
-            cache_dir: override for the shard cache directory.
+            cache_dir: override for the shard cache directory; with
+                the prep cache enabled it doubles as a persistent
+                prep-artifact root reused by later runs.
 
         Returns:
             A :class:`PipelineResult` whose ``product_count`` is the

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ...html import extract_dictionary_tables, parse_html
+from ...html.dom import Element
 from ...nlp import get_locale
 from ...types import ProductPage
 
@@ -36,33 +37,59 @@ class RawCandidate:
         return tuple(self.value_key.split(" "))
 
 
+def discover_page_candidates(
+    page: ProductPage, root: Element | None = None
+) -> list[RawCandidate]:
+    """Extract raw candidates from one page's dictionary tables.
+
+    Args:
+        page: the page to mine.
+        root: an already-parsed DOM of ``page.html`` to reuse (the
+            ingest gate and tokenizer parse the same document); parsed
+            fresh when omitted. Output is identical either way.
+    """
+    nlp = get_locale(page.locale)
+    if root is None:
+        root = parse_html(page.html)
+    candidates: list[RawCandidate] = []
+    seen: set[tuple[str, str]] = set()
+    for table in extract_dictionary_tables(root):
+        for name, value in table.pairs:
+            name_key = " ".join(nlp.tokenizer.tokenize(name))
+            value_tokens = nlp.tokenizer.tokenize(value)
+            if not name_key or not value_tokens:
+                continue
+            value_joined = " ".join(value_tokens)
+            if (name_key, value_joined) in seen:
+                continue
+            seen.add((name_key, value_joined))
+            candidates.append(
+                RawCandidate(page.product_id, name_key, value_joined)
+            )
+    return candidates
+
+
 def discover_candidates(
     pages: Iterable[ProductPage],
+    roots: Sequence[Element] | None = None,
 ) -> list[RawCandidate]:
     """Extract raw candidates from every page's dictionary tables.
 
     Rows with an empty tokenized name or value are skipped; duplicate
-    rows within one page are kept once.
+    rows within one page are kept once. ``roots``, when given, must
+    align 1:1 with ``pages`` (pre-parsed DOM trees to reuse).
     """
-    candidates: list[RawCandidate] = []
-    for page in pages:
-        nlp = get_locale(page.locale)
-        root = parse_html(page.html)
-        seen: set[tuple[str, str]] = set()
-        for table in extract_dictionary_tables(root):
-            for name, value in table.pairs:
-                name_key = " ".join(nlp.tokenizer.tokenize(name))
-                value_tokens = nlp.tokenizer.tokenize(value)
-                if not name_key or not value_tokens:
-                    continue
-                value_joined = " ".join(value_tokens)
-                if (name_key, value_joined) in seen:
-                    continue
-                seen.add((name_key, value_joined))
-                candidates.append(
-                    RawCandidate(page.product_id, name_key, value_joined)
-                )
-    return candidates
+    if roots is None:
+        return [
+            candidate
+            for page in pages
+            for candidate in discover_page_candidates(page)
+        ]
+    return [
+        candidate
+        for page, root in zip(pages, roots)
+        for candidate in discover_page_candidates(page, root)
+    ]
 
 
 def pages_with_tables(candidates: Sequence[RawCandidate]) -> set[str]:

@@ -34,6 +34,16 @@ before returning; a killed run re-fans only the shards with no
 snapshot. The per-iteration snapshot and resume semantics of the base
 class are unchanged.
 
+Prep caching: prep output is iteration-invariant and pure in the page
+bytes and gate/tokenizer config, so (unless disabled via
+``PipelineConfig.enable_prep_cache`` or bypassed because the fault
+plan corrupts pages) each shard's artifacts are kept across runs in
+:mod:`repro.perf.prep_cache` — checksummed gzip artifacts under
+``<checkpoint>/prep_cache`` (or an explicit ``cache_dir``), a bounded
+process-global memory tier otherwise. A cache hit replays the exact
+recorded per-page outcomes through the same sequential merge, so
+cached runs stay bit-identical to uncached ones.
+
 Known (documented) divergences from the monolithic path:
 
 * Shard workers gate with the counted wall-clock soft parse budget
@@ -42,10 +52,14 @@ Known (documented) divergences from the monolithic path:
   measured elapsed time rather than the budget, so a corpus containing
   budget-blowing pages is not bit-ledger-identical. Corpora that stay
   inside the budget (all shipped ones) are unaffected.
-* Page-corruption fault hooks (``corrupt_pages``/``dirt``) require a
-  materialized page list and do not fire on streamed runs; stage-level
-  fault hooks (including the per-shard ``shard_tag`` /
-  ``shard_tag:NNNN`` hooks) all work.
+* Page-corruption fault hooks (``corrupt_pages``/``dirt``) fire inside
+  shard prep workers with decisions derived from ``(plan seed, shard
+  index)`` (see :meth:`~repro.runtime.faults.FaultPlan.
+  corrupt_shard_pages`): deterministic for any worker count, but the
+  set of corrupted pages differs from the monolithic draw, so a
+  faulted streamed run is *equivalently* chaotic, not byte-identically
+  chaotic. Stage-level fault hooks (including the per-shard
+  ``shard_tag`` / ``shard_tag:NNNN`` hooks) match exactly.
 """
 
 from __future__ import annotations
@@ -64,6 +78,13 @@ from ..config import IngestConfig
 from ..errors import PageQuarantinedError
 from ..ingest import IngestGate, Quarantine, QuarantineEntry
 from ..perf.cache import FeatureCache
+from ..perf.prep_cache import (
+    DiskPrepCache,
+    PrepStore,
+    memory_prep_cache,
+    prep_cache_key,
+    prep_digest,
+)
 from ..runtime.trace import PipelineTrace
 from ..types import ProductPage, Sentence, TaggedSentence, Token, Triple
 from .bootstrap import (
@@ -103,6 +124,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # The cache holds everything every later stage needs — tokenized
 # sentences for tagging/labeling/embeddings, candidates for the
 # table-page split — so raw HTML is parsed exactly once per page.
+
+#: gzip level for shard cache files. They are scratch written once and
+#: re-read several times per run (material, corpus, every iteration's
+#: tag pass); level 1 compresses several times faster than the default
+#: (9) for a few percent more disk — the right trade for the prep hot
+#: path.
+_CACHE_GZIP_LEVEL = 1
 
 
 def _cache_path(cache_dir: str, index: int) -> pathlib.Path:
@@ -150,32 +178,63 @@ class _PrepContext:
     source: "PageSource"
     ingest: IngestConfig | None
     cache_dir: str
+    faults: "FaultPlan | None" = None
 
 
-def _discover_page_candidates(page: ProductPage) -> list[list[str]]:
+def _discover_page_candidates(page: ProductPage, root=None) -> list[list[str]]:
     """One page's dictionary-table rows as ``[attribute, value]``."""
-    from .preprocess.candidate_discovery import discover_candidates
+    from .preprocess.candidate_discovery import discover_page_candidates
 
     return [
         [candidate.attribute, candidate.value_key]
-        for candidate in discover_candidates([page])
+        for candidate in discover_page_candidates(page, root)
     ]
+
+
+def _corrupt_shard_records(
+    records: list, faults: "FaultPlan", index: int
+) -> tuple[list, dict, int]:
+    """Run the page-corruption hook over one shard's records.
+
+    Only :class:`~repro.types.ProductPage` records are corruptible;
+    malformed-row :class:`QuarantineEntry` markers keep their relative
+    positions. Pages a ``dirt`` fault *adds* land after the shard's
+    original records.
+    """
+    page_slots = [
+        slot
+        for slot, record in enumerate(records)
+        if not isinstance(record, QuarantineEntry)
+    ]
+    pages = [records[slot] for slot in page_slots]
+    pages, injected, corrupted = faults.corrupt_shard_pages(pages, index)
+    if len(page_slots) == len(records):
+        return pages, injected, corrupted
+    for slot, page in zip(page_slots, pages):
+        records[slot] = page
+    records.extend(pages[len(page_slots):])
+    return records, injected, corrupted
 
 
 def _prep_shard(context: _PrepContext, index: int):
     """Gate + tokenize + mine one shard (worker process).
 
     Writes the shard cache file atomically and returns
-    ``(index, outcomes, warnings)`` where each outcome is, in shard
-    page order, one of::
+    ``(index, outcomes, warnings, fault_counts)`` where each outcome
+    is, in shard page order, one of::
 
         ("row", entry_dict)                     # malformed JSONL row
         ("q",   entry_dict)                     # quarantined page
         ("k",   pid, locale, repairs, cands)    # kept page
 
+    and ``fault_counts`` is ``None`` or the ``(injected, corrupted)``
+    tallies of the page-corruption hook for the parent to absorb.
+
     The gate runs with a shard-local seen-id set and the wall-clock
     soft parse budget; the parent's merge replays the outcomes against
     the *global* seen-id set (see :meth:`ShardedBootstrapper._prep`).
+    The html of each kept page is lexed and parsed exactly once: the
+    gate's tree is reused for tokenization and candidate mining.
     """
     gate = (
         IngestGate(context.ingest, force_soft_budget=True)
@@ -185,18 +244,28 @@ def _prep_shard(context: _PrepContext, index: int):
     seen_ids: set[str] = set()
     warnings: dict[str, int] = {}
     outcomes: list[tuple] = []
+    records = context.source.shard(index)
+    fault_counts = None
+    if context.faults is not None:
+        records, injected, corrupted = _corrupt_shard_records(
+            list(records), context.faults, index
+        )
+        fault_counts = (injected, corrupted)
     final = _cache_path(context.cache_dir, index)
     temp = final.parent / f".{final.name}.tmp"
     final.parent.mkdir(parents=True, exist_ok=True)
-    with gzip.open(temp, "wt", encoding="utf-8") as cache:
-        for record in context.source.shard(index):
+    with gzip.open(
+        temp, "wt", encoding="utf-8", compresslevel=_CACHE_GZIP_LEVEL
+    ) as cache:
+        for record in records:
             if isinstance(record, QuarantineEntry):
                 outcomes.append(("row", record.to_dict()))
                 continue
             page = record
             repairs: list[str] = []
+            root = None
             if gate is not None:
-                entry, kept, repairs = gate.gate_page(
+                entry, kept, repairs, root = gate.gate_page_prepared(
                     page, seen_ids, warnings
                 )
                 if entry is not None:
@@ -205,8 +274,8 @@ def _prep_shard(context: _PrepContext, index: int):
                 assert kept is not None
                 seen_ids.add(kept.product_id)
                 page = kept
-            page_text = tokenize_page(page)
-            candidates = _discover_page_candidates(page)
+            page_text = tokenize_page(page, root)
+            candidates = _discover_page_candidates(page, root)
             outcomes.append(
                 ("k", page.product_id, page.locale, repairs, candidates)
             )
@@ -229,7 +298,7 @@ def _prep_shard(context: _PrepContext, index: int):
                 + "\n"
             )
     os.replace(temp, final)
-    return index, outcomes, warnings
+    return index, outcomes, warnings, fault_counts
 
 
 # -- tag workers ---------------------------------------------------------
@@ -399,24 +468,61 @@ class ShardedBootstrapper(Bootstrapper):
                 killed run resume mid-iteration without re-tagging
                 completed shards.
             resume: with ``checkpoint``, False restarts from scratch.
-            faults: optional fault plan (stage hooks only).
-            cache_dir: directory for the shard cache files. Defaults
-                to ``<checkpoint>/shard_cache`` with a checkpoint, or
-                a self-cleaning temporary directory without one.
+            faults: optional fault plan (stage and page hooks).
+            cache_dir: directory for the shard cache files — with the
+                prep cache enabled this becomes a persistent prep
+                artifact root (a keyed subdirectory holds the files).
+                Defaults to ``<checkpoint>/prep_cache`` (retained
+                across runs) with a checkpoint, or a self-cleaning
+                temporary directory (backed by the process-global
+                memory tier) without one.
         """
         trace = trace if trace is not None else PipelineTrace()
+        # Page-corrupting fault plans poison prep output: never record
+        # it as clean, never mask it with a clean artifact.
+        use_cache = self.config.enable_prep_cache and not (
+            faults is not None and faults.has_page_faults()
+        )
+        digest = prep_digest(
+            self.config.ingest if self.config.ingest.enabled else None
+        )
+        key = prep_cache_key(source.fingerprint(), digest)
+        prep_store: PrepStore | None = None
         owned_tmp: tempfile.TemporaryDirectory | None = None
+        persistent_root: pathlib.Path | None = None
         if cache_dir is not None:
-            cache = pathlib.Path(cache_dir)
-            cache.mkdir(parents=True, exist_ok=True)
+            persistent_root = pathlib.Path(cache_dir)
         elif checkpoint is not None:
-            cache = checkpoint.directory / "shard_cache"
-            cache.mkdir(parents=True, exist_ok=True)
+            persistent_root = (
+                checkpoint.directory / "prep_cache"
+                if use_cache
+                else checkpoint.directory / "shard_cache"
+            )
+        if persistent_root is not None:
+            persistent_root.mkdir(parents=True, exist_ok=True)
+            if use_cache:
+                disk = DiskPrepCache(persistent_root, key)
+                cache = disk.directory
+                prep_store = PrepStore(
+                    cache_dir=str(cache),
+                    source_fingerprint=source.fingerprint(),
+                    digest=digest,
+                    disk=disk,
+                )
+            else:
+                cache = persistent_root
         else:
             owned_tmp = tempfile.TemporaryDirectory(
                 prefix="repro_shard_cache_"
             )
             cache = pathlib.Path(owned_tmp.name)
+            if use_cache:
+                prep_store = PrepStore(
+                    cache_dir=str(cache),
+                    source_fingerprint=source.fingerprint(),
+                    digest=digest,
+                    memory=memory_prep_cache(),
+                )
         try:
             return self._run_source(
                 source,
@@ -426,13 +532,16 @@ class ShardedBootstrapper(Bootstrapper):
                 checkpoint,
                 resume,
                 faults,
+                prep_store,
             )
         finally:
             if owned_tmp is not None:
                 owned_tmp.cleanup()
-            elif cache_dir is None:
-                # Checkpoint-owned cache: scaffolding only — prep
-                # rebuilds it deterministically on resume.
+            elif cache_dir is None and not use_cache:
+                # Checkpoint-owned plain shard cache: scaffolding only
+                # — prep rebuilds it deterministically on resume. The
+                # prep-cache directory, by contrast, is the persistent
+                # artifact store and is deliberately retained.
                 shutil.rmtree(cache, ignore_errors=True)
 
     def _run_source(
@@ -444,10 +553,13 @@ class ShardedBootstrapper(Bootstrapper):
         checkpoint: "CheckpointStore | None",
         resume: bool,
         faults: "FaultPlan | None",
+        prep_store: PrepStore | None = None,
     ) -> BootstrapResult:
         prep = self._stage(
             trace, faults, "shard_prep", None,
-            lambda stage: self._prep(stage, source, cache, trace),
+            lambda stage: self._prep(
+                stage, source, cache, trace, faults, prep_store
+            ),
         )
         stub_pages = (
             [ProductPage("", source.category, "", prep.locale)]
@@ -575,6 +687,8 @@ class ShardedBootstrapper(Bootstrapper):
         source: "PageSource",
         cache: str,
         trace: PipelineTrace,
+        faults: "FaultPlan | None" = None,
+        prep_store: PrepStore | None = None,
     ) -> _PrepSummary:
         """Fan prep out per shard, then replay outcomes sequentially.
 
@@ -582,23 +696,49 @@ class ShardedBootstrapper(Bootstrapper):
         shard order (= corpus order) against a global seen-id set, so
         cross-shard duplicates are quarantined exactly where the
         monolithic gate would have quarantined them, and the merged
-        ledger/repair counts/page drops match bit-for-bit.
+        ledger/repair counts/page drops match bit-for-bit. Shards with
+        a valid prep-cache artifact skip the fan-out and feed their
+        recorded outcomes straight into the same replay — a cached run
+        and an uncached run are indistinguishable past this point.
         """
+        page_faults = faults is not None and faults.has_page_faults()
         context = _PrepContext(
             source=source,
             ingest=(
                 self.config.ingest if self.config.ingest.enabled else None
             ),
             cache_dir=cache,
+            faults=faults if page_faults else None,
         )
         from ..runtime.runner import parallel_map
 
         indices = list(range(source.shard_count))
-        results = parallel_map(
-            functools.partial(_prep_shard, context),
-            indices,
-            workers=self._workers(len(indices)),
-        )
+        shard_results: dict[int, tuple[list, dict]] = {}
+        pending: list[int] = []
+        for index in indices:
+            if prep_store is not None:
+                loaded = prep_store.load(index)
+                if loaded is not None:
+                    shard_results[index] = loaded
+                    continue
+            pending.append(index)
+        corrupted_pages = 0
+        if pending:
+            results = parallel_map(
+                functools.partial(_prep_shard, context),
+                pending,
+                workers=self._workers(len(pending)),
+            )
+            for index, outcomes, warnings, fault_counts in results:
+                shard_results[index] = (outcomes, warnings)
+                if prep_store is not None:
+                    prep_store.store(index, outcomes, warnings)
+                if fault_counts is not None and faults is not None:
+                    injected, corrupted = fault_counts
+                    faults.absorb_injected(injected)
+                    corrupted_pages += corrupted
+        if corrupted_pages:
+            trace.count("pages_corrupted", pages=corrupted_pages)
         dedup = self.config.ingest.enabled
         strict = dedup and self.config.ingest.policy == "strict"
         seen: set[str] = set()
@@ -610,7 +750,8 @@ class ShardedBootstrapper(Bootstrapper):
         locale: str | None = None
         soft_trips = 0
         row_errors = 0
-        for index, outcomes, warnings in results:
+        for index in indices:
+            outcomes, warnings = shard_results[index]
             soft_trips += warnings.get("parse_budget_soft", 0)
             shard_drops: set[str] = set()
             for outcome in outcomes:
@@ -665,6 +806,12 @@ class ShardedBootstrapper(Bootstrapper):
             trace.count("ingest_repair", **repaired)
         if soft_trips:
             trace.count("parse_budget_soft", trips=soft_trips)
+        if prep_store is not None:
+            trace.count(
+                "prep_cache",
+                hits=prep_store.hits,
+                misses=prep_store.misses,
+            )
         stage.add(
             pages_in=source.page_count,
             pages_kept=kept,
@@ -672,6 +819,9 @@ class ShardedBootstrapper(Bootstrapper):
             repaired=sum(repaired.values()),
             shards=source.shard_count,
             candidates=len(candidates),
+            cached_shards=(
+                prep_store.hits if prep_store is not None else 0
+            ),
         )
         return _PrepSummary(
             candidates=candidates,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..html import extract_text_blocks, parse_html
+from ..html.dom import Element
 from ..nlp import get_locale, split_sentences
 from ..types import ProductPage, Sentence
 
@@ -29,18 +30,39 @@ class PageText:
         return sum(len(sentence) for sentence in self.sentences)
 
 
-def tokenize_page(page: ProductPage) -> PageText:
-    """Tokenize one page's title and description text."""
-    root = parse_html(page.html)
+def tokenize_page(
+    page: ProductPage, root: Element | None = None
+) -> PageText:
+    """Tokenize one page's title and description text.
+
+    Args:
+        page: the page to tokenize.
+        root: an already-parsed DOM of ``page.html`` (e.g. the tree the
+            ingest gate built while validating the page); parsed fresh
+            when omitted. The output is identical either way.
+    """
+    if root is None:
+        root = parse_html(page.html)
     blocks = extract_text_blocks(root, skip_tables=True)
     nlp = get_locale(page.locale)
     sentences = split_sentences(page.product_id, blocks, nlp)
     return PageText(page.product_id, page.locale, tuple(sentences))
 
 
-def tokenize_pages(pages: Iterable[ProductPage]) -> list[PageText]:
-    """Tokenize a page collection, preserving order."""
-    return [tokenize_page(page) for page in pages]
+def tokenize_pages(
+    pages: Iterable[ProductPage],
+    roots: Sequence[Element] | None = None,
+) -> list[PageText]:
+    """Tokenize a page collection, preserving order.
+
+    ``roots``, when given, must align 1:1 with ``pages`` (pre-parsed
+    DOM trees to reuse instead of re-parsing each document).
+    """
+    if roots is None:
+        return [tokenize_page(page) for page in pages]
+    return [
+        tokenize_page(page, root) for page, root in zip(pages, roots)
+    ]
 
 
 def corpus_token_sentences(

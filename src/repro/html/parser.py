@@ -20,10 +20,12 @@ to disable either bound.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..errors import HtmlLimitError
 from .dom import Element, Text
 from .entities import decode_entities
-from .lexer import tokenize_html
+from .lexer import HtmlToken, tokenize_html
 
 #: Default maximum document size, in characters (~5 MB of markup).
 DEFAULT_MAX_LENGTH = 5_000_000
@@ -63,9 +65,26 @@ def parse_html(
     """
     if max_length is not None and len(markup) > max_length:
         raise HtmlLimitError("input_chars", len(markup), max_length)
+    return parse_token_stream(tokenize_html(markup), max_depth=max_depth)
+
+
+def parse_token_stream(
+    tokens: Iterable[HtmlToken],
+    *,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+) -> Element:
+    """Build a DOM tree from an already-lexed token stream.
+
+    The tree-construction half of :func:`parse_html`, split out so
+    callers that must lex the document anyway (the ingest gate runs its
+    unclosed-element check over the same tokens) can reuse one
+    ``tokenize_html`` pass instead of lexing twice. Applies the same
+    recovery rules and depth bound; the ``max_length`` guard belongs to
+    the caller, who owns the markup string.
+    """
     root = Element("#root")
     stack: list[Element] = [root]
-    for token in tokenize_html(markup):
+    for token in tokens:
         if token.kind == "comment":
             continue
         if token.kind == "text":

@@ -45,12 +45,17 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..config import IngestConfig
 from ..errors import HtmlLimitError, PageQuarantinedError
-from ..html.lexer import tokenize_html
-from ..html.parser import _IMPLIED_CLOSERS, _SELF_NESTING, parse_html
+from ..html.dom import Element
+from ..html.lexer import HtmlToken, tokenize_html
+from ..html.parser import (
+    _IMPLIED_CLOSERS,
+    _SELF_NESTING,
+    parse_token_stream,
+)
 from ..types import ProductPage
 from .quarantine import Quarantine, QuarantineEntry
 
@@ -72,6 +77,15 @@ _BAD_ENTITY_RE = re.compile(
 #: A trailing ``<`` that opens a tag but never closes: truncation scar.
 _TAG_START_RE = re.compile(r"</?[a-zA-Z]")
 
+#: Fused damage scan: one compiled pass finds both U+FFFD replacement
+#: characters and malformed entity references, replacing the separate
+#: ``str.find`` + entity ``finditer`` passes on the prep hot path. The
+#: two alternatives can never match at the same offset, so the fused
+#: scan reports exactly what the sequential scans would.
+_DAMAGE_RE = re.compile(
+    r"(�)|&(?:#[xX](?![0-9a-fA-F])|#(?![0-9xX])|;|(?=&))"
+)
+
 
 @dataclass(frozen=True)
 class IngestResult:
@@ -86,6 +100,11 @@ class IngestResult:
         warnings: counted degradations that rejected pages without the
             full check running (currently ``parse_budget_soft``: the
             wall-clock fallback tripping where SIGALRM is unavailable).
+        roots: parsed DOM roots aligned with ``pages`` when the caller
+            asked :meth:`IngestGate.process` to ``keep_roots`` — the
+            gate parses every admitted page anyway, so downstream
+            tokenization and candidate discovery can reuse the tree
+            instead of re-parsing; ``None`` otherwise.
     """
 
     pages: list[ProductPage]
@@ -93,6 +112,7 @@ class IngestResult:
     repaired: dict[str, int] = field(default_factory=dict)
     pages_in: int = 0
     warnings: dict[str, int] = field(default_factory=dict)
+    roots: list[Element] | None = None
 
     @property
     def repaired_total(self) -> int:
@@ -187,6 +207,23 @@ def _mojibake_offset(html: str) -> int | None:
     return None if offset == -1 else offset
 
 
+def _scan_damage(html: str) -> tuple[int | None, list[int]]:
+    """One pass over ``html`` for mojibake and malformed entities.
+
+    Returns ``(mojibake_offset, entity_offsets)``. When mojibake is
+    present the scan stops at its first occurrence and the entity list
+    is meaningless (the repair path strips the replacement characters
+    and must re-scan the mutated document anyway — entity offsets
+    computed before the strip would be wrong).
+    """
+    entity_offsets: list[int] = []
+    for match in _DAMAGE_RE.finditer(html):
+        if match.group(1) is not None:
+            return match.start(), entity_offsets
+        entity_offsets.append(match.start())
+    return None, entity_offsets
+
+
 def _bad_entities(html: str) -> list[int]:
     """Offsets of malformed entity references."""
     return [match.start() for match in _BAD_ENTITY_RE.finditer(html)]
@@ -209,8 +246,17 @@ def _unclosed_elements(html: str) -> list[str]:
     auto-closing end tags included — so the count matches exactly what
     :func:`parse_html` would force-close at EOF.
     """
+    return _unclosed_from_tokens(tokenize_html(html))
+
+
+def _unclosed_from_tokens(tokens: Iterable[HtmlToken]) -> list[str]:
+    """Token-stream form of :func:`_unclosed_elements`.
+
+    The gate lexes each document exactly once and runs both this check
+    and tree construction over the same materialized token list.
+    """
     stack: list[str] = []
-    for token in tokenize_html(html):
+    for token in tokens:
         if token.kind == "start":
             closers = _IMPLIED_CLOSERS.get(token.value, frozenset())
             while stack and stack[-1] in closers:
@@ -251,8 +297,18 @@ class IngestGate:
         self.config = config or IngestConfig()
         self.force_soft_budget = force_soft_budget
 
-    def process(self, pages: Sequence[ProductPage]) -> IngestResult:
+    def process(
+        self,
+        pages: Sequence[ProductPage],
+        keep_roots: bool = False,
+    ) -> IngestResult:
         """Gate every page; never raises except under ``strict``.
+
+        Args:
+            pages: the collection to gate.
+            keep_roots: also return the DOM root the gate parsed for
+                each admitted page (aligned with ``result.pages``), so
+                callers can skip their own ``parse_html`` pass.
 
         Returns:
             An :class:`IngestResult` whose ``pages`` preserve input
@@ -260,12 +316,13 @@ class IngestGate:
             records every rejection with diagnostics.
         """
         kept: list[ProductPage] = []
+        roots: list[Element] | None = [] if keep_roots else None
         quarantine = Quarantine()
         repaired: dict[str, int] = {}
         warnings: dict[str, int] = {}
         seen_ids: set[str] = set()
         for index, page in enumerate(pages):
-            entry, result_page, page_repairs = self._gate_page(
+            entry, result_page, page_repairs, root = self._gate_page(
                 page, seen_ids, warnings
             )
             if entry is not None:
@@ -278,6 +335,9 @@ class IngestGate:
             assert result_page is not None
             seen_ids.add(result_page.product_id)
             kept.append(result_page)
+            if roots is not None:
+                assert root is not None
+                roots.append(root)
             for check in page_repairs:
                 repaired[check] = repaired.get(check, 0) + 1
         return IngestResult(
@@ -286,6 +346,7 @@ class IngestGate:
             repaired=repaired,
             pages_in=len(pages),
             warnings=warnings,
+            roots=roots,
         )
 
     # -- per-page machinery --------------------------------------------
@@ -305,6 +366,29 @@ class IngestGate:
         the global page order. The caller must add kept pages'
         product ids to ``seen_ids`` itself.
         """
+        entry, kept, repairs, _ = self._gate_page(page, seen_ids, warnings)
+        return entry, kept, repairs
+
+    def gate_page_prepared(
+        self,
+        page: ProductPage,
+        seen_ids: set[str],
+        warnings: dict[str, int] | None = None,
+    ) -> tuple[
+        QuarantineEntry | None,
+        ProductPage | None,
+        list[str],
+        Element | None,
+    ]:
+        """Like :meth:`gate_page`, but also return the parsed DOM root.
+
+        The gate must parse every admitted page to run its structural
+        guards; callers that tokenize or mine the same page immediately
+        afterwards (shard prep) reuse that tree instead of paying a
+        second ``parse_html`` pass. The root is parsed from exactly the
+        html of the returned page, so it is interchangeable with a
+        fresh parse of ``kept_page.html``.
+        """
         return self._gate_page(page, seen_ids, warnings)
 
     def _gate_page(
@@ -312,11 +396,23 @@ class IngestGate:
         page: ProductPage,
         seen_ids: set[str],
         warnings: dict[str, int] | None = None,
-    ) -> tuple[QuarantineEntry | None, ProductPage | None, list[str]]:
+    ) -> tuple[
+        QuarantineEntry | None,
+        ProductPage | None,
+        list[str],
+        Element | None,
+    ]:
         """Gate one page.
 
-        Returns ``(quarantine_entry, kept_page, repairs)`` where
-        exactly one of the first two is non-None.
+        Returns ``(quarantine_entry, kept_page, repairs, root)`` where
+        exactly one of the first two is non-None; ``root`` is the
+        parsed DOM of ``kept_page`` when the page is admitted.
+
+        Hot-path shape: one fused regex scan covers the mojibake and
+        entity-garbage checks, and the document is lexed exactly once —
+        the same token list feeds the unclosed-element check and tree
+        construction. Only the rare repair paths (which mutate the html
+        between checks) re-scan or re-lex.
         """
         config = self.config
         html = page.html
@@ -328,17 +424,18 @@ class IngestGate:
             return self._reject(
                 page, "page_bytes",
                 f"page is {size} bytes (max {config.max_page_bytes})",
-            ), None, repairs
+            ), None, repairs, None
         if page.product_id in seen_ids:
             return self._reject(
                 page, "duplicate_id",
                 f"product id {page.product_id!r} already seen "
                 "in this collection",
-            ), None, repairs
+            ), None, repairs, None
 
-        # Fixable structural damage.
+        # Fixable structural damage: one scan finds both mojibake and
+        # entity garbage on the (overwhelmingly common) clean path.
         allow_repair = config.policy == "repair"
-        offset = _mojibake_offset(html)
+        offset, bad_entities = _scan_damage(html)
         if offset is not None:
             if not allow_repair:
                 return self._reject(
@@ -346,10 +443,12 @@ class IngestGate:
                     "page contains U+FFFD replacement characters "
                     "(byte-level encoding damage)",
                     byte_offset=offset,
-                ), None, repairs
+                ), None, repairs, None
             html = html.replace("�", "")
             repairs.append("mojibake")
-        bad_entities = _bad_entities(html)
+            # The strip shifted every offset after it: re-scan the
+            # mutated document, exactly as the sequential path would.
+            bad_entities = _bad_entities(html)
         if len(bad_entities) > config.max_bad_entities:
             if not allow_repair:
                 return self._reject(
@@ -357,7 +456,7 @@ class IngestGate:
                     f"{len(bad_entities)} malformed entity references "
                     f"(max {config.max_bad_entities})",
                     byte_offset=bad_entities[0],
-                ), None, repairs
+                ), None, repairs, None
             html = _BAD_ENTITY_RE.sub("", html)
             repairs.append("entity_garbage")
         offset = _truncation_offset(html)
@@ -367,21 +466,28 @@ class IngestGate:
                     page, "truncated_markup",
                     "document ends inside an unterminated tag",
                     byte_offset=offset,
-                ), None, repairs
+                ), None, repairs, None
             html = html[:offset]
             repairs.append("truncated_markup")
-        unclosed = _unclosed_elements(html)
+
+        # Lex once: the unclosed-element check and the parse consume
+        # the same token list. (The lexer never raises; pathological
+        # input surfaces as limit errors during tree construction,
+        # inside the budget, as before.)
+        tokens: list[HtmlToken] | None = list(tokenize_html(html))
+        unclosed = _unclosed_from_tokens(tokens)
         if len(unclosed) > config.max_unclosed_tags:
             if not allow_repair:
                 return self._reject(
                     page, "unclosed_tags",
                     f"{len(unclosed)} unclosed elements at end of "
                     f"input (max {config.max_unclosed_tags})",
-                ), None, repairs
+                ), None, repairs, None
             html = html + "".join(
                 f"</{tag}>" for tag in reversed(unclosed)
             )
             repairs.append("unclosed_tags")
+            tokens = None  # html changed: re-lex inside the budget
 
         # Unfixable parse-level guards, on the (possibly repaired) html.
         try:
@@ -390,21 +496,20 @@ class IngestGate:
                 warnings,
                 force_soft=self.force_soft_budget,
             ):
-                root = parse_html(
-                    html,
-                    max_length=None,
+                root = parse_token_stream(
+                    tokens if tokens is not None else tokenize_html(html),
                     max_depth=config.max_dom_depth,
                 )
         except HtmlLimitError as error:
             return self._reject(
                 page, error.limit, str(error), error=error
-            ), None, repairs
+            ), None, repairs, None
         except Exception as error:  # noqa: BLE001 - contain, never crash
             # The parser promises not to raise on malformed markup; if
             # it ever does, that page is exactly what quarantine is for.
             return self._reject(
                 page, "parse_error", str(error), error=error
-            ), None, repairs
+            ), None, repairs, None
         for table in root.find_all("table"):
             rows = len(table.find_all("tr"))
             if rows > config.max_table_rows:
@@ -412,7 +517,7 @@ class IngestGate:
                     page, "table_rows",
                     f"table has {rows} rows "
                     f"(max {config.max_table_rows})",
-                ), None, repairs
+                ), None, repairs, None
 
         if html is not page.html:
             page = ProductPage(
@@ -421,7 +526,7 @@ class IngestGate:
                 html=html,
                 locale=page.locale,
             )
-        return None, page, repairs
+        return None, page, repairs, root
 
     def _reject(
         self,

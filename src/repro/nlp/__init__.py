@@ -24,7 +24,13 @@ from .bio import (
 )
 from .pos import PosTagger
 from .sentences import split_sentences
-from .tokenizer import LocaleNlp, Tokenizer, available_locales, get_locale
+from .tokenizer import (
+    LocaleNlp,
+    Tokenizer,
+    available_locales,
+    get_locale,
+    register_locale,
+)
 from .vocab import Vocabulary
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "encode_bio",
     "get_locale",
     "is_valid_bio",
+    "register_locale",
     "repair_bio",
     "split_sentences",
 ]

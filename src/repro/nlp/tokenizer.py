@@ -14,12 +14,22 @@ comma form ``1,5``) as one numeric token.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+import sys
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..errors import UnknownLocaleError
 from ..types import Token
 from .pos import PosTagger
+
+#: Entry bound for the per-bundle sentence memo in
+#: :meth:`LocaleNlp.tokens`. Marketplace pages are template-heavy —
+#: identical sentences ("Free shipping nationwide.") recur across many
+#: pages — so memoizing the tokenize+tag result by sentence text is a
+#: large win on the prep hot path. The memo is cleared wholesale when
+#: full (deterministic, and recurring template sentences repopulate it
+#: immediately), keeping memory bounded without LRU bookkeeping.
+_TOKENS_MEMO_MAX = 50_000
 
 
 class Tokenizer:
@@ -85,14 +95,34 @@ class LocaleNlp:
     tokenizer: Tokenizer
     pos_tagger: PosTagger
     sentence_terminators: frozenset[str]
+    _tokens_memo: dict[str, tuple[Token, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def tokens(self, text: str) -> tuple[Token, ...]:
-        """Tokenize and PoS-tag ``text`` in one step."""
+        """Tokenize and PoS-tag ``text`` in one step.
+
+        Tokenization and tagging are pure functions of ``text``, so the
+        result is memoized per bundle (bounded at ``_TOKENS_MEMO_MAX``
+        sentences): template sentences recurring across pages pay the
+        regex and tagger cost once per process. Surfaces and tags are
+        interned so the memo — and every Sentence built from it —
+        shares one string object per distinct surface form.
+        """
+        memo = self._tokens_memo
+        cached = memo.get(text)
+        if cached is not None:
+            return cached
         surfaces = self.tokenizer.tokenize(text)
         tags = self.pos_tagger.tag(surfaces)
-        return tuple(
-            Token(surface, tag) for surface, tag in zip(surfaces, tags)
+        result = tuple(
+            Token(sys.intern(surface), sys.intern(tag))
+            for surface, tag in zip(surfaces, tags)
         )
+        if len(memo) >= _TOKENS_MEMO_MAX:
+            memo.clear()
+        memo[text] = result
+        return result
 
 
 _JA_UNITS = frozenset(

@@ -1,0 +1,327 @@
+"""Cross-run shard-prep artifact cache.
+
+One level above :mod:`repro.perf.cache`'s ``FeatureCache``: where the
+feature cache memoizes per-sentence CRF features *within* a run, this
+module caches the entire output of shard prep — the gate/tokenize/mine
+pass of :mod:`repro.core.sharded` — *across* runs. Prep output is
+iteration-invariant (only seeds and tagging change between bootstrap
+iterations) and fully determined by the page bytes and the gate +
+tokenizer configuration, so it is keyed by::
+
+    (source fingerprint, shard index, prep digest)
+
+where the prep digest (:func:`prep_digest`) covers the
+:class:`~repro.config.IngestConfig`, the registered locale codes and a
+format version. Two tiers:
+
+* :class:`MemoryPrepCache` — a bounded process-global LRU holding each
+  shard's outcomes plus the raw cache-file lines. Serves small runs
+  (no checkpoint, no explicit cache dir): a second run over the same
+  source in the same process skips ``shard_prep`` entirely.
+* :class:`DiskPrepCache` — checksummed artifacts under
+  ``<root>/<key>/``: the shard's gzip-JSONL cache file (used directly
+  as the run's shard-cache directory) plus a ``.meta.json`` sidecar
+  carrying the replay outcomes, warnings and the SHA-256 of the gzip
+  bytes. Serves streamed runs with a checkpoint (root
+  ``<checkpoint>/prep_cache``, deliberately *not* wiped by
+  ``CheckpointStore.begin``) or an explicit ``cache_dir``; a resumed —
+  or simply repeated — run reloads instead of re-prepping. A checksum
+  or format mismatch silently degrades to re-prepping that shard.
+
+Bit-identity contract: a cache hit replays the exact per-page outcomes
+the worker returned when the shard was first prepped, and the parent's
+sequential merge (global dedup, ledger order, strict escalation) runs
+unchanged on top — so results are bit-identical to an uncached run for
+any shard size, worker count and cache on/off combination. Runs with
+page-corruption fault specs bypass the cache entirely in both
+directions (corrupted prep must never be recorded as clean, nor masked
+by a clean hit).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import threading
+from dataclasses import asdict, dataclass, field
+
+from ..config import IngestConfig
+
+#: Bumped whenever the shard cache record layout or outcome shapes
+#: change; part of the prep digest, so stale artifacts simply miss.
+PREP_FORMAT_VERSION = 1
+
+#: Default page budget for the process-global memory tier (~tens of MB
+#: of cached JSONL at typical page sizes).
+MEMORY_CACHE_MAX_PAGES = 20_000
+
+
+def prep_digest(ingest: IngestConfig | None) -> str:
+    """Digest of everything (besides the pages) that shapes prep output.
+
+    Args:
+        ingest: the gate configuration in effect, or None when the
+            gate is disabled (pass exactly what prep will use).
+    """
+    from ..nlp.tokenizer import available_locales
+
+    payload = {
+        "format": PREP_FORMAT_VERSION,
+        "ingest": asdict(ingest) if ingest is not None else None,
+        "locales": list(available_locales()),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def prep_cache_key(source_fingerprint: str, digest: str) -> str:
+    """Directory-name-safe key for one (source, prep config) pair."""
+    return f"{digest[:16]}_{source_fingerprint[:16]}"
+
+
+def shard_cache_path(cache_dir: str | os.PathLike, index: int) -> pathlib.Path:
+    """Path of one shard's gzip-JSONL cache file (shared convention
+    with :mod:`repro.core.sharded`)."""
+    return pathlib.Path(cache_dir) / f"shard_{index:04d}.jsonl.gz"
+
+
+def _sha256_file(path: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass
+class ShardPrep:
+    """One shard's cached prep output.
+
+    Attributes:
+        outcomes: the per-page outcome tuples ``_prep_shard`` returned
+            (``("row", …)`` / ``("q", …)`` / ``("k", …)``), in shard
+            page order — everything the parent's deterministic replay
+            needs.
+        warnings: the worker's counted degradations
+            (``parse_budget_soft``).
+        lines: raw cache-file lines (memory tier only; the disk tier
+            keeps the gzip file itself).
+    """
+
+    outcomes: list
+    warnings: dict[str, int]
+    lines: list[str] | None = None
+
+
+class MemoryPrepCache:
+    """Process-global bounded LRU of shard prep artifacts.
+
+    Entries are charged by cached line (= kept page) count; inserting
+    past ``max_pages`` evicts least-recently-used entries. Thread-safe
+    (runs may prep from worker threads in embedders/tests).
+    """
+
+    def __init__(self, max_pages: int = MEMORY_CACHE_MAX_PAGES):
+        self.max_pages = max_pages
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple[ShardPrep, int]] = {}
+        self._pages = 0
+
+    def get(self, key: tuple) -> ShardPrep | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            # Re-insert to mark most-recently-used.
+            del self._entries[key]
+            self._entries[key] = entry
+            return entry[0]
+
+    def put(self, key: tuple, prep: ShardPrep, cost: int) -> None:
+        with self._lock:
+            if cost > self.max_pages:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._pages -= old[1]
+            self._entries[key] = (prep, cost)
+            self._pages += cost
+            while self._pages > self.max_pages and self._entries:
+                oldest = next(iter(self._entries))
+                _, old_cost = self._entries.pop(oldest)
+                self._pages -= old_cost
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._pages = 0
+
+    @property
+    def pages(self) -> int:
+        with self._lock:
+            return self._pages
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_MEMORY_CACHE: MemoryPrepCache | None = None
+_MEMORY_CACHE_LOCK = threading.Lock()
+
+
+def memory_prep_cache() -> MemoryPrepCache:
+    """The process-global memory tier (created on first use)."""
+    global _MEMORY_CACHE
+    with _MEMORY_CACHE_LOCK:
+        if _MEMORY_CACHE is None:
+            _MEMORY_CACHE = MemoryPrepCache()
+        return _MEMORY_CACHE
+
+
+class DiskPrepCache:
+    """Checksummed on-disk prep artifacts under ``<root>/<key>/``.
+
+    The keyed directory doubles as the run's live shard-cache
+    directory: workers write ``shard_NNNN.jsonl.gz`` there as always,
+    and :meth:`store` seals each file with a ``shard_NNNN.meta.json``
+    sidecar (format version, outcomes, warnings, SHA-256 of the gzip
+    bytes). :meth:`load` returns the replay outcomes only when the
+    sidecar validates against the file on disk. Sibling keys under the
+    same root belong to older configs or other sources and are pruned
+    on construction, bounding disk growth at one prep set per root.
+    """
+
+    def __init__(self, root: str | os.PathLike, key: str):
+        self.root = pathlib.Path(root)
+        self.key = key
+        self.directory = self.root / key
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._prune()
+
+    def _prune(self) -> None:
+        for child in self.root.iterdir():
+            if (
+                child.is_dir()
+                and child.name != self.key
+                and not child.name.startswith(".")
+            ):
+                shutil.rmtree(child, ignore_errors=True)
+
+    def shard_path(self, index: int) -> pathlib.Path:
+        return shard_cache_path(self.directory, index)
+
+    def meta_path(self, index: int) -> pathlib.Path:
+        return self.directory / f"shard_{index:04d}.meta.json"
+
+    def load(self, index: int) -> ShardPrep | None:
+        """Validated prep artifact for one shard, or None to re-prep."""
+        meta_path = self.meta_path(index)
+        cache_file = self.shard_path(index)
+        if not meta_path.exists() or not cache_file.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            return None
+        if (
+            meta.get("format") != PREP_FORMAT_VERSION
+            or meta.get("shard") != index
+        ):
+            return None
+        if _sha256_file(cache_file) != meta.get("cache_sha256"):
+            return None
+        outcomes = [tuple(outcome) for outcome in meta["outcomes"]]
+        return ShardPrep(
+            outcomes=outcomes, warnings=dict(meta.get("warnings", {}))
+        )
+
+    def store(
+        self, index: int, outcomes: list, warnings: dict[str, int]
+    ) -> None:
+        """Seal the already-written shard cache file with its sidecar."""
+        cache_file = self.shard_path(index)
+        if not cache_file.exists():  # pragma: no cover - defensive
+            return
+        meta = {
+            "format": PREP_FORMAT_VERSION,
+            "shard": index,
+            "cache_sha256": _sha256_file(cache_file),
+            "outcomes": outcomes,
+            "warnings": warnings,
+        }
+        temp = self.directory / f".shard_{index:04d}.meta.json.tmp"
+        temp.write_text(
+            json.dumps(meta, ensure_ascii=False), encoding="utf-8"
+        )
+        os.replace(temp, self.meta_path(index))
+
+
+@dataclass
+class PrepStore:
+    """One run's handle on the prep cache: exactly one tier is active.
+
+    ``cache_dir`` is the run's live shard-cache directory. With a disk
+    tier that *is* the keyed artifact directory, so hits need no file
+    copy; with the memory tier, hits rewrite the cached lines into the
+    (temporary) cache dir so downstream shard iteration is unchanged.
+    """
+
+    cache_dir: str
+    source_fingerprint: str
+    digest: str
+    disk: DiskPrepCache | None = None
+    memory: MemoryPrepCache | None = None
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+
+    def _memory_key(self, index: int) -> tuple:
+        return (self.source_fingerprint, self.digest, index)
+
+    def load(self, index: int) -> tuple[list, dict[str, int]] | None:
+        """Cached (outcomes, warnings) for a shard, with the cache file
+        guaranteed present in ``cache_dir``; None on a miss."""
+        if self.disk is not None:
+            prep = self.disk.load(index)
+            if prep is not None:
+                self.hits += 1
+                return prep.outcomes, prep.warnings
+        elif self.memory is not None:
+            prep = self.memory.get(self._memory_key(index))
+            if prep is not None and prep.lines is not None:
+                final = shard_cache_path(self.cache_dir, index)
+                temp = final.parent / f".{final.name}.tmp"
+                with gzip.open(
+                    temp, "wt", encoding="utf-8", compresslevel=1
+                ) as handle:
+                    handle.writelines(prep.lines)
+                os.replace(temp, final)
+                self.hits += 1
+                return prep.outcomes, prep.warnings
+        self.misses += 1
+        return None
+
+    def store(
+        self, index: int, outcomes: list, warnings: dict[str, int]
+    ) -> None:
+        """Record a freshly-prepped shard (cache file already written)."""
+        if self.disk is not None:
+            self.disk.store(index, outcomes, warnings)
+        elif self.memory is not None:
+            path = shard_cache_path(self.cache_dir, index)
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    lines = handle.readlines()
+            except OSError:  # pragma: no cover - defensive
+                return
+            self.memory.put(
+                self._memory_key(index),
+                ShardPrep(
+                    outcomes=outcomes, warnings=warnings, lines=lines
+                ),
+                cost=len(lines),
+            )

@@ -293,7 +293,12 @@ class CheckpointStore:
 
         Any snapshot from a previous run in this directory is deleted —
         a fresh run must never splice in old iterations — and a new
-        ``meta.json`` records the run identity.
+        ``meta.json`` records the run identity. Only snapshot files are
+        wiped: the ``prep_cache/`` subdirectory (streamed shard-prep
+        artifacts, :mod:`repro.perf.prep_cache`) is deliberately
+        retained, so a restarted run skips ``shard_prep`` — its
+        artifacts are keyed by source fingerprint and config digest and
+        self-invalidate when either changes.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         for path in self._snapshot_paths():

@@ -289,6 +289,113 @@ class FaultPlan:
             self.injected[("corpus", "pages")] = len(victims)
         return pages
 
+    def has_page_faults(self) -> bool:
+        """Whether any spec corrupts corpus pages before tokenization.
+
+        The streamed bootstrap uses this to decide two things: whether
+        shard workers must run the corruption hook, and whether the
+        prep cache must be bypassed (corrupted prep must never be
+        recorded as clean, nor be masked by a clean cached artifact).
+        """
+        return any(
+            spec.stage == "corpus"
+            and spec.kind in ("corrupt_pages", "dirt")
+            for spec in self.specs
+        )
+
+    def corrupt_shard_pages(
+        self, pages: Sequence[ProductPage], shard_index: int
+    ) -> tuple[list[ProductPage], dict[tuple[str, str], int], int]:
+        """Shard-local page corruption for streamed prep workers.
+
+        Workers hold pickled plan *copies*, and one worker may process
+        many shards, so the shared RNG / ``times`` bookkeeping of
+        :meth:`corrupt_pages` cannot coordinate decisions across
+        processes. Instead every decision flows from a derived RNG
+        seeded by ``(plan seed, shard index)``: deterministic for any
+        worker count and chunking, at the cost of a corruption pattern
+        that differs from (but is statistically equivalent to) the
+        monolithic one and is evaluated once per shard — ``times`` is
+        interpreted per shard, not globally.
+
+        Returns ``(pages, injected, corrupted)``: the (possibly grown)
+        page list, the per-spec injection counts in
+        :attr:`injected`-key form, and the number of pages whose html
+        changed or were added — the caller (the parent process) folds
+        both back via :meth:`absorb_injected` and the
+        ``pages_corrupted`` trace counter.
+        """
+        pages = list(pages)
+        originals = list(pages)
+        injected: dict[tuple[str, str], int] = {}
+        victims: set[int] = set()
+        rng = random.Random(repr((self.seed, "shard_prep", shard_index)))
+        for spec in self.specs:
+            if spec.stage != "corpus":
+                continue
+            if spec.kind == "dirt":
+                if (
+                    spec.probability < 1.0
+                    and rng.random() >= spec.probability
+                ):
+                    continue
+                from ..corpus.dirt import DIRT_KINDS, dirty_pages
+
+                pages, report = dirty_pages(
+                    pages,
+                    rate=spec.corrupt_fraction,
+                    seed=rng.randrange(2**32),
+                    kinds=spec.dirt_kinds or DIRT_KINDS,
+                )
+                if report.total:
+                    key = ("corpus", "dirt_pages")
+                    injected[key] = injected.get(key, 0) + report.total
+                continue
+            if spec.kind != "corrupt_pages":
+                continue
+            if spec.probability < 1.0 and rng.random() >= spec.probability:
+                continue
+            count = round(len(pages) * spec.corrupt_fraction)
+            if count <= 0:
+                continue
+            victims.update(
+                rng.sample(range(len(pages)), min(count, len(pages)))
+            )
+        for index in sorted(victims):
+            page = pages[index]
+            pages[index] = ProductPage(
+                product_id=page.product_id,
+                category=page.category,
+                html=page.html[: len(page.html) // 3] + _GARBAGE,
+                locale=page.locale,
+            )
+        if victims:
+            key = ("corpus", "pages")
+            injected[key] = injected.get(key, 0) + len(victims)
+        corrupted = sum(
+            1
+            for before, after in zip(originals, pages)
+            if before.html != after.html
+        )
+        corrupted += max(len(pages) - len(originals), 0)
+        return pages, injected, corrupted
+
+    def absorb_injected(
+        self, counts: dict[tuple[str, str], int]
+    ) -> None:
+        """Fold injection counts from a worker's plan copy into this one.
+
+        Worker processes mutate pickled copies; their tallies die with
+        the process unless the parent absorbs them, so chaos tests can
+        keep asserting against the one plan they constructed.
+        """
+        if not counts:
+            return
+        with self._lock:
+            for key, value in counts.items():
+                key = tuple(key)
+                self.injected[key] = self.injected.get(key, 0) + value
+
     @property
     def total_injected(self) -> int:
         """Total faults injected so far, across all specs."""

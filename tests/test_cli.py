@@ -174,12 +174,14 @@ def test_run_command_stream_rejects_sweeps(capsys):
     assert "one category at a time" in capsys.readouterr().err
 
 
-def test_run_command_stream_rejects_dirt(capsys):
+def test_run_command_stream_accepts_dirt(capsys):
     code = main(
         [
             "run", "--category", "tennis", "--products", "10",
             "--stream", "--dirt-rate", "0.2",
         ]
     )
-    assert code == 1
-    assert "materialized corpus" in capsys.readouterr().err
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "streamed" in out
+    assert "containment:" in out

@@ -43,3 +43,61 @@ def test_offsets_substring_property(text):
 
 def test_empty_text(ja):
     assert ja.tokenizer.tokenize_with_offsets("") == []
+
+
+def test_ja_decimal_split_offsets(ja):
+    """Paper footnote 3: ja lexes ``1.5`` as three tokens — and the
+    offsets must cover each character exactly."""
+    assert ja.tokenizer.tokenize_with_offsets("1.5") == [
+        ("1", 0, 1),
+        (".", 1, 2),
+        ("5", 2, 3),
+    ]
+
+
+def test_de_decimal_stays_one_token_with_span(de):
+    assert de.tokenizer.tokenize_with_offsets("1,5 kg") == [
+        ("1,5", 0, 3),
+        ("kg", 4, 6),
+    ]
+
+
+def test_register_locale_roundtrip():
+    """A registered custom bundle is retrievable, listed, and offset-
+    tokenizes through the same plumbing as the built-ins."""
+    import re
+
+    from repro.nlp import available_locales, register_locale
+    from repro.nlp.pos import PosTagger
+    from repro.nlp.tokenizer import _REGISTRY, LocaleNlp, Tokenizer
+
+    bundle = LocaleNlp(
+        locale="zz",
+        tokenizer=Tokenizer(re.compile(r"[a-z]+|[0-9]+|\S"), "zz-test"),
+        pos_tagger=PosTagger(
+            units=frozenset({"kg"}),
+            function_words=frozenset(),
+            single_token_decimals=True,
+        ),
+        sentence_terminators=frozenset({"."}),
+    )
+    assert "zz" not in available_locales()
+    register_locale(bundle)
+    try:
+        assert "zz" in available_locales()
+        assert get_locale("zz") is bundle
+        spans = bundle.tokenizer.tokenize_with_offsets("ab 12kg")
+        assert spans == [("ab", 0, 2), ("12", 3, 5), ("kg", 5, 7)]
+        tokens = get_locale("zz").tokens("ab 12 kg")
+        assert [token.text for token in tokens] == ["ab", "12", "kg"]
+    finally:
+        # prep_digest keys on available_locales(); never leak the test
+        # locale into other tests' cache keys.
+        _REGISTRY.pop("zz", None)
+    assert "zz" not in available_locales()
+
+
+def test_tokens_memo_returns_shared_tuple(ja):
+    first = ja.tokens("juryo wa 2.5 kg desu")
+    second = ja.tokens("juryo wa 2.5 kg desu")
+    assert first is second  # memoized, not recomputed

@@ -1,0 +1,298 @@
+"""Cross-run shard-prep artifact cache (:mod:`repro.perf.prep_cache`).
+
+The contract under test: cached streamed runs are bit-identical to
+uncached ones (cache on, off, warm, tampered, bypassed), the disk tier
+self-validates via its checksummed sidecars, and page-corrupting fault
+plans never touch the cache in either direction.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro import PAEPipeline, PipelineConfig
+from repro.config import IngestConfig
+from repro.corpus import Marketplace, MaterializedPageSource
+from repro.perf.prep_cache import (
+    PREP_FORMAT_VERSION,
+    DiskPrepCache,
+    MemoryPrepCache,
+    ShardPrep,
+    memory_prep_cache,
+    prep_cache_key,
+    prep_digest,
+)
+from repro.runtime import FaultPlan, FaultSpec, PipelineTrace
+
+pytestmark = pytest.mark.usefixtures("watchdog")
+
+CONFIG = PipelineConfig(iterations=1)
+
+
+@pytest.fixture(scope="module")
+def vacuum():
+    return Marketplace(seed=7).generate("vacuum_cleaner", 40)
+
+
+def _source(vacuum, shard_size=10):
+    return MaterializedPageSource(
+        vacuum.product_pages, shard_size=shard_size
+    )
+
+
+def _assert_same_output(left, right):
+    assert left.triples == right.triples
+    assert left.seed_triples == right.seed_triples
+    assert left.attributes == right.attributes
+    if left.quarantine is not None or right.quarantine is not None:
+        assert (
+            left.quarantine.to_payload() == right.quarantine.to_payload()
+        )
+
+
+# -- key and digest ------------------------------------------------------
+
+
+def test_prep_digest_tracks_gate_config():
+    base = prep_digest(IngestConfig())
+    assert base == prep_digest(IngestConfig())
+    assert base != prep_digest(None)
+    assert base != prep_digest(IngestConfig(max_page_bytes=123))
+
+
+def test_prep_cache_key_shape():
+    digest = prep_digest(IngestConfig())
+    key = prep_cache_key("f" * 64, digest)
+    assert key == f"{digest[:16]}_{'f' * 16}"
+
+
+# -- memory tier ---------------------------------------------------------
+
+
+def _prep(pages=4):
+    return ShardPrep(outcomes=[], warnings={}, lines=["{}\n"] * pages)
+
+
+def test_memory_cache_evicts_least_recently_used():
+    cache = MemoryPrepCache(max_pages=10)
+    cache.put(("a",), _prep(), cost=4)
+    cache.put(("b",), _prep(), cost=4)
+    assert cache.get(("a",)) is not None  # refresh "a"
+    cache.put(("c",), _prep(), cost=4)  # over budget: evicts "b"
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) is not None
+    assert cache.get(("c",)) is not None
+    assert cache.pages == 8
+
+
+def test_memory_cache_rejects_oversized_entry():
+    cache = MemoryPrepCache(max_pages=5)
+    cache.put(("big",), _prep(6), cost=6)
+    assert len(cache) == 0
+    assert cache.get(("big",)) is None
+
+
+def test_memory_cache_replaces_existing_key():
+    cache = MemoryPrepCache(max_pages=10)
+    cache.put(("a",), _prep(), cost=4)
+    cache.put(("a",), _prep(), cost=6)
+    assert len(cache) == 1
+    assert cache.pages == 6
+
+
+# -- disk tier -----------------------------------------------------------
+
+
+def _write_shard(cache, index=0, line='{"pid": "p1"}\n'):
+    path = cache.shard_path(index)
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write(line)
+    return path
+
+
+def test_disk_cache_roundtrips_outcomes(tmp_path):
+    cache = DiskPrepCache(tmp_path, "key")
+    _write_shard(cache)
+    cache.store(
+        0, [["k", "p1", "ja", [], []]], {"parse_budget_soft": 1}
+    )
+    loaded = cache.load(0)
+    assert loaded is not None
+    assert loaded.outcomes == [("k", "p1", "ja", [], [])]
+    assert loaded.warnings == {"parse_budget_soft": 1}
+
+
+def test_disk_cache_checksum_mismatch_misses(tmp_path):
+    cache = DiskPrepCache(tmp_path, "key")
+    path = _write_shard(cache)
+    cache.store(0, [], {})
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write('{"pid": "tampered"}\n')
+    assert cache.load(0) is None
+
+
+def test_disk_cache_format_mismatch_misses(tmp_path):
+    cache = DiskPrepCache(tmp_path, "key")
+    _write_shard(cache)
+    cache.store(0, [], {})
+    meta_path = cache.meta_path(0)
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["format"] = PREP_FORMAT_VERSION + 1
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    assert cache.load(0) is None
+
+
+def test_disk_cache_missing_sidecar_misses(tmp_path):
+    cache = DiskPrepCache(tmp_path, "key")
+    _write_shard(cache)
+    assert cache.load(0) is None
+
+
+def test_disk_cache_prunes_sibling_keys(tmp_path):
+    stale = tmp_path / "stale_key"
+    stale.mkdir()
+    (stale / "shard_0000.jsonl.gz").write_bytes(b"x")
+    DiskPrepCache(tmp_path, "fresh_key")
+    assert not stale.exists()
+    assert (tmp_path / "fresh_key").is_dir()
+
+
+# -- streamed runs against the cache -------------------------------------
+
+
+def test_warm_run_hits_every_shard_and_matches_cold(vacuum, tmp_path):
+    source = _source(vacuum)
+    pipeline = PAEPipeline(CONFIG)
+    cold = pipeline.run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    assert cold.perf_counters()["prep_cache"] == {
+        "hits": 0, "misses": source.shard_count,
+    }
+    warm = pipeline.run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    assert warm.perf_counters()["prep_cache"] == {
+        "hits": source.shard_count, "misses": 0,
+    }
+    _assert_same_output(warm, cold)
+
+
+def test_cache_disabled_matches_cached_run(vacuum, tmp_path):
+    source = _source(vacuum)
+    cached = PAEPipeline(CONFIG).run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    uncached = PAEPipeline(
+        PipelineConfig(iterations=1, enable_prep_cache=False)
+    ).run_streamed(source, vacuum.query_log)
+    assert uncached.perf_counters()["prep_cache"] == {
+        "hits": 0, "misses": 0,
+    }
+    _assert_same_output(uncached, cached)
+
+
+def test_memory_tier_serves_repeat_run_in_process(vacuum):
+    memory_prep_cache().clear()
+    source = _source(vacuum)
+    pipeline = PAEPipeline(CONFIG)
+    first = pipeline.run_streamed(source, vacuum.query_log)
+    assert first.perf_counters()["prep_cache"] == {
+        "hits": 0, "misses": source.shard_count,
+    }
+    second = pipeline.run_streamed(source, vacuum.query_log)
+    assert second.perf_counters()["prep_cache"] == {
+        "hits": source.shard_count, "misses": 0,
+    }
+    _assert_same_output(second, first)
+
+
+def test_checkpoint_retains_prep_cache_across_restart(vacuum, tmp_path):
+    source = _source(vacuum)
+    pipeline = PAEPipeline(CONFIG)
+    first = pipeline.run_streamed(
+        source, vacuum.query_log, checkpoint_dir=str(tmp_path)
+    )
+    prep_root = tmp_path / "prep_cache"
+    assert list(prep_root.glob("*/shard_*.meta.json"))
+    # resume=False wipes the snapshots (CheckpointStore.begin) but the
+    # prep artifacts survive and serve the restarted run.
+    trace = PipelineTrace()
+    second = pipeline.run_streamed(
+        source,
+        vacuum.query_log,
+        checkpoint_dir=str(tmp_path),
+        resume=False,
+        trace=trace,
+    )
+    assert trace.counter_totals("prep_cache") == {
+        "hits": source.shard_count, "misses": 0,
+    }
+    _assert_same_output(second, first)
+
+
+def test_tampered_artifact_degrades_to_reprep(vacuum, tmp_path):
+    source = _source(vacuum)
+    pipeline = PAEPipeline(CONFIG)
+    first = pipeline.run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    [keyed] = [path for path in tmp_path.iterdir() if path.is_dir()]
+    (keyed / "shard_0001.jsonl.gz").write_bytes(b"not a gzip file")
+    again = pipeline.run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    assert again.perf_counters()["prep_cache"] == {
+        "hits": source.shard_count - 1, "misses": 1,
+    }
+    _assert_same_output(again, first)
+
+
+def test_config_change_invalidates_cache_key(vacuum, tmp_path):
+    source = _source(vacuum)
+    PAEPipeline(CONFIG).run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    changed = PipelineConfig(
+        iterations=1,
+        ingest=IngestConfig(max_page_bytes=500_000),
+    )
+    result = PAEPipeline(changed).run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    # New digest -> new keyed directory, all shards re-prepped (and the
+    # stale key pruned so the root holds one prep set).
+    assert result.perf_counters()["prep_cache"] == {
+        "hits": 0, "misses": source.shard_count,
+    }
+    assert len([p for p in tmp_path.iterdir() if p.is_dir()]) == 1
+
+
+def test_page_faults_bypass_cache_in_both_directions(vacuum, tmp_path):
+    source = _source(vacuum)
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                stage="corpus", kind="dirt", corrupt_fraction=0.2
+            )
+        ],
+        seed=3,
+    )
+    result = PAEPipeline(CONFIG).run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path), faults=plan
+    )
+    # Nothing recorded (no sidecars), nothing served (no counters).
+    assert result.perf_counters()["prep_cache"] == {
+        "hits": 0, "misses": 0,
+    }
+    assert not list(tmp_path.rglob("*.meta.json"))
+    assert plan.injected.get(("corpus", "dirt_pages"), 0) > 0
+    # And a later clean run must not be poisoned by the faulted one.
+    clean = PAEPipeline(CONFIG).run_streamed(
+        source, vacuum.query_log, cache_dir=str(tmp_path)
+    )
+    reference = PAEPipeline(
+        PipelineConfig(iterations=1, enable_prep_cache=False)
+    ).run_streamed(source, vacuum.query_log)
+    _assert_same_output(clean, reference)

@@ -30,13 +30,13 @@ pytestmark = pytest.mark.usefixtures("watchdog")
 def _slow_parse(monkeypatch, seconds):
     import repro.ingest.gate as gate_module
 
-    real_parse = gate_module.parse_html
+    real_parse = gate_module.parse_token_stream
 
-    def slow(html, **kwargs):
+    def slow(tokens, **kwargs):
         time.sleep(seconds)
-        return real_parse(html, **kwargs)
+        return real_parse(tokens, **kwargs)
 
-    monkeypatch.setattr(gate_module, "parse_html", slow)
+    monkeypatch.setattr(gate_module, "parse_token_stream", slow)
 
 
 def test_parse_budget_degrades_to_soft_check_off_main_thread(
