@@ -1,6 +1,6 @@
 # Convenience targets for the PAE reproduction.
 
-.PHONY: install test chaos dirty serve-chaos bench bench-fast bench-runner bench-pipeline bench-train bench-serve bench-scale verify examples clean
+.PHONY: install test chaos chaos-env dirty serve-chaos bench bench-fast bench-runner bench-pipeline bench-train bench-serve bench-scale verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,15 @@ dirty:
 # degradation ladder down and back up.
 serve-chaos:
 	PYTHONPATH=src pytest tests/test_serve_chaos.py -q
+
+# Environment-fault acceptance: SIGKILLed shard workers (detected,
+# respawned, requeued — output bit-identical), poisoned-shard
+# quarantine, ENOSPC during prep-cache/checkpoint writes (counted
+# degradation, never a crash), dueling runs on one cache directory,
+# and memory-pressure throttling. Seeded and sized for a 1-CPU box.
+chaos-env:
+	PYTHONPATH=src pytest tests/test_chaos_env.py tests/test_runtime_pool.py \
+		tests/test_runtime_storage.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -64,13 +73,14 @@ bench-serve:
 bench-scale:
 	PYTHONPATH=src python -m repro.perf.bench_scale --out BENCH_scale.json
 
-# Tier-1 suite plus the serve chaos acceptance, a one-pass
-# small-corpus bench smoke and the sharded-vs-monolithic bit-identity
-# gate (streamed runs with the prep cache cold, warm and disabled):
-# the quick pre-merge gate.
+# Tier-1 suite plus the serve chaos acceptance, the environment-fault
+# acceptance, a one-pass small-corpus bench smoke and the
+# sharded-vs-monolithic bit-identity gate (streamed runs with the prep
+# cache cold, warm and disabled): the quick pre-merge gate.
 verify:
 	PYTHONPATH=src pytest tests/ -x -q
 	$(MAKE) serve-chaos
+	$(MAKE) chaos-env
 	PYTHONPATH=src python -m repro.perf.bench --out /tmp/BENCH_smoke.json \
 		--products 40 --iterations 2 --repeats 1
 	PYTHONPATH=src python -m repro.perf.bench_scale --smoke

@@ -177,6 +177,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "to the process)",
     )
     run.add_argument(
+        "--memory-budget", type=int, default=None, metavar="MB",
+        help="soft RSS ceiling in MiB for --stream mode; crossing it "
+        "throttles shard fan-out and releases tokenizer memos "
+        "(output-identical; default: no governor)",
+    )
+    run.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="worker processes for the supervised shard pool in "
+        "--stream mode (output-identical for any N >= 1; default: "
+        "CPUs visible to the process; --shard-workers wins when both "
+        "are given)",
+    )
+    run.add_argument(
         "--no-prep-cache", action="store_true",
         help="disable the cross-run shard-prep artifact cache in "
         "--stream mode (output-identical either way; prep is "
@@ -215,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="default per-request deadline (default: 5.0)",
+    )
+    serve.add_argument(
+        "--memory-budget", type=int, default=None, metavar="MB",
+        help="soft RSS ceiling in MiB; under pressure admission "
+        "control halves its effective capacity until RSS recovers "
+        "(default: off)",
     )
     serve.add_argument(
         "--quarantine-log", metavar="PATH", default=None,
@@ -367,6 +386,8 @@ def _command_run(args: argparse.Namespace) -> int:
         enable_semantic_cleaning=not args.no_cleaning,
         enable_diversification=not args.no_diversification,
         enable_prep_cache=not args.no_prep_cache,
+        memory_budget_mb=args.memory_budget,
+        pool_workers=args.pool_workers,
         crf=crf,
         ingest=IngestConfig(**ingest_kwargs),
     )
@@ -556,6 +577,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         serve_kwargs["queue_capacity"] = args.queue_capacity
     if args.deadline is not None:
         serve_kwargs["deadline_seconds"] = args.deadline
+    if args.memory_budget is not None:
+        serve_kwargs["memory_budget_mb"] = args.memory_budget
     config = ServeConfig(**serve_kwargs)
 
     registry = ModelRegistry(

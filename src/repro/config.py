@@ -232,6 +232,10 @@ class ServeConfig:
     breaker_threshold: int = 3
     breaker_cooldown_seconds: float = 2.0
     drain_timeout_seconds: float = 10.0
+    #: Soft RSS ceiling in MiB for the serve process (None = off).
+    #: Under pressure admission control halves its effective capacity
+    #: (sheds with the same structured 429) until RSS recovers.
+    memory_budget_mb: int | None = None
     default_locale: str = "ja"
     ingest: IngestConfig = field(
         default_factory=lambda: IngestConfig(
@@ -260,6 +264,8 @@ class ServeConfig:
             raise ConfigError("breaker_cooldown_seconds must be >= 0")
         if self.drain_timeout_seconds < 0:
             raise ConfigError("drain_timeout_seconds must be >= 0")
+        if self.memory_budget_mb is not None and self.memory_budget_mb < 1:
+            raise ConfigError("memory_budget_mb must be >= 1 (or None)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -438,6 +444,16 @@ class PipelineConfig:
     #: replays the recorded per-page outcomes through the same
     #: deterministic merge; off only to measure the uncached baseline.
     enable_prep_cache: bool = True
+    #: Soft RSS ceiling in MiB for the sharded path (None = no
+    #: governor). Crossing it throttles shard fan-out and tag batches
+    #: and releases tokenizer memos — counted backpressure, never an
+    #: abort. Output-invisible: throttles change scheduling, not
+    #: results.
+    memory_budget_mb: int | None = None
+    #: Worker processes for the supervised shard pool (None = derive
+    #: from visible CPUs). Explicit ``shard_workers`` on
+    #: :class:`~repro.core.sharded.ShardedBootstrapper` wins over this.
+    pool_workers: int | None = None
     seed_config: SeedConfig = field(default_factory=SeedConfig)
     veto: VetoConfig = field(default_factory=VetoConfig)
     semantic: SemanticConfig = field(default_factory=SemanticConfig)
@@ -468,6 +484,10 @@ class PipelineConfig:
             raise ConfigError(
                 "max_labeled_sentences must be >= 1 (or None)"
             )
+        if self.memory_budget_mb is not None and self.memory_budget_mb < 1:
+            raise ConfigError("memory_budget_mb must be >= 1 (or None)")
+        if self.pool_workers is not None and self.pool_workers < 1:
+            raise ConfigError("pool_workers must be >= 1 (or None)")
 
     def without_cleaning(self) -> "PipelineConfig":
         """A copy with both cleaning stages disabled."""

@@ -244,6 +244,11 @@ class Bootstrapper:
             if attribute_subset is not None
             else None
         )
+        # Flipped when checkpoint writes hit a classified environment
+        # failure (disk full, I/O error) past the retry budget: the
+        # run completes checkpoint-less instead of crashing.
+        self._checkpoint_disabled = False
+        self._checkpoint_warning: str | None = None
 
     def run(
         self,
@@ -349,9 +354,15 @@ class Bootstrapper:
         warm_models: list["Word2Vec | None"] = [None]
         start_iteration = 1
         if checkpoint is not None:
-            restored = self._open_checkpoint(
-                checkpoint, resume, pages, seed_triples, attributes
-            )
+            from ..errors import StorageError
+
+            restored = None
+            try:
+                restored = self._open_checkpoint(
+                    checkpoint, resume, pages, seed_triples, attributes
+                )
+            except StorageError as error:
+                self._disable_checkpoint(trace, error)
             if restored is not None:
                 iterations = list(restored.results)
                 dataset = restored.dataset
@@ -361,13 +372,16 @@ class Bootstrapper:
                     "checkpoint_resume",
                     iterations=restored.completed_iterations,
                 )
-            if ingest_result is not None:
+            if ingest_result is not None and not self._checkpoint_disabled:
                 # The gate is deterministic, so a resumed run must
                 # reproduce the stored ledger bit-for-bit; divergence
                 # raises instead of splicing two different corpora.
-                checkpoint.record_quarantine(
-                    ingest_result.quarantine.to_payload()
-                )
+                try:
+                    checkpoint.record_quarantine(
+                        ingest_result.quarantine.to_payload()
+                    )
+                except StorageError as error:
+                    self._disable_checkpoint(trace, error)
         halted_reason: str | None = None
         halted_at: int | None = None
         for iteration in range(start_iteration, self.config.iterations + 1):
@@ -625,9 +639,48 @@ class Bootstrapper:
         stage.add(dataset_sentences=len(dataset))
         return dataset
 
+    #: Attempts a snapshot write gets before checkpointing is disabled
+    #: for the rest of the run.
+    _SNAPSHOT_ATTEMPTS = 3
+
     def _snapshot(self, stage, checkpoint, result, dataset) -> None:
-        checkpoint.write_iteration(result, dataset)
-        stage.add(iterations=1)
+        """Write one iteration snapshot; degrade on storage failure.
+
+        Classified environment failures (:class:`~repro.errors.
+        StorageError`: disk full, I/O error) are retried with the
+        deterministic job backoff; past the budget the run drops to
+        checkpoint-less with a counted ``checkpoint_disabled`` warning
+        — losing resumability must never lose the run itself.
+        """
+        if self._checkpoint_disabled:
+            stage.add(skipped=1)
+            return
+        import time as _time
+
+        from ..errors import StorageError
+        from ..runtime.jobs import retry_backoff
+
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                checkpoint.write_iteration(result, dataset)
+                stage.add(iterations=1)
+                return
+            except StorageError as error:
+                if attempt < self._SNAPSHOT_ATTEMPTS:
+                    _time.sleep(retry_backoff("checkpoint_write", attempt))
+                    continue
+                self._checkpoint_disabled = True
+                self._checkpoint_warning = str(error)
+                stage.add(checkpoint_disabled=1, write_failures=attempt)
+                return
+
+    def _disable_checkpoint(self, trace: PipelineTrace, error) -> None:
+        """Degrade to checkpoint-less after a storage failure."""
+        self._checkpoint_disabled = True
+        self._checkpoint_warning = str(error)
+        trace.count("checkpoint_disabled", failures=1)
 
     # -- internals -----------------------------------------------------------
 

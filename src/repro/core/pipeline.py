@@ -14,6 +14,7 @@ True
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -84,10 +85,16 @@ class PipelineResult:
         ``"pages_corrupted"`` (pages mangled by a fault plan),
         ``"quarantined"`` (ingest-gate rejections per check),
         ``"repaired"`` (ingest-gate normalizations per check),
-        ``"circuit_breaker"`` (iteration-health trips per reason) and
+        ``"circuit_breaker"`` (iteration-health trips per reason),
         ``"trainer_warnings"`` (non-fatal tagger-training degradations
         per kind, e.g. an L-BFGS line-search abort that kept
-        best-so-far weights). All empty/zero for an untroubled run.
+        best-so-far weights), plus the environment-fault tallies:
+        ``"pool"`` (worker deaths/respawns/requeues/poisoned shards
+        from the supervised shard pool), ``"memory_pressure"``
+        (governor samples/events), ``"checkpoint_disabled"`` and
+        ``"prep_cache_disabled"`` (storage-degradation trip counts)
+        and ``"prep_cache_contended"`` (runs that fell back to a
+        private scratch cache). All empty/zero for an untroubled run.
         """
         if self.trace is None:
             return {
@@ -100,6 +107,11 @@ class PipelineResult:
                 "circuit_breaker": {},
                 "trainer_warnings": {},
                 "peak_rss_bytes": 0,
+                "pool": {},
+                "memory_pressure": {},
+                "checkpoint_disabled": 0,
+                "prep_cache_disabled": 0,
+                "prep_cache_contended": 0,
             }
         return {
             "faults": self.trace.counter_totals("fault_injected"),
@@ -119,6 +131,19 @@ class PipelineResult:
             "peak_rss_bytes": self.trace.counter_totals(
                 "peak_rss"
             ).get("bytes", 0),
+            "pool": self.trace.counter_totals("pool_supervision"),
+            "memory_pressure": self.trace.counter_totals(
+                "memory_pressure"
+            ),
+            "checkpoint_disabled": self.trace.counter_totals(
+                "checkpoint_disabled"
+            ).get("failures", 0),
+            "prep_cache_disabled": self.trace.counter_totals(
+                "prep_cache_disabled"
+            ).get("failures", 0),
+            "prep_cache_contended": self.trace.counter_totals(
+                "prep_cache_contended"
+            ).get("runs", 0),
         }
 
     def slim(self) -> "PipelineResult":
@@ -164,6 +189,24 @@ class PipelineResult:
             },
             "stage_seconds": self.trace.stage_totals(),
         }
+
+
+@contextlib.contextmanager
+def _checkpoint_lock(checkpoint):
+    """Hold the checkpoint run lock for the duration of a run.
+
+    Two runs pointed at one checkpoint directory would interleave
+    snapshot writes; the advisory lock makes the second run queue
+    behind the first instead (see ``CheckpointStore.hold_lock``).
+    """
+    if checkpoint is None:
+        yield
+        return
+    lock = checkpoint.hold_lock()
+    try:
+        yield
+    finally:
+        lock.release()
 
 
 class PAEPipeline:
@@ -233,16 +276,17 @@ class PAEPipeline:
         if checkpoint_dir is not None:
             from ..runtime.checkpoint import CheckpointStore
 
-            checkpoint = CheckpointStore(checkpoint_dir)
+            checkpoint = CheckpointStore(checkpoint_dir, faults=faults)
         bootstrapper = Bootstrapper(self.config, self.attribute_subset)
-        bootstrap = bootstrapper.run(
-            pages,
-            query_log,
-            trace=trace,
-            checkpoint=checkpoint,
-            resume=resume,
-            faults=faults,
-        )
+        with _checkpoint_lock(checkpoint):
+            bootstrap = bootstrapper.run(
+                pages,
+                query_log,
+                trace=trace,
+                checkpoint=checkpoint,
+                resume=resume,
+                faults=faults,
+            )
         return PipelineResult(
             bootstrap=bootstrap,
             product_count=len(pages),
@@ -302,7 +346,7 @@ class PAEPipeline:
         if checkpoint_dir is not None:
             from ..runtime.checkpoint import CheckpointStore
 
-            checkpoint = CheckpointStore(checkpoint_dir)
+            checkpoint = CheckpointStore(checkpoint_dir, faults=faults)
         from .sharded import ShardedBootstrapper
 
         bootstrapper = ShardedBootstrapper(
@@ -310,15 +354,16 @@ class PAEPipeline:
             self.attribute_subset,
             shard_workers=shard_workers,
         )
-        bootstrap = bootstrapper.run_source(
-            source,
-            query_log,
-            trace=trace,
-            checkpoint=checkpoint,
-            resume=resume,
-            faults=faults,
-            cache_dir=cache_dir,
-        )
+        with _checkpoint_lock(checkpoint):
+            bootstrap = bootstrapper.run_source(
+                source,
+                query_log,
+                trace=trace,
+                checkpoint=checkpoint,
+                resume=resume,
+                faults=faults,
+                cache_dir=cache_dir,
+            )
         return PipelineResult(
             bootstrap=bootstrap,
             product_count=source.page_count,

@@ -64,7 +64,6 @@ Known (documented) divergences from the monolithic path:
 
 from __future__ import annotations
 
-import functools
 import gzip
 import json
 import os
@@ -75,7 +74,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..config import IngestConfig
-from ..errors import PageQuarantinedError
+from ..errors import PageQuarantinedError, PoisonedShardError, StorageError
 from ..ingest import IngestGate, Quarantine, QuarantineEntry
 from ..perf.cache import FeatureCache
 from ..perf.prep_cache import (
@@ -85,6 +84,7 @@ from ..perf.prep_cache import (
     prep_cache_key,
     prep_digest,
 )
+from ..runtime.memory import MemoryGovernor
 from ..runtime.trace import PipelineTrace
 from ..types import ProductPage, Sentence, TaggedSentence, Token, Triple
 from .bootstrap import (
@@ -110,6 +110,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..embeddings import Word2Vec
     from ..runtime.checkpoint import CheckpointStore
     from ..runtime.faults import FaultPlan
+    from ..runtime.pool import ShardFailure, ShardWorkerPool
 
 
 # -- shard cache files ---------------------------------------------------
@@ -361,9 +362,15 @@ def _tag_shard(context: _TagContext, index: int):
         tagged = model.tag(sentences)
     spans = _span_bearing(tagged)
     if store is not None:
-        store.write_shard_tags(
-            context.iteration, index, spans, len(sentences)
-        )
+        try:
+            store.write_shard_tags(
+                context.iteration, index, spans, len(sentences)
+            )
+        except (StorageError, OSError):
+            # The shard snapshot is a resume optimization; on a full
+            # or dying disk the tagged spans still flow back to the
+            # parent — never fail the shard over it.
+            pass
     return index, spans, len(sentences)
 
 
@@ -382,6 +389,10 @@ class _PrepSummary:
     locale: str | None
     soft_budget_trips: int
     row_errors: int
+    #: Shards that exhausted their pool retry budget during prep and
+    #: were quarantined as ``check="poisoned_shard"``; every later
+    #: stage (material, corpus, tagging) skips them.
+    poisoned: frozenset[int] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -436,9 +447,11 @@ class ShardedBootstrapper(Bootstrapper):
     def _workers(self, count: int) -> int:
         from ..runtime.runner import default_workers
 
-        if self.shard_workers is None:
-            return default_workers(count)
-        return max(1, self.shard_workers)
+        if self.shard_workers is not None:
+            return max(1, self.shard_workers)
+        if self.config.pool_workers is not None:
+            return max(1, self.config.pool_workers)
+        return default_workers(count)
 
     def run_source(
         self,
@@ -478,6 +491,17 @@ class ShardedBootstrapper(Bootstrapper):
                 memory tier) without one.
         """
         trace = trace if trace is not None else PipelineTrace()
+        self._checkpoint_disabled = False
+        self._checkpoint_warning = None
+        if checkpoint is not None and checkpoint.faults is None:
+            checkpoint.faults = faults
+        governor: MemoryGovernor | None = None
+        if self.config.memory_budget_mb is not None or (
+            faults is not None and faults.has_memory_faults()
+        ):
+            governor = MemoryGovernor(
+                self.config.memory_budget_mb, faults=faults
+            )
         # Page-corrupting fault plans poison prep output: never record
         # it as clean, never mask it with a clean artifact.
         use_cache = self.config.enable_prep_cache and not (
@@ -490,6 +514,7 @@ class ShardedBootstrapper(Bootstrapper):
         prep_store: PrepStore | None = None
         owned_tmp: tempfile.TemporaryDirectory | None = None
         persistent_root: pathlib.Path | None = None
+        disk: DiskPrepCache | None = None
         if cache_dir is not None:
             persistent_root = pathlib.Path(cache_dir)
         elif checkpoint is not None:
@@ -501,14 +526,28 @@ class ShardedBootstrapper(Bootstrapper):
         if persistent_root is not None:
             persistent_root.mkdir(parents=True, exist_ok=True)
             if use_cache:
-                disk = DiskPrepCache(persistent_root, key)
-                cache = disk.directory
-                prep_store = PrepStore(
-                    cache_dir=str(cache),
-                    source_fingerprint=source.fingerprint(),
-                    digest=digest,
-                    disk=disk,
-                )
+                disk = DiskPrepCache(persistent_root, key, faults=faults)
+                if disk.contended:
+                    # Another live run holds this cache directory's
+                    # advisory lock. Sharing the keyed subdirectory
+                    # would race its prune/seal cycle, so degrade to a
+                    # private scratch directory: correct output, no
+                    # cross-run artifact reuse this run.
+                    disk.close()
+                    disk = None
+                    trace.count("prep_cache_contended", runs=1)
+                    owned_tmp = tempfile.TemporaryDirectory(
+                        prefix="repro_shard_scratch_"
+                    )
+                    cache = pathlib.Path(owned_tmp.name)
+                else:
+                    cache = disk.directory
+                    prep_store = PrepStore(
+                        cache_dir=str(cache),
+                        source_fingerprint=source.fingerprint(),
+                        digest=digest,
+                        disk=disk,
+                    )
             else:
                 cache = persistent_root
         else:
@@ -523,6 +562,9 @@ class ShardedBootstrapper(Bootstrapper):
                     digest=digest,
                     memory=memory_prep_cache(),
                 )
+        from ..runtime.pool import ShardWorkerPool
+
+        pool = ShardWorkerPool(self._workers(source.shard_count))
         try:
             return self._run_source(
                 source,
@@ -533,8 +575,13 @@ class ShardedBootstrapper(Bootstrapper):
                 resume,
                 faults,
                 prep_store,
+                pool=pool,
+                governor=governor,
             )
         finally:
+            pool.close()
+            if disk is not None:
+                disk.close()
             if owned_tmp is not None:
                 owned_tmp.cleanup()
             elif cache_dir is None and not use_cache:
@@ -554,11 +601,15 @@ class ShardedBootstrapper(Bootstrapper):
         resume: bool,
         faults: "FaultPlan | None",
         prep_store: PrepStore | None = None,
+        *,
+        pool: "ShardWorkerPool",
+        governor: "MemoryGovernor | None" = None,
     ) -> BootstrapResult:
         prep = self._stage(
             trace, faults, "shard_prep", None,
             lambda stage: self._prep(
-                stage, source, cache, trace, faults, prep_store
+                stage, source, cache, trace, faults, prep_store,
+                pool=pool, governor=governor,
             ),
         )
         stub_pages = (
@@ -601,9 +652,13 @@ class ShardedBootstrapper(Bootstrapper):
         warm_models: list["Word2Vec | None"] = [None]
         start_iteration = 1
         if checkpoint is not None:
-            restored = self._open_source_checkpoint(
-                checkpoint, resume, source, seed_triples, attributes
-            )
+            try:
+                restored = self._open_source_checkpoint(
+                    checkpoint, resume, source, seed_triples, attributes
+                )
+            except StorageError as error:
+                self._disable_checkpoint(trace, error)
+                restored = None
             if restored is not None:
                 iterations = list(restored.results)
                 dataset = restored.dataset
@@ -613,10 +668,13 @@ class ShardedBootstrapper(Bootstrapper):
                     "checkpoint_resume",
                     iterations=restored.completed_iterations,
                 )
-            if self.config.ingest.enabled:
-                checkpoint.record_quarantine(
-                    prep.quarantine.to_payload()
-                )
+            if self.config.ingest.enabled and not self._checkpoint_disabled:
+                try:
+                    checkpoint.record_quarantine(
+                        prep.quarantine.to_payload()
+                    )
+                except StorageError as error:
+                    self._disable_checkpoint(trace, error)
         halted_reason: str | None = None
         halted_at: int | None = None
         for iteration in range(
@@ -635,6 +693,8 @@ class ShardedBootstrapper(Bootstrapper):
                 feature_cache=feature_cache,
                 warm_models=warm_models,
                 checkpoint=checkpoint,
+                pool=pool,
+                governor=governor,
             )
             halted_reason = self._health_trip(result, artifacts, iterations)
             if halted_reason is not None:
@@ -655,14 +715,17 @@ class ShardedBootstrapper(Bootstrapper):
                         stage, checkpoint, result, dataset
                     ),
                 )
-                # The iteration snapshot supersedes its shard files.
-                checkpoint.clear_shard_tags(iteration)
+                if not self._checkpoint_disabled:
+                    # The iteration snapshot supersedes its shard files.
+                    checkpoint.clear_shard_tags(iteration)
         if isinstance(feature_cache, FeatureCache):
             trace.count(
                 "feature_cache",
                 hits=feature_cache.hits,
                 misses=feature_cache.misses,
             )
+        if governor is not None and governor.samples:
+            trace.count("memory_pressure", **governor.counters())
         self._record_peak_rss(trace)
         return BootstrapResult(
             seed=seed,
@@ -689,6 +752,9 @@ class ShardedBootstrapper(Bootstrapper):
         trace: PipelineTrace,
         faults: "FaultPlan | None" = None,
         prep_store: PrepStore | None = None,
+        *,
+        pool: "ShardWorkerPool",
+        governor: "MemoryGovernor | None" = None,
     ) -> _PrepSummary:
         """Fan prep out per shard, then replay outcomes sequentially.
 
@@ -710,8 +776,6 @@ class ShardedBootstrapper(Bootstrapper):
             cache_dir=cache,
             faults=faults if page_faults else None,
         )
-        from ..runtime.runner import parallel_map
-
         indices = list(range(source.shard_count))
         shard_results: dict[int, tuple[list, dict]] = {}
         pending: list[int] = []
@@ -722,14 +786,26 @@ class ShardedBootstrapper(Bootstrapper):
                     shard_results[index] = loaded
                     continue
             pending.append(index)
+        dedup = self.config.ingest.enabled
+        strict = dedup and self.config.ingest.policy == "strict"
         corrupted_pages = 0
+        poisoned_failures: dict[int, "ShardFailure"] = {}
         if pending:
-            results = parallel_map(
-                functools.partial(_prep_shard, context),
+            max_workers = None
+            if governor is not None and governor.under_pressure():
+                max_workers = governor.throttle_workers(
+                    self._workers(len(pending))
+                )
+                governor.relieve()
+            results, failures, report = pool.run(
+                _prep_shard,
+                context,
                 pending,
-                workers=self._workers(len(pending)),
+                stage="shard_prep",
+                faults=faults,
+                max_workers=max_workers,
             )
-            for index, outcomes, warnings, fault_counts in results:
+            for index, outcomes, warnings, fault_counts in results.values():
                 shard_results[index] = (outcomes, warnings)
                 if prep_store is not None:
                     prep_store.store(index, outcomes, warnings)
@@ -737,10 +813,25 @@ class ShardedBootstrapper(Bootstrapper):
                     injected, corrupted = fault_counts
                     faults.absorb_injected(injected)
                     corrupted_pages += corrupted
+            poisoned_failures = dict(failures)
+            for index, failure in poisoned_failures.items():
+                if strict:
+                    raise PoisonedShardError(
+                        "shard_prep", index, failure.attempts, failure.detail
+                    )
+                # A killed attempt may have sealed the atomic cache
+                # write before dying; remove the artifact so material/
+                # corpus streaming and tagging all see the same hole.
+                cache_file = _cache_path(cache, index)
+                cache_file.unlink(missing_ok=True)
+                cache_file.with_name(
+                    f"shard_{index:04d}.meta.json"
+                ).unlink(missing_ok=True)
+            counts = report.as_counts()
+            if any(counts.values()):
+                trace.count("pool_supervision", **counts)
         if corrupted_pages:
             trace.count("pages_corrupted", pages=corrupted_pages)
-        dedup = self.config.ingest.enabled
-        strict = dedup and self.config.ingest.policy == "strict"
         seen: set[str] = set()
         ledger = Quarantine()
         repaired: dict[str, int] = {}
@@ -751,6 +842,21 @@ class ShardedBootstrapper(Bootstrapper):
         soft_trips = 0
         row_errors = 0
         for index in indices:
+            if index in poisoned_failures:
+                failure = poisoned_failures[index]
+                ledger.add(
+                    QuarantineEntry(
+                        page_id=f"shard-{index:04d}",
+                        check="poisoned_shard",
+                        error=failure.reason,
+                        detail=(
+                            f"prep shard {index} failed "
+                            f"{failure.attempts} attempts: {failure.detail}"
+                        ),
+                        source="pool",
+                    )
+                )
+                continue
             outcomes, warnings = shard_results[index]
             soft_trips += warnings.get("parse_budget_soft", 0)
             shard_drops: set[str] = set()
@@ -812,6 +918,11 @@ class ShardedBootstrapper(Bootstrapper):
                 hits=prep_store.hits,
                 misses=prep_store.misses,
             )
+            if prep_store.disabled:
+                trace.count(
+                    "prep_cache_disabled",
+                    failures=prep_store.write_failures,
+                )
         stage.add(
             pages_in=source.page_count,
             pages_kept=kept,
@@ -832,6 +943,7 @@ class ShardedBootstrapper(Bootstrapper):
             locale=locale,
             soft_budget_trips=soft_trips,
             row_errors=row_errors,
+            poisoned=frozenset(poisoned_failures),
         )
 
     # -- streamed material + corpus -------------------------------------
@@ -862,6 +974,8 @@ class ShardedBootstrapper(Bootstrapper):
         unlabeled_pages = 0
         text_triples: set[Triple] = set()
         for index in range(shard_count):
+            if index in prep.poisoned:
+                continue
             for record in _iter_cache(
                 cache, index, prep.dropped.get(index, frozenset())
             ):
@@ -903,6 +1017,8 @@ class ShardedBootstrapper(Bootstrapper):
         """
         corpus: list[list[str]] = []
         for index in range(shard_count):
+            if index in prep.poisoned:
+                continue
             for record in _iter_cache(
                 cache, index, prep.dropped.get(index, frozenset())
             ):
@@ -926,7 +1042,12 @@ class ShardedBootstrapper(Bootstrapper):
         feature_cache: FeatureCache | bool | None = None,
         warm_models: list["Word2Vec | None"] | None = None,
         checkpoint: "CheckpointStore | None" = None,
+        *,
+        pool: "ShardWorkerPool",
+        governor: "MemoryGovernor | None" = None,
     ) -> tuple[IterationResult, _IterationArtifacts]:
+        if self._checkpoint_disabled:
+            checkpoint = None
         if not dataset:
             from ..errors import TrainingError
 
@@ -953,6 +1074,8 @@ class ShardedBootstrapper(Bootstrapper):
                 checkpoint,
                 faults,
                 trace,
+                pool=pool,
+                governor=governor,
             ),
         )
         return self._finish_iteration(
@@ -978,16 +1101,22 @@ class ShardedBootstrapper(Bootstrapper):
         checkpoint: "CheckpointStore | None",
         faults: "FaultPlan | None",
         trace: PipelineTrace,
+        *,
+        pool: "ShardWorkerPool",
+        governor: "MemoryGovernor | None" = None,
     ) -> tuple[list[TaggedSentence], list]:
         """Fan tagging out per shard; merge in shard-index order."""
-        from ..runtime.runner import parallel_map
-
         shard_results: list[tuple[list[TaggedSentence], int] | None] = [
             None
         ] * shard_count
         pending: list[int] = []
         resumed = 0
         for index in range(shard_count):
+            if index in prep.poisoned:
+                # Poisoned during prep: the shard has no cache file and
+                # is already quarantined — tag nothing for it.
+                shard_results[index] = ([], 0)
+                continue
             if checkpoint is not None:
                 cached = checkpoint.load_shard_tags(iteration, index)
                 if cached is not None:
@@ -995,7 +1124,17 @@ class ShardedBootstrapper(Bootstrapper):
                     resumed += 1
                     continue
             pending.append(index)
+        strict = (
+            self.config.ingest.enabled
+            and self.config.ingest.policy == "strict"
+        )
         if pending:
+            max_workers = None
+            if governor is not None and governor.under_pressure():
+                max_workers = governor.throttle_workers(
+                    self._workers(len(pending))
+                )
+                governor.relieve()
             context = _TagContext(
                 cache_dir=cache,
                 checkpoint_dir=(
@@ -1009,12 +1148,47 @@ class ShardedBootstrapper(Bootstrapper):
                 dropped=prep.dropped,
                 faults=faults,
             )
-            for index, spans, count in parallel_map(
-                functools.partial(_tag_shard, context),
+            results, failures, report = pool.run(
+                _tag_shard,
+                context,
                 pending,
-                workers=self._workers(len(pending)),
-            ):
+                stage="shard_tag",
+                faults=faults,
+                max_workers=max_workers,
+            )
+            for index, spans, count in results.values():
                 shard_results[index] = (spans, count)
+            if failures:
+                poisoned = 0
+                for index, failure in sorted(failures.items()):
+                    if strict:
+                        raise PoisonedShardError(
+                            "shard_tag",
+                            index,
+                            failure.attempts,
+                            failure.detail,
+                        )
+                    prep.quarantine.add(
+                        QuarantineEntry(
+                            page_id=f"shard-{index:04d}",
+                            check="poisoned_shard",
+                            error=failure.reason,
+                            detail=(
+                                f"tag shard {index} (iteration "
+                                f"{iteration}) failed {failure.attempts} "
+                                f"attempts: {failure.detail}"
+                            ),
+                            source="pool",
+                        )
+                    )
+                    shard_results[index] = ([], 0)
+                    poisoned += 1
+                trace.count(
+                    "quarantine", iteration, poisoned_shard=poisoned
+                )
+            counts = report.as_counts()
+            if any(counts.values()):
+                trace.count("pool_supervision", iteration, **counts)
         if resumed:
             trace.count("shard_resume", iteration, shards=resumed)
         merged: list[TaggedSentence] = []

@@ -126,6 +126,56 @@ class CheckpointError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """A durable write hit an environment fault (disk full, I/O error).
+
+    Raised by :mod:`repro.runtime.storage` when an atomic write fails
+    with a *classified* environment errno (``ENOSPC``, ``EDQUOT``,
+    ``EIO``, ``EROFS``). Callers that can live without the artifact
+    (prep cache, checkpoints) catch this and degrade with a counted
+    warning; anything else propagates as the original ``OSError``.
+
+    Attributes:
+        op: logical write operation (``"prep_cache_write"``,
+            ``"checkpoint_write"``, …) — also the fault-injection
+            stage name.
+        path: destination path of the failed write.
+        errno: the classified errno value.
+    """
+
+    def __init__(self, op: str, path: str, errno_value: int, detail: str):
+        self.op = op
+        self.path = path
+        self.errno = errno_value
+        super().__init__(f"storage failure during {op} at {path}: {detail}")
+
+
+class PoisonedShardError(ReproError):
+    """A shard exhausted its retry budget in the worker pool.
+
+    Only raised under the ``strict`` ingest policy; the default
+    policies quarantine the shard as ``check="poisoned_shard"`` and
+    complete the run on the survivors.
+
+    Attributes:
+        stage: pool stage the shard kept failing in (``"shard_prep"``
+            or ``"shard_tag"``).
+        shard_index: index of the poisoned shard.
+        attempts: how many times it was tried.
+    """
+
+    def __init__(
+        self, stage: str, shard_index: int, attempts: int, detail: str
+    ):
+        self.stage = stage
+        self.shard_index = shard_index
+        self.attempts = attempts
+        super().__init__(
+            f"shard {shard_index} poisoned after {attempts} attempts "
+            f"in {stage}: {detail}"
+        )
+
+
 class JobTimeoutError(ReproError):
     """A runner job exceeded its wall-clock budget.
 

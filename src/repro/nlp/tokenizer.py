@@ -186,6 +186,21 @@ def available_locales() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def clear_sentence_memos() -> int:
+    """Drop every registered bundle's sentence-tokenization memo.
+
+    The memo is a pure cache (missing entries are recomputed), so
+    clearing it is output-invisible — it is the memory governor's
+    cheapest relief lever under RSS pressure. Returns the number of
+    entries released.
+    """
+    released = 0
+    for bundle in _REGISTRY.values():
+        released += len(bundle._tokens_memo)
+        bundle._tokens_memo.clear()
+    return released
+
+
 def get_locale(locale: str) -> LocaleNlp:
     """Return the NLP bundle for ``locale``.
 

@@ -20,10 +20,19 @@ Every scale is measured twice against one prep-cache directory:
   accounted as a ``querylog`` pseudo-stage so it can surface as the
   next target instead of hiding outside the stage ledger.
 
+The two phases run in **separate child processes** sharing the cache
+directory: ``VmHWM`` is a process-lifetime high-water mark, so a
+shared process would report the cold run's (larger) peak as the warm
+run's too. Each phase record carries its own honest peak; the scale's
+headline ``peak_rss_mb`` is the warm phase's. The parent cross-checks
+a digest of each phase's final triples, so the cached replay is still
+proven bit-identical to the cold run despite the process split.
+
 Two auxiliary modes:
 
-* ``--one N`` — the child entry point: run a single scale in this
-  process and write its JSON record to ``--out``.
+* ``--one N --phase cold|warm --cache-dir DIR`` — the child entry
+  point: run a single scale's single phase in this process and write
+  its JSON record to ``--out``.
 * ``--smoke`` — the pre-merge gate (wired into ``make verify``): run
   the 120-product bench corpus monolithically and through the sharded
   path — prep cache cold, prep cache warm, and prep cache disabled —
@@ -136,7 +145,15 @@ def _measured_run(
     return result, record, rows
 
 
-def run_one(
+def _triples_digest(triples) -> str:
+    """Order-insensitive digest of a run's final triples."""
+    import hashlib
+
+    canonical = "\n".join(sorted(map(repr, triples)))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_phase(
     pages: int,
     shard_size: int,
     iterations: int,
@@ -144,13 +161,18 @@ def run_one(
     category: str,
     semantic: bool,
     label_cap: int | None,
+    phase: str,
+    cache_dir: str,
     profile: bool = False,
 ) -> dict:
-    """Run one scale cold then warm; return its record.
+    """Run one scale's cold *or* warm phase in this process.
 
-    Both runs share one prep-cache directory: the cold run seeds it,
-    the warm run replays it. ``peak_rss_bytes`` is the process-lifetime
-    high-water mark, so it covers both runs (the cold one dominates).
+    The parent runs each phase in its own child against a shared
+    ``cache_dir`` (cold seeds it, warm replays it) precisely so this
+    process's ``peak_rss_bytes`` covers exactly one phase — the
+    high-water mark cannot be confounded by the other phase's
+    footprint. ``triples_digest`` lets the parent assert cold/warm
+    bit-identity across the process boundary.
     """
     from ..config import PipelineConfig
     from ..corpus.stream import GeneratedPageSource
@@ -167,41 +189,29 @@ def run_one(
     build_start = time.perf_counter()
     query_log = source.build_query_log()
     querylog_seconds = time.perf_counter() - build_start
-    with tempfile.TemporaryDirectory(prefix="bench-prep-") as cache_dir:
-        cold_result, cold, _ = _measured_run(
-            config, source, query_log, cache_dir,
-            label=f"scale-{pages}-cold",
-        )
-        warm_result, warm, profile_top = _measured_run(
-            config, source, query_log, cache_dir,
-            label=f"scale-{pages}-warm", profile=profile,
-        )
-    if warm_result.triples != cold_result.triples:
-        raise AssertionError(
-            f"scale {pages}: warm (cached) run diverged from cold run"
-        )
-    peak = warm_result.resilience_counters()["peak_rss_bytes"]
-    record = {
-        "pages": pages,
-        "shard_size": shard_size,
-        "shard_count": source.shard_count,
-        "iterations": iterations,
-        "semantic_cleaning": semantic,
-        "max_labeled_sentences": label_cap,
-        "querylog_seconds": querylog_seconds,
-        # Headline throughput: the warm (steady-state) run.
-        "wall_seconds": warm["wall_seconds"],
-        "pages_per_second": warm["pages_per_second"],
-        "cold": cold,
-        "warm": warm,
-        "warm_speedup": (
-            cold["wall_seconds"] / max(warm["wall_seconds"], 1e-9)
-        ),
-        "peak_rss_bytes": peak,
-        "peak_rss_mb": peak / (1024 * 1024),
-        "triples": len(warm_result.triples),
-        "coverage": warm_result.coverage(),
-    }
+    result, record, profile_top = _measured_run(
+        config, source, query_log, cache_dir,
+        label=f"scale-{pages}-{phase}",
+        profile=profile and phase == "warm",
+    )
+    peak = result.resilience_counters()["peak_rss_bytes"]
+    record.update(
+        {
+            "phase": phase,
+            "pages": pages,
+            "shard_size": shard_size,
+            "shard_count": source.shard_count,
+            "iterations": iterations,
+            "semantic_cleaning": semantic,
+            "max_labeled_sentences": label_cap,
+            "querylog_seconds": querylog_seconds,
+            "peak_rss_bytes": peak,
+            "peak_rss_mb": peak / (1024 * 1024),
+            "triples": len(result.triples),
+            "coverage": result.coverage(),
+            "triples_digest": _triples_digest(result.triples),
+        }
+    )
     if profile_top is not None:
         record["profile"] = {
             "scope": "warm run, parent process only",
@@ -235,14 +245,9 @@ def run_scales(
     """Run every scale in a fresh child process; return the payload."""
     import os
 
-    records: dict[str, dict] = {}
-    for pages in scales:
-        semantic = pages <= SEMANTIC_CUTOFF
-        print(
-            f"running scale {pages} "
-            f"(semantic={'on' if semantic else 'off'}) ...",
-            flush=True,
-        )
+    def child_record(
+        pages: int, semantic: bool, phase: str, cache_dir: str
+    ) -> dict:
         with tempfile.NamedTemporaryFile(
             mode="r", suffix=".json", delete=False
         ) as handle:
@@ -250,6 +255,8 @@ def run_scales(
         command = [
             sys.executable, "-m", "repro.perf.bench_scale",
             "--one", str(pages),
+            "--phase", phase,
+            "--cache-dir", cache_dir,
             "--out", child_out,
             "--shard-size", str(shard_size),
             "--iterations", str(iterations),
@@ -258,25 +265,73 @@ def run_scales(
         ]
         if not semantic:
             command.append("--no-semantic")
-        if profile:
+        if profile and phase == "warm":
             command.append("--profile")
         subprocess.run(command, check=True)
         with open(child_out, encoding="utf-8") as handle:
             record = json.load(handle)
         os.unlink(child_out)
+        return record
+
+    records: dict[str, dict] = {}
+    for pages in scales:
+        semantic = pages <= SEMANTIC_CUTOFF
+        print(
+            f"running scale {pages} "
+            f"(semantic={'on' if semantic else 'off'}) ...",
+            flush=True,
+        )
+        # One child process per phase, sharing the prep-cache
+        # directory: each child's VmHWM then measures exactly its own
+        # phase instead of inheriting the cold run's high-water mark.
+        with tempfile.TemporaryDirectory(
+            prefix="bench-prep-"
+        ) as cache_dir:
+            cold = child_record(pages, semantic, "cold", cache_dir)
+            warm = child_record(pages, semantic, "warm", cache_dir)
+        if warm["triples_digest"] != cold["triples_digest"]:
+            raise AssertionError(
+                f"scale {pages}: warm (cached) run diverged from "
+                "cold run"
+            )
+        record = {
+            "pages": pages,
+            "shard_size": shard_size,
+            "shard_count": warm["shard_count"],
+            "iterations": iterations,
+            "semantic_cleaning": semantic,
+            "max_labeled_sentences": warm["max_labeled_sentences"],
+            "querylog_seconds": warm["querylog_seconds"],
+            # Headline throughput and peak: the warm (steady-state)
+            # run, measured in its own process.
+            "wall_seconds": warm["wall_seconds"],
+            "pages_per_second": warm["pages_per_second"],
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": (
+                cold["wall_seconds"] / max(warm["wall_seconds"], 1e-9)
+            ),
+            "peak_rss_bytes": warm["peak_rss_bytes"],
+            "peak_rss_mb": warm["peak_rss_mb"],
+            "triples": warm["triples"],
+            "coverage": warm["coverage"],
+        }
+        if "profile" in warm:
+            record["profile"] = warm["profile"]
         records[str(pages)] = record
         print(
             f"  {pages} pages: cold {record['cold']['wall_seconds']:.1f}s"
             f" / warm {record['warm']['wall_seconds']:.1f}s"
             f" ({record['warm_speedup']:.2f}x), "
             f"{record['pages_per_second']:.1f} pages/s warm, "
-            f"peak {record['peak_rss_mb']:.0f} MB, "
+            f"peak warm {record['peak_rss_mb']:.0f} MB / "
+            f"cold {record['cold']['peak_rss_mb']:.0f} MB, "
             f"{record['shard_count']} shards",
             flush=True,
         )
     largest = records[str(max(scales))]
     return {
-        "schema": 2,
+        "schema": 3,
         "config": {
             "scales": scales,
             "shard_size": shard_size,
@@ -415,7 +470,17 @@ def main(argv=None) -> int:
     parser.add_argument("--category", default="vacuum_cleaner")
     parser.add_argument(
         "--one", type=int, default=None, metavar="PAGES",
-        help="child mode: run a single scale in this process",
+        help="child mode: run a single scale's single phase in this "
+        "process (requires --phase and --cache-dir)",
+    )
+    parser.add_argument(
+        "--phase", choices=("cold", "warm"), default=None,
+        help="child mode: which prep-cache phase this process measures",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="child mode: shared prep-cache directory (cold seeds it, "
+        "warm replays it)",
     )
     parser.add_argument(
         "--no-semantic", action="store_true",
@@ -436,7 +501,9 @@ def main(argv=None) -> int:
     if args.smoke:
         return run_smoke()
     if args.one is not None:
-        record = run_one(
+        if args.phase is None or args.cache_dir is None:
+            parser.error("--one requires --phase and --cache-dir")
+        record = run_phase(
             args.one,
             args.shard_size,
             args.iterations,
@@ -444,6 +511,8 @@ def main(argv=None) -> int:
             args.category,
             semantic=not args.no_semantic,
             label_cap=SCALE_LABEL_CAP,
+            phase=args.phase,
+            cache_dir=args.cache_dir,
             profile=args.profile,
         )
         with open(args.out, "w", encoding="utf-8") as handle:

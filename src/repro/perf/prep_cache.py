@@ -194,23 +194,66 @@ class DiskPrepCache:
     sidecar validates against the file on disk. Sibling keys under the
     same root belong to older configs or other sources and are pruned
     on construction, bounding disk growth at one prep set per root.
+
+    Concurrency: construction takes a non-blocking ``fcntl.flock``
+    advisory lock on the keyed directory. When another live run
+    already holds it, :attr:`contended` is True and the caller must
+    not use this cache (the sharded bootstrap falls back to a private
+    scratch directory instead of interleaving writes with the other
+    run). Call :meth:`close` when the run is done to release the lock.
+
+    Args:
+        root: persistent artifact root (``<checkpoint>/prep_cache`` or
+            an explicit ``cache_dir``).
+        key: the run's ``prep_cache_key``.
+        faults: optional plan whose ``disk_full``/``slow_disk`` specs
+            fire inside sidecar writes (op ``"prep_cache_write"``).
     """
 
-    def __init__(self, root: str | os.PathLike, key: str):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        key: str,
+        *,
+        faults=None,
+    ):
+        from ..runtime.storage import DirectoryLock
+
         self.root = pathlib.Path(root)
         self.key = key
+        self.faults = faults
         self.directory = self.root / key
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._prune()
+        self._lock = DirectoryLock(self.directory, ".cache.lock")
+        self.contended = not self._lock.try_acquire()
+        if not self.contended:
+            self._prune()
+
+    def close(self) -> None:
+        """Release the advisory cache lock (idempotent)."""
+        self._lock.release()
 
     def _prune(self) -> None:
-        for child in self.root.iterdir():
-            if (
-                child.is_dir()
-                and child.name != self.key
-                and not child.name.startswith(".")
-            ):
-                shutil.rmtree(child, ignore_errors=True)
+        """Delete sibling keys (older configs/sources) under the root.
+
+        Tolerates a concurrent deleter: every entry that vanishes
+        between listing and removal is simply skipped — another
+        process beat us to the same cleanup.
+        """
+        try:
+            children = list(self.root.iterdir())
+        except FileNotFoundError:  # root itself raced away
+            return
+        for child in children:
+            try:
+                if (
+                    child.is_dir()
+                    and child.name != self.key
+                    and not child.name.startswith(".")
+                ):
+                    shutil.rmtree(child, ignore_errors=True)
+            except FileNotFoundError:
+                continue
 
     def shard_path(self, index: int) -> pathlib.Path:
         return shard_cache_path(self.directory, index)
@@ -243,7 +286,15 @@ class DiskPrepCache:
     def store(
         self, index: int, outcomes: list, warnings: dict[str, int]
     ) -> None:
-        """Seal the already-written shard cache file with its sidecar."""
+        """Seal the already-written shard cache file with its sidecar.
+
+        Raises:
+            StorageError: the sidecar write hit a classified
+                environment failure (disk full, I/O error) — the
+                caller degrades to cache-off for the rest of the run.
+        """
+        from ..runtime.storage import atomic_write_text
+
         cache_file = self.shard_path(index)
         if not cache_file.exists():  # pragma: no cover - defensive
             return
@@ -254,11 +305,12 @@ class DiskPrepCache:
             "outcomes": outcomes,
             "warnings": warnings,
         }
-        temp = self.directory / f".shard_{index:04d}.meta.json.tmp"
-        temp.write_text(
-            json.dumps(meta, ensure_ascii=False), encoding="utf-8"
+        atomic_write_text(
+            self.meta_path(index),
+            json.dumps(meta, ensure_ascii=False),
+            faults=self.faults,
+            op="prep_cache_write",
         )
-        os.replace(temp, self.meta_path(index))
 
 
 @dataclass
@@ -278,6 +330,11 @@ class PrepStore:
     memory: MemoryPrepCache | None = None
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
+    #: Set when a store hit a classified environment failure
+    #: (:class:`~repro.errors.StorageError`): writes stop for the rest
+    #: of the run (reads of already-sealed artifacts stay valid).
+    disabled: bool = field(default=False, init=False)
+    write_failures: int = field(default=0, init=False)
 
     def _memory_key(self, index: int) -> tuple:
         return (self.source_fingerprint, self.digest, index)
@@ -295,11 +352,17 @@ class PrepStore:
             if prep is not None and prep.lines is not None:
                 final = shard_cache_path(self.cache_dir, index)
                 temp = final.parent / f".{final.name}.tmp"
-                with gzip.open(
-                    temp, "wt", encoding="utf-8", compresslevel=1
-                ) as handle:
-                    handle.writelines(prep.lines)
-                os.replace(temp, final)
+                try:
+                    with gzip.open(
+                        temp, "wt", encoding="utf-8", compresslevel=1
+                    ) as handle:
+                        handle.writelines(prep.lines)
+                    os.replace(temp, final)
+                except OSError:
+                    # Could not materialize the cached lines (full
+                    # disk?): treat as a miss, the worker re-preps.
+                    self.misses += 1
+                    return None
                 self.hits += 1
                 return prep.outcomes, prep.warnings
         self.misses += 1
@@ -308,9 +371,23 @@ class PrepStore:
     def store(
         self, index: int, outcomes: list, warnings: dict[str, int]
     ) -> None:
-        """Record a freshly-prepped shard (cache file already written)."""
+        """Record a freshly-prepped shard (cache file already written).
+
+        A classified environment failure (:class:`~repro.errors.
+        StorageError`) disables further stores for the run instead of
+        propagating — losing cache artifacts costs re-prep time on the
+        next run, never this run's output.
+        """
+        if self.disabled:
+            return
         if self.disk is not None:
-            self.disk.store(index, outcomes, warnings)
+            from ..errors import StorageError
+
+            try:
+                self.disk.store(index, outcomes, warnings)
+            except StorageError:
+                self.write_failures += 1
+                self.disabled = True
         elif self.memory is not None:
             path = shard_cache_path(self.cache_dir, index)
             try:

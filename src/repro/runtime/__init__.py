@@ -12,6 +12,13 @@ Public surface:
   per-iteration bootstrap snapshots and resume (``checkpoint.py``).
 * :class:`FaultPlan` / :class:`FaultSpec` — deterministic fault
   injection at named pipeline stages (``faults.py``).
+* :class:`ShardWorkerPool` / :class:`ShardFailure` — persistent
+  supervised shard workers with death detection, respawn and
+  poisoned-shard accounting (``pool.py``).
+* :class:`MemoryGovernor` — RSS-budget backpressure (``memory.py``).
+* :class:`DirectoryLock` / :func:`atomic_write_bytes` /
+  :func:`atomic_write_text` / :func:`atomic_writer` — durable-write
+  and advisory-locking primitives (``storage.py``).
 
 Only the trace types are imported eagerly: ``repro.core.bootstrap``
 instruments itself with :class:`PipelineTrace`, while the runner
@@ -46,6 +53,14 @@ _LAZY = {
     "peak_rss_bytes": "memory",
     "children_peak_rss_bytes": "memory",
     "run_peak_rss_bytes": "memory",
+    "MemoryGovernor": "memory",
+    "ShardWorkerPool": "pool",
+    "ShardFailure": "pool",
+    "PoolReport": "pool",
+    "DirectoryLock": "storage",
+    "atomic_writer": "storage",
+    "atomic_write_bytes": "storage",
+    "atomic_write_text": "storage",
 }
 
 __all__ = [
@@ -72,6 +87,14 @@ __all__ = [
     "peak_rss_bytes",
     "children_peak_rss_bytes",
     "run_peak_rss_bytes",
+    "MemoryGovernor",
+    "ShardWorkerPool",
+    "ShardFailure",
+    "PoolReport",
+    "DirectoryLock",
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]
 
 

@@ -57,6 +57,8 @@ from ..types import ProductPage, Sentence, TaggedSentence, Token, Triple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.bootstrap import IterationResult
+    from .faults import FaultPlan
+    from .storage import DirectoryLock
 
 _FORMAT_VERSION = 1
 _SNAPSHOT_PATTERN = re.compile(r"^iteration_(\d{4})\.json(\.gz)?$")
@@ -259,10 +261,52 @@ class CheckpointStore:
     Args:
         directory: checkpoint root for exactly one (pages, config) run;
             created on first write.
+        faults: optional :class:`~repro.runtime.faults.FaultPlan` whose
+            ``disk_full``/``slow_disk`` specs fire inside every
+            snapshot write (op ``"checkpoint_write"``).
+
+    Environment failures (``ENOSPC``, ``EIO``, …) during a write
+    surface as :class:`~repro.errors.StorageError` — the bootstrap
+    loop catches those, retries with deterministic backoff and then
+    degrades to checkpoint-less rather than crashing the run.
+
+    Concurrency: :meth:`hold_lock` takes an ``fcntl.flock`` advisory
+    lock on the directory for the duration of a run, so a second run
+    pointed at the same checkpoint queues behind the first instead of
+    interleaving snapshot writes. Shard tag workers write through
+    their own (lock-free) stores — the run owner holds the lock on
+    their behalf.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        faults: "FaultPlan | None" = None,
+    ):
         self.directory = pathlib.Path(directory)
+        self.faults = faults
+
+    # -- locking --------------------------------------------------------
+
+    def hold_lock(self, timeout: float | None = None) -> "DirectoryLock":
+        """Advisory lock on the directory, as a context manager.
+
+        Args:
+            timeout: seconds to wait for a concurrent holder before
+                raising :class:`~repro.errors.CheckpointError`; None
+                waits indefinitely (a second run queues, never
+                corrupts).
+        """
+        from .storage import DirectoryLock
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock = DirectoryLock(self.directory, ".run.lock")
+        try:
+            lock.acquire(timeout=timeout)
+        except TimeoutError as error:
+            raise CheckpointError(str(error)) from error
+        return lock
 
     # -- writing --------------------------------------------------------
 
@@ -271,20 +315,23 @@ class CheckpointStore:
 
         Names ending ``.gz`` are gzip-compressed (``mtime=0`` keeps the
         compressed bytes deterministic for identical payloads).
+        Classified environment failures raise
+        :class:`~repro.errors.StorageError`.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
+        from .storage import atomic_writer
+
         final = self.directory / name
-        temp = self.directory / f".{name}.tmp"
         text = json.dumps(payload, ensure_ascii=False, indent=1)
-        if name.endswith(".gz"):
-            with open(temp, "wb") as handle:
+        with atomic_writer(
+            final, "wb", faults=self.faults, op="checkpoint_write"
+        ) as handle:
+            if name.endswith(".gz"):
                 with gzip.GzipFile(
                     fileobj=handle, mode="wb", mtime=0
                 ) as compressed:
                     compressed.write(text.encode("utf-8"))
-        else:
-            temp.write_text(text, encoding="utf-8")
-        os.replace(temp, final)
+            else:
+                handle.write(text.encode("utf-8"))
 
     def begin(
         self, fingerprint: str, digest: str, iterations: int

@@ -49,6 +49,30 @@ Fault kinds:
   request body and splices in binary garbage, exercising the
   protocol-level containment (structured 400, never a crash).
 
+Environment fault kinds (the machine, not the pipeline):
+
+* ``"worker_kill"`` — consumed by :meth:`FaultPlan.should_kill_worker`
+  inside pool workers: a matching shard task SIGKILLs its own process
+  (no Python teardown, exactly like the OOM killer), exercising true
+  death detection, respawn and shard requeue in
+  :mod:`repro.runtime.pool`. ``times`` bounds the number of *attempts*
+  killed per shard (decisions derive from ``(seed, stage, shard)`` so
+  they replay identically in any worker).
+* ``"disk_full"`` — consumed by :meth:`FaultPlan.fire_storage` inside
+  :mod:`repro.runtime.storage`: raises a real ``OSError(ENOSPC)``
+  before the write, which the atomic-write helper classifies into
+  :class:`~repro.errors.StorageError` exactly like a genuinely full
+  disk. The spec's stage names the logical write op
+  (``"prep_cache_write"``, ``"checkpoint_write"``, or ``"storage"``
+  for all of them).
+* ``"slow_disk"`` — sleeps ``delay_seconds`` inside
+  :meth:`fire_storage`, modelling a contended or dying device.
+* ``"mem_pressure"`` — consumed by the
+  :class:`~repro.runtime.memory.MemoryGovernor`: adds
+  ``pressure_bytes`` of synthetic RSS to every sample while due, so
+  backpressure paths are testable without actually ballooning the
+  process.
+
 The serve chaos harness drives plans from many worker threads at once,
 so all mutable plan state (fire counters, the seeded RNG, injection
 tallies) is guarded by an internal lock; injection *counts* stay
@@ -74,7 +98,19 @@ _KINDS = (
     "dirt",
     "worker_death",
     "corrupt_payload",
+    "worker_kill",
+    "disk_full",
+    "slow_disk",
+    "mem_pressure",
 )
+
+#: Pool stages whose workers honor ``worker_kill`` specs (optionally
+#: suffixed ``:NNNN`` to target one shard).
+_KILLABLE_STAGES = ("shard_prep", "shard_tag")
+
+#: Logical storage ops ``disk_full``/``slow_disk`` specs may target;
+#: ``"storage"`` matches every durable write.
+_STORAGE_STAGES = ("storage", "prep_cache_write", "checkpoint_write")
 
 #: Spliced into request bodies by ``corrupt_payload`` faults: an
 #: unterminated JSON prefix plus bytes that are not valid UTF-8.
@@ -106,6 +142,8 @@ class FaultSpec:
         dirt_kinds: corruption kinds a ``"dirt"`` fault draws from;
             empty means all of :data:`repro.corpus.dirt.DIRT_KINDS`.
         message: carried into the raised :class:`FaultInjectionError`.
+        pressure_bytes: synthetic RSS a ``"mem_pressure"`` fault adds
+            to every governor sample while due.
     """
 
     stage: str
@@ -117,6 +155,7 @@ class FaultSpec:
     corrupt_fraction: float = 0.25
     dirt_kinds: tuple[str, ...] = ()
     message: str = "injected fault"
+    pressure_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -131,6 +170,30 @@ class FaultSpec:
             raise ConfigError("delay_seconds must be >= 0")
         if not 0.0 <= self.corrupt_fraction <= 1.0:
             raise ConfigError("corrupt_fraction must be in [0, 1]")
+        if self.pressure_bytes < 0:
+            raise ConfigError("pressure_bytes must be >= 0")
+        if self.kind == "worker_kill":
+            base = self.stage.split(":", 1)[0]
+            if base not in _KILLABLE_STAGES:
+                raise ConfigError(
+                    "worker_kill faults target pool stages "
+                    f"{_KILLABLE_STAGES} (optionally ':NNNN'-suffixed), "
+                    f"got stage {self.stage!r}"
+                )
+        if self.kind in ("disk_full", "slow_disk"):
+            if self.stage not in _STORAGE_STAGES:
+                raise ConfigError(
+                    f"{self.kind} faults target storage ops "
+                    f"{_STORAGE_STAGES}, got stage {self.stage!r}"
+                )
+            if self.kind == "slow_disk" and self.delay_seconds <= 0:
+                raise ConfigError(
+                    "slow_disk faults require delay_seconds > 0"
+                )
+        if self.kind == "mem_pressure" and self.pressure_bytes <= 0:
+            raise ConfigError(
+                "mem_pressure faults require pressure_bytes > 0"
+            )
 
 
 class FaultPlan:
@@ -189,7 +252,7 @@ class FaultPlan:
         due: list[FaultSpec] = []
         with self._lock:
             for index, spec in enumerate(self.specs):
-                if spec.kind in ("corrupt_pages", "dirt", "corrupt_payload"):
+                if spec.kind not in ("error", "delay", "worker_death"):
                     continue
                 if not self._matches(spec, index, stage, iteration):
                     continue
@@ -202,6 +265,127 @@ class FaultPlan:
                 raise WorkerDeathError(stage, spec.message)
             else:
                 raise FaultInjectionError(stage, iteration, spec.message)
+
+    def fire_storage(self, op: str) -> None:
+        """Inject any due ``disk_full``/``slow_disk`` fault at a write.
+
+        Called by :func:`repro.runtime.storage.atomic_writer` with the
+        logical operation name before touching the disk. ``slow_disk``
+        sleeps inline (outside the plan lock); ``disk_full`` raises a
+        real ``OSError(ENOSPC)`` so the helper's classification path —
+        the same one a genuinely full disk takes — turns it into a
+        :class:`~repro.errors.StorageError`.
+        """
+        import errno as _errno
+
+        due: list[FaultSpec] = []
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind not in ("disk_full", "slow_disk"):
+                    continue
+                if spec.stage != "storage" and spec.stage != op:
+                    continue
+                if spec.times is not None and self._fired[index] >= spec.times:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rng.random() >= spec.probability
+                ):
+                    continue
+                self._record(spec, index)
+                due.append(spec)
+        for spec in due:
+            if spec.kind == "slow_disk":
+                time.sleep(spec.delay_seconds)
+            else:
+                raise OSError(
+                    _errno.ENOSPC,
+                    f"injected disk full [{op}]",
+                    op,
+                )
+
+    def kill_decision(
+        self, stage: str, shard_index: int, attempt: int
+    ) -> bool:
+        """Whether a ``worker_kill`` spec condemns this shard attempt.
+
+        Pure function of ``(plan seed, stage, shard, attempt)`` —
+        workers hold pickled plan *copies* and may die before any
+        bookkeeping escapes the process, so the decision cannot depend
+        on shared mutable state. ``times`` is interpreted per shard:
+        attempts ``1..times`` are killed, later retries survive, so a
+        default ``times=1`` spec kills exactly the first attempt and
+        the requeued retry completes — keeping final output
+        bit-identical to a fault-free run. The parent re-evaluates the
+        same function after detecting a death to classify it as
+        injected (see :meth:`record_worker_kill`).
+        """
+        base = stage.split(":", 1)[0]
+        for spec in self.specs:
+            if spec.kind != "worker_kill":
+                continue
+            if spec.stage not in (base, f"{base}:{shard_index:04d}"):
+                continue
+            if spec.times is not None and attempt > spec.times:
+                continue
+            if spec.probability < 1.0:
+                rng = random.Random(
+                    repr((self.seed, "worker_kill", base, shard_index))
+                )
+                if rng.random() >= spec.probability:
+                    continue
+            return True
+        return False
+
+    def should_kill_worker(
+        self, stage: str, shard_index: int, attempt: int
+    ) -> bool:
+        """Worker-side hook: True means SIGKILL yourself now."""
+        return self.kill_decision(stage, shard_index, attempt)
+
+    def record_worker_kill(self, stage: str) -> None:
+        """Parent-side tally of a detected injected kill.
+
+        The condemned worker's plan copy dies with it, so the parent —
+        which re-derived the same :meth:`kill_decision` — books the
+        injection on the plan tests actually hold.
+        """
+        base = stage.split(":", 1)[0]
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind != "worker_kill":
+                    continue
+                if spec.stage.split(":", 1)[0] != base:
+                    continue
+                self._record(spec, index)
+                return
+
+    def synthetic_rss_bytes(self) -> int:
+        """Total synthetic RSS due ``mem_pressure`` specs add right now.
+
+        Each sample that observes a spec consumes one of its ``times``
+        (unlimited specs press forever), so a default ``times=1`` spec
+        pressures exactly one governor sample.
+        """
+        total = 0
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind != "mem_pressure":
+                    continue
+                if spec.times is not None and self._fired[index] >= spec.times:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rng.random() >= spec.probability
+                ):
+                    continue
+                self._record(spec, index)
+                total += spec.pressure_bytes
+        return total
+
+    def has_memory_faults(self) -> bool:
+        """Whether any spec injects synthetic memory pressure."""
+        return any(spec.kind == "mem_pressure" for spec in self.specs)
 
     def mangle_payload(self, stage: str, payload: bytes) -> bytes:
         """Corrupt a request body per any due ``corrupt_payload`` spec.

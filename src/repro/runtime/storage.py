@@ -1,0 +1,236 @@
+"""Durable-storage primitives for a hostile machine.
+
+Every artifact the pipeline persists — checkpoints, prep-cache shards,
+bench records — goes through the same two hazards in production:
+partial writes (a crash mid-`write` leaves a torn file the next run
+chokes on) and environment failures (``ENOSPC`` on a full disk,
+``EIO`` from a dying device, ``EDQUOT`` on a quota'd share). This
+module centralizes the answers:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_writer` — the tmp + fsync + rename pattern, so readers
+  only ever observe absent-or-complete files. Environment errnos are
+  re-raised as :class:`~repro.errors.StorageError` so callers can
+  distinguish "the machine is hostile, degrade" from programming
+  errors; everything else propagates unchanged.
+* :class:`DirectoryLock` — ``fcntl.flock`` advisory locking on a
+  sentinel file, so two concurrent runs sharing a cache or checkpoint
+  directory serialize (or fall back to private scratch) instead of
+  interleaving partial writes. Degrades to a no-op on platforms
+  without ``fcntl``.
+
+Fault injection: helpers accept a :class:`~repro.runtime.faults.
+FaultPlan` and call :meth:`~repro.runtime.faults.FaultPlan.
+fire_storage` with the logical operation name before touching the
+disk, so ``disk_full`` / ``slow_disk`` specs inject deterministic
+``ENOSPC`` (classified exactly like the real thing) and latency at
+every durable-write site without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import pathlib
+import time
+from typing import IO, TYPE_CHECKING, Iterator
+
+from ..errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultPlan
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+#: errnos classified as *environment* storage failures. Anything else
+#: (EACCES from a misconfigured path, EISDIR from a caller bug, …) is
+#: a programming/configuration error and propagates as plain OSError.
+STORAGE_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EDQUOT, errno.EIO, errno.EROFS}
+)
+
+
+def classify_storage_error(
+    error: OSError, op: str, path: str | os.PathLike
+) -> StorageError | None:
+    """The :class:`StorageError` for an OSError, or None if unclassified."""
+    if error.errno in STORAGE_ERRNOS:
+        return StorageError(
+            op, str(path), error.errno, error.strerror or str(error)
+        )
+    return None
+
+
+@contextlib.contextmanager
+def atomic_writer(
+    path: str | os.PathLike,
+    mode: str = "wb",
+    *,
+    fsync: bool = True,
+    faults: "FaultPlan | None" = None,
+    op: str = "storage",
+    encoding: str | None = None,
+) -> Iterator[IO]:
+    """Write ``path`` atomically: tmp file + fsync + rename.
+
+    Yields a handle onto ``<dir>/.<name>.tmp``; on clean exit the data
+    is flushed, fsynced and renamed over ``path``, so a reader never
+    observes a torn file — the write either happened completely or not
+    at all. On any error the tmp file is removed. OSErrors whose errno
+    is in :data:`STORAGE_ERRNOS` are re-raised as
+    :class:`~repro.errors.StorageError`; other exceptions propagate
+    unchanged.
+
+    Args:
+        path: final destination.
+        mode: ``"wb"`` or ``"wt"`` (the tmp file's open mode).
+        fsync: flush file contents to stable storage before the
+            rename. Scratch files that are rebuilt deterministically
+            can pass False to skip the (slow) disk barrier.
+        faults: optional plan; due ``disk_full`` / ``slow_disk`` specs
+            for ``op`` fire before the write.
+        op: logical operation name (fault stage + StorageError.op).
+        encoding: text-mode encoding.
+    """
+    final = pathlib.Path(path)
+    temp = final.parent / f".{final.name}.tmp"
+    try:
+        if faults is not None:
+            faults.fire_storage(op)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(temp, mode, encoding=encoding)
+        try:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        os.replace(temp, final)
+    except OSError as error:
+        with contextlib.suppress(OSError):
+            temp.unlink()
+        classified = classify_storage_error(error, op, final)
+        if classified is not None:
+            raise classified from error
+        raise
+    except BaseException:
+        with contextlib.suppress(OSError):
+            temp.unlink()
+        raise
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike,
+    data: bytes,
+    *,
+    fsync: bool = True,
+    faults: "FaultPlan | None" = None,
+    op: str = "storage",
+) -> None:
+    """Atomically replace ``path`` with ``data`` (see :func:`atomic_writer`)."""
+    with atomic_writer(
+        path, "wb", fsync=fsync, faults=faults, op=op
+    ) as handle:
+        handle.write(data)
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+    faults: "FaultPlan | None" = None,
+    op: str = "storage",
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_writer`)."""
+    atomic_write_bytes(
+        path, text.encode(encoding), fsync=fsync, faults=faults, op=op
+    )
+
+
+class DirectoryLock:
+    """Advisory inter-process lock on a directory.
+
+    Backed by ``fcntl.flock`` on a sentinel file inside the directory.
+    flock locks attach to the open file description, so two handles —
+    even in one process — conflict, which is exactly what the
+    dueling-run tests need. The sentinel file is left in place (its
+    *lock*, not its existence, is the signal), so a crashed holder
+    never wedges later runs.
+
+    On platforms without ``fcntl`` the lock degrades to always
+    acquiring: single-host POSIX boxes are the deployment target, and
+    a no-op beats crashing off it.
+    """
+
+    def __init__(self, directory: str | os.PathLike, name: str = ".lock"):
+        self.directory = pathlib.Path(directory)
+        self.path = self.directory / name
+        self._handle: IO | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def try_acquire(self) -> bool:
+        """Take the lock without blocking; False if another run holds it."""
+        if self._handle is not None:
+            return True
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            self._handle = open(os.devnull, "rb")
+            return True
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path, "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return False
+        self._handle = handle
+        return True
+
+    def acquire(
+        self, timeout: float | None = None, poll_seconds: float = 0.05
+    ) -> None:
+        """Block until the lock is held.
+
+        Args:
+            timeout: give up after this many seconds (None waits
+                forever — a second run *queues behind* a long first
+                run rather than failing it).
+            poll_seconds: re-check interval while waiting.
+
+        Raises:
+            TimeoutError: the timeout elapsed with the lock still held
+                elsewhere.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.try_acquire():
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not lock {self.directory} within {timeout:g}s: "
+                    "another run holds it"
+                )
+            time.sleep(poll_seconds)
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        if fcntl is not None:
+            with contextlib.suppress(OSError):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+    def __enter__(self) -> "DirectoryLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -26,12 +26,18 @@ class AdmissionController:
             past capacity are shed instantly — no queueing, no
             blocking — so an overloaded daemon degrades to fast,
             honest 429s instead of a growing backlog of doomed work.
+        governor: optional
+            :class:`~repro.runtime.memory.MemoryGovernor`; while it
+            reports pressure the effective capacity is halved (floor
+            1), shedding the overflow with the same structured 429
+            (counted separately in :attr:`total_shed_memory`).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, *, governor=None):
         if capacity < 1:
             raise ValueError(f"admission capacity must be >= 1: {capacity}")
         self.capacity = capacity
+        self.governor = governor
         self._lock = threading.Lock()
         self._admitted = 0
         #: Consecutive sheds since the last successful admission;
@@ -39,13 +45,25 @@ class AdmissionController:
         self._shed_streak = 0
         self.total_admitted = 0
         self.total_shed = 0
+        self.total_shed_memory = 0
+
+    def _effective_capacity(self) -> int:
+        # Sampled outside the admission lock: the governor throttles
+        # its own sampling rate and a slightly stale reading only
+        # shifts *which* request gets shed, never correctness.
+        if self.governor is not None and self.governor.under_pressure():
+            return max(1, self.capacity // 2)
+        return self.capacity
 
     def try_admit(self) -> bool:
         """Admit one request, or refuse without blocking."""
+        capacity = self._effective_capacity()
         with self._lock:
-            if self._admitted >= self.capacity:
+            if self._admitted >= capacity:
                 self._shed_streak += 1
                 self.total_shed += 1
+                if capacity < self.capacity:
+                    self.total_shed_memory += 1
                 return False
             self._admitted += 1
             self._shed_streak = 0
@@ -86,10 +104,14 @@ class AdmissionController:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            payload = {
                 "capacity": self.capacity,
                 "in_flight": self._admitted,
                 "admitted": self.total_admitted,
                 "shed": self.total_shed,
+                "shed_memory": self.total_shed_memory,
                 "shed_streak": self._shed_streak,
             }
+        if self.governor is not None:
+            payload["memory"] = self.governor.counters()
+        return payload

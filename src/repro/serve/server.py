@@ -96,7 +96,21 @@ class ExtractionService:
         self.config = config or ServeConfig()
         self.registry = registry
         self.faults = faults
-        self.admission = AdmissionController(self.config.queue_capacity)
+        governor = None
+        if self.config.memory_budget_mb is not None or (
+            faults is not None and faults.has_memory_faults()
+        ):
+            from ..runtime.memory import MemoryGovernor
+
+            governor = MemoryGovernor(
+                self.config.memory_budget_mb,
+                faults=faults,
+                min_sample_interval=0.2,
+            )
+        self.governor = governor
+        self.admission = AdmissionController(
+            self.config.queue_capacity, governor=governor
+        )
         self.ladder = DegradationLadder(
             threshold=self.config.breaker_threshold,
             cooldown_seconds=self.config.breaker_cooldown_seconds,

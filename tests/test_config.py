@@ -149,3 +149,91 @@ class TestPipelineConfig:
         config = PipelineConfig().with_tagger("lstm")
         assert config.tagger == "lstm"
         assert config.iterations == PipelineConfig().iterations
+
+
+class TestResourceLimits:
+    """--memory-budget / --pool-workers validation (PipelineConfig and
+    ServeConfig) plus the environment-fault FaultSpec kinds."""
+
+    def test_defaults_are_unlimited(self):
+        config = PipelineConfig()
+        assert config.memory_budget_mb is None
+        assert config.pool_workers is None
+
+    @pytest.mark.parametrize("value", [0, -1, -128])
+    def test_rejects_nonpositive_memory_budget(self, value):
+        with pytest.raises(ConfigError, match="memory_budget_mb"):
+            PipelineConfig(memory_budget_mb=value)
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_nonpositive_pool_workers(self, value):
+        with pytest.raises(ConfigError, match="pool_workers"):
+            PipelineConfig(pool_workers=value)
+
+    def test_positive_limits_accepted(self):
+        config = PipelineConfig(memory_budget_mb=512, pool_workers=2)
+        assert config.memory_budget_mb == 512
+        assert config.pool_workers == 2
+
+    def test_serve_memory_budget_validated(self):
+        from repro.config import ServeConfig
+
+        assert ServeConfig().memory_budget_mb is None
+        assert ServeConfig(memory_budget_mb=256).memory_budget_mb == 256
+        with pytest.raises(ConfigError, match="memory_budget_mb"):
+            ServeConfig(memory_budget_mb=0)
+
+
+class TestEnvironmentFaultSpecs:
+    """The four environment fault kinds validate their targets up
+    front — a typo'd stage must fail at plan build, not silently
+    never fire."""
+
+    def _spec(self, **kwargs):
+        from repro.runtime import FaultSpec
+
+        return FaultSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "stage", ["shard_prep", "shard_tag", "shard_prep:0003"]
+    )
+    def test_worker_kill_accepts_pool_stages(self, stage):
+        spec = self._spec(stage=stage, kind="worker_kill")
+        assert spec.kind == "worker_kill"
+
+    @pytest.mark.parametrize(
+        "stage", ["tagger_train", "storage", "shardprep"]
+    )
+    def test_worker_kill_rejects_other_stages(self, stage):
+        with pytest.raises(ConfigError, match="worker_kill"):
+            self._spec(stage=stage, kind="worker_kill")
+
+    @pytest.mark.parametrize(
+        "stage", ["storage", "prep_cache_write", "checkpoint_write"]
+    )
+    def test_disk_full_accepts_storage_ops(self, stage):
+        assert self._spec(stage=stage, kind="disk_full").stage == stage
+
+    def test_disk_full_rejects_pipeline_stages(self):
+        with pytest.raises(ConfigError, match="storage ops"):
+            self._spec(stage="tagger_train", kind="disk_full")
+
+    def test_slow_disk_requires_positive_delay(self):
+        with pytest.raises(ConfigError, match="delay_seconds"):
+            self._spec(stage="storage", kind="slow_disk")
+        spec = self._spec(
+            stage="storage", kind="slow_disk", delay_seconds=0.01
+        )
+        assert spec.delay_seconds == 0.01
+
+    def test_mem_pressure_requires_positive_bytes(self):
+        with pytest.raises(ConfigError, match="pressure_bytes"):
+            self._spec(stage="governor", kind="mem_pressure")
+        with pytest.raises(ConfigError, match="pressure_bytes"):
+            self._spec(
+                stage="governor", kind="mem_pressure", pressure_bytes=-1
+            )
+        spec = self._spec(
+            stage="governor", kind="mem_pressure", pressure_bytes=1024
+        )
+        assert spec.pressure_bytes == 1024

@@ -18,6 +18,7 @@ from repro.perf.prep_cache import (
     PREP_FORMAT_VERSION,
     DiskPrepCache,
     MemoryPrepCache,
+    PrepStore,
     ShardPrep,
     memory_prep_cache,
     prep_cache_key,
@@ -296,3 +297,74 @@ def test_page_faults_bypass_cache_in_both_directions(vacuum, tmp_path):
         PipelineConfig(iterations=1, enable_prep_cache=False)
     ).run_streamed(source, vacuum.query_log)
     _assert_same_output(clean, reference)
+
+
+# -- concurrency and hostile-environment behaviour -----------------------
+
+
+def test_prune_tolerates_concurrent_deleter(tmp_path, monkeypatch):
+    """A sibling key vanishing between the listing and the removal is
+    another run winning the same cleanup race, not an error."""
+    import pathlib
+    import shutil
+
+    stale = tmp_path / "stale_key"
+    stale.mkdir()
+    (stale / "shard_0000.jsonl.gz").write_bytes(b"x")
+    real_iterdir = pathlib.Path.iterdir
+
+    def racing_iterdir(self):
+        children = list(real_iterdir(self))
+        shutil.rmtree(stale, ignore_errors=True)  # the deleter wins
+        return iter(children)
+
+    monkeypatch.setattr(pathlib.Path, "iterdir", racing_iterdir)
+    cache = DiskPrepCache(tmp_path, "fresh_key")
+    cache.close()
+    assert not stale.exists()
+    assert (tmp_path / "fresh_key").is_dir()
+
+
+def test_prune_survives_root_vanishing(tmp_path):
+    import shutil
+
+    root = tmp_path / "root"
+    cache = DiskPrepCache(root, "key")
+    shutil.rmtree(root)
+    cache._prune()  # no raise: the whole root raced away
+    cache.close()
+
+
+def test_second_cache_handle_reports_contention(tmp_path):
+    first = DiskPrepCache(tmp_path, "key")
+    assert not first.contended
+    second = DiskPrepCache(tmp_path, "key")
+    assert second.contended
+    second.close()
+    first.close()
+    third = DiskPrepCache(tmp_path, "key")
+    assert not third.contended
+    third.close()
+
+
+def test_store_write_failure_disables_further_stores(tmp_path):
+    """The first classified write failure turns the cache off for the
+    run — later shards skip the (known-failing) disk entirely."""
+    plan = FaultPlan(
+        [FaultSpec(stage="prep_cache_write", kind="disk_full", times=None)]
+    )
+    disk = DiskPrepCache(tmp_path, "key", faults=plan)
+    store = PrepStore(
+        cache_dir=str(disk.directory),
+        source_fingerprint="f",
+        digest="d",
+        disk=disk,
+    )
+    _write_shard(disk)
+    store.store(0, [], {})
+    assert store.disabled
+    assert store.write_failures == 1
+    store.store(1, [], {})  # no-op, no second failure recorded
+    assert store.write_failures == 1
+    assert disk.load(0) is None  # nothing was sealed
+    disk.close()

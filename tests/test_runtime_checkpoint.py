@@ -81,7 +81,13 @@ def _iteration_structure(trace, iterations):
 
 def test_snapshots_written_per_iteration(tennis, tmp_path):
     result = _run(tennis, tmp_path)
-    names = sorted(path.name for path in tmp_path.iterdir())
+    # The run-lock sentinel (".run.lock") stays behind by design —
+    # flock state lives on the open fd, the file is just its anchor.
+    names = sorted(
+        path.name
+        for path in tmp_path.iterdir()
+        if not path.name.startswith(".")
+    )
     assert names == [
         "iteration_0001.json.gz",
         "iteration_0002.json.gz",

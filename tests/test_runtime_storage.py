@@ -1,0 +1,199 @@
+"""Durable-storage primitives: atomic writes, classification, locking.
+
+The contract of :mod:`repro.runtime.storage`: a reader never observes
+a torn file (the write happened completely or not at all), environment
+errnos surface as :class:`~repro.errors.StorageError` so callers can
+degrade instead of crash, and two runs sharing a directory serialize
+through :class:`DirectoryLock` — whose flock semantics make even two
+handles in one process conflict, which is what these tests exploit.
+"""
+
+import errno
+import os
+import time
+
+import pytest
+
+from repro.errors import StorageError
+from repro.runtime import (
+    DirectoryLock,
+    FaultPlan,
+    FaultSpec,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+)
+from repro.runtime.storage import STORAGE_ERRNOS, classify_storage_error
+
+pytestmark = pytest.mark.usefixtures("watchdog")
+
+
+# -- atomic writes -------------------------------------------------------
+
+
+def test_atomic_write_text_roundtrip(tmp_path):
+    target = tmp_path / "artifact.json"
+    atomic_write_text(target, '{"ok": 1}')
+    assert target.read_text(encoding="utf-8") == '{"ok": 1}'
+    # No tmp residue.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.json"]
+
+
+def test_atomic_write_bytes_replaces_existing(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(b"old")
+    atomic_write_bytes(target, b"new contents")
+    assert target.read_bytes() == b"new contents"
+
+
+def test_atomic_write_creates_parent_directories(tmp_path):
+    target = tmp_path / "a" / "b" / "c.txt"
+    atomic_write_text(target, "deep")
+    assert target.read_text(encoding="utf-8") == "deep"
+
+
+def test_atomic_writer_cleans_tmp_on_error(tmp_path):
+    target = tmp_path / "artifact.json"
+    with pytest.raises(ValueError, match="mid-write"):
+        with atomic_writer(target, "wt", encoding="utf-8") as handle:
+            handle.write("partial")
+            raise ValueError("mid-write")
+    # Neither the final file nor the tmp file survives.
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_failed_write_leaves_previous_contents(tmp_path):
+    target = tmp_path / "artifact.json"
+    atomic_write_text(target, "v1")
+    with pytest.raises(ValueError):
+        with atomic_writer(target, "wt", encoding="utf-8") as handle:
+            handle.write("v2 partial")
+            raise ValueError("crash")
+    assert target.read_text(encoding="utf-8") == "v1"
+
+
+# -- error classification ------------------------------------------------
+
+
+@pytest.mark.parametrize("code", sorted(STORAGE_ERRNOS))
+def test_environment_errnos_classify(code, tmp_path):
+    error = OSError(code, os.strerror(code))
+    classified = classify_storage_error(error, "checkpoint_write", tmp_path)
+    assert isinstance(classified, StorageError)
+    assert classified.op == "checkpoint_write"
+    assert classified.errno == code
+
+
+def test_programming_errnos_stay_plain(tmp_path):
+    error = OSError(errno.EACCES, "permission denied")
+    assert classify_storage_error(error, "storage", tmp_path) is None
+
+
+def test_unclassified_oserror_propagates_from_writer(tmp_path):
+    # Writing "under" a regular file is a caller bug (ENOTDIR), not an
+    # environment failure — it must NOT come back as StorageError.
+    blocker = tmp_path / "file"
+    blocker.write_text("x")
+    with pytest.raises(OSError) as excinfo:
+        atomic_write_text(blocker / "child.txt", "data")
+    assert not isinstance(excinfo.value, StorageError)
+
+
+# -- fault injection through the write path ------------------------------
+
+
+def test_injected_disk_full_classifies_like_the_real_thing(tmp_path):
+    plan = FaultPlan([FaultSpec(stage="storage", kind="disk_full")])
+    target = tmp_path / "artifact.json"
+    with pytest.raises(StorageError) as excinfo:
+        atomic_write_text(target, "doomed", faults=plan, op="storage")
+    assert excinfo.value.errno == errno.ENOSPC
+    assert not target.exists()
+    # times=1: the disk "recovers" and the next write lands.
+    atomic_write_text(target, "ok", faults=plan, op="storage")
+    assert target.read_text(encoding="utf-8") == "ok"
+
+
+def test_disk_full_targets_one_logical_op(tmp_path):
+    plan = FaultPlan(
+        [FaultSpec(stage="prep_cache_write", kind="disk_full", times=None)]
+    )
+    # A checkpoint write is unaffected by a prep-cache-targeted fault...
+    atomic_write_text(
+        tmp_path / "ckpt", "fine", faults=plan, op="checkpoint_write"
+    )
+    # ...while the named op fails every time (times=None).
+    for _ in range(2):
+        with pytest.raises(StorageError):
+            atomic_write_text(
+                tmp_path / "meta",
+                "doomed",
+                faults=plan,
+                op="prep_cache_write",
+            )
+
+
+def test_slow_disk_injects_latency_not_failure(tmp_path):
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                stage="storage", kind="slow_disk", delay_seconds=0.05
+            )
+        ]
+    )
+    start = time.monotonic()
+    atomic_write_text(tmp_path / "slow.txt", "data", faults=plan)
+    assert time.monotonic() - start >= 0.05
+    assert (tmp_path / "slow.txt").read_text(encoding="utf-8") == "data"
+
+
+# -- DirectoryLock -------------------------------------------------------
+
+
+def test_lock_conflicts_between_handles(tmp_path):
+    first = DirectoryLock(tmp_path, ".run.lock")
+    second = DirectoryLock(tmp_path, ".run.lock")
+    assert first.try_acquire()
+    assert first.held
+    # flock attaches to the open file description, so a second handle
+    # conflicts even inside one process — the dueling-run scenario.
+    assert not second.try_acquire()
+    first.release()
+    assert second.try_acquire()
+    second.release()
+
+
+def test_try_acquire_is_reentrant_while_held(tmp_path):
+    lock = DirectoryLock(tmp_path)
+    assert lock.try_acquire()
+    assert lock.try_acquire()  # already ours: True, no double-open
+    lock.release()
+
+
+def test_acquire_timeout_raises(tmp_path):
+    holder = DirectoryLock(tmp_path)
+    assert holder.try_acquire()
+    waiter = DirectoryLock(tmp_path)
+    with pytest.raises(TimeoutError, match="another run holds it"):
+        waiter.acquire(timeout=0.1, poll_seconds=0.02)
+    holder.release()
+
+
+def test_acquire_succeeds_once_holder_releases(tmp_path):
+    holder = DirectoryLock(tmp_path)
+    assert holder.try_acquire()
+    holder.release()
+    with DirectoryLock(tmp_path) as lock:
+        assert lock.held
+    assert not lock.held
+
+
+def test_release_is_idempotent_and_sentinel_stays(tmp_path):
+    lock = DirectoryLock(tmp_path, ".cache.lock")
+    assert lock.try_acquire()
+    lock.release()
+    lock.release()  # no-op, no error
+    # The sentinel file is the lock's anchor, not its signal: it stays
+    # behind so a crashed holder never wedges later runs.
+    assert (tmp_path / ".cache.lock").exists()
+    assert DirectoryLock(tmp_path, ".cache.lock").try_acquire()
